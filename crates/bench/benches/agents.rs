@@ -1,0 +1,66 @@
+//! Criterion microbenches for the congestion control arithmetic: the
+//! Padhye equation, the binomial window rules, and TFRC's loss-interval
+//! averaging — the per-packet/per-feedback costs of each agent.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use slowcc_core::aimd::BinomialParams;
+use slowcc_core::equation::padhye_rate_bps;
+use slowcc_core::tfrc::LossHistory;
+
+fn bench_equation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equation");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("padhye", |b| {
+        let mut p = 0.001;
+        b.iter(|| {
+            p = if p > 0.5 { 0.001 } else { p * 1.01 };
+            black_box(padhye_rate_bps(1000, black_box(p), 0.05, 0.2))
+        });
+    });
+    group.finish();
+}
+
+fn bench_window_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_rules");
+    group.throughput(Throughput::Elements(1));
+    for (name, params) in [
+        ("aimd", BinomialParams::standard_tcp()),
+        ("sqrt", BinomialParams::sqrt_gamma(2.0)),
+        ("iiad", BinomialParams::iiad_gamma(2.0)),
+    ] {
+        group.bench_function(name, |b| {
+            let mut w = 2.0f64;
+            b.iter(|| {
+                w += params.increase_per_ack(w);
+                if w > 100.0 {
+                    w = params.decrease(w);
+                }
+                black_box(w)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_loss_history(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tfrc_loss_history");
+    for k in [8usize, 64, 256] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(format!("k{k}"), |b| {
+            let mut h = LossHistory::new(k, false);
+            for i in 0..k {
+                h.record_interval(50 + i as u64);
+            }
+            let mut open = 0u64;
+            b.iter(|| {
+                open = (open + 7) % 1000;
+                black_box(h.loss_event_rate(open))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_equation, bench_window_rules, bench_loss_history);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! The figure-regeneration harness (`harness = false`): running
+//! `cargo bench --bench figures` regenerates every table and figure of
+//! the paper at quick scale and prints the same rows/series the paper
+//! reports. Pass `--full` (after `--`) for paper-scale runs — identical
+//! to `repro all`.
+
+use slowcc_experiments::scale::Scale;
+use slowcc_experiments::*;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    println!("regenerating all figures at {scale:?} scale\n");
+    let t0 = std::time::Instant::now();
+
+    fig03::run(scale).print();
+    fig45::run(scale).print();
+    fig06::run(scale).print();
+    fig0789::run_fig7(scale).print("Figure 7");
+    fig0789::run_fig8(scale).print("Figure 8");
+    fig0789::run_fig9(scale).print("Figure 9");
+    fig1012::run_fig10(scale).print("Figure 10");
+    fig11::run(scale).print();
+    fig1012::run_fig12(scale).print("Figure 12");
+    fig13::run(scale).print();
+    fig1416::run_fig14(scale).print("Figures 14/15");
+    fig1416::run_fig16(scale).print("Figure 16");
+    fig171819::run_fig17(scale).print("Figure 17");
+    fig171819::run_fig18(scale).print("Figure 18");
+    fig171819::run_fig19(scale).print("Figure 19");
+    fig20::run(scale).print();
+    extras::run_fairness_extreme(scale).print("Section 4.2.1 (10:1 oscillation)");
+    extras::run_fk_model(scale).print();
+    validate::run_static(scale).print();
+    validate::run_ecn_convergence(scale).print();
+    validate::run_high_loss(scale).print();
+    response::run(scale).print();
+    queuedyn::run(scale).print();
+    hetero::run_rtt_bias(scale).print();
+    hetero::run_multihop(scale).print();
+
+    println!("\nall figures regenerated in {:.1} s", t0.elapsed().as_secs_f64());
+}

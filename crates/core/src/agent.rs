@@ -1,0 +1,131 @@
+//! Wiring helpers shared by all congestion control agents.
+//!
+//! Every protocol in this crate is a (sender agent, sink agent) pair
+//! installed on opposite sides of a topology. [`install_flow`] handles the
+//! chicken-and-egg addressing: it reserves the sink's agent id first so the
+//! sender can be constructed knowing where to aim its data packets, while
+//! the sink learns the sender's address from arriving packets.
+
+use slowcc_netsim::ids::{AgentId, FlowId, NodeId};
+use slowcc_netsim::sim::{Agent, Simulator};
+use slowcc_netsim::time::SimTime;
+use slowcc_netsim::topology::HostPair;
+
+/// Handles to one installed flow.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowHandle {
+    /// Flow id under which the simulator accounts this conversation.
+    pub flow: FlowId,
+    /// The data sender.
+    pub sender: AgentId,
+    /// The receiver / acknowledgment generator.
+    pub sink: AgentId,
+}
+
+/// Addressing a sender needs at construction time.
+#[derive(Debug, Clone, Copy)]
+pub struct SenderWiring {
+    /// Flow id for statistics accounting.
+    pub flow: FlowId,
+    /// Node hosting the sink.
+    pub dst_node: NodeId,
+    /// The sink agent data packets are addressed to.
+    pub dst_agent: AgentId,
+}
+
+/// Install a sender/sink pair across `pair`, with the sender starting at
+/// `start` (the sink is always live from time zero — receivers are
+/// passive).
+pub fn install_flow<F>(
+    sim: &mut Simulator,
+    pair: &HostPair,
+    start: SimTime,
+    sink: Box<dyn Agent>,
+    make_sender: F,
+) -> FlowHandle
+where
+    F: FnOnce(SenderWiring) -> Box<dyn Agent>,
+{
+    let flow = sim.new_flow();
+    let sink_id = sim.reserve_agent(pair.right);
+    sim.install_agent(sink_id, sink, SimTime::ZERO);
+    let sender = make_sender(SenderWiring {
+        flow,
+        dst_node: pair.right,
+        dst_agent: sink_id,
+    });
+    let sender_id = sim.add_agent_at(pair.left, sender, start);
+    FlowHandle {
+        flow,
+        sender: sender_id,
+        sink: sink_id,
+    }
+}
+
+/// Install a flow in the reverse direction (data flowing right -> left),
+/// used for the paper's requirement that "data traffic flows in both
+/// directions on the congested link".
+pub fn install_reverse_flow<F>(
+    sim: &mut Simulator,
+    pair: &HostPair,
+    start: SimTime,
+    sink: Box<dyn Agent>,
+    make_sender: F,
+) -> FlowHandle
+where
+    F: FnOnce(SenderWiring) -> Box<dyn Agent>,
+{
+    let flipped = HostPair {
+        left: pair.right,
+        right: pair.left,
+    };
+    install_flow(sim, &flipped, start, sink, make_sender)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slowcc_netsim::packet::{Packet, PacketSpec};
+    use slowcc_netsim::sim::Ctx;
+    use slowcc_netsim::topology::{Dumbbell, DumbbellConfig};
+
+    struct NullSink;
+    impl Agent for NullSink {
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+    }
+    struct OneShot {
+        w: SenderWiring,
+    }
+    impl Agent for OneShot {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.send(PacketSpec::data(self.w.flow, 0, 500, self.w.dst_node, self.w.dst_agent));
+        }
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+    }
+
+    #[test]
+    fn install_flow_wires_sender_to_sink() {
+        let mut sim = Simulator::new(0);
+        let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
+        let pair = db.add_host_pair(&mut sim);
+        let h = install_flow(&mut sim, &pair, SimTime::ZERO, Box::new(NullSink), |w| {
+            Box::new(OneShot { w })
+        });
+        sim.run_until(SimTime::from_millis(100));
+        assert_eq!(sim.stats().flow(h.flow).unwrap().total_rx_packets, 1);
+    }
+
+    #[test]
+    fn reverse_flow_crosses_the_reverse_bottleneck() {
+        let mut sim = Simulator::new(0);
+        let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
+        let pair = db.add_host_pair(&mut sim);
+        let h = install_reverse_flow(&mut sim, &pair, SimTime::ZERO, Box::new(NullSink), |w| {
+            Box::new(OneShot { w })
+        });
+        sim.run_until(SimTime::from_millis(100));
+        assert_eq!(sim.stats().flow(h.flow).unwrap().total_rx_packets, 1);
+        assert!(sim.stats().link(db.reverse).unwrap().total_arrivals >= 1);
+        assert_eq!(sim.stats().link(db.forward).unwrap().total_arrivals, 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Closed-form models from the paper.
+//!
+//! * [`acks_to_delta_fairness`] — the Section 4.2.2 convergence model
+//!   behind Figure 11: two AIMD(a, b) flows under ECN-style marking with
+//!   probability `p` close their expected window gap by a factor
+//!   `(1 - bp)` per ACK, so δ-fairness takes `log_{1-bp} δ` ACKs.
+//! * [`pure_aimd_rate_ppr`] / [`aimd_with_timeouts_rate_ppr`] /
+//!   Reno via [`crate::equation::padhye_rate_pps`] — the three curves of
+//!   Figure 20 (Appendix A): the `sqrt(1.5/p)` deterministic AIMD model,
+//!   and the paper's extension of AIMD below one packet per RTT, where
+//!   exponential retransmit-timer backoff *is* AIMD continued into
+//!   sub-packet rates: at drop rate `p = n/(n+1)` the sender delivers
+//!   `n + 1` packets per `2^(n+1) - 1` RTTs.
+//! * [`fk_model_tcp`] — the Section 4.2.3 approximation
+//!   `f(k) ≈ 1/2 + k·a/(4Rλ)` for the utilization in the first `k` RTTs
+//!   after the available bandwidth doubles.
+
+/// Expected number of ACKs until two AIMD(a, b) flows sharing a link with
+/// mark probability `p` reach a δ-fair allocation, starting from a fully
+/// skewed allocation: `ln(δ) / ln(1 - b·p)` (Section 4.2.2).
+///
+/// Valid for moderate `p` (the model ignores timeouts and multiple drops
+/// per window). Returns `f64::INFINITY` when `b·p` rounds to zero.
+pub fn acks_to_delta_fairness(b: f64, p: f64, delta: f64) -> f64 {
+    assert!(b > 0.0 && b <= 1.0, "decrease fraction must be in (0,1]");
+    assert!(p > 0.0 && p < 1.0, "mark probability must be in (0,1)");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    let shrink = 1.0 - b * p;
+    if shrink >= 1.0 {
+        return f64::INFINITY;
+    }
+    delta.ln() / shrink.ln()
+}
+
+/// Deterministic "pure AIMD" sending rate in packets per RTT:
+/// `sqrt(1.5/p)` (Figure 20's solid line). Valid for `p` up to about
+/// one-third, i.e. while the model stays above one packet per RTT.
+pub fn pure_aimd_rate_ppr(p: f64) -> f64 {
+    assert!(p > 0.0 && p <= 1.0, "drop rate must be in (0,1]");
+    (1.5 / p).sqrt()
+}
+
+/// The paper's Appendix A model of AIMD extended below one packet per
+/// RTT via exponential retransmit-timer backoff, in packets per RTT:
+///
+/// ```text
+///          1/(1-p)
+/// rate = ------------
+///        2^(1/(1-p)) - 1
+/// ```
+///
+/// Derived for drop rates `p = n/(n+1) >= 1/2`; the formula itself is
+/// defined for all `p` in (0, 1) and this function evaluates it as given.
+pub fn aimd_with_timeouts_rate_ppr(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "drop rate must be in (0,1)");
+    let e = 1.0 / (1.0 - p);
+    e / (2f64.powf(e) - 1.0)
+}
+
+/// Section 4.2.3's approximation of the utilization metric `f(k)` for
+/// TCP(a, b) after the available bandwidth doubles from `lambda_pps`
+/// packets/second to `2·lambda_pps`:
+///
+/// ```text
+/// f(k) ≈ 1/2 + k·a / (4·R·λ)
+/// ```
+///
+/// capped at 1 (once the sender reaches the new bandwidth the metric
+/// cannot exceed full utilization within the model).
+pub fn fk_model_tcp(k: u64, a: f64, rtt_secs: f64, lambda_pps: f64) -> f64 {
+    assert!(a > 0.0, "increase parameter must be positive");
+    assert!(rtt_secs > 0.0, "RTT must be positive");
+    assert!(lambda_pps > 0.0, "rate must be positive");
+    (0.5 + k as f64 * a / (4.0 * rtt_secs * lambda_pps)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aimd::tcp_compatible_a;
+
+    #[test]
+    fn fairness_acks_match_hand_computation() {
+        // b = 0.5, p = 0.1 -> shrink 0.95 per ACK;
+        // ln(0.1)/ln(0.95) = 44.9.
+        let n = acks_to_delta_fairness(0.5, 0.1, 0.1);
+        assert!((n - 44.9).abs() < 0.1, "got {n}");
+    }
+
+    #[test]
+    fn fairness_convergence_blows_up_for_small_b() {
+        // Figure 11's exponential blow-up: each halving of b roughly
+        // doubles the ACK count (for small bp).
+        let p = 0.1;
+        let n1 = acks_to_delta_fairness(0.2, p, 0.1);
+        let n2 = acks_to_delta_fairness(0.025, p, 0.1);
+        assert!(n2 > 7.0 * n1, "b=0.2 -> {n1}, b=0.025 -> {n2}");
+    }
+
+    #[test]
+    fn pure_aimd_at_one_percent() {
+        // sqrt(150) = 12.25 packets per RTT.
+        assert!((pure_aimd_rate_ppr(0.01) - 12.247).abs() < 0.01);
+    }
+
+    #[test]
+    fn timeout_model_matches_papers_example() {
+        // p = 1/2: two packets every three RTTs.
+        let r = aimd_with_timeouts_rate_ppr(0.5);
+        assert!((r - 2.0 / 3.0).abs() < 1e-9, "got {r}");
+        // p = 2/3 (n = 2): three packets every seven RTTs.
+        let r = aimd_with_timeouts_rate_ppr(2.0 / 3.0);
+        assert!((r - 3.0 / 7.0).abs() < 1e-9, "got {r}");
+    }
+
+    #[test]
+    fn timeout_model_is_below_pure_aimd_at_high_loss() {
+        // The backoff model must be the slower of the two in its validity
+        // range (p >= 1/2).
+        for p in [0.5, 0.6, 0.75, 0.9] {
+            assert!(aimd_with_timeouts_rate_ppr(p) < pure_aimd_rate_ppr(p));
+        }
+    }
+
+    #[test]
+    fn reno_lies_below_the_timeout_upper_bound() {
+        // Appendix A: "AIMD with timeouts" upper-bounds TCP's analytic
+        // behavior; the Padhye Reno formula lower-bounds it.
+        for p in [0.5, 0.6, 0.7] {
+            let upper = aimd_with_timeouts_rate_ppr(p);
+            let rtt = 1.0; // packets per RTT with R = 1
+            let reno = crate::equation::padhye_rate_pps(p, rtt, 4.0 * rtt);
+            assert!(reno < upper, "p={p}: reno {reno} >= upper {upper}");
+        }
+    }
+
+    #[test]
+    fn fk_model_standard_tcp_example() {
+        // Figure 13's scenario: 10 Mb/s, 50 ms RTT, five flows doubling
+        // to 2x bandwidth; per-flow lambda = 125 pps before doubling.
+        // Standard TCP (a = 1): f(20) = 0.5 + 20/(4*0.05*125) = 1.3 -> 1.
+        assert_eq!(fk_model_tcp(20, 1.0, 0.05, 125.0), 1.0);
+        // A slow variant (a for b = 1/256) stays near 1/2.
+        let a = tcp_compatible_a(1.0 / 256.0);
+        let f = fk_model_tcp(20, a, 0.05, 125.0);
+        assert!(f < 0.56, "got {f}");
+    }
+
+    #[test]
+    fn fk_grows_with_k_and_caps_at_one() {
+        let a = 1.0;
+        let f20 = fk_model_tcp(20, a, 0.05, 1000.0);
+        let f200 = fk_model_tcp(200, a, 0.05, 1000.0);
+        assert!(f200 > f20);
+        assert!(fk_model_tcp(1_000_000, a, 0.05, 1000.0) <= 1.0);
+    }
+}

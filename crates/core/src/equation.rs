@@ -1,0 +1,125 @@
+//! The TCP response function ("TCP-friendly equation").
+//!
+//! The paper uses the throughput formula of Padhye, Firoiu, Towsley &
+//! Kurose (SIGCOMM 1998) to define TCP-compatibility and as the control
+//! equation inside TFRC:
+//!
+//! ```text
+//!                              s
+//! X = ---------------------------------------------------------
+//!     R*sqrt(2bp/3) + t_RTO * (3*sqrt(3bp/8)) * p * (1 + 32p²)
+//! ```
+//!
+//! with `s` the packet size, `R` the round-trip time, `p` the loss event
+//! rate, `b` the number of packets acknowledged per ACK (1 here: the
+//! paper's TCP has no delayed ACKs), and `t_RTO` the retransmission
+//! timeout (TFRC uses `t_RTO = 4R`). The `3*sqrt(3bp/8)` factor is
+//! conventionally clamped to at most 1.
+//!
+//! Also provided: the first-order `1.22/(R*sqrt(p))` rate (Figure 20's
+//! "pure AIMD" line is the same model expressed per RTT).
+
+/// Padhye et al. TCP throughput in packets per second.
+///
+/// `p` is clamped into `(0, 1]`; `p <= 0` returns `f64::INFINITY`
+/// (no loss means the equation imposes no limit).
+pub fn padhye_rate_pps(p: f64, rtt_secs: f64, rto_secs: f64) -> f64 {
+    assert!(rtt_secs > 0.0, "RTT must be positive");
+    assert!(rto_secs > 0.0, "RTO must be positive");
+    if p <= 0.0 {
+        return f64::INFINITY;
+    }
+    let p = p.min(1.0);
+    let b = 1.0; // packets per ACK: no delayed ACKs in the paper's TCP
+    let sqrt_term = (2.0 * b * p / 3.0).sqrt();
+    let timeout_coeff = (3.0 * (3.0 * b * p / 8.0).sqrt()).min(1.0);
+    let denom = rtt_secs * sqrt_term + rto_secs * timeout_coeff * p * (1.0 + 32.0 * p * p);
+    1.0 / denom
+}
+
+/// Padhye et al. TCP throughput in bytes per second for `pkt_size`-byte
+/// packets.
+pub fn padhye_rate_bps(pkt_size: u32, p: f64, rtt_secs: f64, rto_secs: f64) -> f64 {
+    let pps = padhye_rate_pps(p, rtt_secs, rto_secs);
+    if pps.is_infinite() {
+        f64::INFINITY
+    } else {
+        pps * pkt_size as f64
+    }
+}
+
+/// First-order TCP-friendly rate `sqrt(3/2) / (R sqrt(p))` in packets
+/// per second (the classic `1.22/(R sqrt(p))`).
+pub fn simple_rate_pps(p: f64, rtt_secs: f64) -> f64 {
+    assert!(rtt_secs > 0.0, "RTT must be positive");
+    if p <= 0.0 {
+        return f64::INFINITY;
+    }
+    (1.5f64).sqrt() / (rtt_secs * p.min(1.0).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_loss_is_unbounded() {
+        assert!(padhye_rate_pps(0.0, 0.05, 0.2).is_infinite());
+        assert!(simple_rate_pps(0.0, 0.05).is_infinite());
+    }
+
+    #[test]
+    fn moderate_loss_matches_the_simple_model() {
+        // At small p the timeout term is negligible and the equation
+        // approaches 1.22/(R sqrt(p)).
+        let p = 0.001;
+        let rtt = 0.05;
+        let full = padhye_rate_pps(p, rtt, 4.0 * rtt);
+        let simple = simple_rate_pps(p, rtt);
+        assert!(
+            (full - simple).abs() / simple < 0.15,
+            "full {full} vs simple {simple}"
+        );
+    }
+
+    #[test]
+    fn high_loss_is_timeout_dominated() {
+        // At p = 0.3 the timeout term dominates; rate is far below the
+        // simple model's prediction.
+        let p = 0.3;
+        let rtt = 0.05;
+        let full = padhye_rate_pps(p, rtt, 4.0 * rtt);
+        let simple = simple_rate_pps(p, rtt);
+        assert!(full < simple / 3.0, "full {full} vs simple {simple}");
+    }
+
+    #[test]
+    fn rate_is_monotone_decreasing_in_p() {
+        let rtt = 0.05;
+        let mut prev = f64::INFINITY;
+        for i in 1..=100 {
+            let p = i as f64 / 100.0;
+            let x = padhye_rate_pps(p, rtt, 4.0 * rtt);
+            assert!(x < prev, "not monotone at p={p}: {x} >= {prev}");
+            prev = x;
+        }
+    }
+
+    #[test]
+    fn known_value_spot_check() {
+        // p = 0.01, R = 0.1 s, RTO = 0.4 s:
+        // sqrt(2*.01/3) = 0.08165; R term = 0.008165.
+        // timeout coeff = 3*sqrt(3*.01/8) = 0.1837; term = 0.4*0.1837*0.01*(1+0.0032)
+        //   = 0.000737.
+        // X = 1/0.008902 = 112.3 pps.
+        let x = padhye_rate_pps(0.01, 0.1, 0.4);
+        assert!((x - 112.3).abs() < 1.0, "got {x}");
+    }
+
+    #[test]
+    fn bps_scales_with_packet_size() {
+        let a = padhye_rate_bps(500, 0.01, 0.05, 0.2);
+        let b = padhye_rate_bps(1000, 0.01, 0.05, 0.2);
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,428 @@
+//! RAP — the Rate Adaptation Protocol (Rejaie et al., Infocom 1999),
+//! generalized to RAP(1/γ) as in the paper.
+//!
+//! RAP performs the *same* AIMD adjustments as TCP but on a **rate**
+//! variable instead of a window, and — crucially for the paper's Section
+//! 4.1 — its transmissions are paced by that rate rather than clocked by
+//! arriving ACKs. ACKs are used only to measure the RTT and to detect
+//! losses. The absence of packet conservation is what makes RAP(1/γ)
+//! behave so differently from TCP(1/γ) when the available bandwidth
+//! collapses: the rate keeps the old value for Θ(γ) loss events while the
+//! queue overflows.
+//!
+//! Mechanisms implemented from the RAP paper:
+//!
+//! * additive increase once per RTT (one packet per RTT per RTT, scaled by
+//!   `a` for TCP-compatible variants), multiplicative decrease by `b` on a
+//!   loss event;
+//! * at most one rate decrease per RTT (loss events, not individual
+//!   losses);
+//! * loss detection via ACK sequence gaps (the receiver ACKs every data
+//!   packet; a jump in the acked sequence implies the skipped packets were
+//!   lost — RAP does not retransmit);
+//! * a timeout-style safeguard: if no ACK arrives for several RTTs while
+//!   data is outstanding, the rate is halved repeatedly (without this, a
+//!   total outage would freeze the rate at its pre-outage value).
+
+use slowcc_netsim::packet::{Packet, PacketSpec};
+use slowcc_netsim::sim::{Agent, Ctx, Simulator};
+use slowcc_netsim::time::{SimDuration, SimTime};
+use slowcc_netsim::topology::HostPair;
+
+use crate::agent::{install_flow, FlowHandle, SenderWiring};
+use crate::aimd::tcp_compatible_a;
+use crate::rtt::RttEstimator;
+use crate::tcp::TcpSink;
+
+/// Configuration of a RAP sender.
+#[derive(Debug, Clone, Copy)]
+pub struct RapConfig {
+    /// Multiplicative decrease factor (1/γ). Standard RAP is 1/2.
+    pub b: f64,
+    /// Additive increase in packets per RTT per RTT. Defaults to the
+    /// TCP-compatible value `4(2b - b²)/3` for the chosen `b`.
+    pub a: f64,
+    /// Data packet size in bytes.
+    pub pkt_size: u32,
+    /// RTT estimate used before the first measurement, and the initial
+    /// rate of one packet per this interval.
+    pub initial_rtt: SimDuration,
+    /// Floor on the sending rate, in packets per second.
+    pub min_rate_pps: f64,
+    /// Number of smoothed RTTs without any ACK (while data is
+    /// outstanding) after which the rate is halved.
+    pub feedback_timeout_rtts: f64,
+    /// RAP's fine-grain rate adaptation (Rejaie et al. §3.4): modulate
+    /// the inter-packet gap by the ratio of a short-term to a long-term
+    /// RTT average, so the sender eases off as the queue builds within
+    /// an adjustment interval.
+    pub fine_grain: bool,
+}
+
+impl RapConfig {
+    /// RAP(1/γ) with TCP-compatible increase.
+    pub fn rap_gamma(gamma: f64, pkt_size: u32) -> Self {
+        assert!(gamma >= 1.0, "gamma must be >= 1");
+        let b = 1.0 / gamma;
+        RapConfig {
+            b,
+            a: tcp_compatible_a(b),
+            pkt_size,
+            initial_rtt: SimDuration::from_millis(50),
+            min_rate_pps: 0.5,
+            feedback_timeout_rtts: 3.0,
+            fine_grain: false,
+        }
+    }
+
+    /// Enable fine-grain rate adaptation.
+    pub fn with_fine_grain(mut self) -> Self {
+        self.fine_grain = true;
+        self
+    }
+
+    /// Standard RAP = RAP(1/2) (TCP-equivalent AIMD).
+    pub fn standard(pkt_size: u32) -> Self {
+        RapConfig::rap_gamma(2.0, pkt_size)
+    }
+}
+
+/// Timer tokens (low bits distinguish the two timer streams; high bits
+/// are the generation counter for staleness).
+const TIMER_SEND: u64 = 0;
+const TIMER_RTT: u64 = 1;
+
+/// The RAP sender agent. Pairs with [`TcpSink`] (which ACKs every data
+/// packet; RAP reads the per-packet `acked_seq`, not the cumulative ACK).
+pub struct Rap {
+    cfg: RapConfig,
+    w: SenderWiring,
+    /// Current sending rate in packets per second.
+    rate_pps: f64,
+    rtt: RttEstimator,
+    next_seq: u64,
+    /// Highest per-packet sequence acknowledged so far.
+    highest_acked: Option<u64>,
+    /// No further decrease until this time (one reaction per RTT).
+    no_reaction_until: SimTime,
+    /// Time the most recent ACK arrived.
+    last_ack_at: SimTime,
+    /// Short-term RTT average for fine-grain adaptation (EWMA, heavier
+    /// weight on fresh samples than the long-term estimator).
+    frtt_secs: Option<f64>,
+    send_gen: u64,
+    rtt_gen: u64,
+    started: bool,
+}
+
+impl Rap {
+    /// A sender addressed by `wiring`.
+    pub fn new(cfg: RapConfig, wiring: SenderWiring) -> Self {
+        assert!(cfg.b > 0.0 && cfg.b <= 1.0, "decrease factor in (0,1]");
+        assert!(cfg.pkt_size > 0, "packet size must be positive");
+        let rate = 1.0 / cfg.initial_rtt.as_secs_f64();
+        Rap {
+            rate_pps: rate.max(cfg.min_rate_pps),
+            rtt: RttEstimator::default(),
+            cfg,
+            w: wiring,
+            next_seq: 0,
+            highest_acked: None,
+            no_reaction_until: SimTime::ZERO,
+            last_ack_at: SimTime::ZERO,
+            frtt_secs: None,
+            send_gen: 0,
+            rtt_gen: 0,
+            started: false,
+        }
+    }
+
+    /// Install a forward RAP flow across `pair`.
+    pub fn install(
+        sim: &mut Simulator,
+        pair: &HostPair,
+        cfg: RapConfig,
+        start: SimTime,
+    ) -> FlowHandle {
+        install_flow(sim, pair, start, Box::new(TcpSink::new()), |w| {
+            Box::new(Rap::new(cfg, w))
+        })
+    }
+
+    /// Current sending rate in packets per second.
+    pub fn rate_pps(&self) -> f64 {
+        self.rate_pps
+    }
+
+    fn srtt(&self) -> SimDuration {
+        self.rtt.srtt_or(self.cfg.initial_rtt)
+    }
+
+    fn schedule_send(&mut self, ctx: &mut Ctx<'_>) {
+        self.send_gen += 1;
+        let mut gap_secs = 1.0 / self.rate_pps.max(self.cfg.min_rate_pps);
+        if self.cfg.fine_grain {
+            // Stretch the gap while the short-term RTT runs above the
+            // long-term average (queue building), compress it when below
+            // (queue draining). Clamped so coarse-grain AIMD stays in
+            // charge of the operating point.
+            if let (Some(frtt), Some(srtt)) = (self.frtt_secs, self.rtt.srtt()) {
+                let ratio = (frtt / srtt.as_secs_f64()).clamp(0.5, 2.0);
+                gap_secs *= ratio;
+            }
+        }
+        ctx.set_timer(
+            SimDuration::from_secs_f64(gap_secs),
+            (self.send_gen << 1) | TIMER_SEND,
+        );
+    }
+
+    fn schedule_rtt_tick(&mut self, ctx: &mut Ctx<'_>) {
+        self.rtt_gen += 1;
+        ctx.set_timer(self.srtt(), (self.rtt_gen << 1) | TIMER_RTT);
+    }
+
+    fn decrease(&mut self, now: SimTime) {
+        self.rate_pps = (self.rate_pps * (1.0 - self.cfg.b)).max(self.cfg.min_rate_pps);
+        self.no_reaction_until = now + self.srtt();
+    }
+}
+
+impl Agent for Rap {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.started = true;
+        self.last_ack_at = ctx.now();
+        // First packet immediately; pacing and per-RTT adjustment follow.
+        ctx.send(PacketSpec::data(
+            self.w.flow,
+            self.next_seq,
+            self.cfg.pkt_size,
+            self.w.dst_node,
+            self.w.dst_agent,
+        ));
+        self.next_seq += 1;
+        self.schedule_send(ctx);
+        self.schedule_rtt_tick(ctx);
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        let Some(info) = pkt.ack().copied() else {
+            return;
+        };
+        self.last_ack_at = ctx.now();
+        let sample = ctx.now().saturating_since(info.echo_ts);
+        if !sample.is_zero() {
+            self.rtt.on_sample(sample);
+            let s = sample.as_secs_f64();
+            self.frtt_secs = Some(match self.frtt_secs {
+                None => s,
+                // RAP's short-term average weighs fresh samples heavily.
+                Some(f) => 0.5 * f + 0.5 * s,
+            });
+        }
+        match self.highest_acked {
+            None => self.highest_acked = Some(info.acked_seq),
+            Some(h) if info.acked_seq > h => {
+                // A gap in the (in-order) ACK stream means the skipped
+                // packets were lost: react at most once per RTT.
+                if info.acked_seq > h + 1 && ctx.now() >= self.no_reaction_until {
+                    self.decrease(ctx.now());
+                }
+                self.highest_acked = Some(info.acked_seq);
+            }
+            Some(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        let kind = token & 1;
+        let gen = token >> 1;
+        match kind {
+            TIMER_SEND => {
+                if gen != self.send_gen {
+                    return;
+                }
+                ctx.send(PacketSpec::data(
+                    self.w.flow,
+                    self.next_seq,
+                    self.cfg.pkt_size,
+                    self.w.dst_node,
+                    self.w.dst_agent,
+                ));
+                self.next_seq += 1;
+                self.schedule_send(ctx);
+            }
+            TIMER_RTT => {
+                if gen != self.rtt_gen {
+                    return;
+                }
+                let now = ctx.now();
+                let silent = now.saturating_since(self.last_ack_at);
+                let deadline = SimDuration::from_secs_f64(
+                    self.srtt().as_secs_f64() * self.cfg.feedback_timeout_rtts,
+                );
+                if silent > deadline {
+                    // Feedback blackout: halve repeatedly (the safeguard
+                    // standing in for RAP's fine-grained ACK timeouts).
+                    if now >= self.no_reaction_until {
+                        self.decrease(now);
+                    }
+                } else {
+                    // Additive increase, once per RTT.
+                    self.rate_pps += self.cfg.a / self.srtt().as_secs_f64();
+                }
+                self.schedule_rtt_tick(ctx);
+            }
+            _ => unreachable!("two timer kinds"),
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slowcc_netsim::link::LossPattern;
+    use slowcc_netsim::topology::{Dumbbell, DumbbellConfig, QueueKind};
+
+    #[test]
+    fn rap_fills_a_clean_pipe() {
+        let mut sim = Simulator::new(2);
+        let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
+        let pair = db.add_host_pair(&mut sim);
+        let h = Rap::install(&mut sim, &pair, RapConfig::standard(1000), SimTime::ZERO);
+        sim.run_until(SimTime::from_secs(60));
+        let tput = sim.stats().flow_throughput_bps(
+            h.flow,
+            SimTime::from_secs(20),
+            SimTime::from_secs(60),
+        );
+        // The rate sawtooth (halve, climb one packet/RTT/RTT) averages
+        // roughly 3/4 of the peak; expect ~65-90% utilization on RED.
+        assert!(
+            tput > 6e6,
+            "RAP should utilize a clean 10 Mb/s link, got {:.2} Mb/s",
+            tput / 1e6
+        );
+    }
+
+    #[test]
+    fn rap_backs_off_under_loss() {
+        /// Drop every 20th data packet.
+        struct Every20(u64);
+        impl LossPattern for Every20 {
+            fn should_drop(&mut self, pkt: &Packet, _now: SimTime) -> bool {
+                if !pkt.is_data() {
+                    return false;
+                }
+                self.0 += 1;
+                self.0.is_multiple_of(20)
+            }
+        }
+        let mut sim = Simulator::new(2);
+        let cfg = DumbbellConfig {
+            queue: QueueKind::DropTail(1000),
+            ..DumbbellConfig::paper(10e6)
+        };
+        let db = Dumbbell::build_with_loss(&mut sim, cfg, Some(Box::new(Every20(0))));
+        let pair = db.add_host_pair(&mut sim);
+        let h = Rap::install(&mut sim, &pair, RapConfig::standard(1000), SimTime::ZERO);
+        sim.run_until(SimTime::from_secs(60));
+        let tput = sim.stats().flow_throughput_bps(
+            h.flow,
+            SimTime::from_secs(20),
+            SimTime::from_secs(60),
+        );
+        // p = 5%: TCP-compatible rate ~ 1.22/sqrt(.05) = 5.5 pkt/RTT
+        // = 110 pkt/s = 0.88 Mb/s. Allow a broad band around it.
+        assert!(
+            tput > 0.2e6 && tput < 3.5e6,
+            "RAP under 5% loss should sit near the TCP-compatible rate, got {:.2} Mb/s",
+            tput / 1e6
+        );
+    }
+
+    #[test]
+    fn rap_rate_collapses_on_total_outage() {
+        struct Blackout {
+            from: SimTime,
+        }
+        impl LossPattern for Blackout {
+            fn should_drop(&mut self, pkt: &Packet, now: SimTime) -> bool {
+                pkt.is_data() && now >= self.from
+            }
+        }
+        let mut sim = Simulator::new(2);
+        let cfg = DumbbellConfig {
+            queue: QueueKind::DropTail(1000),
+            ..DumbbellConfig::paper(10e6)
+        };
+        let db = Dumbbell::build_with_loss(
+            &mut sim,
+            cfg,
+            Some(Box::new(Blackout {
+                from: SimTime::from_secs(20),
+            })),
+        );
+        let pair = db.add_host_pair(&mut sim);
+        let h = Rap::install(&mut sim, &pair, RapConfig::standard(1000), SimTime::ZERO);
+        sim.run_until(SimTime::from_secs(19));
+        let rap: &Rap = sim.agent_downcast(h.sender).unwrap();
+        let before = rap.rate_pps();
+        assert!(before > 500.0, "pre-outage rate too low: {before}");
+        sim.run_until(SimTime::from_secs(40));
+        let rap: &Rap = sim.agent_downcast(h.sender).unwrap();
+        let after = rap.rate_pps();
+        assert!(
+            after < before / 20.0,
+            "feedback-timeout safeguard failed: {before} -> {after}"
+        );
+    }
+
+    /// Fine-grain adaptation keeps RAP within its normal operating band
+    /// on a clean link, and dampens the queue oscillation it causes.
+    #[test]
+    fn fine_grain_rap_smooths_the_queue() {
+        let run = |fine: bool| -> (f64, f64) {
+            let mut sim = Simulator::new(2);
+            let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
+            let pair = db.add_host_pair(&mut sim);
+            let mut cfg = RapConfig::standard(1000);
+            cfg.fine_grain = fine;
+            let h = Rap::install(&mut sim, &pair, cfg, SimTime::ZERO);
+            let end = SimTime::from_secs(60);
+            sim.run_until(end);
+            let tput = sim.stats().flow_throughput_bps(h.flow, SimTime::from_secs(20), end);
+            let queue: Vec<f64> = sim
+                .stats()
+                .link_queue_series(db.forward, SimDuration::from_millis(100), end)
+                .into_iter()
+                .skip(200)
+                .collect();
+            let mean = queue.iter().sum::<f64>() / queue.len() as f64;
+            let var = queue.iter().map(|q| (q - mean).powi(2)).sum::<f64>() / queue.len() as f64;
+            (tput, var.sqrt() / mean.max(1e-9))
+        };
+        let (tput_coarse, _cov_coarse) = run(false);
+        let (tput_fine, _cov_fine) = run(true);
+        // Throughput stays in the same band (fine-grain is a smoothing
+        // refinement, not a different operating point).
+        assert!(
+            tput_fine > 0.7 * tput_coarse,
+            "fine-grain cost too much: {:.2} vs {:.2} Mb/s",
+            tput_fine / 1e6,
+            tput_coarse / 1e6
+        );
+    }
+
+    #[test]
+    fn slower_rap_decreases_less_per_loss() {
+        let fast = RapConfig::rap_gamma(2.0, 1000);
+        let slow = RapConfig::rap_gamma(8.0, 1000);
+        assert!(slow.b < fast.b);
+        assert!(slow.a < fast.a);
+    }
+}

@@ -1,0 +1,1024 @@
+//! TCP(b) and its binomial generalizations: a self-clocked, window-based
+//! sender with slow-start, fast retransmit / fast recovery (NewReno-style
+//! partial ACK handling), and exponentially backed-off retransmission
+//! timeouts — the full mechanism set the paper attributes to "TCP(b)"
+//! (Section 2: "TCP using AIMD(b) along with the other TCP mechanisms of
+//! slow-start, retransmit timeouts, and self-clocking").
+//!
+//! The window update rule is pluggable ([`BinomialParams`]), so the same
+//! machinery implements TCP(1/γ), SQRT(1/γ) and IIAD(1/γ): only the
+//! increase/decrease arithmetic differs, exactly as in the paper.
+//!
+//! Self-clocking is inherent to the implementation: new data is sent only
+//! from ACK processing (and the rare retransmission timeout), so when the
+//! bottleneck rate collapses, the ACK clock throttles the sender within
+//! one RTT — the property Section 4.1 identifies as the safety mechanism.
+
+use std::collections::BTreeSet;
+
+use slowcc_netsim::packet::{AckInfo, Packet, PacketSpec};
+use slowcc_netsim::sim::{Agent, Ctx, Simulator};
+use slowcc_netsim::time::{SimDuration, SimTime};
+use slowcc_netsim::topology::HostPair;
+
+use crate::agent::{install_flow, install_reverse_flow, FlowHandle, SenderWiring};
+use crate::aimd::BinomialParams;
+use crate::rtt::{RttEstimator, DEFAULT_MAX_RTO, DEFAULT_MIN_RTO};
+
+/// Size of acknowledgment packets in bytes.
+pub const ACK_SIZE: u32 = 40;
+
+/// Number of duplicate ACKs that triggers fast retransmit.
+pub const DUPACK_THRESHOLD: u32 = 3;
+
+/// Configuration of a window-based sender.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpConfig {
+    /// Window increase/decrease rule.
+    pub params: BinomialParams,
+    /// Data packet size in bytes.
+    pub pkt_size: u32,
+    /// Initial congestion window in packets.
+    pub init_cwnd: f64,
+    /// Initial slow-start threshold in packets (effectively "unbounded"
+    /// by default, as in ns-2).
+    pub init_ssthresh: f64,
+    /// Hard cap on the congestion window (receiver window stand-in).
+    pub max_cwnd: f64,
+    /// Lower clamp on the retransmission timeout.
+    pub min_rto: SimDuration,
+    /// Total data packets to send; `None` means an unbounded bulk flow.
+    /// Short web transfers in the flash-crowd experiments set this to 10.
+    pub max_packets: Option<u64>,
+    /// Stop transmitting at this time (used by experiments that remove
+    /// flows mid-run, e.g. Figure 13's bandwidth doubling).
+    pub stop_at: Option<SimTime>,
+    /// ECN-capable transport (RFC 2481): data packets carry the capable
+    /// codepoint and the sender treats an ECN echo exactly like a loss
+    /// event, minus the retransmission.
+    pub ecn: bool,
+}
+
+impl TcpConfig {
+    /// Standard TCP: AIMD(1, 1/2), 1000-byte packets.
+    pub fn standard(pkt_size: u32) -> Self {
+        TcpConfig::with_params(BinomialParams::standard_tcp(), pkt_size)
+    }
+
+    /// TCP(1/γ), the paper's slowly-responsive TCP variant.
+    pub fn tcp_gamma(gamma: f64, pkt_size: u32) -> Self {
+        TcpConfig::with_params(BinomialParams::tcp_gamma(gamma), pkt_size)
+    }
+
+    /// SQRT(1/γ), the binomial `k = l = 1/2` instance, window-based and
+    /// self-clocked like TCP (Section 4.1 groups SQRT with TCP on the
+    /// self-clocked side of the comparison).
+    pub fn sqrt_gamma(gamma: f64, pkt_size: u32) -> Self {
+        TcpConfig::with_params(BinomialParams::sqrt_gamma(gamma), pkt_size)
+    }
+
+    /// IIAD(1/γ), the binomial `k = 1, l = 0` instance.
+    pub fn iiad_gamma(gamma: f64, pkt_size: u32) -> Self {
+        TcpConfig::with_params(BinomialParams::iiad_gamma(gamma), pkt_size)
+    }
+
+    /// A window sender with an explicit update rule.
+    pub fn with_params(params: BinomialParams, pkt_size: u32) -> Self {
+        TcpConfig {
+            params,
+            pkt_size,
+            init_cwnd: 2.0,
+            init_ssthresh: 1e9,
+            max_cwnd: 1e9,
+            min_rto: DEFAULT_MIN_RTO,
+            max_packets: None,
+            stop_at: None,
+            ecn: false,
+        }
+    }
+
+    /// Limit the flow to `packets` data packets (short transfers).
+    pub fn with_max_packets(mut self, packets: u64) -> Self {
+        self.max_packets = Some(packets);
+        self
+    }
+
+    /// Stop the flow at `t` (it goes permanently silent).
+    pub fn with_stop_at(mut self, t: SimTime) -> Self {
+        self.stop_at = Some(t);
+        self
+    }
+
+    /// Negotiate ECN-capable transport.
+    pub fn with_ecn(mut self) -> Self {
+        self.ecn = true;
+        self
+    }
+}
+
+/// Loss-recovery phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Normal operation.
+    Open,
+    /// Fast recovery; holds the sequence number that ends recovery
+    /// (NewReno `recover`).
+    Recovery { recover: u64 },
+}
+
+/// The window-based sender agent.
+///
+/// ```
+/// use slowcc_core::tcp::{Tcp, TcpConfig};
+/// use slowcc_netsim::prelude::*;
+///
+/// let mut sim = Simulator::new(1);
+/// let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
+/// let pair = db.add_host_pair(&mut sim);
+/// // A 100-packet transfer with the paper's slowly-responsive TCP(1/8).
+/// let cfg = TcpConfig::tcp_gamma(8.0, 1000).with_max_packets(100);
+/// let h = Tcp::install(&mut sim, &pair, cfg, SimTime::ZERO);
+/// sim.run_until(SimTime::from_secs(10));
+/// assert_eq!(sim.stats().flow(h.flow).unwrap().total_rx_packets, 100);
+/// ```
+pub struct Tcp {
+    cfg: TcpConfig,
+    w: SenderWiring,
+    cwnd: f64,
+    ssthresh: f64,
+    /// Next new sequence number to transmit.
+    next_seq: u64,
+    /// Highest cumulative ACK received (== next in-order byte the
+    /// receiver expects, in packets).
+    high_ack: u64,
+    dup_count: u32,
+    phase: Phase,
+    rtt: RttEstimator,
+    /// Exponential backoff exponent for the RTO (doubles per timeout).
+    backoff: u32,
+    /// Timer generation; stale timer tokens are ignored.
+    rto_gen: u64,
+    /// One ECN-triggered reduction per window: echoes for data below
+    /// this sequence belong to an already-handled congestion signal.
+    ecn_guard: u64,
+    /// Lifetime count of retransmission timeouts (observability).
+    timeouts: u64,
+    /// Lifetime count of fast-retransmit episodes (observability).
+    fast_retransmits: u64,
+    /// Fast-retransmit guard (RFC 6582 "careful variant", `send_high`):
+    /// the highest sequence sent when the last loss-recovery episode
+    /// ended. Duplicate ACKs below this are attributed to duplicate
+    /// segments from that episode (go-back-N resends, spurious
+    /// retransmits) and do not start a new fast retransmit; genuinely
+    /// new losses are recovered by the retransmission timer instead.
+    fr_guard: u64,
+    done: bool,
+}
+
+impl Tcp {
+    /// A sender addressed by `wiring`.
+    pub fn new(cfg: TcpConfig, wiring: SenderWiring) -> Self {
+        assert!(cfg.pkt_size > 0, "packet size must be positive");
+        assert!(cfg.init_cwnd >= 1.0, "initial window must be >= 1 packet");
+        Tcp {
+            cwnd: cfg.init_cwnd,
+            ssthresh: cfg.init_ssthresh,
+            rtt: RttEstimator::new(cfg.min_rto, DEFAULT_MAX_RTO),
+            cfg,
+            w: wiring,
+            next_seq: 0,
+            high_ack: 0,
+            dup_count: 0,
+            phase: Phase::Open,
+            backoff: 0,
+            rto_gen: 0,
+            ecn_guard: 0,
+            timeouts: 0,
+            fast_retransmits: 0,
+            fr_guard: 0,
+            done: false,
+        }
+    }
+
+    /// Install a forward `Tcp`/[`TcpSink`] pair across `pair`.
+    pub fn install(
+        sim: &mut Simulator,
+        pair: &HostPair,
+        cfg: TcpConfig,
+        start: SimTime,
+    ) -> FlowHandle {
+        install_flow(sim, pair, start, Box::new(TcpSink::new()), |w| {
+            Box::new(Tcp::new(cfg, w))
+        })
+    }
+
+    /// Install a reverse-direction pair (data right -> left).
+    pub fn install_reverse(
+        sim: &mut Simulator,
+        pair: &HostPair,
+        cfg: TcpConfig,
+        start: SimTime,
+    ) -> FlowHandle {
+        install_reverse_flow(sim, pair, start, Box::new(TcpSink::new()), |w| {
+            Box::new(Tcp::new(cfg, w))
+        })
+    }
+
+    /// Current congestion window in packets (for instrumentation).
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// True when a bounded flow has delivered all its data.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Lifetime count of retransmission timeouts.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// Lifetime count of fast-retransmit episodes.
+    pub fn fast_retransmits(&self) -> u64 {
+        self.fast_retransmits
+    }
+
+    /// Debug snapshot of the sender state (phase, ssthresh, sequence
+    /// pointers), for instrumentation and tests.
+    pub fn debug_state(&self) -> String {
+        format!(
+            "cwnd={:.2} ssthresh={:.2} next_seq={} high_ack={} dup={} phase={:?} backoff={}",
+            self.cwnd, self.ssthresh, self.next_seq, self.high_ack, self.dup_count, self.phase, self.backoff
+        )
+    }
+
+    /// Effective send window in packets: the congestion window, inflated
+    /// by one packet per duplicate ACK during fast recovery (the classic
+    /// Reno window inflation, expressed without mutating `cwnd`).
+    fn effective_window(&self) -> u64 {
+        let base = self.cwnd.min(self.cfg.max_cwnd).floor().max(1.0) as u64;
+        match self.phase {
+            Phase::Open => base,
+            Phase::Recovery { .. } => base + self.dup_count as u64,
+        }
+    }
+
+    fn send_data(&mut self, seq: u64, ctx: &mut Ctx<'_>) {
+        let mut spec = PacketSpec::data(
+            self.w.flow,
+            seq,
+            self.cfg.pkt_size,
+            self.w.dst_node,
+            self.w.dst_agent,
+        );
+        if self.cfg.ecn {
+            spec = spec.with_ecn();
+        }
+        ctx.send(spec);
+    }
+
+    /// React to an ECN congestion-experienced echo: one multiplicative
+    /// decrease per window of data, with nothing to retransmit
+    /// (RFC 2481 semantics mapped onto the AIMD(a, b) rule).
+    fn on_ecn_echo(&mut self, ctx: &mut Ctx<'_>) {
+        if matches!(self.phase, Phase::Open) && self.high_ack >= self.ecn_guard {
+            self.ssthresh = self.cfg.params.decrease(self.cwnd).max(2.0);
+            self.cwnd = self.ssthresh;
+            self.ecn_guard = self.next_seq;
+            let _ = ctx; // reduction only; no retransmission needed
+        }
+    }
+
+    /// Transmit as much new data as the window allows.
+    fn try_send(&mut self, ctx: &mut Ctx<'_>) {
+        let limit = self.high_ack + self.effective_window();
+        while !self.done && self.next_seq < limit {
+            if let Some(max) = self.cfg.max_packets {
+                if self.next_seq >= max {
+                    break;
+                }
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.send_data(seq, ctx);
+        }
+    }
+
+    fn arm_rto(&mut self, ctx: &mut Ctx<'_>) {
+        self.rto_gen += 1;
+        let delay = self.rtt.rto().saturating_mul(1 << self.backoff.min(6));
+        ctx.set_timer(delay, self.rto_gen);
+    }
+
+    fn grow_window(&mut self, newly_acked: u64) {
+        for _ in 0..newly_acked {
+            if self.cwnd < self.ssthresh {
+                self.cwnd += 1.0; // slow start
+            } else {
+                self.cwnd += self.cfg.params.increase_per_ack(self.cwnd);
+            }
+        }
+        self.cwnd = self.cwnd.min(self.cfg.max_cwnd);
+    }
+
+    fn on_new_ack(&mut self, info: &AckInfo, ctx: &mut Ctx<'_>) {
+        let newly = info.cum_ack - self.high_ack;
+        self.high_ack = info.cum_ack;
+        // A cumulative ACK can overtake a rewound go-back-N pointer:
+        // everything below it needs no (re)transmission.
+        self.next_seq = self.next_seq.max(self.high_ack);
+        self.backoff = 0;
+        let sample = ctx.now().saturating_since(info.echo_ts);
+        if !sample.is_zero() {
+            self.rtt.on_sample(sample);
+        }
+        match self.phase {
+            Phase::Recovery { recover } if self.high_ack >= recover => {
+                // Full ACK: leave recovery, deflate to ssthresh, and arm
+                // the careful-variant guard against false fast
+                // retransmits triggered by this episode's duplicates.
+                self.phase = Phase::Open;
+                self.dup_count = 0;
+                self.cwnd = self.ssthresh.max(1.0);
+                self.fr_guard = self.next_seq;
+            }
+            Phase::Recovery { .. } => {
+                // Partial ACK: the next hole was also lost. Retransmit it
+                // immediately and stay in recovery without a further
+                // window reduction (NewReno).
+                let hole = self.high_ack;
+                self.send_data(hole, ctx);
+            }
+            Phase::Open => {
+                self.dup_count = 0;
+                self.grow_window(newly);
+            }
+        }
+        if let Some(max) = self.cfg.max_packets {
+            if self.high_ack >= max {
+                self.done = true;
+                return;
+            }
+        }
+        if self.next_seq > self.high_ack {
+            self.arm_rto(ctx);
+        }
+        self.try_send(ctx);
+    }
+
+    fn on_dup_ack(&mut self, ctx: &mut Ctx<'_>) {
+        self.dup_count += 1;
+        match self.phase {
+            Phase::Open
+                if self.dup_count == DUPACK_THRESHOLD && self.high_ack >= self.fr_guard =>
+            {
+                // Fast retransmit: one window reduction per loss event.
+                // ssthresh floors at 2 packets (RFC 5681).
+                self.ssthresh = self.cfg.params.decrease(self.cwnd).max(2.0);
+                self.cwnd = self.ssthresh;
+                self.fast_retransmits += 1;
+                self.phase = Phase::Recovery { recover: self.next_seq };
+                let hole = self.high_ack;
+                self.send_data(hole, ctx);
+                self.arm_rto(ctx);
+            }
+            Phase::Recovery { .. } => {
+                // Window inflation admits new segments while dup ACKs
+                // keep arriving.
+                self.try_send(ctx);
+            }
+            Phase::Open => {}
+        }
+    }
+}
+
+impl Agent for Tcp {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.try_send(ctx);
+        if self.next_seq > self.high_ack {
+            self.arm_rto(ctx);
+        }
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        if let Some(stop) = self.cfg.stop_at {
+            if ctx.now() >= stop {
+                self.done = true;
+            }
+        }
+        if self.done {
+            return;
+        }
+        let Some(info) = pkt.ack().copied() else {
+            return; // Window senders consume only ACKs.
+        };
+        if info.ecn_echo {
+            self.on_ecn_echo(ctx);
+        }
+        if info.cum_ack > self.high_ack {
+            self.on_new_ack(&info, ctx);
+        } else if info.cum_ack == self.high_ack && self.next_seq > self.high_ack {
+            self.on_dup_ack(ctx);
+        }
+        // ACKs below high_ack are stale reordering artifacts; ignored.
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        if let Some(stop) = self.cfg.stop_at {
+            if ctx.now() >= stop {
+                self.done = true;
+            }
+        }
+        if token != self.rto_gen || self.done {
+            return; // stale generation
+        }
+        if self.next_seq <= self.high_ack {
+            return; // nothing outstanding; timer re-armed on next send
+        }
+        // Retransmission timeout: multiplicative-decrease ssthresh, close
+        // the window to one packet, back off the timer exponentially and
+        // resume go-back-N from the first unacknowledged segment (classic
+        // SACK-less TCP rewinds snd_nxt to snd_una; cumulative ACKs skip
+        // the sender quickly over regions the receiver already holds).
+        self.ssthresh = self.cfg.params.decrease(self.cwnd).max(2.0);
+        self.cwnd = 1.0;
+        self.phase = Phase::Open;
+        self.dup_count = 0;
+        self.timeouts += 1;
+        self.backoff = (self.backoff + 1).min(6);
+        self.fr_guard = self.next_seq;
+        self.next_seq = self.high_ack;
+        self.try_send(ctx);
+        self.arm_rto(ctx);
+    }
+}
+
+/// The TCP-style receiver: acknowledges every data packet cumulatively
+/// and echoes the data packet's timestamp for RTT measurement. Shared by
+/// TCP, the binomial window algorithms, and RAP.
+///
+/// The paper models TCP *without* delayed ACKs (`a = 1`); that is the
+/// default here. [`TcpSink::with_delayed_acks`] enables RFC 1122-style
+/// delayed ACKs (at most every second segment, bounded by a timer;
+/// out-of-order and hole-filling segments are acknowledged immediately)
+/// for the corresponding ablation.
+pub struct TcpSink {
+    /// Next in-order sequence expected.
+    expected: u64,
+    /// Out-of-order segments awaiting the hole to fill.
+    ooo: BTreeSet<u64>,
+    /// Total data packets received.
+    total: u64,
+    /// Delayed-ACK mode.
+    delack: bool,
+    /// An unacknowledged in-order segment is pending.
+    pending: Option<Packet>,
+    /// Delayed-ACK timer bound (RFC 1122 allows up to 500 ms; deployed
+    /// stacks use ~200 ms).
+    delack_timer: SimDuration,
+    delack_gen: u64,
+    /// Total ACKs emitted (observability).
+    acks_sent: u64,
+}
+
+impl TcpSink {
+    /// A fresh receiver expecting sequence 0.
+    pub fn new() -> Self {
+        TcpSink {
+            expected: 0,
+            ooo: BTreeSet::new(),
+            total: 0,
+            delack: false,
+            pending: None,
+            delack_timer: SimDuration::from_millis(200),
+            delack_gen: 0,
+            acks_sent: 0,
+        }
+    }
+
+    /// Enable RFC 1122 delayed ACKs.
+    pub fn with_delayed_acks(mut self) -> Self {
+        self.delack = true;
+        self
+    }
+
+    /// Total acknowledgments emitted.
+    pub fn acks_sent(&self) -> u64 {
+        self.acks_sent
+    }
+
+    fn emit_ack(&mut self, template: &Packet, ctx: &mut Ctx<'_>) {
+        let mut info = AckInfo::cumulative(self.expected, template.seq, template.sent_at);
+        info.recv_count = self.total;
+        info.ecn_echo = template.ecn == slowcc_netsim::packet::Ecn::Marked;
+        ctx.send(PacketSpec::ack_to(template, ACK_SIZE, info));
+        self.acks_sent += 1;
+        self.pending = None;
+        self.delack_gen += 1; // invalidate any armed delack timer
+    }
+}
+
+impl Default for TcpSink {
+    fn default() -> Self {
+        TcpSink::new()
+    }
+}
+
+impl TcpSink {
+    /// Next in-order sequence the receiver expects (== data packets
+    /// delivered in order so far).
+    pub fn expected(&self) -> u64 {
+        self.expected
+    }
+
+    /// Total data packets received, including duplicates and
+    /// out-of-order arrivals.
+    pub fn total_received(&self) -> u64 {
+        self.total
+    }
+}
+
+impl Agent for TcpSink {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        if !pkt.is_data() {
+            return;
+        }
+        self.total += 1;
+        let in_order = pkt.seq == self.expected;
+        let filled_hole = in_order && !self.ooo.is_empty();
+        if in_order {
+            self.expected += 1;
+            while self.ooo.remove(&self.expected) {
+                self.expected += 1;
+            }
+        } else if pkt.seq > self.expected {
+            self.ooo.insert(pkt.seq);
+        }
+        // Old duplicates (seq < expected) still elicit an ACK, per TCP.
+        if !self.delack {
+            self.emit_ack(&pkt, ctx);
+            return;
+        }
+        // Delayed-ACK rules: acknowledge immediately for out-of-order
+        // segments, duplicates, hole fills, ECN marks, and every second
+        // in-order segment; otherwise hold one ACK behind a timer.
+        let must_ack_now = !in_order
+            || filled_hole
+            || pkt.ecn == slowcc_netsim::packet::Ecn::Marked
+            || self.pending.is_some();
+        if must_ack_now {
+            self.emit_ack(&pkt, ctx);
+        } else {
+            self.pending = Some(pkt);
+            self.delack_gen += 1;
+            ctx.set_timer(self.delack_timer, self.delack_gen);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        if token != self.delack_gen {
+            return;
+        }
+        if let Some(pkt) = self.pending.take() {
+            self.emit_ack(&pkt, ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slowcc_netsim::link::EveryNth;
+    use slowcc_netsim::topology::{Dumbbell, DumbbellConfig, QueueKind};
+
+    fn dumbbell(bps: f64) -> DumbbellConfig {
+        DumbbellConfig::paper(bps)
+    }
+
+    /// One standard TCP flow on an uncongested 10 Mb/s path should fill a
+    /// large share of the pipe within a few seconds.
+    #[test]
+    fn single_flow_fills_the_pipe() {
+        let mut sim = Simulator::new(1);
+        let db = Dumbbell::build(&mut sim, dumbbell(10e6));
+        let pair = db.add_host_pair(&mut sim);
+        let h = Tcp::install(&mut sim, &pair, TcpConfig::standard(1000), SimTime::ZERO);
+        sim.run_until(SimTime::from_secs(20));
+        let tput = sim.stats().flow_throughput_bps(
+            h.flow,
+            SimTime::from_secs(5),
+            SimTime::from_secs(20),
+        );
+        assert!(
+            tput > 8e6,
+            "TCP should utilize most of a clean 10 Mb/s link, got {:.2} Mb/s",
+            tput / 1e6
+        );
+        // And never exceed the link rate.
+        assert!(tput < 10.1e6);
+    }
+
+    /// Slow start doubles the window every RTT: after k RTTs the sender
+    /// has delivered ~2^k packets.
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut sim = Simulator::new(1);
+        let db = Dumbbell::build(&mut sim, dumbbell(100e6));
+        let pair = db.add_host_pair(&mut sim);
+        let h = Tcp::install(&mut sim, &pair, TcpConfig::standard(1000), SimTime::ZERO);
+        // 6 RTTs of 50 ms: expect roughly 2+4+...+128 = 254 packets
+        // delivered (init window 2), certainly more than linear growth.
+        sim.run_until(SimTime::from_millis(7 * 50));
+        let got = sim.stats().flow(h.flow).unwrap().total_rx_packets;
+        assert!(got > 100, "slow start too slow: {got} packets in 6 RTTs");
+    }
+
+    /// A flow capped at N packets stops exactly at N.
+    #[test]
+    fn bounded_flow_delivers_exactly_max_packets() {
+        let mut sim = Simulator::new(1);
+        let db = Dumbbell::build(&mut sim, dumbbell(10e6));
+        let pair = db.add_host_pair(&mut sim);
+        let cfg = TcpConfig::standard(1000).with_max_packets(10);
+        let h = Tcp::install(&mut sim, &pair, cfg, SimTime::ZERO);
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.stats().flow(h.flow).unwrap().total_rx_packets, 10);
+    }
+
+    /// With a scripted drop of every 50th packet, TCP keeps running via
+    /// fast retransmit and reliably delivers the whole bounded transfer.
+    #[test]
+    fn recovers_from_periodic_loss_without_stalling() {
+        let mut sim = Simulator::new(1);
+        let cfg = DumbbellConfig {
+            queue: QueueKind::DropTail(1000),
+            ..dumbbell(10e6)
+        };
+        let db = Dumbbell::build_with_loss(
+            &mut sim,
+            cfg,
+            Some(Box::new(EveryNth::data_every(50))),
+        );
+        let pair = db.add_host_pair(&mut sim);
+        let tcp_cfg = TcpConfig::standard(1000).with_max_packets(500);
+        let h = Tcp::install(&mut sim, &pair, tcp_cfg, SimTime::ZERO);
+        sim.run_until(SimTime::from_secs(60));
+        // The receiver reached sequence 500: every segment (including the
+        // ~10 scripted drops) was eventually retransmitted and delivered.
+        let sink: &TcpSink = sim.agent_downcast(h.sink).unwrap();
+        assert_eq!(sink.expected(), 500);
+        let sender: &Tcp = sim.agent_downcast(h.sender).unwrap();
+        assert!(sender.is_done());
+        assert!(sim.stats().link(db.forward).unwrap().total_drops >= 9);
+    }
+
+    /// Two standard TCP flows share a bottleneck roughly equally over a
+    /// long run.
+    #[test]
+    fn two_flows_share_fairly() {
+        let mut sim = Simulator::new(5);
+        let db = Dumbbell::build(&mut sim, dumbbell(10e6));
+        let p1 = db.add_host_pair(&mut sim);
+        let p2 = db.add_host_pair(&mut sim);
+        let h1 = Tcp::install(&mut sim, &p1, TcpConfig::standard(1000), SimTime::ZERO);
+        let h2 = Tcp::install(
+            &mut sim,
+            &p2,
+            TcpConfig::standard(1000),
+            SimTime::from_millis(37),
+        );
+        sim.run_until(SimTime::from_secs(120));
+        let from = SimTime::from_secs(20);
+        let to = SimTime::from_secs(120);
+        let t1 = sim.stats().flow_throughput_bps(h1.flow, from, to);
+        let t2 = sim.stats().flow_throughput_bps(h2.flow, from, to);
+        let ratio = t1.max(t2) / t1.min(t2);
+        assert!(ratio < 1.6, "unfair share: {:.2e} vs {:.2e}", t1, t2);
+        // Together they should fill most of the link.
+        assert!(t1 + t2 > 8e6);
+    }
+
+    /// TCP(1/8) reduces less per loss than TCP(1/2): under identical
+    /// periodic loss its average window (throughput) is at least as high,
+    /// and its rate is smoother.
+    #[test]
+    fn gentle_decrease_survives_loss_with_higher_throughput() {
+        let run = |gamma: f64| {
+            let mut sim = Simulator::new(9);
+            let cfg = DumbbellConfig {
+                queue: QueueKind::DropTail(4000),
+                ..dumbbell(100e6) // fat pipe: loss-limited, not bandwidth-limited
+            };
+            let db = Dumbbell::build_with_loss(
+                &mut sim,
+                cfg,
+                Some(Box::new(EveryNth::data_every(100))),
+            );
+            let pair = db.add_host_pair(&mut sim);
+            let h = Tcp::install(
+                &mut sim,
+                &pair,
+                TcpConfig::tcp_gamma(gamma, 1000),
+                SimTime::ZERO,
+            );
+            sim.run_until(SimTime::from_secs(60));
+            sim.stats().flow_throughput_bps(
+                h.flow,
+                SimTime::from_secs(20),
+                SimTime::from_secs(60),
+            )
+        };
+        let fast = run(2.0);
+        let slow = run(8.0);
+        // TCP-compatibility: same loss process -> comparable throughput
+        // (within a factor ~2; the deterministic drop pattern is not the
+        // random-loss model underlying the equation).
+        assert!(
+            slow > 0.5 * fast && slow < 2.5 * fast,
+            "TCP(1/8) {:.2e} vs TCP(1/2) {:.2e}",
+            slow,
+            fast
+        );
+    }
+
+    /// After a retransmission timeout the sender must eventually resume
+    /// (exponential backoff, then retransmit) — total blackout then
+    /// recovery.
+    #[test]
+    fn survives_a_total_blackout_via_rto() {
+        /// Drops every data packet while "on".
+        struct Blackout {
+            from: SimTime,
+            to: SimTime,
+        }
+        impl slowcc_netsim::link::LossPattern for Blackout {
+            fn should_drop(&mut self, pkt: &Packet, now: SimTime) -> bool {
+                pkt.is_data() && now >= self.from && now < self.to
+            }
+        }
+        let mut sim = Simulator::new(1);
+        let cfg = DumbbellConfig {
+            queue: QueueKind::DropTail(1000),
+            ..dumbbell(10e6)
+        };
+        let db = Dumbbell::build_with_loss(
+            &mut sim,
+            cfg,
+            Some(Box::new(Blackout {
+                from: SimTime::from_secs(5),
+                to: SimTime::from_secs(8),
+            })),
+        );
+        let pair = db.add_host_pair(&mut sim);
+        let h = Tcp::install(&mut sim, &pair, TcpConfig::standard(1000), SimTime::ZERO);
+        sim.run_until(SimTime::from_secs(30));
+        // Throughput after the blackout recovers to a healthy level.
+        let after = sim.stats().flow_throughput_bps(
+            h.flow,
+            SimTime::from_secs(15),
+            SimTime::from_secs(30),
+        );
+        assert!(after > 5e6, "did not recover after blackout: {after:.2e}");
+    }
+
+    /// A loss pattern that drops an exact set of data-packet ordinals
+    /// (1-based arrival counts), once each.
+    struct DropOrdinals {
+        ordinals: Vec<u64>,
+        seen: u64,
+    }
+    impl slowcc_netsim::link::LossPattern for DropOrdinals {
+        fn should_drop(&mut self, pkt: &Packet, _now: SimTime) -> bool {
+            if !pkt.is_data() {
+                return false;
+            }
+            self.seen += 1;
+            self.ordinals.contains(&self.seen)
+        }
+    }
+
+    fn recovery_world(drops: Vec<u64>) -> (Simulator, Dumbbell) {
+        let mut sim = Simulator::new(1);
+        let cfg = DumbbellConfig {
+            queue: QueueKind::DropTail(4000),
+            ..dumbbell(100e6) // fat pipe: only the scripted drops matter
+        };
+        let db = Dumbbell::build_with_loss(
+            &mut sim,
+            cfg,
+            Some(Box::new(DropOrdinals {
+                ordinals: drops,
+                seen: 0,
+            })),
+        );
+        (sim, db)
+    }
+
+    /// A single isolated drop is repaired by fast retransmit: exactly one
+    /// episode, no timeout, and the transfer completes promptly.
+    #[test]
+    fn single_drop_uses_fast_retransmit_not_timeout() {
+        let (mut sim, db) = recovery_world(vec![100]);
+        let pair = db.add_host_pair(&mut sim);
+        let cfg = TcpConfig::standard(1000).with_max_packets(400);
+        let h = Tcp::install(&mut sim, &pair, cfg, SimTime::ZERO);
+        sim.run_until(SimTime::from_secs(10));
+        let sender: &Tcp = sim.agent_downcast(h.sender).unwrap();
+        assert!(sender.is_done());
+        assert_eq!(sender.timeouts(), 0, "no RTO should fire for one drop");
+        assert_eq!(sender.fast_retransmits(), 1);
+        let sink: &TcpSink = sim.agent_downcast(h.sink).unwrap();
+        assert_eq!(sink.expected(), 400);
+    }
+
+    /// Two drops within one window are repaired inside a single NewReno
+    /// recovery episode via the partial-ACK retransmission — still no
+    /// timeout and no second window reduction.
+    #[test]
+    fn two_drops_in_one_window_use_partial_acks() {
+        let (mut sim, db) = recovery_world(vec![100, 105]);
+        let pair = db.add_host_pair(&mut sim);
+        let cfg = TcpConfig::standard(1000).with_max_packets(400);
+        let h = Tcp::install(&mut sim, &pair, cfg, SimTime::ZERO);
+        sim.run_until(SimTime::from_secs(10));
+        let sender: &Tcp = sim.agent_downcast(h.sender).unwrap();
+        assert!(sender.is_done());
+        assert_eq!(sender.timeouts(), 0, "NewReno should avoid the RTO");
+        assert_eq!(
+            sender.fast_retransmits(),
+            1,
+            "both holes belong to one loss event"
+        );
+        let sink: &TcpSink = sim.agent_downcast(h.sink).unwrap();
+        assert_eq!(sink.expected(), 400);
+    }
+
+    /// A drop of the very last packet of a bounded transfer can only be
+    /// repaired by the retransmission timer (no further data to generate
+    /// duplicate ACKs).
+    #[test]
+    fn tail_drop_is_repaired_by_the_rto() {
+        let (mut sim, db) = recovery_world(vec![50]);
+        let pair = db.add_host_pair(&mut sim);
+        let cfg = TcpConfig::standard(1000).with_max_packets(50);
+        let h = Tcp::install(&mut sim, &pair, cfg, SimTime::ZERO);
+        sim.run_until(SimTime::from_secs(30));
+        let sender: &Tcp = sim.agent_downcast(h.sender).unwrap();
+        assert!(sender.is_done(), "tail loss must not wedge the flow");
+        assert!(sender.timeouts() >= 1);
+        let sink: &TcpSink = sim.agent_downcast(h.sink).unwrap();
+        assert_eq!(sink.expected(), 50);
+    }
+
+    /// The sink ACKs every data packet cumulatively, emitting duplicate
+    /// ACKs while a hole exists and jumping once it fills.
+    #[test]
+    fn sink_cumulative_ack_semantics() {
+        use slowcc_netsim::ids::{AgentId, FlowId, NodeId};
+
+        let mut sim = Simulator::new(0);
+        let db = Dumbbell::build(&mut sim, dumbbell(10e6));
+        let pair = db.add_host_pair(&mut sim);
+
+        /// Sends 0, 2, 1, 3 (out of order) and records cum_acks received.
+        struct Script {
+            flow: FlowId,
+            dst_node: NodeId,
+            dst_agent: AgentId,
+            acks: Vec<u64>,
+        }
+        impl Agent for Script {
+            fn as_any(&self) -> Option<&dyn std::any::Any> {
+                Some(self)
+            }
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                for seq in [0u64, 2, 1, 3] {
+                    ctx.send(PacketSpec::data(self.flow, seq, 100, self.dst_node, self.dst_agent));
+                }
+            }
+            fn on_packet(&mut self, pkt: Packet, _ctx: &mut Ctx<'_>) {
+                if let Some(ai) = pkt.ack() {
+                    self.acks.push(ai.cum_ack);
+                }
+            }
+        }
+
+        let flow = sim.new_flow();
+        let sink = sim.reserve_agent(pair.right);
+        sim.install_agent(sink, Box::new(TcpSink::new()), SimTime::ZERO);
+        let script = sim.add_agent(
+            pair.left,
+            Box::new(Script {
+                flow,
+                dst_node: pair.right,
+                dst_agent: sink,
+                acks: vec![],
+            }),
+        );
+        sim.run_until(SimTime::from_millis(200));
+        let s: &Script = sim.agent_downcast(script).unwrap();
+        // seq 0 -> cum 1; seq 2 (hole) -> dup cum 1; seq 1 fills -> cum 3;
+        // seq 3 -> cum 4.
+        assert_eq!(s.acks, vec![1, 1, 3, 4]);
+        let k: &TcpSink = sim.agent_downcast(sink).unwrap();
+        assert_eq!(k.expected(), 4);
+        assert_eq!(k.total_received(), 4);
+    }
+}
+
+#[cfg(test)]
+mod delack_tests {
+    use super::*;
+    use crate::agent::install_flow;
+    use slowcc_netsim::topology::{Dumbbell, DumbbellConfig};
+
+    fn run_transfer(delack: bool, packets: u64) -> (u64, u64, bool) {
+        let mut sim = Simulator::new(1);
+        let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
+        let pair = db.add_host_pair(&mut sim);
+        let sink = if delack {
+            TcpSink::new().with_delayed_acks()
+        } else {
+            TcpSink::new()
+        };
+        let cfg = TcpConfig::standard(1000).with_max_packets(packets);
+        let h = install_flow(&mut sim, &pair, SimTime::ZERO, Box::new(sink), |w| {
+            Box::new(Tcp::new(cfg, w))
+        });
+        sim.run_until(SimTime::from_secs(60));
+        let k: &TcpSink = sim.agent_downcast(h.sink).unwrap();
+        let s: &Tcp = sim.agent_downcast(h.sender).unwrap();
+        (k.acks_sent(), k.expected(), s.is_done())
+    }
+
+    /// Delayed ACKs roughly halve the ACK volume while the transfer
+    /// still completes reliably.
+    #[test]
+    fn delayed_acks_halve_ack_volume() {
+        let (acks_plain, got_plain, done_plain) = run_transfer(false, 500);
+        let (acks_delack, got_delack, done_delack) = run_transfer(true, 500);
+        assert!(done_plain && done_delack);
+        assert_eq!(got_plain, 500);
+        assert_eq!(got_delack, 500);
+        assert_eq!(acks_plain, 500 + extra_acks(acks_plain, 500));
+        assert!(
+            acks_delack < acks_plain * 2 / 3,
+            "delack {acks_delack} vs plain {acks_plain}"
+        );
+        assert!(
+            acks_delack >= 250,
+            "at least one ACK per two segments: {acks_delack}"
+        );
+    }
+
+    fn extra_acks(total: u64, data: u64) -> u64 {
+        total - data // retransmission-induced duplicates, if any
+    }
+
+    /// Delayed ACKs slow the window growth (the paper's point that its
+    /// TCP(a=1) assumes no delack): the same transfer takes longer.
+    #[test]
+    fn delayed_acks_slow_the_ramp() {
+        let time_to_finish = |delack: bool| -> f64 {
+            let mut sim = Simulator::new(1);
+            let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
+            let pair = db.add_host_pair(&mut sim);
+            let sink = if delack {
+                TcpSink::new().with_delayed_acks()
+            } else {
+                TcpSink::new()
+            };
+            let cfg = TcpConfig::standard(1000).with_max_packets(1000);
+            let h = install_flow(&mut sim, &pair, SimTime::ZERO, Box::new(sink), |w| {
+                Box::new(Tcp::new(cfg, w))
+            });
+            // March in fine steps until done (slow start with delack
+            // grows ~1.5x per RTT instead of 2x, so the gap is fractions
+            // of a second).
+            for step in 1..=6000u64 {
+                sim.run_until(SimTime::from_millis(step * 10));
+                let s: &Tcp = sim.agent_downcast(h.sender).unwrap();
+                if s.is_done() {
+                    return step as f64 * 0.01;
+                }
+            }
+            f64::INFINITY
+        };
+        let plain = time_to_finish(false);
+        let slow = time_to_finish(true);
+        assert!(plain.is_finite() && slow.is_finite());
+        assert!(
+            slow > plain,
+            "delack transfer ({slow:.2} s) should be slower than plain ({plain:.2} s)"
+        );
+    }
+}

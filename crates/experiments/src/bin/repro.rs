@@ -1,0 +1,258 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--quick] [--out DIR] <experiment>... | all
+//! ```
+//!
+//! Experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+//! fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 fairness-extreme
+//! sawtooth fk-model. (`fig4`/`fig5` share one sweep, as do
+//! `fig14`/`fig15`.)
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use slowcc_experiments::scale::Scale;
+use slowcc_experiments::*;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig3", "fig45", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "fig1415", "fig16", "fig17", "fig18", "fig19", "fig20", "fairness-extreme", "sawtooth",
+    "fk-model", "validate-static", "validate-ecn", "validate-highloss", "response", "queue-dynamics", "rtt-bias", "multihop",
+];
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Full;
+    let mut out: Option<PathBuf> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--out" => match args.next() {
+                Some(dir) => out = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => targets.push(normalize(other)),
+        }
+    }
+    if targets.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    targets.dedup();
+
+    let save = |name: &str, value: &dyn erased_print::SerializeRef| {
+        if let Some(dir) = &out {
+            if let Err(e) = value.write(dir, name) {
+                eprintln!("warning: failed to write {name}.json: {e}");
+            }
+        }
+    };
+
+    for target in &targets {
+        match target.as_str() {
+            "list" => {
+                println!("experiments: {}", EXPERIMENTS.join(" "));
+                println!("aliases: fig4 fig5 -> fig45; fig14 fig15 -> fig1415");
+            }
+            "fig3" => {
+                let r = fig03::run(scale);
+                r.print();
+                save("fig3", &r);
+                if let Some(dir) = &out {
+                    if let Err(e) = r.write_csv(dir) {
+                        eprintln!("warning: failed to write fig3 CSV: {e}");
+                    }
+                }
+            }
+            "fig45" => {
+                let r = fig45::run(scale);
+                r.print();
+                save("fig4_fig5", &r);
+            }
+            "fig6" => {
+                let r = fig06::run(scale);
+                r.print();
+                save("fig6", &r);
+            }
+            "fig7" => {
+                let r = fig0789::run_fig7(scale);
+                r.print("Figure 7");
+                save("fig7", &r);
+            }
+            "fig8" => {
+                let r = fig0789::run_fig8(scale);
+                r.print("Figure 8");
+                save("fig8", &r);
+            }
+            "fig9" => {
+                let r = fig0789::run_fig9(scale);
+                r.print("Figure 9");
+                save("fig9", &r);
+            }
+            "fig10" => {
+                let r = fig1012::run_fig10(scale);
+                r.print("Figure 10");
+                save("fig10", &r);
+            }
+            "fig11" => {
+                let r = fig11::run(scale);
+                r.print();
+                save("fig11", &r);
+            }
+            "fig12" => {
+                let r = fig1012::run_fig12(scale);
+                r.print("Figure 12");
+                save("fig12", &r);
+            }
+            "fig13" => {
+                let r = fig13::run(scale);
+                r.print();
+                save("fig13", &r);
+            }
+            "fig1415" => {
+                let r = fig1416::run_fig14(scale);
+                r.print("Figures 14/15");
+                save("fig14_fig15", &r);
+            }
+            "fig16" => {
+                let r = fig1416::run_fig16(scale);
+                r.print("Figure 16");
+                save("fig16", &r);
+            }
+            "fig17" => {
+                let r = fig171819::run_fig17(scale);
+                r.print("Figure 17");
+                save("fig17", &r);
+                if let Some(dir) = &out {
+                    if let Err(e) = r.write_csv(dir, "fig17") {
+                        eprintln!("warning: failed to write fig17 CSV: {e}");
+                    }
+                }
+            }
+            "fig18" => {
+                let r = fig171819::run_fig18(scale);
+                r.print("Figure 18");
+                save("fig18", &r);
+                if let Some(dir) = &out {
+                    if let Err(e) = r.write_csv(dir, "fig18") {
+                        eprintln!("warning: failed to write fig18 CSV: {e}");
+                    }
+                }
+            }
+            "fig19" => {
+                let r = fig171819::run_fig19(scale);
+                r.print("Figure 19");
+                save("fig19", &r);
+                if let Some(dir) = &out {
+                    if let Err(e) = r.write_csv(dir, "fig19") {
+                        eprintln!("warning: failed to write fig19 CSV: {e}");
+                    }
+                }
+            }
+            "fig20" => {
+                let r = fig20::run(scale);
+                r.print();
+                save("fig20", &r);
+            }
+            "fairness-extreme" => {
+                let r = extras::run_fairness_extreme(scale);
+                r.print("Section 4.2.1 (10:1 oscillation)");
+                save("fairness_extreme", &r);
+            }
+            "sawtooth" => {
+                for (i, r) in extras::run_sawtooth_variants(scale).iter().enumerate() {
+                    r.print(&format!("Section 4.2.1 sawtooth variant {}", i + 1));
+                    save(&format!("sawtooth_{}", i + 1), r);
+                }
+            }
+            "fk-model" => {
+                let r = extras::run_fk_model(scale);
+                r.print();
+                save("fk_model", &r);
+            }
+            "validate-static" => {
+                let r = validate::run_static(scale);
+                r.print();
+                save("validate_static", &r);
+            }
+            "validate-ecn" => {
+                let r = validate::run_ecn_convergence(scale);
+                r.print();
+                save("validate_ecn", &r);
+            }
+            "validate-highloss" => {
+                let r = validate::run_high_loss(scale);
+                r.print();
+                save("validate_highloss", &r);
+            }
+            "response" => {
+                let r = response::run(scale);
+                r.print();
+                save("response", &r);
+            }
+            "queue-dynamics" => {
+                let r = queuedyn::run(scale);
+                r.print();
+                save("queue_dynamics", &r);
+            }
+            "rtt-bias" => {
+                let r = hetero::run_rtt_bias(scale);
+                r.print();
+                save("rtt_bias", &r);
+            }
+            "multihop" => {
+                let r = hetero::run_multihop(scale);
+                r.print();
+                save("multihop", &r);
+            }
+            other => {
+                eprintln!("unknown experiment: {other}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Map figure aliases onto canonical experiment names.
+fn normalize(name: &str) -> String {
+    match name {
+        "fig4" | "fig5" => "fig45".to_string(),
+        "fig14" | "fig15" => "fig1415".to_string(),
+        other => other.to_string(),
+    }
+}
+
+fn usage() {
+    eprintln!("usage: repro [--quick] [--out DIR] <experiment>... | all | list");
+    eprintln!("experiments: {}", EXPERIMENTS.join(" "));
+    eprintln!("aliases: fig4 fig5 -> fig45; fig14 fig15 -> fig1415");
+}
+
+/// Tiny object-safe serialization shim so `save` can take any result.
+mod erased_print {
+    use std::path::Path;
+
+    pub trait SerializeRef {
+        fn write(&self, dir: &Path, name: &str) -> std::io::Result<()>;
+    }
+
+    impl<T: serde::Serialize> SerializeRef for T {
+        fn write(&self, dir: &Path, name: &str) -> std::io::Result<()> {
+            slowcc_experiments::report::write_json(dir, name, self)
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Experiments from the paper's prose that have no numbered figure:
+//!
+//! * the **10:1 oscillation** long-term fairness run ("the throughput
+//!   difference was significantly more prominent in this case",
+//!   Section 4.2.1),
+//! * the **sawtooth / reverse-sawtooth** CBR variants ("results were
+//!   essentially the same ... with the difference between TCP and TFRC
+//!   less pronounced", Section 4.2.1),
+//! * the **f(k) model check** of Section 4.2.3: measured `f(k)` against
+//!   the approximation `1/2 + k·a/(4Rλ)`.
+
+use serde::Serialize;
+
+use slowcc_core::aimd::tcp_compatible_a;
+use slowcc_core::analysis::fk_model_tcp;
+
+use crate::fig0789::{run_with, CbrShape, OscConfig, OscFairness};
+use crate::fig13::{self, Fig13Config};
+use crate::flavor::Flavor;
+use crate::report::{num, Table};
+use crate::scale::Scale;
+use crate::scenario::RTT;
+
+/// Run the 10:1-oscillation fairness experiment (TCP vs TFRC).
+pub fn run_fairness_extreme(scale: Scale) -> OscFairness {
+    run_with(
+        Flavor::standard_tfrc(),
+        OscConfig::extreme_for_scale(scale),
+        scale,
+    )
+}
+
+/// Run the sawtooth and reverse-sawtooth variants of Figure 7.
+pub fn run_sawtooth_variants(scale: Scale) -> Vec<OscFairness> {
+    [CbrShape::Sawtooth, CbrShape::ReverseSawtooth]
+        .into_iter()
+        .map(|shape| {
+            let config = OscConfig {
+                shape,
+                ..OscConfig::for_scale(scale)
+            };
+            run_with(Flavor::standard_tfrc(), config, scale)
+        })
+        .collect()
+}
+
+/// One comparison of measured vs modeled f(k).
+#[derive(Debug, Clone, Serialize)]
+pub struct FkModelPoint {
+    /// γ of the TCP(1/γ) flows.
+    pub gamma: f64,
+    /// Measured f(20).
+    pub measured_f20: f64,
+    /// Model prediction for f(20).
+    pub model_f20: f64,
+    /// Measured f(200).
+    pub measured_f200: f64,
+    /// Model prediction for f(200).
+    pub model_f200: f64,
+}
+
+/// Result of the f(k) model check.
+#[derive(Debug, Clone, Serialize)]
+pub struct FkModel {
+    /// All compared points.
+    pub points: Vec<FkModelPoint>,
+}
+
+/// Compare measured f(k) for TCP(1/γ) against the paper's closed form.
+pub fn run_fk_model(scale: Scale) -> FkModel {
+    let cfg = Fig13Config::for_scale(scale);
+    let gammas: Vec<f64> = scale.pick(vec![2.0, 8.0, 64.0, 256.0], vec![2.0, 64.0]);
+    // Per-flow rate before the doubling: 10 flows share the bottleneck.
+    let lambda_pps = cfg.bottleneck_bps / 8.0 / 1000.0 / cfg.n_flows as f64;
+    let points = gammas
+        .into_iter()
+        .map(|gamma| {
+            let fig = fig13_point(gamma, &cfg);
+            let a = tcp_compatible_a(1.0 / gamma);
+            FkModelPoint {
+                gamma,
+                measured_f20: fig.0,
+                model_f20: fk_model_tcp(20, a, RTT.as_secs_f64(), lambda_pps),
+                measured_f200: fig.1,
+                model_f200: fk_model_tcp(200, a, RTT.as_secs_f64(), lambda_pps),
+            }
+        })
+        .collect();
+    FkModel { points }
+}
+
+fn fig13_point(gamma: f64, cfg: &Fig13Config) -> (f64, f64) {
+    // Reuse Figure 13's runner for a single family point.
+    let fig = fig13::run_single("TCP", gamma, cfg);
+    (fig.0, fig.1)
+}
+
+impl FkModel {
+    /// Render the comparison.
+    pub fn print(&self) {
+        println!("\n== f(k) model check: measured vs 1/2 + k*a/(4*R*lambda) ==");
+        let mut t = Table::new([
+            "gamma",
+            "f(20) meas",
+            "f(20) model",
+            "f(200) meas",
+            "f(200) model",
+        ]);
+        for p in &self.points {
+            t.row([
+                num(p.gamma),
+                num(p.measured_f20),
+                num(p.model_f20),
+                num(p.measured_f200),
+                num(p.model_f200),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Section 4.2.1: under 10:1 oscillation the TCP-over-TFRC advantage
+    /// is at least as prominent as under 3:1.
+    #[test]
+    fn extreme_oscillation_widens_the_gap() {
+        let extreme = run_fairness_extreme(Scale::Quick);
+        // At the mid period TCP should clearly beat TFRC.
+        let worst_gap = extreme
+            .points
+            .iter()
+            .map(|p| p.tcp_mean / p.other_mean.max(1e-9))
+            .fold(0.0f64, f64::max);
+        assert!(
+            worst_gap > 1.2,
+            "10:1 oscillation should favor TCP clearly, best gap {worst_gap:.2}"
+        );
+    }
+
+    /// The f(k) model and measurement agree on the ordering: slower
+    /// variants have lower f(20), and the model tracks within coarse
+    /// bounds at the sluggish end.
+    #[test]
+    fn fk_model_tracks_measurement_shape() {
+        let fk = run_fk_model(Scale::Quick);
+        assert!(fk.points.len() >= 2);
+        let fast = &fk.points[0];
+        let slow = fk.points.last().unwrap();
+        assert!(fast.measured_f20 > slow.measured_f20);
+        assert!(fast.model_f20 > slow.model_f20);
+        // At the sluggish end both sit near 1/2 (+ the queue's help).
+        assert!(slow.measured_f20 > 0.35 && slow.measured_f20 < 0.8);
+        assert!(slow.model_f20 >= 0.5 && slow.model_f20 < 0.6);
+    }
+}

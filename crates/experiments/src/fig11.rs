@@ -1,0 +1,89 @@
+//! Figure 11: the analytical number of ACKs to 0.1-fairness for two
+//! AIMD(b) flows at mark rate p = 0.1, as a function of b.
+
+use serde::Serialize;
+
+use slowcc_core::analysis::acks_to_delta_fairness;
+
+use crate::report::{num, Table};
+use crate::scale::Scale;
+
+/// One point of the analytic curve.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Fig11Point {
+    /// Decrease fraction b.
+    pub b: f64,
+    /// Expected ACKs to 0.1-fairness.
+    pub acks: f64,
+}
+
+/// Result of the Figure 11 computation.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig11 {
+    /// Mark probability used (paper: 0.1).
+    pub p: f64,
+    /// Fairness tolerance (paper: 0.1).
+    pub delta: f64,
+    /// The curve.
+    pub points: Vec<Fig11Point>,
+}
+
+/// Evaluate the Figure 11 curve.
+pub fn run(_scale: Scale) -> Fig11 {
+    let p = 0.1;
+    let delta = 0.1;
+    let points = (0..=9)
+        .map(|i| {
+            let b = 0.5f64.powi(i); // 1/2 .. 1/1024
+            Fig11Point {
+                b,
+                acks: acks_to_delta_fairness(b, p, delta),
+            }
+        })
+        .collect();
+    Fig11 { p, delta, points }
+}
+
+impl Fig11 {
+    /// Render the curve.
+    pub fn print(&self) {
+        println!(
+            "\n== Figure 11: ACKs to {}-fairness for AIMD(b), p = {} (analytic) ==",
+            self.delta, self.p
+        );
+        let mut t = Table::new(["b", "ACKs"]);
+        for pt in &self.points {
+            t.row([format!("1/{:.0}", 1.0 / pt.b), num(pt.acks)]);
+        }
+        println!("{}", t.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_is_monotone_in_slowness() {
+        let fig = run(Scale::Quick);
+        for w in fig.points.windows(2) {
+            assert!(
+                w[1].acks > w[0].acks,
+                "smaller b must need more ACKs: {:?}",
+                fig.points
+            );
+        }
+        // The paper's observation: b >~ 0.2 converges quickly, much
+        // smaller b exponentially slower. At bp << 1 the count scales as
+        // 1/(bp): halving b doubles the ACKs.
+        let b_small: Vec<&Fig11Point> =
+            fig.points.iter().filter(|p| p.b <= 0.0625).collect();
+        for w in b_small.windows(2) {
+            let ratio = w[1].acks / w[0].acks;
+            assert!(
+                (ratio - 2.0).abs() < 0.1,
+                "expected ~2x per halving, got {ratio}"
+            );
+        }
+    }
+}

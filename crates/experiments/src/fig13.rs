@@ -1,0 +1,207 @@
+//! Figure 13: link utilization `f(20)` and `f(200)` after the available
+//! bandwidth suddenly doubles (five of ten flows stop), for TCP(1/b),
+//! SQRT(1/b) and TFRC(b) across b.
+
+use serde::Serialize;
+
+use slowcc_metrics::util::f_k;
+use slowcc_netsim::time::SimTime;
+
+use crate::fig45::family_flavor;
+use crate::report::{num, Table};
+use crate::scale::{gamma_sweep, Scale};
+use crate::scenario::{self, RTT};
+
+/// Families swept by Figure 13.
+pub const FAMILIES: [&str; 3] = ["TCP", "SQRT", "TFRC"];
+
+/// Sizing of the Figure 13 experiment.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Fig13Config {
+    /// Bottleneck rate (paper: 10 Mb/s).
+    pub bottleneck_bps: f64,
+    /// Total flows before the doubling (paper: 10; 5 stop).
+    pub n_flows: usize,
+    /// When half the flows stop. The paper uses t = 500 s because the
+    /// very slow variants need hundreds of seconds just to converge to
+    /// fair shares; stopping earlier makes f(k) reflect the (still
+    /// skewed) pre-stop allocation instead of the ramp speed.
+    pub stop_at: SimTime,
+    /// End of the run (>= stop + 200 RTTs).
+    pub end: SimTime,
+}
+
+impl Fig13Config {
+    /// Configuration for the given scale.
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Full => Fig13Config {
+                bottleneck_bps: 10e6,
+                n_flows: 10,
+                stop_at: SimTime::from_secs(500),
+                end: SimTime::from_secs(515),
+            },
+            Scale::Quick => Fig13Config {
+                bottleneck_bps: 10e6,
+                n_flows: 10,
+                stop_at: SimTime::from_secs(30),
+                end: SimTime::from_secs(45),
+            },
+        }
+    }
+}
+
+/// One (family, b) measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig13Point {
+    /// Family name.
+    pub family: String,
+    /// Slowness parameter b (γ for TCP/SQRT, k for TFRC).
+    pub gamma: f64,
+    /// Utilization over the first 20 RTTs after the doubling.
+    pub f20: f64,
+    /// Utilization over the first 200 RTTs.
+    pub f200: f64,
+}
+
+/// Result of the Figure 13 sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig13 {
+    /// Scale the sweep ran at.
+    pub scale: Scale,
+    /// Sizing.
+    pub config: Fig13Config,
+    /// All points.
+    pub points: Vec<Fig13Point>,
+}
+
+/// Run the Figure 13 sweep.
+pub fn run(scale: Scale) -> Fig13 {
+    let config = Fig13Config::for_scale(scale);
+    let mut points = Vec::new();
+    for family in FAMILIES {
+        for &gamma in &gamma_sweep(scale) {
+            if gamma < 2.0 {
+                continue; // γ = 1 (full decrease) is not part of Fig 13
+            }
+            // f(20) covers a single second of simulated time, so a
+            // single run is at the mercy of whether a loss event lands
+            // inside it; average a few seeds.
+            let seeds: &[u64] = match scale {
+                Scale::Full => &[42, 43, 44],
+                Scale::Quick => &[42],
+            };
+            let mut f20 = 0.0;
+            let mut f200 = 0.0;
+            for &seed in seeds {
+                let (a, b) = run_point_seeded(family, gamma, &config, seed);
+                f20 += a / seeds.len() as f64;
+                f200 += b / seeds.len() as f64;
+            }
+            points.push(Fig13Point {
+                family: family.to_string(),
+                gamma,
+                f20,
+                f200,
+            });
+        }
+    }
+    Fig13 {
+        scale,
+        config,
+        points,
+    }
+}
+
+/// Run a single (family, b) point and return `(f(20), f(200))`.
+/// Exposed for the f(k)-model comparison in [`crate::extras`].
+pub fn run_single(family: &str, gamma: f64, cfg: &Fig13Config) -> (f64, f64) {
+    run_point_seeded(family, gamma, cfg, 42)
+}
+
+fn run_point_seeded(family: &str, gamma: f64, cfg: &Fig13Config, seed: u64) -> (f64, f64) {
+    let flavor = family_flavor(family, gamma);
+    let half = cfg.n_flows / 2;
+    let mut survivors = Vec::new();
+    let mut sc = scenario::standard_with(seed, cfg.bottleneck_bps, |sim, db| {
+        // Half the flows stop at the doubling time...
+        let stoppers = scenario::install_flows(
+            sim,
+            db,
+            flavor,
+            half,
+            SimTime::ZERO,
+            Some(cfg.stop_at),
+        );
+        // ...and half continue.
+        survivors =
+            scenario::install_flows(sim, db, flavor, cfg.n_flows - half, SimTime::ZERO, None);
+        stoppers
+    });
+    sc.sim.run_until(cfg.end);
+    let flows: Vec<_> = survivors.iter().map(|h| h.flow).collect();
+    let f20 = f_k(
+        sc.sim.stats(),
+        &flows,
+        cfg.stop_at,
+        20,
+        RTT,
+        cfg.bottleneck_bps,
+    );
+    let f200 = f_k(
+        sc.sim.stats(),
+        &flows,
+        cfg.stop_at,
+        200,
+        RTT,
+        cfg.bottleneck_bps,
+    );
+    (f20, f200)
+}
+
+impl Fig13 {
+    /// Render both metrics.
+    pub fn print(&self) {
+        println!("\n== Figure 13: f(20) / f(200) after the bandwidth doubles ==");
+        let mut t = Table::new(["family", "b", "f(20)", "f(200)"]);
+        for p in &self.points {
+            t.row([
+                p.family.clone(),
+                format!("{:.0}", p.gamma),
+                num(p.f20),
+                num(p.f200),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 13's shape: standard TCP takes the new bandwidth quickly
+    /// (f(20) near the paper's ~0.86), very slow variants crawl (~0.6),
+    /// and f(200) >= f(20).
+    #[test]
+    fn slow_variants_are_sluggish_after_doubling() {
+        let cfg = Fig13Config::for_scale(Scale::Quick);
+        let (tcp_f20, tcp_f200) = run_point_seeded("TCP", 2.0, &cfg, 42);
+        let (slow_f20, slow_f200) = run_point_seeded("TCP", 256.0, &cfg, 42);
+        assert!(
+            tcp_f20 > 0.7,
+            "standard TCP should reach ~86% within 20 RTTs, got {tcp_f20:.3}"
+        );
+        assert!(
+            slow_f20 < tcp_f20 - 0.1,
+            "TCP(1/256) f(20)={slow_f20:.3} should trail TCP(1/2) f(20)={tcp_f20:.3}"
+        );
+        assert!(tcp_f200 >= tcp_f20 - 0.1);
+        // Very slow variants can show f(200) slightly below f(20): the
+        // first second after the stop rides the residual queue.
+        assert!(slow_f200 >= slow_f20 - 0.2);
+        // Before the doubling the flows all share: baseline sanity is
+        // implied by f20 > 0.5 for standard TCP (they keep their half).
+        assert!(slow_f20 > 0.4, "survivors keep their old half: {slow_f20:.3}");
+    }
+}

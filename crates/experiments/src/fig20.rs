@@ -1,0 +1,101 @@
+//! Figure 20 (Appendix A): the three throughput models across drop
+//! rates — pure AIMD `sqrt(1.5/p)`, the paper's "AIMD with timeouts"
+//! extension below one packet per RTT, and the Padhye Reno formula.
+
+use serde::Serialize;
+
+use slowcc_core::analysis::{aimd_with_timeouts_rate_ppr, pure_aimd_rate_ppr};
+use slowcc_core::equation::padhye_rate_pps;
+
+use crate::report::{num, Table};
+use crate::scale::Scale;
+
+/// One drop rate's model values (packets per RTT).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Fig20Point {
+    /// Packet drop rate.
+    pub p: f64,
+    /// Pure AIMD model (valid up to p ~ 1/3).
+    pub pure_aimd: Option<f64>,
+    /// AIMD-with-timeouts model (derived for p >= 1/2).
+    pub aimd_timeouts: Option<f64>,
+    /// Padhye Reno formula (t_RTO = 4 RTT).
+    pub reno: f64,
+}
+
+/// The Figure 20 curves.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig20 {
+    /// All evaluated points.
+    pub points: Vec<Fig20Point>,
+}
+
+/// Evaluate the curves.
+pub fn run(_scale: Scale) -> Fig20 {
+    let ps = [
+        0.02, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 1.0 / 3.0, 0.4, 0.5, 0.6, 2.0 / 3.0, 0.75, 0.8,
+        0.875, 0.9,
+    ];
+    let points = ps
+        .iter()
+        .map(|&p| Fig20Point {
+            p,
+            pure_aimd: (p <= 1.0 / 3.0 + 1e-9).then(|| pure_aimd_rate_ppr(p)),
+            aimd_timeouts: (p >= 0.5).then(|| aimd_with_timeouts_rate_ppr(p)),
+            // Packets per RTT: evaluate with RTT = 1, RTO = 4 RTTs.
+            reno: padhye_rate_pps(p, 1.0, 4.0),
+        })
+        .collect();
+    Fig20 { points }
+}
+
+impl Fig20 {
+    /// Render the three curves.
+    pub fn print(&self) {
+        println!("\n== Figure 20: throughput models (packets/RTT) vs drop rate ==");
+        let mut t = Table::new(["p", "pure AIMD", "AIMD w/ timeouts", "Reno (Padhye)"]);
+        for pt in &self.points {
+            t.row([
+                num(pt.p),
+                pt.pure_aimd.map(num).unwrap_or_else(|| "-".into()),
+                pt.aimd_timeouts.map(num).unwrap_or_else(|| "-".into()),
+                num(pt.reno),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Appendix A's ordering: for p >= 1/2 the timeout model upper-bounds
+    /// and Reno lower-bounds; both models decay with p.
+    #[test]
+    fn curves_have_the_papers_ordering() {
+        let fig = run(Scale::Quick);
+        // The bound is derived for the backoff regime; at p -> 1 the
+        // Padhye formula's cubic timeout term overtakes it, so check the
+        // paper's plotted range.
+        for pt in fig.points.iter().filter(|pt| pt.p >= 0.5 && pt.p <= 0.8) {
+            let upper = pt.aimd_timeouts.unwrap();
+            assert!(
+                pt.reno < upper,
+                "p={}: Reno {} must lie below the timeout bound {}",
+                pt.p,
+                pt.reno,
+                upper
+            );
+        }
+        let at = |p: f64| {
+            fig.points
+                .iter()
+                .find(|pt| (pt.p - p).abs() < 1e-9)
+                .unwrap()
+        };
+        // Spot values from the paper's derivation.
+        assert!((at(0.5).aimd_timeouts.unwrap() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((at(2.0 / 3.0).aimd_timeouts.unwrap() - 3.0 / 7.0).abs() < 1e-9);
+    }
+}

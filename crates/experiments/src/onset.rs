@@ -1,0 +1,143 @@
+//! The Section 4.1.1 congestion-onset scenario shared by Figures 3-5:
+//! long-lived SlowCC flows compete with an ON/OFF CBR source using half
+//! the bottleneck; the CBR source goes silent and then abruptly returns,
+//! and we watch the loss rate at the shared queue.
+
+use serde::Serialize;
+
+use slowcc_metrics::lossrate::{stabilization, Stabilization, StabilizationConfig};
+use slowcc_netsim::time::SimTime;
+use slowcc_traffic::cbr::{install_cbr, RateSchedule};
+
+use crate::flavor::Flavor;
+use crate::scale::Scale;
+use crate::scenario::{self, Scenario, PKT_SIZE, RTT};
+
+/// Timing of the CBR source: ON from 0 to `steady_end`, OFF until
+/// `onset`, ON again until `end` (the paper: 150 / 180 / 210 s).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct OnsetTimeline {
+    /// CBR stops here.
+    pub steady_end: SimTime,
+    /// CBR restarts here (the congestion onset).
+    pub onset: SimTime,
+    /// End of the simulation.
+    pub end: SimTime,
+    /// Steady-state loss measured from here (skips initial convergence).
+    pub steady_from: SimTime,
+}
+
+impl OnsetTimeline {
+    /// Timeline for the given scale: the paper's 0-150-180-210 s at full
+    /// scale, compressed at quick scale.
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Full => OnsetTimeline {
+                steady_end: SimTime::from_secs(150),
+                onset: SimTime::from_secs(180),
+                end: SimTime::from_secs(210),
+                steady_from: SimTime::from_secs(20),
+            },
+            Scale::Quick => OnsetTimeline {
+                steady_end: SimTime::from_secs(40),
+                onset: SimTime::from_secs(50),
+                end: SimTime::from_secs(70),
+                steady_from: SimTime::from_secs(10),
+            },
+        }
+    }
+}
+
+/// Scenario sizing for the onset experiments.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct OnsetConfig {
+    /// Bottleneck rate. The paper does not state it for this experiment;
+    /// 40 Mb/s gives 20 flows a steady loss rate of a few percent when
+    /// the CBR source holds half the link (see DESIGN.md).
+    pub bottleneck_bps: f64,
+    /// Number of long-lived SlowCC flows (paper: 20).
+    pub n_flows: usize,
+    /// Timeline of the CBR source.
+    pub timeline: OnsetTimeline,
+}
+
+impl OnsetConfig {
+    /// Configuration for the given scale.
+    pub fn for_scale(scale: Scale) -> Self {
+        OnsetConfig {
+            bottleneck_bps: scale.pick(40e6, 10e6),
+            n_flows: scale.pick(20, 8),
+            timeline: OnsetTimeline::for_scale(scale),
+        }
+    }
+}
+
+/// Build and run the onset scenario for one flavor; returns the finished
+/// scenario for metric extraction.
+pub fn run_onset(flavor: Flavor, cfg: &OnsetConfig, seed: u64) -> Scenario {
+    let timeline = cfg.timeline;
+    let mut sc = scenario::standard_with(seed, cfg.bottleneck_bps, |sim, db| {
+        // The CBR source occupies one half of the bottleneck when ON.
+        let pair = db.add_host_pair(sim);
+        let schedule = RateSchedule::Script(vec![
+            (SimTime::ZERO, cfg.bottleneck_bps / 2.0),
+            (timeline.steady_end, 0.0),
+            (timeline.onset, cfg.bottleneck_bps / 2.0),
+        ]);
+        install_cbr(sim, &pair, schedule, PKT_SIZE, SimTime::ZERO);
+        scenario::install_flows(sim, db, flavor, cfg.n_flows, SimTime::ZERO, None)
+    });
+    sc.sim.run_until(cfg.timeline.end);
+    sc
+}
+
+/// Compute the paper's stabilization metrics from a finished onset run.
+pub fn onset_stabilization(sc: &Scenario, cfg: &OnsetConfig) -> Stabilization {
+    let t = cfg.timeline;
+    let st_cfg = StabilizationConfig {
+        onset: t.onset,
+        steady_from: t.steady_from,
+        steady_to: t.steady_end,
+        rtt: RTT,
+        window_rtts: 10,
+        factor: 1.5,
+        horizon: t.end,
+    };
+    stabilization(sc.sim.stats(), sc.db.forward, &st_cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slowcc_netsim::time::SimDuration;
+
+    /// The quick onset scenario produces the paper's qualitative shape:
+    /// nonzero steady loss, negligible loss while the CBR is off, and a
+    /// loss spike right after the onset.
+    #[test]
+    fn onset_produces_the_expected_loss_profile() {
+        let cfg = OnsetConfig::for_scale(Scale::Quick);
+        let sc = run_onset(Flavor::standard_tcp(), &cfg, 3);
+        let t = cfg.timeline;
+        let stats = sc.sim.stats();
+        let steady = stats.link_loss_fraction_in(sc.db.forward, t.steady_from, t.steady_end);
+        assert!(steady > 0.002, "no steady congestion: {steady}");
+        let quiet = stats.link_loss_fraction_in(
+            sc.db.forward,
+            t.steady_end + SimDuration::from_secs(2),
+            t.onset,
+        );
+        assert!(quiet < steady / 2.0, "quiet period not quiet: {quiet}");
+        let spike = stats.link_loss_fraction_in(
+            sc.db.forward,
+            t.onset,
+            t.onset + SimDuration::from_millis(500),
+        );
+        assert!(
+            spike > 1.5 * steady,
+            "no onset spike: spike {spike} vs steady {steady}"
+        );
+        let st = onset_stabilization(&sc, &cfg);
+        assert!(st.time_rtts > 0.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Table rendering and JSON export shared by all experiments.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// A simple aligned text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                let pad = width[i] - c.chars().count();
+                let _ = write!(out, "{}{}  ", c, " ".repeat(pad));
+            }
+            out.pop();
+            out.pop();
+            out.push('\n');
+        };
+        fmt_row(&self.header, &width, &mut out);
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            fmt_row(row, &width, &mut out);
+        }
+        out
+    }
+}
+
+/// Format a float compactly: 3 significant-ish digits, scientific for
+/// extremes.
+pub fn num(x: f64) -> String {
+    if x.is_infinite() {
+        return "inf".into();
+    }
+    if x.is_nan() {
+        return "nan".into();
+    }
+    let a = x.abs();
+    if a != 0.0 && !(0.001..100_000.0).contains(&a) {
+        format!("{x:.2e}")
+    } else if a >= 100.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Write a CSV file to `dir/name.csv` (creating `dir`): a header row
+/// followed by data rows. Intended for the time-series figures, so
+/// plotting tools can consume runs directly.
+pub fn write_csv<R, C>(
+    dir: &Path,
+    name: &str,
+    header: &[&str],
+    rows: R,
+) -> std::io::Result<()>
+where
+    R: IntoIterator<Item = C>,
+    C: IntoIterator<Item = String>,
+{
+    std::fs::create_dir_all(dir)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", header.join(","));
+    for row in rows {
+        let cells: Vec<String> = row.into_iter().collect();
+        assert_eq!(cells.len(), header.len(), "CSV row width mismatch");
+        let _ = writeln!(out, "{}", cells.join(","));
+    }
+    std::fs::write(dir.join(format!("{name}.csv")), out)
+}
+
+/// Write `value` as pretty JSON to `dir/name.json` (creating `dir`).
+pub fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let data = serde_json::to_string_pretty(value).expect("experiment results serialize");
+    std::fs::write(path, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(["gamma", "cost"]);
+        t.row(["2", "0.5"]);
+        t.row(["256", "120.25"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("gamma"));
+        assert!(lines[3].contains("120.25"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn num_formats_ranges() {
+        assert_eq!(num(0.5), "0.500");
+        assert_eq!(num(1234.5), "1234.5");
+        assert_eq!(num(1.0e9), "1.00e9");
+        assert_eq!(num(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn csv_writes_header_and_rows() {
+        let dir = std::env::temp_dir().join("slowcc-csv-test");
+        write_csv(
+            &dir,
+            "probe",
+            &["t", "x"],
+            vec![
+                vec!["0.0".to_string(), "1".to_string()],
+                vec!["0.1".to_string(), "2".to_string()],
+            ],
+        )
+        .unwrap();
+        let back = std::fs::read_to_string(dir.join("probe.csv")).unwrap();
+        assert_eq!(back, "t,x\n0.0,1\n0.1,2\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "CSV row width mismatch")]
+    fn csv_rejects_ragged_rows() {
+        let dir = std::env::temp_dir().join("slowcc-csv-ragged");
+        let _ = write_csv(&dir, "probe", &["a", "b"], vec![vec!["1".to_string()]]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let dir = std::env::temp_dir().join("slowcc-report-test");
+        write_json(&dir, "probe", &vec![1, 2, 3]).unwrap();
+        let back = std::fs::read_to_string(dir.join("probe.json")).unwrap();
+        assert!(back.contains('2'));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,31 @@
+//! # slowcc-metrics
+//!
+//! The evaluation metrics of the SlowCC paper, computed from
+//! [`slowcc_netsim::stats::Stats`]:
+//!
+//! * [`lossrate`] — stabilization time and stabilization cost after a
+//!   sudden congestion onset (Section 4.1, Figures 4-5),
+//! * [`fairness`] — δ-fair convergence time, Jain's index, normalized
+//!   shares (Sections 4.2.1-4.2.2, Figures 7-12),
+//! * [`util`] — the `f(k)` bandwidth-uptake metric and oscillation
+//!   utilization (Sections 4.2.3-4.2.4, Figures 13-16),
+//! * [`smooth`] — the consecutive-RTT smoothness metric and coefficient
+//!   of variation (Section 4.3, Figures 17-19).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fairness;
+pub mod lossrate;
+pub mod smooth;
+pub mod util;
+
+/// Commonly used names.
+pub mod prelude {
+    pub use crate::fairness::{
+        delta_fair_convergence_time, jain_index, normalized_shares, ConvergenceConfig,
+    };
+    pub use crate::lossrate::{stabilization, Stabilization, StabilizationConfig};
+    pub use crate::smooth::{coefficient_of_variation, smoothness_metric};
+    pub use crate::util::{f_k, flows_utilization, link_utilization};
+}

@@ -1,0 +1,97 @@
+//! Smoothness metrics (Section 4.3).
+//!
+//! The paper's *smoothness metric* is "the largest ratio between the
+//! sending rates in two consecutive round-trip times": 1 is perfectly
+//! smooth; TCP(b) scores `1/(1-b)` in steady state. We also provide the
+//! coefficient of variation, a common complementary smoothness measure
+//! over longer horizons (the paper examines longer-interval smoothness
+//! qualitatively via its rate plots).
+
+/// Largest ratio between consecutive entries of a rate series.
+///
+/// ```
+/// use slowcc_metrics::smooth::smoothness_metric;
+/// // A halving sawtooth scores 2 — TCP's signature.
+/// assert_eq!(smoothness_metric(&[8.0, 4.0, 5.0, 6.0, 7.0, 8.0, 4.0]), 2.0);
+/// // A constant rate is perfectly smooth.
+/// assert_eq!(smoothness_metric(&[5.0; 10]), 1.0);
+/// ```
+///
+/// Zero-rate entries adjacent to non-zero ones make the ratio infinite
+/// (the worst possible smoothness — a stall); leading/trailing zeros and
+/// all-zero series are ignored (a flow that never sent is trivially
+/// "smooth": returns 1).
+pub fn smoothness_metric(rates: &[f64]) -> f64 {
+    // Trim leading/trailing silence (startup, shutdown).
+    let first = rates.iter().position(|r| *r > 0.0);
+    let last = rates.iter().rposition(|r| *r > 0.0);
+    let (Some(first), Some(last)) = (first, last) else {
+        return 1.0;
+    };
+    let mut worst: f64 = 1.0;
+    for w in rates[first..=last].windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let ratio = if a == 0.0 || b == 0.0 {
+            f64::INFINITY
+        } else {
+            (a / b).max(b / a)
+        };
+        worst = worst.max(ratio);
+    }
+    worst
+}
+
+/// Coefficient of variation (stddev / mean) of the non-zero portion of a
+/// rate series. Zero for constant or empty input.
+pub fn coefficient_of_variation(rates: &[f64]) -> f64 {
+    let first = rates.iter().position(|r| *r > 0.0);
+    let last = rates.iter().rposition(|r| *r > 0.0);
+    let (Some(first), Some(last)) = (first, last) else {
+        return 0.0;
+    };
+    let xs = &rates[first..=last];
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rate_is_perfectly_smooth() {
+        assert_eq!(smoothness_metric(&[5.0, 5.0, 5.0]), 1.0);
+        assert_eq!(coefficient_of_variation(&[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn tcp_halving_scores_two() {
+        // A halve-then-recover sawtooth: worst consecutive ratio 2.
+        let s = smoothness_metric(&[8.0, 4.0, 5.0, 6.0, 7.0, 8.0, 4.0]);
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_is_infinitely_rough() {
+        assert!(smoothness_metric(&[4.0, 0.0, 4.0]).is_infinite());
+    }
+
+    #[test]
+    fn silence_at_the_edges_is_ignored() {
+        assert_eq!(smoothness_metric(&[0.0, 0.0, 3.0, 3.0, 0.0]), 1.0);
+        assert_eq!(smoothness_metric(&[]), 1.0);
+        assert_eq!(smoothness_metric(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn cov_orders_smooth_below_bursty() {
+        let smooth = coefficient_of_variation(&[10.0, 11.0, 9.0, 10.0]);
+        let bursty = coefficient_of_variation(&[1.0, 19.0, 1.0, 19.0]);
+        assert!(smooth < bursty);
+    }
+}

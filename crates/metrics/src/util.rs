@@ -1,0 +1,160 @@
+//! Link-utilization metrics: the `f(k)` of Section 4.2.3 and the
+//! oscillating-bandwidth utilization of Section 4.2.4.
+//!
+//! `f(k)` is "the fraction of bandwidth achieved by a congestion control
+//! mechanism in the first k RTTs after the available bandwidth has
+//! doubled". We measure it from the flows' delivered bytes (so competing
+//! ACK traffic on the shared link does not pollute the numerator).
+
+use slowcc_netsim::ids::{FlowId, LinkId};
+use slowcc_netsim::stats::Stats;
+use slowcc_netsim::time::{SimDuration, SimTime};
+
+/// `f(k)`: combined delivered throughput of `flows` over the first `k`
+/// RTTs after `event`, as a fraction of `available_bps`.
+pub fn f_k(
+    stats: &Stats,
+    flows: &[FlowId],
+    event: SimTime,
+    k: u64,
+    rtt: SimDuration,
+    available_bps: f64,
+) -> f64 {
+    assert!(k > 0, "k must be positive");
+    assert!(available_bps > 0.0, "available bandwidth must be positive");
+    let to = event + rtt.saturating_mul(k);
+    let secs = to.saturating_since(event).as_secs_f64();
+    let bytes: u64 = flows
+        .iter()
+        .map(|f| stats.flow_rx_bytes_in(*f, event, to))
+        .sum();
+    (bytes as f64 * 8.0) / (available_bps * secs)
+}
+
+/// Combined delivered throughput of `flows` over `[from, to)` as a
+/// fraction of `available_bps` (Section 4.2.4's utilization metric).
+pub fn flows_utilization(
+    stats: &Stats,
+    flows: &[FlowId],
+    from: SimTime,
+    to: SimTime,
+    available_bps: f64,
+) -> f64 {
+    assert!(available_bps > 0.0, "available bandwidth must be positive");
+    let secs = to.saturating_since(from).as_secs_f64();
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    let bytes: u64 = flows
+        .iter()
+        .map(|f| stats.flow_rx_bytes_in(*f, from, to))
+        .sum();
+    (bytes as f64 * 8.0) / (available_bps * secs)
+}
+
+/// Raw link utilization over `[from, to)` against the link's nominal
+/// rate (counts every byte serialized, including ACKs and competing
+/// traffic).
+pub fn link_utilization(
+    stats: &Stats,
+    link: LinkId,
+    from: SimTime,
+    to: SimTime,
+    rate_bps: f64,
+) -> f64 {
+    stats.link_utilization_in(link, from, to, rate_bps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slowcc_netsim::prelude::*;
+    use slowcc_netsim::sim::Simulator;
+
+    struct Burst {
+        flow: FlowId,
+        dst_node: NodeId,
+        dst_agent: AgentId,
+        pps: u64,
+    }
+    impl Agent for Burst {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimDuration::ZERO, 0);
+        }
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+        fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+            ctx.send(PacketSpec::data(
+                self.flow,
+                0,
+                1000,
+                self.dst_node,
+                self.dst_agent,
+            ));
+            ctx.set_timer(
+                SimDuration::from_nanos(1_000_000_000 / self.pps),
+                0,
+            );
+        }
+    }
+    struct Devour;
+    impl Agent for Devour {
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+    }
+
+    fn world_with_fixed_rate(pps: u64) -> (Simulator, FlowId) {
+        let mut sim = Simulator::new(0);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let ab = sim.add_link(
+            a,
+            Link::new(b, 1e9, SimDuration::from_millis(1), Box::new(DropTail::new(1000))),
+        );
+        sim.set_default_route(a, ab);
+        let sink = sim.add_agent(b, Box::new(Devour));
+        let flow = sim.new_flow();
+        sim.add_agent(
+            a,
+            Box::new(Burst {
+                flow,
+                dst_node: b,
+                dst_agent: sink,
+                pps,
+            }),
+        );
+        (sim, flow)
+    }
+
+    #[test]
+    fn f_k_of_a_constant_half_rate_flow_is_half() {
+        // 125 pps x 1000 B = 1 Mb/s against 2 Mb/s available.
+        let (mut sim, flow) = world_with_fixed_rate(125);
+        sim.run_until(SimTime::from_secs(20));
+        let f = f_k(
+            sim.stats(),
+            &[flow],
+            SimTime::from_secs(10),
+            20,
+            SimDuration::from_millis(50),
+            2e6,
+        );
+        assert!((f - 0.5).abs() < 0.05, "f(20) = {f}");
+    }
+
+    #[test]
+    fn utilization_window_arithmetic() {
+        let (mut sim, flow) = world_with_fixed_rate(125);
+        sim.run_until(SimTime::from_secs(10));
+        let u = flows_utilization(
+            sim.stats(),
+            &[flow],
+            SimTime::from_secs(2),
+            SimTime::from_secs(10),
+            1e6,
+        );
+        assert!((u - 1.0).abs() < 0.05, "utilization {u}");
+        assert_eq!(
+            flows_utilization(sim.stats(), &[flow], SimTime::from_secs(2), SimTime::from_secs(2), 1e6),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Typed index handles for simulator entities.
+//!
+//! All entities live in arenas inside the [`crate::sim::Simulator`]; these
+//! newtypes prevent a node index from being used where a link index is
+//! expected. They are cheap copies and serialize as plain integers.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Arena index of this handle.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct from a raw arena index. Intended for tests and
+            /// tooling; handing the simulator an id it did not issue will
+            /// panic at dispatch time.
+            pub const fn from_index(ix: usize) -> Self {
+                $name(ix as u32)
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, concat!(stringify!($name), "#{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Handle to a node (host or router).
+    NodeId
+);
+id_type!(
+    /// Handle to a unidirectional link.
+    LinkId
+);
+id_type!(
+    /// Handle to an agent (protocol endpoint or traffic source).
+    AgentId
+);
+id_type!(
+    /// Handle to a flow: one logical sender/receiver conversation whose
+    /// packets are accounted together by the statistics module.
+    FlowId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_types_and_roundtrip() {
+        let n = NodeId::from_index(3);
+        assert_eq!(n.index(), 3);
+        assert_eq!(format!("{n}"), "NodeId#3");
+        let f = FlowId::from_index(0);
+        assert_eq!(f.index(), 0);
+    }
+}

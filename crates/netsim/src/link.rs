@@ -1,0 +1,261 @@
+//! Unidirectional links: a serialization rate, a propagation delay, a
+//! buffer governed by a [`QueueDiscipline`], and an optional scripted
+//! [`LossPattern`] used to impose the hand-crafted drop sequences of the
+//! paper's smoothness experiments (Figures 17-19).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ids::NodeId;
+use crate::packet::Packet;
+use crate::queue::QueueDiscipline;
+use crate::time::{SimDuration, SimTime};
+
+/// Decides, per packet, whether the link artificially drops it before the
+/// buffer sees it. Implementations are deterministic state machines so the
+/// paper's exact loss scripts ("drop every 200th packet for six seconds,
+/// then every 4th for one second") can be expressed.
+pub trait LossPattern: Send {
+    /// Called for every packet offered to the link, in arrival order.
+    /// Return `true` to drop the packet.
+    fn should_drop(&mut self, pkt: &Packet, now: SimTime) -> bool;
+}
+
+/// Drops every `n`-th packet that is eligible (data packets only by
+/// default, so ACK streams on shared links are unaffected).
+#[derive(Debug, Clone)]
+pub struct EveryNth {
+    n: u64,
+    seen: u64,
+    data_only: bool,
+}
+
+impl EveryNth {
+    /// Drop one of every `n` data packets. `n == 0` never drops.
+    pub fn data_every(n: u64) -> Self {
+        EveryNth {
+            n,
+            seen: 0,
+            data_only: true,
+        }
+    }
+}
+
+impl LossPattern for EveryNth {
+    fn should_drop(&mut self, pkt: &Packet, _now: SimTime) -> bool {
+        if self.n == 0 || (self.data_only && !pkt.is_data()) {
+            return false;
+        }
+        self.seen += 1;
+        if self.seen >= self.n {
+            self.seen = 0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Drops each data packet independently with probability `p`, using its
+/// own seeded RNG so the loss process is reproducible and independent of
+/// the rest of the simulation. The standard model for validating
+/// *static* TCP-compatibility (a fixed loss rate, as in the paper's
+/// Section 2 definition).
+#[derive(Debug, Clone)]
+pub struct BernoulliLoss {
+    p: f64,
+    rng: SmallRng,
+}
+
+impl BernoulliLoss {
+    /// Drop each data packet with probability `p` in `[0, 1]`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        BernoulliLoss {
+            p,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl LossPattern for BernoulliLoss {
+    fn should_drop(&mut self, pkt: &Packet, _now: SimTime) -> bool {
+        pkt.is_data() && self.rng.gen::<f64>() < self.p
+    }
+}
+
+/// Decides, per packet, whether the link ECN-marks it (applied before
+/// the buffer, to ECN-capable packets only). Used by validation
+/// experiments that need a fixed marking probability independent of the
+/// queue state — the environment Section 4.2.2's convergence model
+/// assumes.
+pub trait MarkPattern: Send {
+    /// Return `true` to mark `pkt` with congestion-experienced.
+    fn should_mark(&mut self, pkt: &Packet, now: SimTime) -> bool;
+}
+
+impl MarkPattern for BernoulliLoss {
+    fn should_mark(&mut self, pkt: &Packet, now: SimTime) -> bool {
+        // Same decision process as the loss variant, applied as a mark.
+        self.should_drop(pkt, now)
+    }
+}
+
+/// A unidirectional link.
+///
+/// The simulator drives the link: packets offered while the transmitter is
+/// busy go through the queue discipline; `start_service` pulls the next
+/// packet when the transmitter frees up. Propagation delay is added by the
+/// simulator after serialization completes.
+pub struct Link {
+    /// Where delivered packets arrive.
+    pub(crate) dst: NodeId,
+    /// Serialization rate in bits per second.
+    pub(crate) rate_bps: f64,
+    /// One-way propagation delay.
+    pub(crate) delay: SimDuration,
+    pub(crate) queue: Box<dyn QueueDiscipline>,
+    pub(crate) loss: Option<Box<dyn LossPattern>>,
+    pub(crate) marker: Option<Box<dyn MarkPattern>>,
+    /// Whether a packet is currently being serialized.
+    pub(crate) busy: bool,
+}
+
+impl Link {
+    /// A link toward `dst` with the given rate, propagation delay and
+    /// buffer discipline.
+    pub fn new(dst: NodeId, rate_bps: f64, delay: SimDuration, queue: Box<dyn QueueDiscipline>) -> Self {
+        assert!(rate_bps >= 0.0, "link rate must be non-negative");
+        Link {
+            dst,
+            rate_bps,
+            delay,
+            queue,
+            loss: None,
+            marker: None,
+            busy: false,
+        }
+    }
+
+    /// Attach a scripted loss pattern executed before the buffer.
+    pub fn with_loss(mut self, loss: Box<dyn LossPattern>) -> Self {
+        self.loss = Some(loss);
+        self
+    }
+
+    /// Attach an ECN marking pattern executed before the buffer
+    /// (ECN-capable packets only).
+    pub fn with_marker(mut self, marker: Box<dyn MarkPattern>) -> Self {
+        self.marker = Some(marker);
+        self
+    }
+
+    /// Destination node of this link.
+    pub fn dst(&self) -> NodeId {
+        self.dst
+    }
+
+    /// Serialization rate in bits per second.
+    pub fn rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+
+    /// One-way propagation delay.
+    pub fn delay(&self) -> SimDuration {
+        self.delay
+    }
+
+    /// Current buffer occupancy in packets (excluding the packet being
+    /// serialized).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl core::fmt::Debug for Link {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Link")
+            .field("dst", &self.dst)
+            .field("rate_bps", &self.rate_bps)
+            .field("delay", &self.delay)
+            .field("queue_len", &self.queue.len())
+            .field("busy", &self.busy)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{AgentId, FlowId};
+    use crate::packet::{AckInfo, DataInfo, Payload};
+
+    fn pkt(uid: u64, payload: Payload) -> Packet {
+        Packet {
+            uid,
+            flow: FlowId::from_index(0),
+            seq: uid,
+            size: 1000,
+            payload,
+            src_node: NodeId::from_index(0),
+            dst_node: NodeId::from_index(1),
+            src_agent: AgentId::from_index(0),
+            dst_agent: AgentId::from_index(1),
+            sent_at: SimTime::ZERO,
+            ecn: Default::default(),
+        }
+    }
+
+    #[test]
+    fn every_nth_drops_exactly_one_in_n_data_packets() {
+        let mut p = EveryNth::data_every(4);
+        let mut drops = 0;
+        for uid in 0..40 {
+            if p.should_drop(&pkt(uid, Payload::Data(DataInfo::default())), SimTime::ZERO) {
+                drops += 1;
+            }
+        }
+        assert_eq!(drops, 10);
+    }
+
+    #[test]
+    fn every_nth_ignores_acks() {
+        let mut p = EveryNth::data_every(1);
+        let ack = pkt(0, Payload::Ack(AckInfo::cumulative(1, 0, SimTime::ZERO)));
+        assert!(!p.should_drop(&ack, SimTime::ZERO));
+        assert!(p.should_drop(&pkt(1, Payload::Data(DataInfo::default())), SimTime::ZERO));
+    }
+
+    #[test]
+    fn bernoulli_loss_hits_its_probability() {
+        let mut p = BernoulliLoss::new(0.1, 9);
+        let n = 50_000;
+        let mut drops = 0;
+        for uid in 0..n {
+            if p.should_drop(&pkt(uid, Payload::Data(DataInfo::default())), SimTime::ZERO) {
+                drops += 1;
+            }
+        }
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut never = BernoulliLoss::new(0.0, 1);
+        let mut always = BernoulliLoss::new(1.0, 1);
+        let d = pkt(0, Payload::Data(DataInfo::default()));
+        assert!(!never.should_drop(&d, SimTime::ZERO));
+        assert!(always.should_drop(&d, SimTime::ZERO));
+        let ack = pkt(0, Payload::Ack(AckInfo::cumulative(1, 0, SimTime::ZERO)));
+        assert!(!always.should_drop(&ack, SimTime::ZERO));
+    }
+
+    #[test]
+    fn zero_n_never_drops() {
+        let mut p = EveryNth::data_every(0);
+        for uid in 0..10 {
+            assert!(!p.should_drop(&pkt(uid, Payload::Data(DataInfo::default())), SimTime::ZERO));
+        }
+    }
+}

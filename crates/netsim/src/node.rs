@@ -1,0 +1,63 @@
+//! Nodes and static routing.
+//!
+//! A node is a host or router with a per-destination routing table and an
+//! optional default route. Routing is static: the experiments use fixed
+//! dumbbell topologies, so tables are filled once at construction time by
+//! [`crate::topology`] helpers (or by hand for custom topologies).
+
+use std::collections::HashMap;
+
+use crate::ids::{LinkId, NodeId};
+
+/// A host or router.
+#[derive(Debug, Default)]
+pub struct Node {
+    routes: HashMap<NodeId, LinkId>,
+    default_route: Option<LinkId>,
+}
+
+impl Node {
+    /// An empty node with no routes.
+    pub fn new() -> Self {
+        Node::default()
+    }
+
+    /// Install a route: packets for `dst` leave on `link`.
+    pub fn add_route(&mut self, dst: NodeId, link: LinkId) {
+        self.routes.insert(dst, link);
+    }
+
+    /// Install the default route used when no per-destination entry
+    /// matches (typical for stub hosts with a single uplink).
+    pub fn set_default_route(&mut self, link: LinkId) {
+        self.default_route = Some(link);
+    }
+
+    /// Outgoing link for `dst`, if the node knows one.
+    pub fn route(&self, dst: NodeId) -> Option<LinkId> {
+        self.routes.get(&dst).copied().or(self.default_route)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specific_route_wins_over_default() {
+        let mut n = Node::new();
+        let dst = NodeId::from_index(7);
+        let specific = LinkId::from_index(1);
+        let fallback = LinkId::from_index(2);
+        n.set_default_route(fallback);
+        n.add_route(dst, specific);
+        assert_eq!(n.route(dst), Some(specific));
+        assert_eq!(n.route(NodeId::from_index(8)), Some(fallback));
+    }
+
+    #[test]
+    fn no_route_when_empty() {
+        let n = Node::new();
+        assert_eq!(n.route(NodeId::from_index(0)), None);
+    }
+}

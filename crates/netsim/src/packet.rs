@@ -1,0 +1,278 @@
+//! Packets and their payloads.
+//!
+//! The simulator is packet-level: every data segment and every
+//! acknowledgment is an individual [`Packet`] that occupies queue space and
+//! consumes link transmission time. Payloads carry only the header fields
+//! the congestion-control agents need (sequence numbers, timestamp echoes,
+//! receiver reports); user data is represented by `size` alone.
+
+use crate::ids::{AgentId, FlowId, NodeId};
+use crate::time::SimTime;
+
+/// ECN codepoint of a packet (RFC 2481, which the paper cites for its
+/// Section 4.2.2 marking model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Ecn {
+    /// The flow did not negotiate ECN; congestion is signalled by drops.
+    #[default]
+    NotCapable,
+    /// ECN-capable transport; routers may mark instead of dropping.
+    Capable,
+    /// Congestion experienced: the packet was marked in the network.
+    Marked,
+}
+
+impl Ecn {
+    /// True for `Capable` or `Marked`.
+    pub fn is_capable(self) -> bool {
+        !matches!(self, Ecn::NotCapable)
+    }
+}
+
+/// What a packet carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Payload {
+    /// A data segment of a transport flow.
+    Data(DataInfo),
+    /// An acknowledgment / receiver report for a transport flow.
+    Ack(AckInfo),
+}
+
+impl Payload {
+    /// True for data segments.
+    pub fn is_data(&self) -> bool {
+        matches!(self, Payload::Data(_))
+    }
+
+    /// True for acknowledgments.
+    pub fn is_ack(&self) -> bool {
+        matches!(self, Payload::Ack(_))
+    }
+}
+
+/// Header fields carried by data segments.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DataInfo {
+    /// The sender's current RTT estimate in nanoseconds, or zero when
+    /// unknown. TFRC stamps this so the receiver can coalesce packet
+    /// losses within one RTT into a single loss event (RFC 3448 §3.2.1).
+    pub sender_rtt_ns: u64,
+}
+
+/// Fields carried by an acknowledgment or receiver report.
+///
+/// This is the union of what the window-based agents (cumulative ACK +
+/// timestamp echo) and the rate-based agents (TFRC-style receiver reports)
+/// need. Unused fields are zero for protocols that do not use them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AckInfo {
+    /// Next in-order sequence number expected by the receiver
+    /// (cumulative acknowledgment).
+    pub cum_ack: u64,
+    /// Sequence number of the data packet that triggered this ACK.
+    pub acked_seq: u64,
+    /// Timestamp echo: `sent_at` of the most recently received data packet.
+    pub echo_ts: SimTime,
+    /// Time the echoed packet spent held at the receiver before this
+    /// report was emitted, so the sender can subtract it from its RTT
+    /// sample (relevant for once-per-RTT TFRC reports).
+    pub echo_delay_ns: u64,
+    /// Receive rate measured by the receiver over roughly the last RTT,
+    /// in bytes per second (TFRC `X_recv`).
+    pub recv_rate_bps: f64,
+    /// Loss event rate estimated by the receiver (TFRC `p`); zero when no
+    /// loss has been seen or the protocol does not estimate it.
+    pub loss_event_rate: f64,
+    /// Total data packets received so far on this flow.
+    pub recv_count: u64,
+    /// Receiver-advertised sending rate in bytes/second (used by
+    /// receiver-driven protocols such as TEAR; zero otherwise).
+    pub advertised_rate_bps: f64,
+    /// True when a new loss event started since the previous receiver
+    /// report (drives the `conservative_` self-clocking option the paper
+    /// adds to TFRC in Section 4.1.1).
+    pub new_loss_event: bool,
+    /// ECN echo: the acknowledged data packet arrived marked.
+    pub ecn_echo: bool,
+}
+
+impl AckInfo {
+    /// A cumulative ACK as produced by a TCP-style receiver.
+    pub fn cumulative(cum_ack: u64, acked_seq: u64, echo_ts: SimTime) -> Self {
+        AckInfo {
+            cum_ack,
+            acked_seq,
+            echo_ts,
+            echo_delay_ns: 0,
+            recv_rate_bps: 0.0,
+            loss_event_rate: 0.0,
+            recv_count: 0,
+            advertised_rate_bps: 0.0,
+            new_loss_event: false,
+            ecn_echo: false,
+        }
+    }
+}
+
+/// A packet in flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Globally unique packet id, assigned at send time.
+    pub uid: u64,
+    /// Flow the packet belongs to (for routing of statistics, not routing
+    /// of the packet itself).
+    pub flow: FlowId,
+    /// Transport sequence number (data packets; echoed meaning for ACKs).
+    pub seq: u64,
+    /// Wire size in bytes, including an abstract header.
+    pub size: u32,
+    /// Payload kind and header fields.
+    pub payload: Payload,
+    /// Originating node.
+    pub src_node: NodeId,
+    /// Destination node.
+    pub dst_node: NodeId,
+    /// Agent that sent the packet (so the receiver can reply without
+    /// out-of-band knowledge).
+    pub src_agent: AgentId,
+    /// Agent the packet is delivered to at `dst_node`.
+    pub dst_agent: AgentId,
+    /// Time the packet was handed to the network by its source.
+    pub sent_at: SimTime,
+    /// ECN codepoint; routers may upgrade `Capable` to `Marked`.
+    pub ecn: Ecn,
+}
+
+impl Packet {
+    /// True for data segments.
+    pub fn is_data(&self) -> bool {
+        self.payload.is_data()
+    }
+
+    /// True for acknowledgments.
+    pub fn is_ack(&self) -> bool {
+        self.payload.is_ack()
+    }
+
+    /// The ACK header fields, if this is an acknowledgment.
+    pub fn ack(&self) -> Option<&AckInfo> {
+        match &self.payload {
+            Payload::Ack(a) => Some(a),
+            Payload::Data(_) => None,
+        }
+    }
+}
+
+/// Everything an agent specifies when transmitting; the simulator fills in
+/// the originating node/agent and the timestamp.
+#[derive(Debug, Clone)]
+pub struct PacketSpec {
+    /// Flow for statistics accounting.
+    pub flow: FlowId,
+    /// Transport sequence number.
+    pub seq: u64,
+    /// Wire size in bytes.
+    pub size: u32,
+    /// Payload kind and header fields.
+    pub payload: Payload,
+    /// Destination node.
+    pub dst_node: NodeId,
+    /// Agent the packet is delivered to at the destination node.
+    pub dst_agent: AgentId,
+    /// ECN codepoint requested by the sender.
+    pub ecn: Ecn,
+}
+
+impl PacketSpec {
+    /// Request ECN-capable transport for this packet.
+    pub fn with_ecn(mut self) -> Self {
+        self.ecn = Ecn::Capable;
+        self
+    }
+
+    /// A data segment addressed to `dst_agent` at `dst_node`.
+    pub fn data(flow: FlowId, seq: u64, size: u32, dst_node: NodeId, dst_agent: AgentId) -> Self {
+        PacketSpec {
+            flow,
+            seq,
+            size,
+            payload: Payload::Data(DataInfo::default()),
+            dst_node,
+            dst_agent,
+            ecn: Ecn::NotCapable,
+        }
+    }
+
+    /// A data segment stamped with the sender's RTT estimate.
+    pub fn data_with_rtt(
+        flow: FlowId,
+        seq: u64,
+        size: u32,
+        dst_node: NodeId,
+        dst_agent: AgentId,
+        sender_rtt_ns: u64,
+    ) -> Self {
+        PacketSpec {
+            flow,
+            seq,
+            size,
+            payload: Payload::Data(DataInfo { sender_rtt_ns }),
+            dst_node,
+            dst_agent,
+            ecn: Ecn::NotCapable,
+        }
+    }
+
+    /// An acknowledgment addressed back to the sender of `pkt`.
+    pub fn ack_to(pkt: &Packet, size: u32, info: AckInfo) -> Self {
+        PacketSpec {
+            flow: pkt.flow,
+            seq: info.acked_seq,
+            size,
+            payload: Payload::Ack(info),
+            dst_node: pkt.src_node,
+            dst_agent: pkt.src_agent,
+            ecn: Ecn::NotCapable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_packet() -> Packet {
+        Packet {
+            uid: 7,
+            flow: FlowId::from_index(1),
+            seq: 42,
+            size: 1000,
+            payload: Payload::Data(DataInfo::default()),
+            src_node: NodeId::from_index(0),
+            dst_node: NodeId::from_index(3),
+            src_agent: AgentId::from_index(5),
+            dst_agent: AgentId::from_index(6),
+            sent_at: SimTime::from_millis(10),
+            ecn: Ecn::default(),
+        }
+    }
+
+    #[test]
+    fn payload_predicates() {
+        let p = sample_packet();
+        assert!(p.is_data());
+        assert!(!p.is_ack());
+        assert!(p.ack().is_none());
+    }
+
+    #[test]
+    fn ack_to_reverses_addressing() {
+        let data = sample_packet();
+        let info = AckInfo::cumulative(43, 42, data.sent_at);
+        let spec = PacketSpec::ack_to(&data, 40, info);
+        assert_eq!(spec.dst_node, data.src_node);
+        assert_eq!(spec.dst_agent, data.src_agent);
+        assert_eq!(spec.flow, data.flow);
+        assert!(matches!(spec.payload, Payload::Ack(a) if a.cum_ack == 43));
+    }
+}

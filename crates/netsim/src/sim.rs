@@ -1,0 +1,782 @@
+//! The simulator: arenas for nodes, links and agents, the event loop, and
+//! the [`Ctx`] handle through which agents interact with the network.
+//!
+//! # Model
+//!
+//! * **Agents** are protocol endpoints or traffic sources attached to a
+//!   node. They are inert state machines driven by three callbacks:
+//!   [`Agent::on_start`], [`Agent::on_packet`] and [`Agent::on_timer`].
+//!   They never block and they never run concurrently; all interaction
+//!   with the world goes through the [`Ctx`] passed to each callback.
+//! * **Packets** sent via [`Ctx::send`] are routed hop by hop: each hop
+//!   offers the packet to the outgoing link, which either drops it
+//!   (scripted loss, early drop, buffer overflow) or serializes it at the
+//!   link rate and delivers it after the propagation delay.
+//! * **Timers** are fire-and-forget: [`Ctx::set_timer`] schedules a token
+//!   that is handed back to the agent. There is no cancellation API;
+//!   agents version their tokens and ignore stale ones (the discipline
+//!   used by every agent in this workspace).
+//!
+//! # Determinism
+//!
+//! Runs are bit-for-bit reproducible for a given seed: the event queue
+//! breaks timestamp ties by scheduling order, all arenas are index-based,
+//! and the only randomness is the seeded RNG exposed via [`Ctx::rng`].
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::event::{EventKind, EventQueue};
+use crate::ids::{AgentId, FlowId, LinkId, NodeId};
+use crate::link::Link;
+use crate::node::Node;
+use crate::packet::{Packet, PacketSpec, Payload};
+use crate::queue::EnqueueResult;
+use crate::stats::Stats;
+use crate::time::{transmission_time, SimDuration, SimTime};
+use crate::trace::{DropReason, TraceEvent, TraceKind, TraceSink};
+
+/// A protocol endpoint or traffic source.
+///
+/// Implementations live in `slowcc-core` (congestion control agents) and
+/// `slowcc-traffic` (CBR sources, flash crowds); tests implement ad-hoc
+/// agents freely.
+pub trait Agent: Send {
+    /// Called once at the agent's scheduled start time.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// Called when a packet addressed to this agent is delivered.
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>);
+
+    /// Called when a timer set via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+
+    /// Optional downcast hook so tests and experiment harnesses can
+    /// inspect agent state after a run (`Some(self)` in implementations
+    /// that opt in).
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+struct AgentSlot {
+    node: NodeId,
+    /// Taken out while the agent runs so `Ctx` can borrow the world.
+    agent: Option<Box<dyn Agent>>,
+}
+
+/// Everything except the agents; borrowed mutably by [`Ctx`] while an
+/// agent runs.
+struct World {
+    now: SimTime,
+    queue: EventQueue,
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    /// The packet currently being serialized by each link, if any.
+    in_flight: Vec<Option<Packet>>,
+    stats: Stats,
+    rng: SmallRng,
+    next_uid: u64,
+    trace: Option<Box<dyn TraceSink>>,
+}
+
+impl World {
+    #[inline]
+    fn trace(&mut self, kind: TraceKind, pkt: &Packet) {
+        if let Some(sink) = self.trace.as_mut() {
+            sink.record(&TraceEvent::new(self.now, kind, pkt));
+        }
+    }
+}
+
+impl World {
+    /// Offer `pkt` to `link`: run the loss script, then the queue
+    /// discipline, then start serialization if the transmitter is idle.
+    fn offer_to_link(&mut self, link_id: LinkId, mut pkt: Packet) {
+        let occupancy = self.links[link_id.index()].queue_len();
+        self.stats.record_link_arrival(link_id, self.now, occupancy);
+
+        // Scripted loss first.
+        let now = self.now;
+        if let Some(loss) = self.links[link_id.index()].loss.as_mut() {
+            if loss.should_drop(&pkt, now) {
+                self.stats.record_link_drop(link_id, self.now);
+                self.trace(
+                    TraceKind::Drop {
+                        link: link_id,
+                        reason: DropReason::LossPattern,
+                    },
+                    &pkt,
+                );
+                return;
+            }
+        }
+        // Scripted ECN marking next.
+        if pkt.ecn.is_capable() {
+            let mut marked = false;
+            if let Some(marker) = self.links[link_id.index()].marker.as_mut() {
+                marked = marker.should_mark(&pkt, now);
+            }
+            if marked {
+                pkt.ecn = crate::packet::Ecn::Marked;
+                self.stats.record_link_mark(link_id, self.now);
+                self.trace(TraceKind::Mark { link: link_id }, &pkt);
+            }
+        }
+        self.trace(TraceKind::Enqueue { link: link_id }, &pkt);
+
+        // The buffer. A snapshot of the identifying fields backs the
+        // trace for the drop/mark outcomes (the discipline consumes the
+        // packet).
+        let traced = pkt.clone();
+        let busy = self.links[link_id.index()].busy;
+        let link = &mut self.links[link_id.index()];
+        let result = link.queue.enqueue(pkt, now, &mut self.rng);
+        match result {
+            EnqueueResult::Enqueued | EnqueueResult::Marked => {
+                if result == EnqueueResult::Marked {
+                    self.stats.record_link_mark(link_id, self.now);
+                    self.trace(TraceKind::Mark { link: link_id }, &traced);
+                }
+                if !busy {
+                    // ns-2 style: the arriving packet traverses the
+                    // (empty) discipline so RED's average sees it, then
+                    // starts serializing immediately.
+                    let pkt = self.links[link_id.index()]
+                        .queue
+                        .dequeue(now)
+                        .expect("packet just enqueued must dequeue");
+                    self.start_service(link_id, pkt);
+                }
+            }
+            EnqueueResult::Dropped => {
+                self.stats.record_link_drop(link_id, self.now);
+                self.trace(
+                    TraceKind::Drop {
+                        link: link_id,
+                        reason: DropReason::Queue,
+                    },
+                    &traced,
+                );
+            }
+        }
+    }
+
+    fn start_service(&mut self, link_id: LinkId, pkt: Packet) {
+        let link = &mut self.links[link_id.index()];
+        debug_assert!(!link.busy, "start_service on busy link");
+        link.busy = true;
+        let tx = transmission_time(pkt.size, link.rate_bps);
+        self.in_flight[link_id.index()] = Some(pkt);
+        self.queue
+            .schedule(self.now + tx, EventKind::LinkTxComplete { link: link_id });
+    }
+
+    fn on_tx_complete(&mut self, link_id: LinkId) {
+        let pkt = self.in_flight[link_id.index()]
+            .take()
+            .expect("TxComplete without a packet in flight");
+        self.stats.record_link_tx(link_id, self.now, pkt.size);
+        self.trace(TraceKind::Dequeue { link: link_id }, &pkt);
+        let link = &mut self.links[link_id.index()];
+        let dst = link.dst;
+        let delay = link.delay;
+        self.queue.schedule(
+            self.now + delay,
+            EventKind::Arrive { node: dst, packet: pkt },
+        );
+        // Pull the next packet, if any.
+        let link = &mut self.links[link_id.index()];
+        link.busy = false;
+        if let Some(next) = link.queue.dequeue(self.now) {
+            self.start_service(link_id, next);
+        }
+    }
+
+    /// Route `pkt` out of `node`, or panic on a routing hole (our
+    /// topologies are static, so a missing route is a programming error
+    /// worth failing loudly on).
+    fn forward(&mut self, node: NodeId, pkt: Packet) {
+        let out = self.nodes[node.index()].route(pkt.dst_node).unwrap_or_else(|| {
+            panic!(
+                "no route from {node} to {} (flow {}, uid {})",
+                pkt.dst_node, pkt.flow, pkt.uid
+            )
+        });
+        self.offer_to_link(out, pkt);
+    }
+}
+
+/// The discrete-event network simulator.
+pub struct Simulator {
+    world: World,
+    agents: Vec<AgentSlot>,
+    next_flow: u32,
+}
+
+/// Default width of the statistics bins (10 ms: fine enough for the
+/// paper's 0.2 s smoothness windows and 50 ms RTT-granularity metrics).
+pub const DEFAULT_STATS_BIN: SimDuration = SimDuration::from_millis(10);
+
+impl Simulator {
+    /// A fresh simulator with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator::with_stats_bin(seed, DEFAULT_STATS_BIN)
+    }
+
+    /// A fresh simulator with an explicit statistics bin width.
+    pub fn with_stats_bin(seed: u64, bin: SimDuration) -> Self {
+        Simulator {
+            world: World {
+                now: SimTime::ZERO,
+                queue: EventQueue::new(),
+                nodes: Vec::new(),
+                links: Vec::new(),
+                in_flight: Vec::new(),
+                stats: Stats::new(bin),
+                rng: SmallRng::seed_from_u64(seed),
+                next_uid: 0,
+                trace: None,
+            },
+            agents: Vec::new(),
+            next_flow: 0,
+        }
+    }
+
+    /// Add a node (host or router).
+    pub fn add_node(&mut self) -> NodeId {
+        self.world.nodes.push(Node::new());
+        NodeId::from_index(self.world.nodes.len() - 1)
+    }
+
+    /// Add a unidirectional link from `src` and return its handle.
+    /// Routing entries are installed separately via [`Self::add_route`]
+    /// or [`Self::set_default_route`].
+    pub fn add_link(&mut self, src: NodeId, link: Link) -> LinkId {
+        let _ = src; // `src` documents intent; links are referenced by id.
+        self.world.links.push(link);
+        self.world.in_flight.push(None);
+        let id = LinkId::from_index(self.world.links.len() - 1);
+        self.world.stats.ensure_link(id);
+        id
+    }
+
+    /// Install a per-destination route at `node`.
+    pub fn add_route(&mut self, node: NodeId, dst: NodeId, link: LinkId) {
+        self.world.nodes[node.index()].add_route(dst, link);
+    }
+
+    /// Install the default route at `node`.
+    pub fn set_default_route(&mut self, node: NodeId, link: LinkId) {
+        self.world.nodes[node.index()].set_default_route(link);
+    }
+
+    /// Allocate a flow identifier for statistics accounting.
+    pub fn new_flow(&mut self) -> FlowId {
+        let id = FlowId::from_index(self.next_flow as usize);
+        self.next_flow += 1;
+        self.world.stats.ensure_flow(id);
+        id
+    }
+
+    /// Reserve an agent id without installing the agent yet. Lets two
+    /// endpoint agents refer to each other: reserve both ids, then build
+    /// each agent with its peer's id and install with
+    /// [`Self::install_agent`].
+    pub fn reserve_agent(&mut self, node: NodeId) -> AgentId {
+        self.agents.push(AgentSlot { node, agent: None });
+        AgentId::from_index(self.agents.len() - 1)
+    }
+
+    /// Install a previously reserved agent, to be started at `start`.
+    pub fn install_agent(&mut self, id: AgentId, agent: Box<dyn Agent>, start: SimTime) {
+        let slot = &mut self.agents[id.index()];
+        assert!(slot.agent.is_none(), "agent {id} installed twice");
+        slot.agent = Some(agent);
+        self.world
+            .queue
+            .schedule(start, EventKind::AgentStart { agent: id });
+    }
+
+    /// Add an agent at `node`, started at `start`.
+    pub fn add_agent_at(&mut self, node: NodeId, agent: Box<dyn Agent>, start: SimTime) -> AgentId {
+        let id = self.reserve_agent(node);
+        self.install_agent(id, agent, start);
+        id
+    }
+
+    /// Add an agent at `node`, started at time zero.
+    pub fn add_agent(&mut self, node: NodeId, agent: Box<dyn Agent>) -> AgentId {
+        self.add_agent_at(node, agent, SimTime::ZERO)
+    }
+
+    /// Install a trace sink receiving every packet event from now on.
+    /// Tracing is off by default (full runs generate millions of
+    /// events); install a filtered/capped sink for targeted debugging.
+    pub fn set_trace(&mut self, sink: Box<dyn TraceSink>) {
+        self.world.trace = Some(sink);
+    }
+
+    /// Remove and return the current trace sink (e.g. to read a
+    /// [`crate::trace::VecTrace`] back after a run).
+    pub fn take_trace(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.world.trace.take()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.world.now
+    }
+
+    /// Collected statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats_ref().stats
+    }
+
+    fn stats_ref(&self) -> &World {
+        &self.world
+    }
+
+    /// Current buffer occupancy of `link` in packets.
+    pub fn link_queue_len(&self, link: LinkId) -> usize {
+        self.world.links[link.index()].queue_len()
+    }
+
+    /// Run until the event queue drains or `until` is reached, whichever
+    /// comes first. The clock is left at `until` when the horizon is hit.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(t) = self.world.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            self.step();
+        }
+        if self.world.now < until {
+            self.world.now = until;
+        }
+    }
+
+    /// Process a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((time, kind)) = self.world.queue.pop() else {
+            return false;
+        };
+        debug_assert!(time >= self.world.now, "event queue went backwards");
+        self.world.now = time;
+        match kind {
+            EventKind::LinkTxComplete { link } => self.world.on_tx_complete(link),
+            EventKind::Arrive { node, packet } => {
+                if packet.dst_node == node {
+                    if packet.is_data() {
+                        self.world
+                            .stats
+                            .record_flow_rx(packet.flow, self.world.now, packet.size);
+                    }
+                    self.world.trace(TraceKind::Deliver { node }, &packet);
+                    let agent = packet.dst_agent;
+                    self.dispatch(agent, |a, ctx| a.on_packet(packet, ctx));
+                } else {
+                    self.world.forward(node, packet);
+                }
+            }
+            EventKind::AgentTimer { agent, token } => {
+                self.dispatch(agent, |a, ctx| a.on_timer(token, ctx));
+            }
+            EventKind::AgentStart { agent } => {
+                self.dispatch(agent, |a, ctx| a.on_start(ctx));
+            }
+        }
+        true
+    }
+
+    fn dispatch<F>(&mut self, id: AgentId, f: F)
+    where
+        F: FnOnce(&mut dyn Agent, &mut Ctx<'_>),
+    {
+        let slot = self
+            .agents
+            .get_mut(id.index())
+            .unwrap_or_else(|| panic!("dispatch to unknown agent {id}"));
+        let node = slot.node;
+        let mut agent = slot
+            .agent
+            .take()
+            .unwrap_or_else(|| panic!("dispatch to uninstalled agent {id}"));
+        let mut ctx = Ctx {
+            world: &mut self.world,
+            agent_id: id,
+            node,
+        };
+        f(agent.as_mut(), &mut ctx);
+        self.agents[id.index()].agent = Some(agent);
+    }
+
+    /// Immutable access to an installed agent, for post-run inspection.
+    /// Panics while that agent is being dispatched.
+    pub fn agent(&self, id: AgentId) -> &dyn Agent {
+        self.agents[id.index()]
+            .agent
+            .as_deref()
+            .expect("agent not installed or currently running")
+    }
+
+    /// Inspect an installed agent as a concrete type, if it opted into
+    /// [`Agent::as_any`].
+    pub fn agent_downcast<T: 'static>(&self, id: AgentId) -> Option<&T> {
+        self.agent(id).as_any().and_then(|a| a.downcast_ref::<T>())
+    }
+}
+
+/// The world handle passed to agent callbacks.
+pub struct Ctx<'a> {
+    world: &'a mut World,
+    agent_id: AgentId,
+    node: NodeId,
+}
+
+impl Ctx<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.world.now
+    }
+
+    /// Id of the running agent.
+    pub fn agent_id(&self) -> AgentId {
+        self.agent_id
+    }
+
+    /// Node the running agent is attached to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Seeded RNG shared by the whole simulation.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.world.rng
+    }
+
+    /// Transmit a packet from this agent's node. Data payloads are
+    /// accounted to the flow's sending-rate statistics; ACKs are not.
+    pub fn send(&mut self, spec: PacketSpec) {
+        let uid = self.world.next_uid;
+        self.world.next_uid += 1;
+        let pkt = Packet {
+            uid,
+            flow: spec.flow,
+            seq: spec.seq,
+            size: spec.size,
+            payload: spec.payload,
+            src_node: self.node,
+            dst_node: spec.dst_node,
+            src_agent: self.agent_id,
+            dst_agent: spec.dst_agent,
+            sent_at: self.world.now,
+            ecn: spec.ecn,
+        };
+        if matches!(pkt.payload, Payload::Data(_)) {
+            self.world
+                .stats
+                .record_flow_tx(pkt.flow, self.world.now, pkt.size);
+        }
+        self.world.trace(TraceKind::Send, &pkt);
+        if pkt.dst_node == self.node {
+            // Local delivery: still goes through the event queue so the
+            // receiving agent runs after the current callback returns.
+            let node = self.node;
+            self.world
+                .queue
+                .schedule(self.world.now, EventKind::Arrive { node, packet: pkt });
+        } else {
+            self.world.forward(self.node, pkt);
+        }
+    }
+
+    /// Schedule `token` to be handed back to this agent after `delay`.
+    ///
+    /// Timers cannot be cancelled; agents keep a generation counter in the
+    /// token and ignore stale generations.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.world.queue.schedule(
+            self.world.now + delay,
+            EventKind::AgentTimer {
+                agent: self.agent_id,
+                token,
+            },
+        );
+    }
+
+    /// Buffer occupancy of a link, for instrumentation agents.
+    pub fn link_queue_len(&self, link: LinkId) -> usize {
+        self.world.links[link.index()].queue_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::AckInfo;
+    use crate::queue::DropTail;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// Sends `count` data packets of `size` bytes back-to-back at start.
+    struct Blaster {
+        flow: FlowId,
+        dst_node: NodeId,
+        dst_agent: AgentId,
+        count: u64,
+        size: u32,
+    }
+
+    impl Agent for Blaster {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for seq in 0..self.count {
+                ctx.send(PacketSpec::data(
+                    self.flow,
+                    seq,
+                    self.size,
+                    self.dst_node,
+                    self.dst_agent,
+                ));
+            }
+        }
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+    }
+
+    /// Counts data deliveries and acks each one.
+    struct CountingSink {
+        received: Arc<AtomicU64>,
+        acks: bool,
+    }
+
+    impl Agent for CountingSink {
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+            if pkt.is_data() {
+                self.received.fetch_add(1, Ordering::Relaxed);
+                if self.acks {
+                    let info = AckInfo::cumulative(pkt.seq + 1, pkt.seq, pkt.sent_at);
+                    ctx.send(PacketSpec::ack_to(&pkt, 40, info));
+                }
+            }
+        }
+    }
+
+    /// Two nodes joined by a pair of links.
+    fn two_node_world(
+        rate_bps: f64,
+        delay: SimDuration,
+        qcap: usize,
+    ) -> (Simulator, NodeId, NodeId) {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let ab = sim.add_link(a, Link::new(b, rate_bps, delay, Box::new(DropTail::new(qcap))));
+        let ba = sim.add_link(b, Link::new(a, rate_bps, delay, Box::new(DropTail::new(qcap))));
+        sim.set_default_route(a, ab);
+        sim.set_default_route(b, ba);
+        (sim, a, b)
+    }
+
+    #[test]
+    fn packets_arrive_after_serialization_plus_propagation() {
+        // 1000 B at 8 Mb/s = 1 ms serialization; 10 ms propagation.
+        let (mut sim, a, b) = two_node_world(8e6, SimDuration::from_millis(10), 100);
+        let received = Arc::new(AtomicU64::new(0));
+        let sink = sim.add_agent(
+            b,
+            Box::new(CountingSink {
+                received: received.clone(),
+                acks: false,
+            }),
+        );
+        let flow = sim.new_flow();
+        sim.add_agent(
+            a,
+            Box::new(Blaster {
+                flow,
+                dst_node: b,
+                dst_agent: sink,
+                count: 1,
+                size: 1000,
+            }),
+        );
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(received.load(Ordering::Relaxed), 0, "too early");
+        sim.run_until(SimTime::from_millis(12));
+        assert_eq!(received.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn back_to_back_packets_serialize_sequentially() {
+        let (mut sim, a, b) = two_node_world(8e6, SimDuration::from_millis(1), 100);
+        let received = Arc::new(AtomicU64::new(0));
+        let sink = sim.add_agent(
+            b,
+            Box::new(CountingSink {
+                received: received.clone(),
+                acks: false,
+            }),
+        );
+        let flow = sim.new_flow();
+        sim.add_agent(
+            a,
+            Box::new(Blaster {
+                flow,
+                dst_node: b,
+                dst_agent: sink,
+                count: 10,
+                size: 1000,
+            }),
+        );
+        // Last packet finishes serializing at 10 ms, arrives at 11 ms.
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(received.load(Ordering::Relaxed), 9);
+        sim.run_until(SimTime::from_millis(11));
+        assert_eq!(received.load(Ordering::Relaxed), 10);
+        assert_eq!(sim.stats().flow(flow).unwrap().total_rx_packets, 10);
+    }
+
+    #[test]
+    fn queue_overflow_drops_are_counted() {
+        // Queue of 4: burst of 10 -> 1 in service + 4 queued, 5 dropped.
+        let (mut sim, a, b) = two_node_world(8e6, SimDuration::from_millis(1), 4);
+        let received = Arc::new(AtomicU64::new(0));
+        let sink = sim.add_agent(
+            b,
+            Box::new(CountingSink {
+                received: received.clone(),
+                acks: false,
+            }),
+        );
+        let flow = sim.new_flow();
+        sim.add_agent(
+            a,
+            Box::new(Blaster {
+                flow,
+                dst_node: b,
+                dst_agent: sink,
+                count: 10,
+                size: 1000,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(received.load(Ordering::Relaxed), 5);
+        let link = LinkId::from_index(0);
+        assert_eq!(sim.stats().link(link).unwrap().total_drops, 5);
+        assert_eq!(sim.stats().link(link).unwrap().total_arrivals, 10);
+    }
+
+    #[test]
+    fn acks_flow_back_and_are_not_counted_as_data() {
+        let (mut sim, a, b) = two_node_world(8e6, SimDuration::from_millis(1), 100);
+        let received = Arc::new(AtomicU64::new(0));
+        let sink = sim.add_agent(
+            b,
+            Box::new(CountingSink {
+                received: received.clone(),
+                acks: true,
+            }),
+        );
+        let flow = sim.new_flow();
+        sim.add_agent(
+            a,
+            Box::new(Blaster {
+                flow,
+                dst_node: b,
+                dst_agent: sink,
+                count: 3,
+                size: 1000,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        let f = sim.stats().flow(flow).unwrap();
+        // tx/rx statistics count data packets only.
+        assert_eq!(f.total_tx_bytes, 3000);
+        assert_eq!(f.total_rx_bytes, 3000);
+        assert_eq!(f.total_rx_packets, 3);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_runs() {
+        let run = |seed: u64| -> (u64, u64) {
+            let (mut sim, a, b) = two_node_world(8e6, SimDuration::from_millis(1), 4);
+            let received = Arc::new(AtomicU64::new(0));
+            let sink = sim.add_agent(
+                b,
+                Box::new(CountingSink {
+                    received: received.clone(),
+                    acks: true,
+                }),
+            );
+            let flow = sim.new_flow();
+            sim.add_agent(
+                a,
+                Box::new(Blaster {
+                    flow,
+                    dst_node: b,
+                    dst_agent: sink,
+                    count: 50,
+                    size: 500,
+                }),
+            );
+            let _ = seed;
+            sim.run_until(SimTime::from_secs(2));
+            let f = sim.stats().flow(flow).unwrap();
+            (f.total_rx_packets, f.total_rx_bytes)
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn timers_fire_in_order_with_tokens() {
+        struct TimerAgent {
+            fired: Arc<AtomicU64>,
+        }
+        impl Agent for TimerAgent {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_millis(20), 2);
+                ctx.set_timer(SimDuration::from_millis(10), 1);
+            }
+            fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+            fn on_timer(&mut self, token: u64, _ctx: &mut Ctx<'_>) {
+                // Tokens must arrive in time order: 1 then 2.
+                let prev = self.fired.fetch_add(1, Ordering::Relaxed);
+                assert_eq!(prev + 1, token);
+            }
+        }
+        let mut sim = Simulator::new(0);
+        let n = sim.add_node();
+        let fired = Arc::new(AtomicU64::new(0));
+        sim.add_agent(n, Box::new(TimerAgent { fired: fired.clone() }));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(fired.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_horizon() {
+        let mut sim = Simulator::new(0);
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn missing_route_panics() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let flow = sim.new_flow();
+        let sink_id = sim.reserve_agent(b);
+        sim.add_agent(
+            a,
+            Box::new(Blaster {
+                flow,
+                dst_node: b,
+                dst_agent: sink_id,
+                count: 1,
+                size: 100,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(1));
+    }
+}

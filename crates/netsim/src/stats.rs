@@ -1,0 +1,381 @@
+//! Time-binned statistics collected by the simulator.
+//!
+//! Everything the paper's metrics need is derivable from three streams of
+//! counters, recorded automatically for every flow and link:
+//!
+//! * per-flow transmitted bytes/packets (sending rate, smoothness),
+//! * per-flow delivered bytes/packets at the destination (throughput,
+//!   fairness, utilization),
+//! * per-link arrivals, drops and transmitted bytes at the buffer
+//!   (loss-rate series, stabilization metrics, utilization).
+//!
+//! Counters are accumulated into fixed-width time bins (default 10 ms) and
+//! re-aggregated into coarser windows on demand, so one simulation run can
+//! feed metrics that need different window sizes.
+
+use serde::Serialize;
+
+use crate::ids::{FlowId, LinkId};
+use crate::time::{SimDuration, SimTime};
+
+/// Per-flow counters.
+#[derive(Debug, Default, Clone, Serialize)]
+pub struct FlowStats {
+    /// Bytes handed to the network by the source, per bin.
+    pub tx_bytes: Vec<u64>,
+    /// Data bytes delivered to the destination agent, per bin.
+    pub rx_bytes: Vec<u64>,
+    /// Data packets delivered to the destination agent, per bin.
+    pub rx_packets: Vec<u64>,
+    /// Total bytes handed to the network by the source.
+    pub total_tx_bytes: u64,
+    /// Total data bytes delivered to the destination agent.
+    pub total_rx_bytes: u64,
+    /// Total data packets delivered to the destination agent.
+    pub total_rx_packets: u64,
+}
+
+/// Per-link counters, recorded at the link buffer.
+#[derive(Debug, Default, Clone, Serialize)]
+pub struct LinkStats {
+    /// Packets offered to the link (before loss patterns and queueing).
+    pub arrivals: Vec<u64>,
+    /// Packets dropped (scripted loss + queue drops), per bin.
+    pub drops: Vec<u64>,
+    /// Packets ECN-marked (scripted marking + RED-with-ECN), per bin.
+    pub marks: Vec<u64>,
+    /// Sum of the buffer occupancies observed by arriving packets, per
+    /// bin; divided by `arrivals` this gives the mean queue seen on
+    /// arrival (the queue-dynamics metric).
+    pub queue_sum: Vec<u64>,
+    /// Bytes that completed serialization, per bin.
+    pub tx_bytes: Vec<u64>,
+    /// Total packets offered to the link.
+    pub total_arrivals: u64,
+    /// Total packets dropped at the link.
+    pub total_drops: u64,
+    /// Total packets ECN-marked at the link.
+    pub total_marks: u64,
+    /// Total bytes that completed serialization.
+    pub total_tx_bytes: u64,
+}
+
+/// Statistics store. Owned by the simulator; read out after (or during)
+/// a run.
+#[derive(Debug)]
+pub struct Stats {
+    bin: SimDuration,
+    flows: Vec<FlowStats>,
+    links: Vec<LinkStats>,
+}
+
+fn bump(v: &mut Vec<u64>, ix: usize, amount: u64) {
+    if v.len() <= ix {
+        v.resize(ix + 1, 0);
+    }
+    v[ix] += amount;
+}
+
+impl Stats {
+    /// A store with the given bin width. Panics on a zero width, which
+    /// would make every event land in one bin.
+    pub fn new(bin: SimDuration) -> Self {
+        assert!(!bin.is_zero(), "stats bin width must be positive");
+        Stats {
+            bin,
+            flows: Vec::new(),
+            links: Vec::new(),
+        }
+    }
+
+    /// Width of the native bins.
+    pub fn bin_width(&self) -> SimDuration {
+        self.bin
+    }
+
+    fn bin_index(&self, t: SimTime) -> usize {
+        (t.as_nanos() / self.bin.as_nanos()) as usize
+    }
+
+    pub(crate) fn ensure_flow(&mut self, flow: FlowId) {
+        if self.flows.len() <= flow.index() {
+            self.flows.resize_with(flow.index() + 1, FlowStats::default);
+        }
+    }
+
+    pub(crate) fn ensure_link(&mut self, link: LinkId) {
+        if self.links.len() <= link.index() {
+            self.links.resize_with(link.index() + 1, LinkStats::default);
+        }
+    }
+
+    pub(crate) fn record_flow_tx(&mut self, flow: FlowId, now: SimTime, bytes: u32) {
+        let ix = self.bin_index(now);
+        self.ensure_flow(flow);
+        let f = &mut self.flows[flow.index()];
+        bump(&mut f.tx_bytes, ix, bytes as u64);
+        f.total_tx_bytes += bytes as u64;
+    }
+
+    pub(crate) fn record_flow_rx(&mut self, flow: FlowId, now: SimTime, bytes: u32) {
+        let ix = self.bin_index(now);
+        self.ensure_flow(flow);
+        let f = &mut self.flows[flow.index()];
+        bump(&mut f.rx_bytes, ix, bytes as u64);
+        bump(&mut f.rx_packets, ix, 1);
+        f.total_rx_bytes += bytes as u64;
+        f.total_rx_packets += 1;
+    }
+
+    pub(crate) fn record_link_arrival(
+        &mut self,
+        link: LinkId,
+        now: SimTime,
+        queue_len: usize,
+    ) {
+        let ix = self.bin_index(now);
+        self.ensure_link(link);
+        let l = &mut self.links[link.index()];
+        bump(&mut l.arrivals, ix, 1);
+        bump(&mut l.queue_sum, ix, queue_len as u64);
+        l.total_arrivals += 1;
+    }
+
+    /// Mean buffer occupancy seen by packets arriving at `link`, per
+    /// `window`-wide interval (zero where nothing arrived).
+    pub fn link_queue_series(
+        &self,
+        link: LinkId,
+        window: SimDuration,
+        until: SimTime,
+    ) -> Vec<f64> {
+        let Some(l) = self.link(link) else { return Vec::new() };
+        let n = until.as_nanos().div_ceil(window.as_nanos());
+        (0..n)
+            .map(|w| {
+                let from = SimTime::from_nanos(w * window.as_nanos());
+                let to = SimTime::from_nanos((w + 1) * window.as_nanos());
+                let arrivals = self.sum_window(&l.arrivals, from, to);
+                if arrivals == 0 {
+                    0.0
+                } else {
+                    self.sum_window(&l.queue_sum, from, to) as f64 / arrivals as f64
+                }
+            })
+            .collect()
+    }
+
+    pub(crate) fn record_link_drop(&mut self, link: LinkId, now: SimTime) {
+        let ix = self.bin_index(now);
+        self.ensure_link(link);
+        let l = &mut self.links[link.index()];
+        bump(&mut l.drops, ix, 1);
+        l.total_drops += 1;
+    }
+
+    pub(crate) fn record_link_mark(&mut self, link: LinkId, now: SimTime) {
+        let ix = self.bin_index(now);
+        self.ensure_link(link);
+        let l = &mut self.links[link.index()];
+        bump(&mut l.marks, ix, 1);
+        l.total_marks += 1;
+    }
+
+    pub(crate) fn record_link_tx(&mut self, link: LinkId, now: SimTime, bytes: u32) {
+        let ix = self.bin_index(now);
+        self.ensure_link(link);
+        let l = &mut self.links[link.index()];
+        bump(&mut l.tx_bytes, ix, bytes as u64);
+        l.total_tx_bytes += bytes as u64;
+    }
+
+    /// Raw per-flow counters, if the flow ever carried traffic.
+    pub fn flow(&self, flow: FlowId) -> Option<&FlowStats> {
+        self.flows.get(flow.index())
+    }
+
+    /// Raw per-link counters, if the link ever saw traffic.
+    pub fn link(&self, link: LinkId) -> Option<&LinkStats> {
+        self.links.get(link.index())
+    }
+
+    /// Sum a binned counter over the half-open interval `[from, to)`.
+    fn sum_window(&self, series: &[u64], from: SimTime, to: SimTime) -> u64 {
+        if to <= from {
+            return 0;
+        }
+        let lo = self.bin_index(from);
+        // `to` is exclusive; the bin containing `to - 1ns` is the last.
+        let hi = ((to.as_nanos() - 1) / self.bin.as_nanos()) as usize;
+        series
+            .iter()
+            .skip(lo)
+            .take(hi.saturating_sub(lo) + 1)
+            .sum()
+    }
+
+    /// Data bytes delivered on `flow` in `[from, to)`.
+    pub fn flow_rx_bytes_in(&self, flow: FlowId, from: SimTime, to: SimTime) -> u64 {
+        self.flow(flow)
+            .map_or(0, |f| self.sum_window(&f.rx_bytes, from, to))
+    }
+
+    /// Bytes the source of `flow` transmitted in `[from, to)`.
+    pub fn flow_tx_bytes_in(&self, flow: FlowId, from: SimTime, to: SimTime) -> u64 {
+        self.flow(flow)
+            .map_or(0, |f| self.sum_window(&f.tx_bytes, from, to))
+    }
+
+    /// Average delivered throughput of `flow` over `[from, to)` in bits/s.
+    pub fn flow_throughput_bps(&self, flow: FlowId, from: SimTime, to: SimTime) -> f64 {
+        let secs = to.saturating_since(from).as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.flow_rx_bytes_in(flow, from, to) as f64 * 8.0 / secs
+    }
+
+    /// Delivered throughput of `flow` re-binned into windows of `window`
+    /// width starting at time zero, in bits/s per window.
+    pub fn flow_rate_series_bps(&self, flow: FlowId, window: SimDuration, until: SimTime) -> Vec<f64> {
+        self.rate_series(
+            self.flow(flow).map(|f| f.rx_bytes.as_slice()).unwrap_or(&[]),
+            window,
+            until,
+        )
+    }
+
+    /// Source sending rate of `flow` re-binned into `window`-wide windows,
+    /// in bits/s per window.
+    pub fn flow_tx_rate_series_bps(&self, flow: FlowId, window: SimDuration, until: SimTime) -> Vec<f64> {
+        self.rate_series(
+            self.flow(flow).map(|f| f.tx_bytes.as_slice()).unwrap_or(&[]),
+            window,
+            until,
+        )
+    }
+
+    fn rate_series(&self, bytes: &[u64], window: SimDuration, until: SimTime) -> Vec<f64> {
+        assert!(window.as_nanos() >= self.bin.as_nanos(), "window narrower than stats bin");
+        let n = until.as_nanos().div_ceil(window.as_nanos());
+        let secs = window.as_secs_f64();
+        (0..n)
+            .map(|w| {
+                let from = SimTime::from_nanos(w * window.as_nanos());
+                let to = SimTime::from_nanos((w + 1) * window.as_nanos());
+                self.sum_window(bytes, from, to) as f64 * 8.0 / secs
+            })
+            .collect()
+    }
+
+    /// Packet drop fraction at `link` over `[from, to)`:
+    /// drops / arrivals, or zero when nothing arrived.
+    pub fn link_loss_fraction_in(&self, link: LinkId, from: SimTime, to: SimTime) -> f64 {
+        let Some(l) = self.link(link) else { return 0.0 };
+        let arrivals = self.sum_window(&l.arrivals, from, to);
+        if arrivals == 0 {
+            return 0.0;
+        }
+        let drops = self.sum_window(&l.drops, from, to);
+        drops as f64 / arrivals as f64
+    }
+
+    /// Loss-fraction time series at `link` in windows of `window` width.
+    pub fn link_loss_series(&self, link: LinkId, window: SimDuration, until: SimTime) -> Vec<f64> {
+        let n = until.as_nanos().div_ceil(window.as_nanos());
+        (0..n)
+            .map(|w| {
+                let from = SimTime::from_nanos(w * window.as_nanos());
+                let to = SimTime::from_nanos((w + 1) * window.as_nanos());
+                self.link_loss_fraction_in(link, from, to)
+            })
+            .collect()
+    }
+
+    /// Bytes that completed serialization on `link` over `[from, to)`.
+    pub fn link_tx_bytes_in(&self, link: LinkId, from: SimTime, to: SimTime) -> u64 {
+        self.link(link)
+            .map_or(0, |l| self.sum_window(&l.tx_bytes, from, to))
+    }
+
+    /// Utilization of `link` over `[from, to)` against a nominal rate.
+    pub fn link_utilization_in(
+        &self,
+        link: LinkId,
+        from: SimTime,
+        to: SimTime,
+        rate_bps: f64,
+    ) -> f64 {
+        let secs = to.saturating_since(from).as_secs_f64();
+        if secs <= 0.0 || rate_bps <= 0.0 {
+            return 0.0;
+        }
+        (self.link_tx_bytes_in(link, from, to) as f64 * 8.0) / (rate_bps * secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn flow_counters_aggregate_by_window() {
+        let mut s = Stats::new(SimDuration::from_millis(10));
+        let f = FlowId::from_index(0);
+        s.record_flow_rx(f, t(5), 1000);
+        s.record_flow_rx(f, t(15), 1000);
+        s.record_flow_rx(f, t(95), 500);
+        assert_eq!(s.flow_rx_bytes_in(f, t(0), t(20)), 2000);
+        assert_eq!(s.flow_rx_bytes_in(f, t(0), t(100)), 2500);
+        assert_eq!(s.flow_rx_bytes_in(f, t(20), t(90)), 0);
+        // 2500 bytes over 0.1 s = 200 kbit/s.
+        assert!((s.flow_throughput_bps(f, t(0), t(100)) - 200_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_windows_are_zero() {
+        let s = Stats::new(SimDuration::from_millis(10));
+        let f = FlowId::from_index(3);
+        assert_eq!(s.flow_rx_bytes_in(f, t(0), t(100)), 0);
+        assert_eq!(s.flow_throughput_bps(f, t(10), t(10)), 0.0);
+    }
+
+    #[test]
+    fn loss_fraction_counts_drops_over_arrivals() {
+        let mut s = Stats::new(SimDuration::from_millis(10));
+        let l = LinkId::from_index(0);
+        for i in 0..10 {
+            s.record_link_arrival(l, t(i), 0);
+        }
+        s.record_link_drop(l, t(3));
+        s.record_link_drop(l, t(4));
+        assert!((s.link_loss_fraction_in(l, t(0), t(10)) - 0.2).abs() < 1e-12);
+        assert_eq!(s.link_loss_fraction_in(l, t(100), t(200)), 0.0);
+    }
+
+    #[test]
+    fn rate_series_covers_the_whole_horizon() {
+        let mut s = Stats::new(SimDuration::from_millis(10));
+        let f = FlowId::from_index(0);
+        s.record_flow_rx(f, t(5), 125); // 125 B in first 100 ms window -> 10 kbit/s
+        s.record_flow_rx(f, t(150), 250);
+        let series = s.flow_rate_series_bps(f, SimDuration::from_millis(100), t(200));
+        assert_eq!(series.len(), 2);
+        assert!((series[0] - 10_000.0).abs() < 1e-6);
+        assert!((series[1] - 20_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn utilization_against_nominal_rate() {
+        let mut s = Stats::new(SimDuration::from_millis(10));
+        let l = LinkId::from_index(1);
+        // 125_000 bytes in 1 second = 1 Mbit/s.
+        s.record_link_tx(l, t(500), 125_000);
+        let u = s.link_utilization_in(l, t(0), SimTime::from_secs(1), 2e6);
+        assert!((u - 0.5).abs() < 1e-9);
+    }
+}

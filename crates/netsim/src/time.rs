@@ -1,0 +1,299 @@
+//! Simulation clock types.
+//!
+//! Simulated time is an integer count of nanoseconds since the start of the
+//! simulation. Using an integer (rather than `f64` seconds) keeps event
+//! ordering exact and makes runs bit-for-bit reproducible: two events
+//! scheduled from different code paths at "the same time" compare equal
+//! instead of differing in the last ulp.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+/// An instant on the simulation clock, in nanoseconds since time zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+/// Nanoseconds per second.
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from whole nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * NANOS_PER_SEC)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest nanosecond.
+    ///
+    /// Negative or non-finite inputs saturate to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime(secs_to_nanos(s))
+    }
+
+    /// Nanoseconds since time zero.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since time zero, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Duration elapsed since `earlier`, saturating to zero if `earlier`
+    /// is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked difference between two instants.
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from whole nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * NANOS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest
+    /// nanosecond. Negative or non-finite inputs saturate to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimDuration(secs_to_nanos(s))
+    }
+
+    /// Nanoseconds in this span.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds in this span, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// True if this span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiply by an integer factor.
+    pub const fn saturating_mul(self, k: u64) -> Self {
+        SimDuration(self.0.saturating_mul(k))
+    }
+
+    /// The larger of two spans.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+
+    /// The smaller of two spans.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+}
+
+fn secs_to_nanos(s: f64) -> u64 {
+    if !s.is_finite() || s <= 0.0 {
+        return 0;
+    }
+    let ns = s * NANOS_PER_SEC as f64;
+    if ns >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        ns.round() as u64
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Div for SimDuration {
+    /// Ratio of two spans, as a float.
+    type Output = f64;
+    fn div(self, rhs: SimDuration) -> f64 {
+        self.0 as f64 / rhs.0 as f64
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// Time taken to serialize `bytes` onto a link of `rate_bps` bits/second.
+///
+/// Rounds up to the nearest nanosecond so back-to-back transmissions never
+/// overlap. A zero or negative rate yields a zero duration (an "infinitely
+/// fast" link), which keeps degenerate configurations safe.
+pub fn transmission_time(bytes: u32, rate_bps: f64) -> SimDuration {
+    if rate_bps <= 0.0 {
+        return SimDuration::ZERO;
+    }
+    let secs = (bytes as f64 * 8.0) / rate_bps;
+    SimDuration::from_nanos((secs * NANOS_PER_SEC as f64).ceil() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_secs() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturating_arithmetic() {
+        let t = SimTime::from_secs(1);
+        assert_eq!(
+            t.saturating_since(SimTime::from_secs(2)),
+            SimDuration::ZERO
+        );
+        assert_eq!(t - SimDuration::from_secs(5), SimTime::ZERO);
+        assert_eq!(t.checked_since(SimTime::from_secs(2)), None);
+        assert_eq!(
+            SimTime::from_secs(2).checked_since(t),
+            Some(SimDuration::from_secs(1))
+        );
+    }
+
+    #[test]
+    fn negative_and_nan_floats_saturate_to_zero() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn transmission_time_examples() {
+        // 1000 bytes at 8 Mb/s is exactly 1 ms.
+        assert_eq!(
+            transmission_time(1000, 8e6),
+            SimDuration::from_millis(1)
+        );
+        // Zero-rate links serialize instantly rather than dividing by zero.
+        assert_eq!(transmission_time(1000, 0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_ratio() {
+        let a = SimDuration::from_secs(3);
+        let b = SimDuration::from_secs(2);
+        assert!((a / b - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_is_total_and_exact() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(11);
+        assert!(a < b);
+        assert_eq!(a + SimDuration::from_nanos(1), b);
+    }
+}

@@ -1,0 +1,571 @@
+//! Topology builders.
+//!
+//! All of the paper's experiments use a single-bottleneck "dumbbell":
+//! hosts on the left send through `left router -> right router` to hosts
+//! on the right, ACKs and reverse-path data share the mirror link. Access
+//! links are fast and short so the shared link is the only bottleneck.
+//!
+//! ```text
+//!  s0 ─┐                      ┌─ d0
+//!  s1 ─┤ ... ── R1 ═════ R2 ──┤ ...
+//!  sN ─┘    (bottleneck, RED) └─ dN
+//! ```
+
+use crate::ids::{LinkId, NodeId};
+use crate::link::{Link, LossPattern, MarkPattern};
+use crate::queue::{DropTail, QueueDiscipline, Red, RedConfig};
+use crate::sim::Simulator;
+use crate::time::{transmission_time, SimDuration};
+
+/// Buffer discipline to install at the bottleneck.
+#[derive(Debug, Clone, Copy)]
+pub enum QueueKind {
+    /// RED with the paper's Section 3 sizing: capacity 2.5x BDP,
+    /// thresholds 0.25x / 1.25x BDP, ns-2 default weight and max_p.
+    PaperRed,
+    /// RED with explicit parameters.
+    Red(RedConfig),
+    /// FIFO with a hard limit in packets.
+    DropTail(usize),
+}
+
+/// Parameters of a dumbbell topology.
+#[derive(Debug, Clone, Copy)]
+pub struct DumbbellConfig {
+    /// Bottleneck rate in bits per second.
+    pub bottleneck_bps: f64,
+    /// One-way bottleneck propagation delay.
+    pub bottleneck_delay: SimDuration,
+    /// Access link rate in bits per second (both sides).
+    pub access_bps: f64,
+    /// One-way access link propagation delay.
+    pub access_delay: SimDuration,
+    /// Packet size used to size RED thresholds (bytes).
+    pub pkt_size: u32,
+    /// Bottleneck buffer discipline.
+    pub queue: QueueKind,
+}
+
+impl DumbbellConfig {
+    /// The paper's standard scenario: ~50 ms RTT (1 ms access + 23 ms
+    /// bottleneck each way), fast access links, 1000-byte packets, RED
+    /// sized per Section 3.
+    pub fn paper(bottleneck_bps: f64) -> Self {
+        DumbbellConfig {
+            bottleneck_bps,
+            bottleneck_delay: SimDuration::from_millis(23),
+            access_bps: 1e9,
+            access_delay: SimDuration::from_millis(1),
+            pkt_size: 1000,
+            queue: QueueKind::PaperRed,
+        }
+    }
+
+    /// Round-trip propagation delay of the configured path (no queueing).
+    pub fn base_rtt(&self) -> SimDuration {
+        (self.access_delay + self.bottleneck_delay + self.access_delay) * 2
+    }
+
+    /// Bandwidth-delay product of the bottleneck in packets.
+    pub fn bdp_packets(&self) -> f64 {
+        self.bottleneck_bps * self.base_rtt().as_secs_f64() / (8.0 * self.pkt_size as f64)
+    }
+
+    fn make_bottleneck_queue(&self) -> Box<dyn QueueDiscipline> {
+        match self.queue {
+            QueueKind::PaperRed => {
+                let mean_pkt = transmission_time(self.pkt_size, self.bottleneck_bps);
+                Box::new(Red::new(RedConfig::paper_defaults(
+                    self.bdp_packets(),
+                    mean_pkt,
+                )))
+            }
+            QueueKind::Red(cfg) => Box::new(Red::new(cfg)),
+            QueueKind::DropTail(cap) => Box::new(DropTail::new(cap)),
+        }
+    }
+}
+
+/// A built dumbbell: the two routers and the shared links.
+#[derive(Debug)]
+pub struct Dumbbell {
+    /// Router on the senders' side.
+    pub left_router: NodeId,
+    /// Router on the receivers' side.
+    pub right_router: NodeId,
+    /// Bottleneck link left -> right (the congested direction in all the
+    /// paper's scenarios).
+    pub forward: LinkId,
+    /// Bottleneck link right -> left (carries ACKs and reverse traffic).
+    pub reverse: LinkId,
+    cfg: DumbbellConfig,
+}
+
+/// A pair of end hosts, one on each side of the bottleneck.
+#[derive(Debug, Clone, Copy)]
+pub struct HostPair {
+    /// Host on the senders' side.
+    pub left: NodeId,
+    /// Host on the receivers' side.
+    pub right: NodeId,
+}
+
+impl Dumbbell {
+    /// Build the routers and bottleneck links inside `sim`.
+    pub fn build(sim: &mut Simulator, cfg: DumbbellConfig) -> Self {
+        Self::build_with_loss(sim, cfg, None)
+    }
+
+    /// Build with a scripted loss pattern attached to the forward
+    /// bottleneck link (used by the smoothness experiments).
+    pub fn build_with_loss(
+        sim: &mut Simulator,
+        cfg: DumbbellConfig,
+        forward_loss: Option<Box<dyn LossPattern>>,
+    ) -> Self {
+        Self::build_full(sim, cfg, forward_loss, None)
+    }
+
+    /// Build with an ECN marking pattern attached to the forward
+    /// bottleneck link (used by the marking-model validations).
+    pub fn build_with_marker(
+        sim: &mut Simulator,
+        cfg: DumbbellConfig,
+        forward_marker: Box<dyn MarkPattern>,
+    ) -> Self {
+        Self::build_full(sim, cfg, None, Some(forward_marker))
+    }
+
+    fn build_full(
+        sim: &mut Simulator,
+        cfg: DumbbellConfig,
+        forward_loss: Option<Box<dyn LossPattern>>,
+        forward_marker: Option<Box<dyn MarkPattern>>,
+    ) -> Self {
+        let left_router = sim.add_node();
+        let right_router = sim.add_node();
+        let mut fwd_link = Link::new(
+            right_router,
+            cfg.bottleneck_bps,
+            cfg.bottleneck_delay,
+            cfg.make_bottleneck_queue(),
+        );
+        if let Some(loss) = forward_loss {
+            fwd_link = fwd_link.with_loss(loss);
+        }
+        if let Some(marker) = forward_marker {
+            fwd_link = fwd_link.with_marker(marker);
+        }
+        let forward = sim.add_link(left_router, fwd_link);
+        let reverse = sim.add_link(
+            right_router,
+            Link::new(
+                left_router,
+                cfg.bottleneck_bps,
+                cfg.bottleneck_delay,
+                cfg.make_bottleneck_queue(),
+            ),
+        );
+        // Routers default-route across the bottleneck; host-specific
+        // routes are added as host pairs are created.
+        sim.set_default_route(left_router, forward);
+        sim.set_default_route(right_router, reverse);
+        Dumbbell {
+            left_router,
+            right_router,
+            forward,
+            reverse,
+            cfg,
+        }
+    }
+
+    /// Topology parameters this dumbbell was built with.
+    pub fn config(&self) -> &DumbbellConfig {
+        &self.cfg
+    }
+
+    /// Bandwidth-delay product of the bottleneck in packets.
+    pub fn bdp_packets(&self) -> f64 {
+        self.cfg.bdp_packets()
+    }
+
+    /// Round-trip propagation delay between a host pair.
+    pub fn base_rtt(&self) -> SimDuration {
+        self.cfg.base_rtt()
+    }
+
+    /// Add a host on each side, wired to its router with access links.
+    ///
+    /// Access buffers are sized generously (4x the bottleneck BDP) so the
+    /// shared link is the only loss point unless a loss script says
+    /// otherwise.
+    pub fn add_host_pair(&self, sim: &mut Simulator) -> HostPair {
+        self.add_host_pair_with_delay(sim, self.cfg.access_delay)
+    }
+
+    /// Add a host pair whose access links have a custom one-way delay,
+    /// for heterogeneous-RTT scenarios (the flow's RTT becomes
+    /// `2*(2*access_delay + bottleneck_delay)`).
+    pub fn add_host_pair_with_delay(
+        &self,
+        sim: &mut Simulator,
+        access_delay: SimDuration,
+    ) -> HostPair {
+        let access_buf = (4.0 * self.cfg.bdp_packets()).ceil().max(64.0) as usize;
+        let left = sim.add_node();
+        let right = sim.add_node();
+
+        let l_up = sim.add_link(
+            left,
+            Link::new(
+                self.left_router,
+                self.cfg.access_bps,
+                access_delay,
+                Box::new(DropTail::new(access_buf)),
+            ),
+        );
+        let l_down = sim.add_link(
+            self.left_router,
+            Link::new(
+                left,
+                self.cfg.access_bps,
+                access_delay,
+                Box::new(DropTail::new(access_buf)),
+            ),
+        );
+        let r_up = sim.add_link(
+            right,
+            Link::new(
+                self.right_router,
+                self.cfg.access_bps,
+                access_delay,
+                Box::new(DropTail::new(access_buf)),
+            ),
+        );
+        let r_down = sim.add_link(
+            self.right_router,
+            Link::new(
+                right,
+                self.cfg.access_bps,
+                access_delay,
+                Box::new(DropTail::new(access_buf)),
+            ),
+        );
+
+        // Stub hosts default-route to their router.
+        sim.set_default_route(left, l_up);
+        sim.set_default_route(right, r_up);
+        // Routers learn host-specific routes.
+        sim.add_route(self.left_router, left, l_down);
+        sim.add_route(self.right_router, right, r_down);
+
+        HostPair { left, right }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{AgentId, FlowId};
+    use crate::packet::{Packet, PacketSpec};
+    use crate::sim::{Agent, Ctx};
+    use crate::time::SimTime;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn paper_config_has_50ms_rtt() {
+        let cfg = DumbbellConfig::paper(10e6);
+        assert_eq!(cfg.base_rtt(), SimDuration::from_millis(50));
+        // 10 Mb/s * 50 ms / (8 * 1000 B) = 62.5 packets.
+        assert!((cfg.bdp_packets() - 62.5).abs() < 1e-9);
+    }
+
+    struct Sender {
+        flow: FlowId,
+        dst_node: NodeId,
+        dst_agent: AgentId,
+    }
+    impl Agent for Sender {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.send(PacketSpec::data(self.flow, 0, 1000, self.dst_node, self.dst_agent));
+        }
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+    }
+    struct Echo {
+        got: Arc<AtomicU64>,
+    }
+    impl Agent for Echo {
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+            self.got.fetch_add(1, Ordering::Relaxed);
+            // Bounce a data packet back so the reverse path is exercised.
+            ctx.send(PacketSpec::data(
+                pkt.flow,
+                pkt.seq,
+                pkt.size,
+                pkt.src_node,
+                pkt.src_agent,
+            ));
+        }
+    }
+
+    #[test]
+    fn packets_cross_the_dumbbell_both_ways() {
+        let mut sim = Simulator::new(3);
+        let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
+        let pair = db.add_host_pair(&mut sim);
+        let got = Arc::new(AtomicU64::new(0));
+        let echo = sim.add_agent(pair.right, Box::new(Echo { got: got.clone() }));
+        let flow = sim.new_flow();
+        let back = Arc::new(AtomicU64::new(0));
+        struct Counter {
+            flow: FlowId,
+            dst_node: NodeId,
+            dst_agent: AgentId,
+            back: Arc<AtomicU64>,
+        }
+        impl Agent for Counter {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.send(PacketSpec::data(self.flow, 0, 1000, self.dst_node, self.dst_agent));
+            }
+            fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {
+                self.back.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        sim.add_agent(
+            pair.left,
+            Box::new(Counter {
+                flow,
+                dst_node: pair.right,
+                dst_agent: echo,
+                back: back.clone(),
+            }),
+        );
+        sim.run_until(SimTime::from_millis(200));
+        assert_eq!(got.load(Ordering::Relaxed), 1);
+        assert_eq!(back.load(Ordering::Relaxed), 1);
+        let _ = Sender {
+            flow,
+            dst_node: pair.right,
+            dst_agent: echo,
+        };
+    }
+
+    #[test]
+    fn multiple_host_pairs_share_the_bottleneck() {
+        let mut sim = Simulator::new(3);
+        let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
+        let p1 = db.add_host_pair(&mut sim);
+        let p2 = db.add_host_pair(&mut sim);
+        assert_ne!(p1.left, p2.left);
+        assert_ne!(p1.right, p2.right);
+
+        let got = Arc::new(AtomicU64::new(0));
+        let e1 = sim.add_agent(p1.right, Box::new(Echo { got: got.clone() }));
+        let e2 = sim.add_agent(p2.right, Box::new(Echo { got: got.clone() }));
+        let f1 = sim.new_flow();
+        let f2 = sim.new_flow();
+        sim.add_agent(p1.left, Box::new(Sender { flow: f1, dst_node: p1.right, dst_agent: e1 }));
+        sim.add_agent(p2.left, Box::new(Sender { flow: f2, dst_node: p2.right, dst_agent: e2 }));
+        sim.run_until(SimTime::from_millis(200));
+        assert_eq!(got.load(Ordering::Relaxed), 2);
+        // Both flows crossed the same forward bottleneck.
+        assert!(sim.stats().link(db.forward).unwrap().total_arrivals >= 2);
+    }
+}
+
+/// A "parking lot": a chain of routers with a congested link between each
+/// consecutive pair. Long flows traverse many congested hops; cross
+/// traffic loads individual hops — the classic topology for studying
+/// multi-hop (in)equity, which the paper's introduction explicitly
+/// excludes from TCP's equitability guarantee.
+///
+/// ```text
+///          hop 0        hop 1        hop 2
+///   R0 ═══════════ R1 ═══════════ R2 ═══════════ R3
+///   │              │              │              │
+///  hosts          hosts          hosts          hosts
+/// ```
+#[derive(Debug)]
+pub struct ParkingLot {
+    routers: Vec<NodeId>,
+    /// Congested links in the forward direction; `forward[i]` connects
+    /// router `i` to router `i + 1`.
+    pub forward: Vec<LinkId>,
+    /// The mirror links; `reverse[i]` connects router `i + 1` to
+    /// router `i`.
+    pub reverse: Vec<LinkId>,
+    cfg: DumbbellConfig,
+}
+
+impl ParkingLot {
+    /// Build a chain with `hops` congested links (so `hops + 1` routers),
+    /// each hop configured like the dumbbell bottleneck in `cfg`.
+    pub fn build(sim: &mut Simulator, cfg: DumbbellConfig, hops: usize) -> Self {
+        assert!(hops >= 1, "a parking lot needs at least one hop");
+        let routers: Vec<NodeId> = (0..=hops).map(|_| sim.add_node()).collect();
+        let mut forward = Vec::with_capacity(hops);
+        let mut reverse = Vec::with_capacity(hops);
+        for i in 0..hops {
+            let f = sim.add_link(
+                routers[i],
+                Link::new(
+                    routers[i + 1],
+                    cfg.bottleneck_bps,
+                    cfg.bottleneck_delay,
+                    cfg.make_bottleneck_queue(),
+                ),
+            );
+            let r = sim.add_link(
+                routers[i + 1],
+                Link::new(
+                    routers[i],
+                    cfg.bottleneck_bps,
+                    cfg.bottleneck_delay,
+                    cfg.make_bottleneck_queue(),
+                ),
+            );
+            forward.push(f);
+            reverse.push(r);
+        }
+        ParkingLot {
+            routers,
+            forward,
+            reverse,
+            cfg,
+        }
+    }
+
+    /// Number of congested hops.
+    pub fn hops(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// The router at position `ix` in the chain.
+    pub fn router(&self, ix: usize) -> NodeId {
+        self.routers[ix]
+    }
+
+    /// Topology parameters.
+    pub fn config(&self) -> &DumbbellConfig {
+        &self.cfg
+    }
+
+    /// Add a host pair whose traffic enters the chain at router `from`
+    /// and leaves at router `to` (`from < to`), traversing hops
+    /// `from..to`. Returns the pair; per-destination routes are installed
+    /// along the chain in both directions.
+    pub fn add_host_pair(&self, sim: &mut Simulator, from: usize, to: usize) -> HostPair {
+        assert!(
+            from < to && to < self.routers.len(),
+            "need from < to <= hops (got {from}..{to} with {} hops)",
+            self.hops()
+        );
+        let access_buf = (4.0 * self.cfg.bdp_packets()).ceil().max(64.0) as usize;
+        let left = sim.add_node();
+        let right = sim.add_node();
+        let mk_access = |dst: NodeId| {
+            Link::new(
+                dst,
+                self.cfg.access_bps,
+                self.cfg.access_delay,
+                Box::new(DropTail::new(access_buf)),
+            )
+        };
+        let l_up = sim.add_link(left, mk_access(self.routers[from]));
+        let l_down = sim.add_link(self.routers[from], mk_access(left));
+        let r_up = sim.add_link(right, mk_access(self.routers[to]));
+        let r_down = sim.add_link(self.routers[to], mk_access(right));
+        sim.set_default_route(left, l_up);
+        sim.set_default_route(right, r_up);
+        // Forward path: routers from..to-1 forward toward the right host;
+        // router `to` hands it down the access link.
+        for i in from..to {
+            sim.add_route(self.routers[i], right, self.forward[i]);
+        }
+        sim.add_route(self.routers[to], right, r_down);
+        // Reverse path symmetrically.
+        for i in from..to {
+            sim.add_route(self.routers[i + 1], left, self.reverse[i]);
+        }
+        sim.add_route(self.routers[from], left, l_down);
+        HostPair { left, right }
+    }
+}
+
+#[cfg(test)]
+mod parking_lot_tests {
+    use super::*;
+    use crate::ids::{AgentId, FlowId};
+    use crate::packet::{Packet, PacketSpec};
+    use crate::sim::{Agent, Ctx};
+    use crate::time::SimTime;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    struct Probe {
+        flow: FlowId,
+        dst_node: NodeId,
+        dst_agent: AgentId,
+        echoed: Arc<AtomicU64>,
+    }
+    impl Agent for Probe {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.send(PacketSpec::data(self.flow, 0, 1000, self.dst_node, self.dst_agent));
+        }
+        fn on_packet(&mut self, _p: Packet, _c: &mut Ctx<'_>) {
+            self.echoed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    struct Echo;
+    impl Agent for Echo {
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+            ctx.send(PacketSpec::data(
+                pkt.flow,
+                pkt.seq,
+                100,
+                pkt.src_node,
+                pkt.src_agent,
+            ));
+        }
+    }
+
+    #[test]
+    fn long_and_cross_paths_route_end_to_end() {
+        let mut sim = Simulator::new(0);
+        let lot = ParkingLot::build(&mut sim, DumbbellConfig::paper(10e6), 3);
+        // A long pair over all three hops and a cross pair on hop 1.
+        let long = lot.add_host_pair(&mut sim, 0, 3);
+        let cross = lot.add_host_pair(&mut sim, 1, 2);
+
+        let echoed = Arc::new(AtomicU64::new(0));
+        for pair in [long, cross] {
+            let e = sim.add_agent(pair.right, Box::new(Echo));
+            let flow = sim.new_flow();
+            sim.add_agent(
+                pair.left,
+                Box::new(Probe {
+                    flow,
+                    dst_node: pair.right,
+                    dst_agent: e,
+                    echoed: echoed.clone(),
+                }),
+            );
+        }
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(echoed.load(Ordering::Relaxed), 2, "both round trips completed");
+        // The long flow's packet crossed every hop; the cross flow's only
+        // hop 1.
+        assert_eq!(sim.stats().link(lot.forward[0]).unwrap().total_arrivals, 1);
+        assert_eq!(sim.stats().link(lot.forward[1]).unwrap().total_arrivals, 2);
+        assert_eq!(sim.stats().link(lot.forward[2]).unwrap().total_arrivals, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "from < to")]
+    fn invalid_span_is_rejected() {
+        let mut sim = Simulator::new(0);
+        let lot = ParkingLot::build(&mut sim, DumbbellConfig::paper(10e6), 2);
+        lot.add_host_pair(&mut sim, 2, 1);
+    }
+}

@@ -1,0 +1,527 @@
+//! Constant-bit-rate sources with time-varying schedules.
+//!
+//! The paper's dynamic scenarios are driven by an unresponsive CBR source
+//! whose sending rate follows a schedule: the ON/OFF "square wave" of
+//! Figure 2, sawtooth and reverse-sawtooth ramps (Section 4.2.1), and
+//! one-off scripts such as Figure 3's "on at 0, off at 150 s, on again at
+//! 180 s". The source is an open loop: it never reacts to loss.
+
+use slowcc_netsim::ids::FlowId;
+use slowcc_netsim::packet::{Packet, PacketSpec};
+use slowcc_netsim::sim::{Agent, Ctx, Simulator};
+use slowcc_netsim::time::{SimDuration, SimTime};
+use slowcc_netsim::topology::HostPair;
+
+use slowcc_core::agent::{install_flow, FlowHandle};
+
+/// A piecewise rate schedule, in bits per second.
+#[derive(Debug, Clone)]
+pub enum RateSchedule {
+    /// A fixed rate forever.
+    Constant(f64),
+    /// Equal ON and OFF periods: `rate` for `half_period`, then silent
+    /// for `half_period`, repeating (Figure 2). Starts ON.
+    SquareWave {
+        /// Rate while ON.
+        rate_bps: f64,
+        /// Length of one ON (and one OFF) period.
+        half_period: SimDuration,
+    },
+    /// ON for `on`, OFF for `off`, repeating; starts ON.
+    OnOff {
+        /// Rate while ON.
+        rate_bps: f64,
+        /// ON duration.
+        on: SimDuration,
+        /// OFF duration.
+        off: SimDuration,
+    },
+    /// Rate ramps linearly from 0 to `peak_bps` over the period, then
+    /// drops abruptly to OFF for `off` (the paper's "sawtooth").
+    Sawtooth {
+        /// Peak rate reached at the end of the ramp.
+        peak_bps: f64,
+        /// Ramp duration.
+        ramp: SimDuration,
+        /// OFF duration after the ramp.
+        off: SimDuration,
+    },
+    /// Rate jumps abruptly to `peak_bps` and decays linearly to zero
+    /// over the period ("reverse sawtooth").
+    ReverseSawtooth {
+        /// Peak rate at the start of each period.
+        peak_bps: f64,
+        /// Decay duration.
+        ramp: SimDuration,
+        /// OFF duration after the decay.
+        off: SimDuration,
+    },
+    /// Piecewise-constant script: `(from_time, rate)` pairs in ascending
+    /// time order; the rate before the first entry is zero.
+    Script(Vec<(SimTime, f64)>),
+}
+
+impl RateSchedule {
+    /// The rate at time `t`, in bits per second.
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        match self {
+            RateSchedule::Constant(r) => *r,
+            RateSchedule::SquareWave {
+                rate_bps,
+                half_period,
+            } => {
+                let cycle = half_period.as_nanos() * 2;
+                if cycle == 0 {
+                    return *rate_bps;
+                }
+                if t.as_nanos() % cycle < half_period.as_nanos() {
+                    *rate_bps
+                } else {
+                    0.0
+                }
+            }
+            RateSchedule::OnOff { rate_bps, on, off } => {
+                let cycle = on.as_nanos() + off.as_nanos();
+                if cycle == 0 {
+                    return *rate_bps;
+                }
+                if t.as_nanos() % cycle < on.as_nanos() {
+                    *rate_bps
+                } else {
+                    0.0
+                }
+            }
+            RateSchedule::Sawtooth {
+                peak_bps,
+                ramp,
+                off,
+            } => {
+                let cycle = ramp.as_nanos() + off.as_nanos();
+                if cycle == 0 {
+                    return 0.0;
+                }
+                let pos = t.as_nanos() % cycle;
+                if pos < ramp.as_nanos() {
+                    peak_bps * pos as f64 / ramp.as_nanos() as f64
+                } else {
+                    0.0
+                }
+            }
+            RateSchedule::ReverseSawtooth {
+                peak_bps,
+                ramp,
+                off,
+            } => {
+                let cycle = ramp.as_nanos() + off.as_nanos();
+                if cycle == 0 {
+                    return 0.0;
+                }
+                let pos = t.as_nanos() % cycle;
+                if pos < ramp.as_nanos() {
+                    peak_bps * (1.0 - pos as f64 / ramp.as_nanos() as f64)
+                } else {
+                    0.0
+                }
+            }
+            RateSchedule::Script(points) => {
+                let mut rate = 0.0;
+                for (from, r) in points {
+                    if t >= *from {
+                        rate = *r;
+                    } else {
+                        break;
+                    }
+                }
+                rate
+            }
+        }
+    }
+
+    /// Figure 3's scenario: rate `r` from 0 to 150 s, silent until
+    /// 180 s, then `r` again.
+    pub fn figure3(rate_bps: f64) -> Self {
+        RateSchedule::Script(vec![
+            (SimTime::ZERO, rate_bps),
+            (SimTime::from_secs(150), 0.0),
+            (SimTime::from_secs(180), rate_bps),
+        ])
+    }
+}
+
+/// The CBR source agent: paces `pkt_size`-byte packets at the scheduled
+/// rate, polling the schedule while OFF so transitions are picked up
+/// within `poll` (default 10 ms).
+pub struct CbrSource {
+    flow: FlowId,
+    dst_node: slowcc_netsim::ids::NodeId,
+    dst_agent: slowcc_netsim::ids::AgentId,
+    schedule: RateSchedule,
+    pkt_size: u32,
+    poll: SimDuration,
+    next_seq: u64,
+    gen: u64,
+}
+
+impl CbrSource {
+    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+        let rate = self.schedule.rate_at(ctx.now());
+        if rate > 0.0 {
+            ctx.send(PacketSpec::data(
+                self.flow,
+                self.next_seq,
+                self.pkt_size,
+                self.dst_node,
+                self.dst_agent,
+            ));
+            self.next_seq += 1;
+            let gap = SimDuration::from_secs_f64(self.pkt_size as f64 * 8.0 / rate);
+            self.gen += 1;
+            ctx.set_timer(gap.max(SimDuration::from_nanos(1)), self.gen);
+        } else {
+            self.gen += 1;
+            ctx.set_timer(self.poll, self.gen);
+        }
+    }
+}
+
+impl Agent for CbrSource {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.tick(ctx);
+    }
+
+    fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        if token == self.gen {
+            self.tick(ctx);
+        }
+    }
+}
+
+/// A sink that silently absorbs CBR traffic (open-loop: no ACKs).
+pub struct CbrSink;
+
+impl Agent for CbrSink {
+    fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+}
+
+/// Install a CBR source across `pair`, sending at `schedule` from
+/// `start`.
+pub fn install_cbr(
+    sim: &mut Simulator,
+    pair: &HostPair,
+    schedule: RateSchedule,
+    pkt_size: u32,
+    start: SimTime,
+) -> FlowHandle {
+    install_flow(sim, pair, start, Box::new(CbrSink), |w| {
+        Box::new(CbrSource {
+            flow: w.flow,
+            dst_node: w.dst_node,
+            dst_agent: w.dst_agent,
+            schedule,
+            pkt_size,
+            poll: SimDuration::from_millis(10),
+            next_seq: 0,
+            gen: 0,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slowcc_netsim::topology::{Dumbbell, DumbbellConfig};
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn square_wave_alternates() {
+        let s = RateSchedule::SquareWave {
+            rate_bps: 1e6,
+            half_period: SimDuration::from_secs(1),
+        };
+        assert_eq!(s.rate_at(secs(0.5)), 1e6);
+        assert_eq!(s.rate_at(secs(1.5)), 0.0);
+        assert_eq!(s.rate_at(secs(2.5)), 1e6);
+    }
+
+    #[test]
+    fn sawtooth_ramps_then_drops() {
+        let s = RateSchedule::Sawtooth {
+            peak_bps: 1e6,
+            ramp: SimDuration::from_secs(2),
+            off: SimDuration::from_secs(1),
+        };
+        assert_eq!(s.rate_at(secs(0.0)), 0.0);
+        assert!((s.rate_at(secs(1.0)) - 0.5e6).abs() < 1.0);
+        assert_eq!(s.rate_at(secs(2.5)), 0.0);
+        assert!((s.rate_at(secs(4.0)) - 0.5e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn reverse_sawtooth_starts_high() {
+        let s = RateSchedule::ReverseSawtooth {
+            peak_bps: 1e6,
+            ramp: SimDuration::from_secs(2),
+            off: SimDuration::from_secs(1),
+        };
+        assert!((s.rate_at(secs(0.0)) - 1e6).abs() < 1.0);
+        assert!((s.rate_at(secs(1.0)) - 0.5e6).abs() < 1.0);
+        assert_eq!(s.rate_at(secs(2.5)), 0.0);
+    }
+
+    #[test]
+    fn script_steps_through_figure3() {
+        let s = RateSchedule::figure3(5e6);
+        assert_eq!(s.rate_at(secs(10.0)), 5e6);
+        assert_eq!(s.rate_at(secs(160.0)), 0.0);
+        assert_eq!(s.rate_at(secs(200.0)), 5e6);
+    }
+
+    #[test]
+    fn cbr_source_delivers_at_the_configured_rate() {
+        let mut sim = Simulator::new(7);
+        let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
+        let pair = db.add_host_pair(&mut sim);
+        let h = install_cbr(
+            &mut sim,
+            &pair,
+            RateSchedule::Constant(2e6),
+            1000,
+            SimTime::ZERO,
+        );
+        sim.run_until(SimTime::from_secs(10));
+        let tput = sim
+            .stats()
+            .flow_throughput_bps(h.flow, SimTime::from_secs(1), SimTime::from_secs(10));
+        assert!(
+            (tput - 2e6).abs() < 0.05e6,
+            "CBR delivered {:.2} Mb/s, wanted 2",
+            tput / 1e6
+        );
+    }
+
+    #[test]
+    fn on_off_cbr_is_silent_while_off() {
+        let mut sim = Simulator::new(7);
+        let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
+        let pair = db.add_host_pair(&mut sim);
+        let h = install_cbr(
+            &mut sim,
+            &pair,
+            RateSchedule::SquareWave {
+                rate_bps: 2e6,
+                half_period: SimDuration::from_secs(1),
+            },
+            1000,
+            SimTime::ZERO,
+        );
+        sim.run_until(SimTime::from_secs(4));
+        // OFF window (1.05s, 1.95s): nothing delivered (allow the one
+        // packet straddling the boundary).
+        let off_bytes = sim.stats().flow_rx_bytes_in(
+            h.flow,
+            SimTime::from_millis(1100),
+            SimTime::from_millis(1950),
+        );
+        assert!(off_bytes <= 1000, "got {off_bytes} bytes during OFF");
+        // ON window carries ~2 Mb/s.
+        let on = sim
+            .stats()
+            .flow_throughput_bps(h.flow, SimTime::from_millis(2100), SimTime::from_millis(2900));
+        assert!((on - 2e6).abs() < 0.2e6, "ON rate {:.2} Mb/s", on / 1e6);
+    }
+}
+
+/// A Pareto ON/OFF source: ON and OFF period lengths drawn from Pareto
+/// distributions (the classic ns-2 self-similar background-traffic
+/// model the SlowCC literature's "ON-OFF background traffic" studies
+/// use). During ON periods the source emits at `rate_bps`; heavy-tailed
+/// period lengths produce burstiness across many timescales.
+pub struct ParetoOnOff {
+    flow: FlowId,
+    dst_node: slowcc_netsim::ids::NodeId,
+    dst_agent: slowcc_netsim::ids::AgentId,
+    rate_bps: f64,
+    pkt_size: u32,
+    mean_on: f64,
+    mean_off: f64,
+    shape: f64,
+    on_until: SimTime,
+    next_seq: u64,
+    gen: u64,
+}
+
+/// Parameters of a [`ParetoOnOff`] source.
+#[derive(Debug, Clone, Copy)]
+pub struct ParetoOnOffConfig {
+    /// Emission rate during ON periods, bits per second.
+    pub rate_bps: f64,
+    /// Packet size in bytes.
+    pub pkt_size: u32,
+    /// Mean ON period, seconds.
+    pub mean_on_secs: f64,
+    /// Mean OFF period, seconds.
+    pub mean_off_secs: f64,
+    /// Pareto shape parameter (ns-2's default 1.5 gives infinite
+    /// variance — self-similar aggregate traffic). Must exceed 1 so the
+    /// mean exists.
+    pub shape: f64,
+}
+
+impl ParetoOnOffConfig {
+    /// The ns-2-style defaults: shape 1.5, 500 ms mean ON and OFF.
+    pub fn standard(rate_bps: f64, pkt_size: u32) -> Self {
+        ParetoOnOffConfig {
+            rate_bps,
+            pkt_size,
+            mean_on_secs: 0.5,
+            mean_off_secs: 0.5,
+            shape: 1.5,
+        }
+    }
+}
+
+/// Draw a Pareto sample with the given mean and shape.
+fn pareto(rng: &mut impl rand::Rng, mean: f64, shape: f64) -> f64 {
+    // mean = scale * shape / (shape - 1)  =>  scale = mean (shape-1)/shape
+    let scale = mean * (shape - 1.0) / shape;
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    scale / u.powf(1.0 / shape)
+}
+
+impl Agent for ParetoOnOff {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Begin with an OFF draw so staggered sources desynchronize.
+        let off = pareto(ctx.rng(), self.mean_off, self.shape);
+        self.gen += 1;
+        ctx.set_timer(SimDuration::from_secs_f64(off), self.gen);
+    }
+
+    fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        if token != self.gen {
+            return;
+        }
+        let now = ctx.now();
+        if now >= self.on_until {
+            // Entering a new ON period.
+            let on = pareto(ctx.rng(), self.mean_on, self.shape);
+            self.on_until = now + SimDuration::from_secs_f64(on);
+        }
+        // Emit one packet and schedule the next tick: within the ON
+        // period at the packet pace, otherwise after an OFF draw.
+        ctx.send(PacketSpec::data(
+            self.flow,
+            self.next_seq,
+            self.pkt_size,
+            self.dst_node,
+            self.dst_agent,
+        ));
+        self.next_seq += 1;
+        let gap = SimDuration::from_secs_f64(self.pkt_size as f64 * 8.0 / self.rate_bps);
+        let next = now + gap;
+        self.gen += 1;
+        if next < self.on_until {
+            ctx.set_timer(gap, self.gen);
+        } else {
+            let off = pareto(ctx.rng(), self.mean_off, self.shape);
+            ctx.set_timer(gap + SimDuration::from_secs_f64(off), self.gen);
+        }
+    }
+}
+
+/// Install a Pareto ON/OFF source across `pair`.
+pub fn install_pareto_onoff(
+    sim: &mut Simulator,
+    pair: &HostPair,
+    cfg: ParetoOnOffConfig,
+    start: SimTime,
+) -> FlowHandle {
+    assert!(cfg.shape > 1.0, "Pareto shape must exceed 1 for a finite mean");
+    assert!(cfg.rate_bps > 0.0, "rate must be positive");
+    install_flow(sim, pair, start, Box::new(CbrSink), |w| {
+        Box::new(ParetoOnOff {
+            flow: w.flow,
+            dst_node: w.dst_node,
+            dst_agent: w.dst_agent,
+            rate_bps: cfg.rate_bps,
+            pkt_size: cfg.pkt_size,
+            mean_on: cfg.mean_on_secs,
+            mean_off: cfg.mean_off_secs,
+            shape: cfg.shape,
+            on_until: SimTime::ZERO,
+            next_seq: 0,
+            gen: 0,
+        })
+    })
+}
+
+#[cfg(test)]
+mod pareto_tests {
+    use super::*;
+    use slowcc_netsim::topology::{Dumbbell, DumbbellConfig};
+
+    /// The long-run average rate approaches
+    /// `rate * mean_on / (mean_on + mean_off)`.
+    #[test]
+    fn pareto_onoff_long_run_mean_rate() {
+        let mut sim = Simulator::new(31);
+        let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(50e6));
+        let pair = db.add_host_pair(&mut sim);
+        let cfg = ParetoOnOffConfig::standard(4e6, 1000);
+        let h = install_pareto_onoff(&mut sim, &pair, cfg, SimTime::ZERO);
+        sim.run_until(SimTime::from_secs(300));
+        let tput = sim.stats().flow_throughput_bps(
+            h.flow,
+            SimTime::from_secs(10),
+            SimTime::from_secs(300),
+        );
+        // Expected ~2 Mb/s (half duty cycle); Pareto(1.5) converges
+        // slowly, so accept a broad band.
+        assert!(
+            tput > 1.0e6 && tput < 3.2e6,
+            "long-run mean {:.2} Mb/s out of band",
+            tput / 1e6
+        );
+    }
+
+    /// The source is actually bursty: over 100 ms windows, some windows
+    /// carry full rate and some are silent.
+    #[test]
+    fn pareto_onoff_is_bursty() {
+        let mut sim = Simulator::new(31);
+        let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(50e6));
+        let pair = db.add_host_pair(&mut sim);
+        let cfg = ParetoOnOffConfig::standard(4e6, 1000);
+        let h = install_pareto_onoff(&mut sim, &pair, cfg, SimTime::ZERO);
+        let end = SimTime::from_secs(60);
+        sim.run_until(end);
+        let series = sim
+            .stats()
+            .flow_rate_series_bps(h.flow, SimDuration::from_millis(100), end);
+        let silent = series.iter().filter(|r| **r == 0.0).count();
+        let busy = series.iter().filter(|r| **r > 3e6).count();
+        assert!(silent > 20, "no silent windows: {silent}");
+        assert!(busy > 20, "no full-rate windows: {busy}");
+    }
+
+    #[test]
+    fn pareto_sampler_mean_is_calibrated() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        // Shape 2.5 converges fast enough to check the calibration.
+        let n = 200_000;
+        let mean = 0.5;
+        let sum: f64 = (0..n).map(|_| pareto(&mut rng, mean, 2.5)).sum();
+        let measured = sum / n as f64;
+        assert!(
+            (measured - mean).abs() < 0.02,
+            "sampler mean {measured} vs target {mean}"
+        );
+    }
+}

@@ -1,0 +1,293 @@
+//! Scripted loss patterns for the smoothness experiments (Section 4.3).
+//!
+//! Figures 17-19 subject a single flow to hand-crafted drop sequences:
+//!
+//! * the "mildly bursty" pattern — a repeating sequence of three losses,
+//!   each after 50 packet arrivals, followed by three more losses, each
+//!   after 400 packet arrivals ([`CountPhases::mild_bursty`]);
+//! * the "more bursty" pattern — a six-second low-congestion phase where
+//!   every 200th packet is dropped, followed by a one-second
+//!   heavy-congestion phase where every 4th packet is dropped
+//!   ([`TimePhases::harsh_bursty`]).
+//!
+//! Both operate on data packets only, so feedback paths are unaffected.
+
+use slowcc_netsim::link::LossPattern;
+use slowcc_netsim::packet::Packet;
+use slowcc_netsim::time::{SimDuration, SimTime};
+
+/// Count-driven phases: each phase drops one packet after `spacing`
+/// arrivals, `repeats` times, then moves to the next phase, cycling.
+#[derive(Debug, Clone)]
+pub struct CountPhases {
+    /// `(spacing, repeats)` per phase.
+    phases: Vec<(u64, u64)>,
+    phase: usize,
+    drops_in_phase: u64,
+    since_last_drop: u64,
+}
+
+impl CountPhases {
+    /// A cyclic count-driven pattern. Each `(spacing, repeats)` entry
+    /// drops one packet after every `spacing` arrivals, `repeats` times.
+    pub fn new(phases: Vec<(u64, u64)>) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        assert!(
+            phases.iter().all(|&(s, r)| s > 0 && r > 0),
+            "phases must have positive spacing and repeats"
+        );
+        CountPhases {
+            phases,
+            phase: 0,
+            drops_in_phase: 0,
+            since_last_drop: 0,
+        }
+    }
+
+    /// Figure 17/19's pattern: three losses each after 50 arrivals, then
+    /// three each after 400 arrivals, repeating.
+    pub fn mild_bursty() -> Self {
+        CountPhases::new(vec![(50, 3), (400, 3)])
+    }
+}
+
+impl LossPattern for CountPhases {
+    fn should_drop(&mut self, pkt: &Packet, _now: SimTime) -> bool {
+        if !pkt.is_data() {
+            return false;
+        }
+        self.since_last_drop += 1;
+        let (spacing, repeats) = self.phases[self.phase];
+        if self.since_last_drop >= spacing {
+            self.since_last_drop = 0;
+            self.drops_in_phase += 1;
+            if self.drops_in_phase >= repeats {
+                self.drops_in_phase = 0;
+                self.phase = (self.phase + 1) % self.phases.len();
+            }
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Time-driven phases: while phase `i` is active (for its duration),
+/// every `n_i`-th data packet is dropped (`n_i = 0` drops nothing).
+/// Phases cycle.
+#[derive(Debug, Clone)]
+pub struct TimePhases {
+    /// `(duration, drop_every_nth)` per phase.
+    phases: Vec<(SimDuration, u64)>,
+    cycle: SimDuration,
+    counter: u64,
+    start: Option<SimTime>,
+}
+
+impl TimePhases {
+    /// A cyclic time-driven pattern. The phase clock starts at the first
+    /// packet's arrival.
+    pub fn new(phases: Vec<(SimDuration, u64)>) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        let cycle = phases
+            .iter()
+            .fold(SimDuration::ZERO, |acc, (d, _)| acc + *d);
+        assert!(!cycle.is_zero(), "phase durations must sum to > 0");
+        TimePhases {
+            phases,
+            cycle,
+            counter: 0,
+            start: None,
+        }
+    }
+
+    /// Figure 18's pattern: six seconds dropping every 200th packet,
+    /// one second dropping every 4th.
+    pub fn harsh_bursty() -> Self {
+        TimePhases::new(vec![
+            (SimDuration::from_secs(6), 200),
+            (SimDuration::from_secs(1), 4),
+        ])
+    }
+
+    fn active_nth(&self, now: SimTime) -> u64 {
+        let start = self.start.expect("phase clock initialized");
+        let pos_ns = now.saturating_since(start).as_nanos() % self.cycle.as_nanos();
+        let mut acc = 0u64;
+        for (d, n) in &self.phases {
+            acc += d.as_nanos();
+            if pos_ns < acc {
+                return *n;
+            }
+        }
+        self.phases.last().map(|&(_, n)| n).unwrap_or(0)
+    }
+}
+
+impl LossPattern for TimePhases {
+    fn should_drop(&mut self, pkt: &Packet, now: SimTime) -> bool {
+        if !pkt.is_data() {
+            return false;
+        }
+        if self.start.is_none() {
+            self.start = Some(now);
+        }
+        let n = self.active_nth(now);
+        if n == 0 {
+            return false;
+        }
+        self.counter += 1;
+        if self.counter >= n {
+            self.counter = 0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// "Persistent congestion" as Section 3 defines it for the
+/// responsiveness metric: from `from` onward, exactly one data packet is
+/// dropped per round-trip time.
+#[derive(Debug, Clone)]
+pub struct OnePerRtt {
+    from: SimTime,
+    rtt: SimDuration,
+    next_drop_at: Option<SimTime>,
+}
+
+impl OnePerRtt {
+    /// Drop the first data packet arriving in each RTT-long interval
+    /// after `from`.
+    pub fn new(from: SimTime, rtt: SimDuration) -> Self {
+        assert!(!rtt.is_zero(), "RTT must be positive");
+        OnePerRtt {
+            from,
+            rtt,
+            next_drop_at: None,
+        }
+    }
+}
+
+impl LossPattern for OnePerRtt {
+    fn should_drop(&mut self, pkt: &Packet, now: SimTime) -> bool {
+        if !pkt.is_data() || now < self.from {
+            return false;
+        }
+        let next = self.next_drop_at.get_or_insert(self.from);
+        if now >= *next {
+            // Schedule the next drop one RTT after this one.
+            *next = now + self.rtt;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slowcc_netsim::ids::{AgentId, FlowId, NodeId};
+    use slowcc_netsim::packet::{DataInfo, Payload};
+
+    fn data(uid: u64) -> Packet {
+        Packet {
+            uid,
+            flow: FlowId::from_index(0),
+            seq: uid,
+            size: 1000,
+            payload: Payload::Data(DataInfo::default()),
+            src_node: NodeId::from_index(0),
+            dst_node: NodeId::from_index(1),
+            src_agent: AgentId::from_index(0),
+            dst_agent: AgentId::from_index(1),
+            sent_at: SimTime::ZERO,
+            ecn: Default::default(),
+        }
+    }
+
+    #[test]
+    fn mild_pattern_drop_positions() {
+        let mut p = CountPhases::mild_bursty();
+        let mut positions = Vec::new();
+        for i in 1..=(3 * 50 + 3 * 400 + 50) as u64 {
+            if p.should_drop(&data(i), SimTime::ZERO) {
+                positions.push(i);
+            }
+        }
+        // Drops at 50, 100, 150, then 550, 950, 1350, then cycle: 1400.
+        assert_eq!(positions, vec![50, 100, 150, 550, 950, 1350, 1400]);
+    }
+
+    #[test]
+    fn mild_pattern_long_run_loss_rate() {
+        let mut p = CountPhases::mild_bursty();
+        let total = 135_000u64;
+        let mut drops = 0;
+        for i in 0..total {
+            if p.should_drop(&data(i), SimTime::ZERO) {
+                drops += 1;
+            }
+        }
+        // 6 drops per 1350 packets = 1/225.
+        let rate = drops as f64 / total as f64;
+        assert!((rate - 1.0 / 225.0).abs() < 1e-4, "rate {rate}");
+    }
+
+    #[test]
+    fn harsh_pattern_phases_by_time() {
+        let mut p = TimePhases::harsh_bursty();
+        // Low phase: every 200th dropped.
+        let mut drops = 0;
+        for i in 0..1000 {
+            if p.should_drop(&data(i), SimTime::from_secs(1)) {
+                drops += 1;
+            }
+        }
+        assert_eq!(drops, 5);
+        // Heavy phase (6..7 s relative to the first packet at 1 s ->
+        // 7..8 s absolute): every 4th dropped.
+        let mut drops = 0;
+        for i in 0..1000 {
+            if p.should_drop(&data(1000 + i), SimTime::from_millis(7500)) {
+                drops += 1;
+            }
+        }
+        assert!((240..=260).contains(&drops), "heavy drops {drops}");
+    }
+
+    #[test]
+    fn one_per_rtt_drops_once_per_interval() {
+        let mut p = OnePerRtt::new(SimTime::from_secs(1), SimDuration::from_millis(50));
+        // Before the start: nothing.
+        assert!(!p.should_drop(&data(0), SimTime::from_millis(900)));
+        // Ten packets within one RTT: exactly one drop.
+        let mut drops = 0;
+        for i in 0..10 {
+            if p.should_drop(&data(i), SimTime::from_millis(1000 + i)) {
+                drops += 1;
+            }
+        }
+        assert_eq!(drops, 1);
+        // Next RTT interval: one more.
+        let mut drops = 0;
+        for i in 0..10 {
+            if p.should_drop(&data(100 + i), SimTime::from_millis(1055 + i)) {
+                drops += 1;
+            }
+        }
+        assert_eq!(drops, 1);
+    }
+
+    #[test]
+    fn acks_are_never_dropped() {
+        use slowcc_netsim::packet::AckInfo;
+        let mut p = CountPhases::new(vec![(1, 1)]);
+        let mut ack = data(0);
+        ack.payload = Payload::Ack(AckInfo::cumulative(1, 0, SimTime::ZERO));
+        for _ in 0..10 {
+            assert!(!p.should_drop(&ack, SimTime::ZERO));
+        }
+    }
+}

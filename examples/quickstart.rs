@@ -1,0 +1,70 @@
+//! Quickstart: build the paper's standard dumbbell, race one flow of
+//! each congestion control family across it, and print what everyone
+//! got.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use slowcc::core::prelude::*;
+use slowcc::metrics::prelude::*;
+use slowcc::netsim::prelude::*;
+
+fn main() {
+    // The Section 3 environment: 10 Mb/s RED bottleneck, ~50 ms RTT,
+    // 1000-byte packets.
+    let mut sim = Simulator::new(7);
+    let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
+    println!(
+        "dumbbell: {:.0} Mb/s bottleneck, RTT {}, BDP {:.1} packets",
+        db.config().bottleneck_bps / 1e6,
+        db.base_rtt(),
+        db.bdp_packets()
+    );
+
+    // One flow per family, each on its own host pair.
+    let mut flows = Vec::new();
+    let pair = db.add_host_pair(&mut sim);
+    flows.push((
+        "TCP(1/2)",
+        Tcp::install(&mut sim, &pair, TcpConfig::standard(1000), SimTime::ZERO),
+    ));
+    let pair = db.add_host_pair(&mut sim);
+    flows.push((
+        "TCP(1/8)",
+        Tcp::install(&mut sim, &pair, TcpConfig::tcp_gamma(8.0, 1000), SimTime::ZERO),
+    ));
+    let pair = db.add_host_pair(&mut sim);
+    flows.push((
+        "SQRT(1/2)",
+        Tcp::install(&mut sim, &pair, TcpConfig::sqrt_gamma(2.0, 1000), SimTime::ZERO),
+    ));
+    let pair = db.add_host_pair(&mut sim);
+    flows.push((
+        "TFRC(6)",
+        Tfrc::install(&mut sim, &pair, TfrcConfig::standard(1000), SimTime::ZERO),
+    ));
+    let pair = db.add_host_pair(&mut sim);
+    flows.push((
+        "RAP(1/2)",
+        Rap::install(&mut sim, &pair, RapConfig::standard(1000), SimTime::ZERO),
+    ));
+
+    sim.run_until(SimTime::from_secs(120));
+
+    let from = SimTime::from_secs(20);
+    let to = SimTime::from_secs(120);
+    println!("\nthroughput over [{from} .. {to}]:");
+    let rates: Vec<f64> = flows
+        .iter()
+        .map(|(_, h)| sim.stats().flow_throughput_bps(h.flow, from, to))
+        .collect();
+    for ((name, _), rate) in flows.iter().zip(&rates) {
+        println!("  {name:<10} {:.2} Mb/s", rate / 1e6);
+    }
+    println!("\nJain fairness index: {:.3}", jain_index(&rates));
+    println!(
+        "bottleneck loss rate: {:.2}%",
+        sim.stats().link_loss_fraction_in(db.forward, from, to) * 100.0
+    );
+}

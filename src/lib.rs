@@ -1,0 +1,50 @@
+//! # slowcc
+//!
+//! A reproduction of *"Dynamic Behavior of Slowly-Responsive Congestion
+//! Control Algorithms"* (Bansal, Balakrishnan, Floyd & Shenker, SIGCOMM
+//! 2001) as a Rust workspace:
+//!
+//! * [`netsim`] — a deterministic packet-level discrete-event network
+//!   simulator (the ns-2 stand-in): dumbbell topologies, DropTail/RED
+//!   queues, scripted loss patterns, per-flow/per-link statistics.
+//! * [`core`] — the congestion control agents: TCP(1/γ), SQRT(1/γ),
+//!   IIAD(1/γ), RAP(1/γ), TFRC(k) (with the paper's self-clocking
+//!   extension), TEAR, plus the TCP response function and the paper's
+//!   closed-form models.
+//! * [`traffic`] — workload generators: ON/OFF CBR sources, flash crowds
+//!   of short TCP transfers, bidirectional background traffic, the
+//!   hand-crafted loss scripts of Figures 17-19.
+//! * [`metrics`] — stabilization time/cost, δ-fair convergence time,
+//!   `f(k)` bandwidth uptake, smoothness.
+//! * [`experiments`] — one module per figure; the `repro` binary
+//!   regenerates every table and figure in the paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use slowcc::netsim::prelude::*;
+//! use slowcc::core::prelude::*;
+//!
+//! // One TCP and one TFRC flow across the paper's 10 Mb/s RED dumbbell.
+//! let mut sim = Simulator::new(7);
+//! let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
+//! let p1 = db.add_host_pair(&mut sim);
+//! let p2 = db.add_host_pair(&mut sim);
+//! let tcp = Tcp::install(&mut sim, &p1, TcpConfig::standard(1000), SimTime::ZERO);
+//! let tfrc = Tfrc::install(&mut sim, &p2, TfrcConfig::standard(1000), SimTime::ZERO);
+//! sim.run_until(SimTime::from_secs(30));
+//!
+//! let from = SimTime::from_secs(10);
+//! let to = SimTime::from_secs(30);
+//! let t1 = sim.stats().flow_throughput_bps(tcp.flow, from, to);
+//! let t2 = sim.stats().flow_throughput_bps(tfrc.flow, from, to);
+//! assert!(t1 + t2 > 7e6); // together they fill most of the link
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use slowcc_core as core;
+pub use slowcc_experiments as experiments;
+pub use slowcc_metrics as metrics;
+pub use slowcc_netsim as netsim;
+pub use slowcc_traffic as traffic;

@@ -1,0 +1,239 @@
+//! Integration tests of the paper's *dynamic* headline claims, each run
+//! end-to-end through the full stack (simulator + agents + traffic +
+//! metrics) at reduced scale.
+
+use slowcc::experiments::flavor::Flavor;
+use slowcc::experiments::onset::{onset_stabilization, run_onset, OnsetConfig};
+use slowcc::experiments::scale::Scale;
+use slowcc::metrics::prelude::*;
+use slowcc::netsim::prelude::*;
+use slowcc::traffic::prelude::*;
+
+/// "The Ugly" (Section 4.1): rate-based SlowCC without packet
+/// conservation causes the longest overload after a bandwidth collapse;
+/// adding self-clocking to TFRC repairs it; window-based algorithms are
+/// safe at any slowness.
+#[test]
+fn packet_conservation_is_the_safety_mechanism() {
+    let cfg = OnsetConfig::for_scale(Scale::Quick);
+    let cost = |flavor: Flavor| {
+        let sc = run_onset(flavor, &cfg, 7);
+        onset_stabilization(&sc, &cfg).cost
+    };
+    let tcp_slow = cost(Flavor::Tcp { gamma: 64.0 });
+    let sqrt_slow = cost(Flavor::Sqrt { gamma: 64.0 });
+    let rap_slow = cost(Flavor::Rap { gamma: 64.0 });
+    let tfrc_slow = cost(Flavor::Tfrc { k: 64, self_clocking: false });
+    let tfrc_sc = cost(Flavor::Tfrc { k: 64, self_clocking: true });
+
+    // The rate-based, non-self-clocked algorithms pay far more than the
+    // self-clocked window algorithms.
+    let window_worst = tcp_slow.max(sqrt_slow);
+    assert!(
+        rap_slow > 2.0 * window_worst,
+        "RAP(1/64) cost {rap_slow:.2} should dwarf window algorithms' {window_worst:.2}"
+    );
+    assert!(
+        tfrc_slow > 1.5 * window_worst,
+        "TFRC(64) cost {tfrc_slow:.2} should exceed window algorithms' {window_worst:.2}"
+    );
+    // The paper's fix works.
+    assert!(
+        tfrc_sc < tfrc_slow / 1.5,
+        "self-clocking should cut TFRC's cost: {tfrc_sc:.2} vs {tfrc_slow:.2}"
+    );
+}
+
+/// "The Bad" (Section 4.2.1): under oscillating bandwidth TCP takes more
+/// than its share from TFRC, but TFRC never mistreats TCP — the
+/// asymmetry that makes SlowCC safe to deploy yet personally costly.
+#[test]
+fn slowcc_loses_to_tcp_under_oscillation_but_never_wins() {
+    let mut sim = Simulator::new(17);
+    let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(15e6));
+    let cbr_pair = db.add_host_pair(&mut sim);
+    install_cbr(
+        &mut sim,
+        &cbr_pair,
+        RateSchedule::SquareWave {
+            rate_bps: 10e6,
+            half_period: SimDuration::from_secs(2),
+        },
+        1000,
+        SimTime::ZERO,
+    );
+    let mut install = |flavor: Flavor, off: u64| -> Vec<_> {
+        (0..3)
+            .map(|i| {
+                let pair = db.add_host_pair(&mut sim);
+                flavor.install(&mut sim, &pair, 1000, SimTime::from_millis(off + 67 * i), None)
+            })
+            .collect()
+    };
+    let tcp = install(Flavor::standard_tcp(), 0);
+    let tfrc = install(Flavor::standard_tfrc(), 29);
+    sim.run_until(SimTime::from_secs(90));
+
+    let from = SimTime::from_secs(15);
+    let to = SimTime::from_secs(90);
+    let sum = |hs: &[slowcc::core::agent::FlowHandle]| -> f64 {
+        hs.iter()
+            .map(|h| sim.stats().flow_throughput_bps(h.flow, from, to))
+            .sum()
+    };
+    let tcp_total = sum(&tcp);
+    let tfrc_total = sum(&tfrc);
+    assert!(
+        tcp_total > tfrc_total,
+        "TCP should out-earn TFRC under oscillation: {:.2} vs {:.2} Mb/s",
+        tcp_total / 1e6,
+        tfrc_total / 1e6
+    );
+    // ...but TFRC still gets a substantial share (not starved).
+    assert!(
+        tfrc_total > 0.35 * tcp_total,
+        "TFRC should not be starved: {:.2} vs {:.2} Mb/s",
+        tfrc_total / 1e6,
+        tcp_total / 1e6
+    );
+}
+
+/// "The Good" (Section 4.3): under steady loss TFRC's delivered rate is
+/// much smoother than standard TCP's, at comparable throughput — the
+/// reason SlowCC exists.
+#[test]
+fn tfrc_buys_smoothness_without_losing_throughput_in_steady_state() {
+    let run = |flavor: Flavor| -> (f64, f64) {
+        let mut sim = Simulator::new(13);
+        let cfg = DumbbellConfig {
+            queue: QueueKind::DropTail(4000),
+            ..DumbbellConfig::paper(100e6)
+        };
+        let db = Dumbbell::build_with_loss(
+            &mut sim,
+            cfg,
+            Some(Box::new(CountPhases::new(vec![(100, 1)]))), // steady 1% loss
+        );
+        let pair = db.add_host_pair(&mut sim);
+        let h = flavor.install(&mut sim, &pair, 1000, SimTime::ZERO, None);
+        let end = SimTime::from_secs(60);
+        sim.run_until(end);
+        let series: Vec<f64> = sim
+            .stats()
+            .flow_rate_series_bps(h.flow, SimDuration::from_millis(500), end)
+            .into_iter()
+            .skip(20)
+            .collect();
+        (
+            sim.stats()
+                .flow_throughput_bps(h.flow, SimTime::from_secs(10), end),
+            coefficient_of_variation(&series),
+        )
+    };
+    let (tcp_tput, tcp_cov) = run(Flavor::standard_tcp());
+    let (tfrc_tput, tfrc_cov) = run(Flavor::standard_tfrc());
+    assert!(
+        tfrc_cov < 0.6 * tcp_cov,
+        "TFRC CoV {tfrc_cov:.3} should be well below TCP's {tcp_cov:.3}"
+    );
+    assert!(
+        tfrc_tput > 0.5 * tcp_tput && tfrc_tput < 2.0 * tcp_tput,
+        "TFRC throughput {:.2} Mb/s should be comparable to TCP's {:.2} Mb/s",
+        tfrc_tput / 1e6,
+        tcp_tput / 1e6
+    );
+}
+
+/// Transient fairness (Section 4.2.2): a newly arriving standard-TCP
+/// flow reaches a 0.1-fair share against an entrenched one within a
+/// reasonable time, and TCP(1/32) takes substantially longer.
+#[test]
+fn gentler_decrease_slows_convergence_to_fairness() {
+    use slowcc::core::tcp::{Tcp, TcpConfig};
+    let run = |gamma: f64| -> Option<f64> {
+        let mut sim = Simulator::new(3);
+        let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
+        let pipe = 1.5 * db.bdp_packets();
+        let p1 = db.add_host_pair(&mut sim);
+        let p2 = db.add_host_pair(&mut sim);
+        let mut c1 = TcpConfig::tcp_gamma(gamma, 1000);
+        c1.init_cwnd = pipe;
+        c1.init_ssthresh = 1.0;
+        let h1 = Tcp::install(&mut sim, &p1, c1, SimTime::ZERO);
+        let mut c2 = TcpConfig::tcp_gamma(gamma, 1000);
+        c2.init_cwnd = 1.0;
+        c2.init_ssthresh = 1.0;
+        let start2 = SimTime::from_secs(5);
+        let h2 = Tcp::install(&mut sim, &p2, c2, start2);
+        let horizon = SimTime::from_secs(120);
+        sim.run_until(horizon);
+        delta_fair_convergence_time(
+            sim.stats(),
+            h1.flow,
+            h2.flow,
+            10e6,
+            &ConvergenceConfig {
+                delta: 0.1,
+                window: SimDuration::from_secs(2),
+                from: start2,
+                horizon,
+            },
+        )
+        .map(|d| d.as_secs_f64())
+    };
+    let fast = run(2.0).expect("standard TCP converges");
+    let slow = run(32.0).unwrap_or(115.0);
+    assert!(fast < 30.0, "TCP(1/2) took {fast:.1} s to 0.1-fairness");
+    assert!(
+        slow > 1.5 * fast,
+        "TCP(1/32) ({slow:.1} s) should converge much slower than TCP(1/2) ({fast:.1} s)"
+    );
+}
+
+/// A responsive flow over heavy-tailed (Pareto ON/OFF) background
+/// traffic — the "ON-OFF background traffic" environment the paper's
+/// Section 2 cites from the TFRC evaluations. Both TCP and TFRC must
+/// keep operating (no wedge, no starvation) and together with the
+/// background keep the link busy.
+#[test]
+fn responsive_flows_survive_self_similar_background() {
+    use slowcc::traffic::cbr::{install_pareto_onoff, ParetoOnOffConfig};
+
+    let mut sim = Simulator::new(41);
+    let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
+    // Four bursty sources averaging ~1 Mb/s each.
+    for i in 0..4u64 {
+        let pair = db.add_host_pair(&mut sim);
+        install_pareto_onoff(
+            &mut sim,
+            &pair,
+            ParetoOnOffConfig::standard(2e6, 1000),
+            SimTime::from_millis(17 * i),
+        );
+    }
+    let p1 = db.add_host_pair(&mut sim);
+    let tcp = Flavor::standard_tcp().install(&mut sim, &p1, 1000, SimTime::ZERO, None);
+    let p2 = db.add_host_pair(&mut sim);
+    let tfrc = Flavor::standard_tfrc().install(&mut sim, &p2, 1000, SimTime::from_millis(7), None);
+    sim.run_until(SimTime::from_secs(90));
+
+    let from = SimTime::from_secs(20);
+    let to = SimTime::from_secs(90);
+    let t1 = sim.stats().flow_throughput_bps(tcp.flow, from, to);
+    let t2 = sim.stats().flow_throughput_bps(tfrc.flow, from, to);
+    // ~4 Mb/s of background leaves ~6 Mb/s for the two responsive flows.
+    assert!(
+        t1 > 1e6 && t2 > 1e6,
+        "responsive flows starved: TCP {:.2}, TFRC {:.2} Mb/s",
+        t1 / 1e6,
+        t2 / 1e6
+    );
+    assert!(
+        t1 + t2 > 3.5e6,
+        "combined responsive throughput too low: {:.2} Mb/s",
+        (t1 + t2) / 1e6
+    );
+    // And they split their share within a broad compatibility band.
+    let ratio = (t1 / t2).max(t2 / t1);
+    assert!(ratio < 3.0, "TCP {:.2} vs TFRC {:.2} Mb/s", t1 / 1e6, t2 / 1e6);
+}

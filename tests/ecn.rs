@@ -1,0 +1,131 @@
+//! End-to-end ECN (RFC 2481, the paper's Section 4.2.2 environment):
+//! RED marking instead of dropping, sender reaction to echoes, and
+//! coexistence of ECN and non-ECN flows.
+
+use slowcc::core::tcp::{Tcp, TcpConfig};
+use slowcc::netsim::prelude::*;
+use slowcc::netsim::queue::RedConfig;
+use slowcc::netsim::time::transmission_time;
+
+fn ecn_dumbbell(sim: &mut Simulator, bps: f64) -> Dumbbell {
+    let base = DumbbellConfig::paper(bps);
+    let mut red = RedConfig::paper_defaults(
+        base.bdp_packets(),
+        transmission_time(base.pkt_size, bps),
+    );
+    red.ecn = true;
+    let cfg = DumbbellConfig {
+        queue: QueueKind::Red(red),
+        ..base
+    };
+    Dumbbell::build(sim, cfg)
+}
+
+/// An ECN-capable TCP flow on a marking RED queue gets congestion
+/// feedback as marks, not drops, and still regulates its rate.
+#[test]
+fn ecn_tcp_is_marked_not_dropped() {
+    let mut sim = Simulator::new(8);
+    let db = ecn_dumbbell(&mut sim, 10e6);
+    let pair = db.add_host_pair(&mut sim);
+    let h = Tcp::install(
+        &mut sim,
+        &pair,
+        TcpConfig::standard(1000).with_ecn(),
+        SimTime::ZERO,
+    );
+    sim.run_until(SimTime::from_secs(60));
+    let link = sim.stats().link(db.forward).unwrap();
+    assert!(link.total_marks > 20, "expected marks, got {}", link.total_marks);
+    assert!(
+        link.total_drops < link.total_marks / 4,
+        "ECN should convert congestion signals to marks: {} drops vs {} marks",
+        link.total_drops,
+        link.total_marks
+    );
+    // The flow still converges to a sane operating point.
+    let tput = sim.stats().flow_throughput_bps(
+        h.flow,
+        SimTime::from_secs(20),
+        SimTime::from_secs(60),
+    );
+    assert!(tput > 7e6 && tput < 10.1e6, "{:.2} Mb/s", tput / 1e6);
+}
+
+/// The sender reduces once per window on an echo: under pure marking at
+/// probability p its window tracks the same equilibrium a dropping link
+/// would impose.
+#[test]
+fn ecn_reaction_tracks_the_loss_equivalent_rate() {
+    use slowcc::netsim::link::BernoulliLoss;
+    let p = 0.01;
+    let run = |ecn: bool| -> f64 {
+        let mut sim = Simulator::new(8);
+        let cfg = DumbbellConfig {
+            queue: QueueKind::DropTail(20_000),
+            ..DumbbellConfig::paper(400e6)
+        };
+        let db = if ecn {
+            Dumbbell::build_with_marker(&mut sim, cfg, Box::new(BernoulliLoss::new(p, 5)))
+        } else {
+            Dumbbell::build_with_loss(&mut sim, cfg, Some(Box::new(BernoulliLoss::new(p, 5))))
+        };
+        let pair = db.add_host_pair(&mut sim);
+        let mut tc = TcpConfig::standard(1000);
+        if ecn {
+            tc = tc.with_ecn();
+        }
+        let h = Tcp::install(&mut sim, &pair, tc, SimTime::ZERO);
+        sim.run_until(SimTime::from_secs(120));
+        sim.stats().flow_throughput_bps(
+            h.flow,
+            SimTime::from_secs(30),
+            SimTime::from_secs(120),
+        )
+    };
+    let with_marks = run(true);
+    let with_drops = run(false);
+    let ratio = (with_marks / with_drops).max(with_drops / with_marks);
+    assert!(
+        ratio < 2.0,
+        "marked {:.2} vs dropped {:.2} Mb/s should be comparable",
+        with_marks / 1e6,
+        with_drops / 1e6
+    );
+    // Marks avoid retransmissions entirely, so the marked flow should
+    // never do *worse*.
+    assert!(with_marks > 0.8 * with_drops);
+}
+
+/// ECN and non-ECN TCP share a marking RED bottleneck roughly fairly.
+#[test]
+fn ecn_and_non_ecn_coexist() {
+    let mut sim = Simulator::new(8);
+    let db = ecn_dumbbell(&mut sim, 10e6);
+    let p1 = db.add_host_pair(&mut sim);
+    let p2 = db.add_host_pair(&mut sim);
+    let ecn = Tcp::install(
+        &mut sim,
+        &p1,
+        TcpConfig::standard(1000).with_ecn(),
+        SimTime::ZERO,
+    );
+    let plain = Tcp::install(
+        &mut sim,
+        &p2,
+        TcpConfig::standard(1000),
+        SimTime::from_millis(43),
+    );
+    sim.run_until(SimTime::from_secs(120));
+    let from = SimTime::from_secs(30);
+    let to = SimTime::from_secs(120);
+    let a = sim.stats().flow_throughput_bps(ecn.flow, from, to);
+    let b = sim.stats().flow_throughput_bps(plain.flow, from, to);
+    let ratio = (a / b).max(b / a);
+    assert!(
+        ratio < 2.2,
+        "ECN {:.2} vs non-ECN {:.2} Mb/s (ratio {ratio:.2})",
+        a / 1e6,
+        b / 1e6
+    );
+}

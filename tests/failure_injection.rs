@@ -1,0 +1,141 @@
+//! Failure injection on the *feedback* path: congestion control must
+//! survive losing its ACKs and receiver reports, not just its data.
+//! The reverse bottleneck gets a loss pattern; data flows clean.
+
+use slowcc::core::tcp::{Tcp, TcpConfig, TcpSink};
+use slowcc::core::tfrc::{Tfrc, TfrcConfig};
+use slowcc::netsim::link::LossPattern;
+use slowcc::netsim::prelude::*;
+
+/// Drops every `n`-th ACK packet (data passes untouched).
+struct AckLoss {
+    n: u64,
+    seen: u64,
+}
+impl LossPattern for AckLoss {
+    fn should_drop(&mut self, pkt: &Packet, _now: SimTime) -> bool {
+        if !pkt.is_ack() {
+            return false;
+        }
+        self.seen += 1;
+        self.seen.is_multiple_of(self.n)
+    }
+}
+
+/// Manual dumbbell with an ACK-dropping reverse bottleneck
+/// (`Dumbbell::build_with_loss` attaches patterns to the forward link,
+/// so this one is wired by hand).
+fn build_ack_lossy(sim: &mut Simulator, n: u64) -> (NodeId, NodeId) {
+    let cfg = DumbbellConfig::paper(10e6);
+    let r1 = sim.add_node();
+    let r2 = sim.add_node();
+    let fwd = sim.add_link(
+        r1,
+        Link::new(
+            r2,
+            cfg.bottleneck_bps,
+            cfg.bottleneck_delay,
+            Box::new(DropTail::new(200)),
+        ),
+    );
+    let rev = sim.add_link(
+        r2,
+        Link::new(
+            r1,
+            cfg.bottleneck_bps,
+            cfg.bottleneck_delay,
+            Box::new(DropTail::new(200)),
+        )
+        .with_loss(Box::new(AckLoss { n, seen: 0 })),
+    );
+    sim.set_default_route(r1, fwd);
+    sim.set_default_route(r2, rev);
+    let left = sim.add_node();
+    let right = sim.add_node();
+    let lu = sim.add_link(
+        left,
+        Link::new(r1, 1e9, SimDuration::from_millis(1), Box::new(DropTail::new(256))),
+    );
+    let ld = sim.add_link(
+        r1,
+        Link::new(left, 1e9, SimDuration::from_millis(1), Box::new(DropTail::new(256))),
+    );
+    let ru = sim.add_link(
+        right,
+        Link::new(r2, 1e9, SimDuration::from_millis(1), Box::new(DropTail::new(256))),
+    );
+    let rd = sim.add_link(
+        r2,
+        Link::new(right, 1e9, SimDuration::from_millis(1), Box::new(DropTail::new(256))),
+    );
+    sim.set_default_route(left, lu);
+    sim.set_default_route(right, ru);
+    sim.add_route(r1, left, ld);
+    sim.add_route(r2, right, rd);
+    (left, right)
+}
+
+/// TCP's cumulative ACKs make isolated ACK loss almost free: a transfer
+/// completes with every sequence delivered even when a quarter of the
+/// ACKs vanish.
+#[test]
+fn tcp_survives_heavy_ack_loss() {
+    let mut sim = Simulator::new(4);
+    let (left, right) = build_ack_lossy(&mut sim, 4); // drop 25% of ACKs
+    let sink = sim.reserve_agent(right);
+    sim.install_agent(sink, Box::new(TcpSink::new()), SimTime::ZERO);
+    let flow = sim.new_flow();
+    let wiring = slowcc::core::agent::SenderWiring {
+        flow,
+        dst_node: right,
+        dst_agent: sink,
+    };
+    let cfg = TcpConfig::standard(1000).with_max_packets(2000);
+    let sender = sim.add_agent(left, Box::new(Tcp::new(cfg, wiring)));
+    sim.run_until(SimTime::from_secs(60));
+    let s: &Tcp = sim.agent_downcast(sender).unwrap();
+    assert!(s.is_done(), "transfer must complete under ACK loss");
+    let k: &TcpSink = sim.agent_downcast(sink).unwrap();
+    assert_eq!(k.expected(), 2000);
+    // And it should not be timeout-dominated: cumulative ACKs cover the
+    // gaps.
+    assert!(
+        s.timeouts() <= 3,
+        "ACK loss should rarely force timeouts, got {}",
+        s.timeouts()
+    );
+}
+
+/// TFRC keeps regulating when feedback reports are lost: the no-feedback
+/// timer and per-RTT reporting cadence absorb isolated report loss
+/// without collapsing the rate.
+#[test]
+fn tfrc_survives_feedback_loss() {
+    let mut sim = Simulator::new(4);
+    let (left, right) = build_ack_lossy(&mut sim, 3); // drop a third of reports
+    let cfg = TfrcConfig::standard(1000);
+    let sink = sim.reserve_agent(right);
+    sim.install_agent(
+        sink,
+        Box::new(slowcc::core::tfrc::TfrcSink::new(cfg)),
+        SimTime::ZERO,
+    );
+    let flow = sim.new_flow();
+    let wiring = slowcc::core::agent::SenderWiring {
+        flow,
+        dst_node: right,
+        dst_agent: sink,
+    };
+    sim.add_agent(left, Box::new(Tfrc::new(cfg, wiring)));
+    sim.run_until(SimTime::from_secs(60));
+    let tput = sim.stats().flow_throughput_bps(
+        flow,
+        SimTime::from_secs(20),
+        SimTime::from_secs(60),
+    );
+    assert!(
+        tput > 4e6,
+        "TFRC should hold most of a clean 10 Mb/s path under report loss, got {:.2} Mb/s",
+        tput / 1e6
+    );
+}

@@ -1,0 +1,108 @@
+//! Integration tests of the *static* TCP-compatibility property that the
+//! whole paper builds on: under steady conditions, every SlowCC variant
+//! obtains roughly the same long-run throughput as TCP (Section 2's
+//! definition, "on time scales of several round-trip times ... roughly
+//! the same throughput as a TCP connection in steady-state").
+
+use slowcc::experiments::flavor::Flavor;
+use slowcc::metrics::prelude::*;
+use slowcc::netsim::prelude::*;
+
+/// Run one flow of `a` and one of `b` sharing the paper's dumbbell;
+/// return their long-run throughputs.
+fn share_link(a: Flavor, b: Flavor, secs: u64, seed: u64) -> (f64, f64) {
+    let mut sim = Simulator::new(seed);
+    let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
+    let p1 = db.add_host_pair(&mut sim);
+    let p2 = db.add_host_pair(&mut sim);
+    let h1 = a.install(&mut sim, &p1, 1000, SimTime::ZERO, None);
+    let h2 = b.install(&mut sim, &p2, 1000, SimTime::from_millis(97), None);
+    sim.run_until(SimTime::from_secs(secs));
+    let from = SimTime::from_secs(secs / 4);
+    let to = SimTime::from_secs(secs);
+    (
+        sim.stats().flow_throughput_bps(h1.flow, from, to),
+        sim.stats().flow_throughput_bps(h2.flow, from, to),
+    )
+}
+
+/// Each deployable SlowCC variant must share a static link with TCP
+/// within a factor the TCP-friendliness literature considers compatible.
+#[test]
+fn slowcc_variants_share_fairly_with_tcp() {
+    let variants = [
+        (Flavor::Tcp { gamma: 8.0 }, 2.2),
+        (Flavor::Sqrt { gamma: 2.0 }, 2.2),
+        (Flavor::standard_tfrc(), 2.5),
+        (Flavor::Rap { gamma: 2.0 }, 2.2),
+    ];
+    for (other, tolerance) in variants {
+        let (tcp, slow) = share_link(Flavor::standard_tcp(), other, 180, 11);
+        let ratio = (tcp / slow).max(slow / tcp);
+        assert!(
+            ratio < tolerance,
+            "{} vs TCP: {:.2} vs {:.2} Mb/s (ratio {ratio:.2} > {tolerance})",
+            other.label(),
+            slow / 1e6,
+            tcp / 1e6
+        );
+        // And together they should use most of the link.
+        assert!(tcp + slow > 7e6, "{}: combined only {:.2} Mb/s", other.label(), (tcp + slow) / 1e6);
+    }
+}
+
+/// A whole population of mixed algorithms shares with high Jain index —
+/// the "TCP-compatible paradigm" the paper's conclusion argues for.
+#[test]
+fn mixed_population_is_equitable() {
+    let mut sim = Simulator::new(23);
+    let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(15e6));
+    let population = [
+        Flavor::standard_tcp(),
+        Flavor::standard_tcp(),
+        Flavor::Tcp { gamma: 8.0 },
+        Flavor::Sqrt { gamma: 2.0 },
+        Flavor::standard_tfrc(),
+        Flavor::standard_tfrc(),
+        Flavor::Rap { gamma: 2.0 },
+        Flavor::Iiad { gamma: 2.0 },
+    ];
+    let handles: Vec<_> = population
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let pair = db.add_host_pair(&mut sim);
+            f.install(&mut sim, &pair, 1000, SimTime::from_millis(83 * i as u64), None)
+        })
+        .collect();
+    sim.run_until(SimTime::from_secs(180));
+    let from = SimTime::from_secs(45);
+    let to = SimTime::from_secs(180);
+    let rates: Vec<f64> = handles
+        .iter()
+        .map(|h| sim.stats().flow_throughput_bps(h.flow, from, to))
+        .collect();
+    let jain = jain_index(&rates);
+    assert!(
+        jain > 0.8,
+        "mixed population Jain index {jain:.3} too low: {rates:?}"
+    );
+    assert!(rates.iter().sum::<f64>() > 11e6, "poor utilization: {rates:?}");
+}
+
+/// TCP(1/γ) remains TCP-compatible across the γ range used in the paper
+/// under *static* conditions — the premise the dynamic experiments then
+/// stress.
+#[test]
+fn tcp_gamma_family_is_statically_compatible() {
+    for gamma in [4.0, 16.0] {
+        let (tcp, slow) = share_link(Flavor::standard_tcp(), Flavor::Tcp { gamma }, 240, 31);
+        let ratio = (tcp / slow).max(slow / tcp);
+        assert!(
+            ratio < 2.5,
+            "TCP(1/{gamma}) vs TCP ratio {ratio:.2}: {:.2} vs {:.2} Mb/s",
+            slow / 1e6,
+            tcp / 1e6
+        );
+    }
+}
