@@ -49,11 +49,9 @@ fn ablate_delayed_acks() {
             Box::new(Tcp::new(cfg, w))
         });
         sim.run_until(SimTime::from_secs(60));
-        let tput = sim.stats().flow_throughput_bps(
-            h.flow,
-            SimTime::from_secs(15),
-            SimTime::from_secs(60),
-        );
+        let tput =
+            sim.stats()
+                .flow_throughput_bps(h.flow, SimTime::from_secs(15), SimTime::from_secs(60));
         let k: &TcpSink = sim.agent_downcast(h.sink).unwrap();
         println!(
             "TCP(1/2), delayed ACKs {}: throughput {:5.2} Mb/s, {} ACKs",
@@ -103,7 +101,10 @@ fn ablate_self_clocking(scale: Scale) {
             onset_stabilization(&sc, &cfg).cost
         }
     };
-    println!("TFRC(64) plain:                cost {:8.3}", run(false, 0.0));
+    println!(
+        "TFRC(64) plain:                cost {:8.3}",
+        run(false, 0.0)
+    );
     println!("TFRC(64) self-clocked, C=1.1:  cost {:8.3}", run(true, 1.1));
     println!("TFRC(64) self-clocked, C=1.5:  cost {:8.3}", run(true, 1.5));
 }

@@ -1,66 +1,74 @@
-//! Criterion microbenches for the congestion control arithmetic: the
-//! Padhye equation, the binomial window rules, and TFRC's loss-interval
-//! averaging — the per-packet/per-feedback costs of each agent.
+//! Microbenches for the congestion control arithmetic (`harness =
+//! false`, plain `Instant` timing so they run without any bench
+//! framework): the Padhye equation, the binomial window rules, and
+//! TFRC's loss-interval averaging — the per-packet/per-feedback costs
+//! of each agent.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
 
 use slowcc_core::aimd::BinomialParams;
 use slowcc_core::equation::padhye_rate_bps;
 use slowcc_core::tfrc::LossHistory;
 
-fn bench_equation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("equation");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("padhye", |b| {
-        let mut p = 0.001;
-        b.iter(|| {
-            p = if p > 0.5 { 0.001 } else { p * 1.01 };
-            black_box(padhye_rate_bps(1000, black_box(p), 0.05, 0.2))
-        });
-    });
-    group.finish();
+const ITERS: u64 = 5_000_000;
+
+fn report(name: &str, t0: Instant) {
+    let dt = t0.elapsed();
+    println!(
+        "{name:<30} {:>8.1} ns/op  ({ITERS} ops in {:.2} s)",
+        dt.as_nanos() as f64 / ITERS as f64,
+        dt.as_secs_f64()
+    );
 }
 
-fn bench_window_rules(c: &mut Criterion) {
-    let mut group = c.benchmark_group("window_rules");
-    group.throughput(Throughput::Elements(1));
+fn bench_equation() {
+    let mut p = 0.001;
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        p = if p > 0.5 { 0.001 } else { p * 1.01 };
+        black_box(padhye_rate_bps(1000, black_box(p), 0.05, 0.2));
+    }
+    report("equation/padhye", t0);
+}
+
+fn bench_window_rules() {
     for (name, params) in [
-        ("aimd", BinomialParams::standard_tcp()),
-        ("sqrt", BinomialParams::sqrt_gamma(2.0)),
-        ("iiad", BinomialParams::iiad_gamma(2.0)),
+        ("window_rules/aimd", BinomialParams::standard_tcp()),
+        ("window_rules/sqrt", BinomialParams::sqrt_gamma(2.0)),
+        ("window_rules/iiad", BinomialParams::iiad_gamma(2.0)),
     ] {
-        group.bench_function(name, |b| {
-            let mut w = 2.0f64;
-            b.iter(|| {
-                w += params.increase_per_ack(w);
-                if w > 100.0 {
-                    w = params.decrease(w);
-                }
-                black_box(w)
-            });
-        });
-    }
-    group.finish();
-}
-
-fn bench_loss_history(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tfrc_loss_history");
-    for k in [8usize, 64, 256] {
-        group.throughput(Throughput::Elements(1));
-        group.bench_function(format!("k{k}"), |b| {
-            let mut h = LossHistory::new(k, false);
-            for i in 0..k {
-                h.record_interval(50 + i as u64);
+        let mut w = 2.0f64;
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            w += params.increase_per_ack(w);
+            if w > 100.0 {
+                w = params.decrease(w);
             }
-            let mut open = 0u64;
-            b.iter(|| {
-                open = (open + 7) % 1000;
-                black_box(h.loss_event_rate(open))
-            });
-        });
+            black_box(w);
+        }
+        report(name, t0);
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_equation, bench_window_rules, bench_loss_history);
-criterion_main!(benches);
+fn bench_loss_history() {
+    for k in [8usize, 64, 256] {
+        let mut h = LossHistory::new(k, false);
+        for i in 0..k {
+            h.record_interval(50 + i as u64);
+        }
+        let mut open = 0u64;
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            open = (open + 7) % 1000;
+            black_box(h.loss_event_rate(open));
+        }
+        report(&format!("tfrc_loss_history/k{k}"), t0);
+    }
+}
+
+fn main() {
+    bench_equation();
+    bench_window_rules();
+    bench_loss_history();
+}

@@ -42,5 +42,8 @@ fn main() {
     hetero::run_rtt_bias(scale).print();
     hetero::run_multihop(scale).print();
 
-    println!("\nall figures regenerated in {:.1} s", t0.elapsed().as_secs_f64());
+    println!(
+        "\nall figures regenerated in {:.1} s",
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -1,89 +1,94 @@
-//! Criterion microbenches for the simulator's hot paths: RED enqueue
-//! decisions and end-to-end packet events through the standard dumbbell.
+//! Microbenches for the simulator's hot paths (`harness = false`,
+//! plain `Instant` timing so they run without any bench framework):
+//! RED enqueue decisions and end-to-end packet events through the
+//! standard dumbbell.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
 
 use slowcc_core::tcp::{Tcp, TcpConfig};
 use slowcc_netsim::prelude::*;
 
-fn bench_red(c: &mut Criterion) {
+fn bench_red() {
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
     use slowcc_netsim::ids::{AgentId, FlowId, NodeId};
     use slowcc_netsim::packet::{DataInfo, Packet, Payload};
 
-    let mut group = c.benchmark_group("red");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("enqueue_dequeue", |b| {
-        let cfg = RedConfig {
-            capacity: 150,
-            min_thresh: 15.0,
-            max_thresh: 78.0,
-            max_p: 0.1,
-            weight: 0.002,
-            mean_pkt_time: SimDuration::from_micros(800),
-            gentle: false,
-            ecn: false,
+    let cfg = RedConfig {
+        capacity: 150,
+        min_thresh: 15.0,
+        max_thresh: 78.0,
+        max_p: 0.1,
+        weight: 0.002,
+        mean_pkt_time: SimDuration::from_micros(800),
+        gentle: false,
+        ecn: false,
+    };
+    let mut q = Red::new(cfg);
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut uid = 0u64;
+    let mut t = SimTime::ZERO;
+    const ITERS: u64 = 2_000_000;
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        t += SimDuration::from_micros(400);
+        let pkt = Packet {
+            uid,
+            flow: FlowId::from_index(0),
+            seq: uid,
+            size: 1000,
+            payload: Payload::Data(DataInfo::default()),
+            src_node: NodeId::from_index(0),
+            dst_node: NodeId::from_index(1),
+            src_agent: AgentId::from_index(0),
+            dst_agent: AgentId::from_index(1),
+            sent_at: t,
+            ecn: Default::default(),
         };
-        let mut q = Red::new(cfg);
-        let mut rng = SmallRng::seed_from_u64(7);
-        let mut uid = 0u64;
-        let mut t = SimTime::ZERO;
-        b.iter(|| {
-            t += SimDuration::from_micros(400);
-            let pkt = Packet {
-                uid,
-                flow: FlowId::from_index(0),
-                seq: uid,
-                size: 1000,
-                payload: Payload::Data(DataInfo::default()),
-                src_node: NodeId::from_index(0),
-                dst_node: NodeId::from_index(1),
-                src_agent: AgentId::from_index(0),
-                dst_agent: AgentId::from_index(1),
-                sent_at: t,
-                ecn: Default::default(),
-            };
-            uid += 1;
-            let _ = q.enqueue(pkt, t, &mut rng);
-            if uid.is_multiple_of(2) {
-                let _ = q.dequeue(t);
-            }
-        });
-    });
-    group.finish();
+        uid += 1;
+        black_box(q.enqueue(pkt, t, &mut rng));
+        if uid.is_multiple_of(2) {
+            black_box(q.dequeue(t));
+        }
+    }
+    let dt = t0.elapsed();
+    println!(
+        "red/enqueue_dequeue            {:>8.1} ns/op  ({ITERS} ops in {:.2} s)",
+        dt.as_nanos() as f64 / ITERS as f64,
+        dt.as_secs_f64()
+    );
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator");
-    group.sample_size(10);
+fn bench_end_to_end() {
     // Wall-time to simulate 5 seconds of 4 TCP flows on the 10 Mb/s
     // paper dumbbell (~50k packet events).
-    group.bench_function("dumbbell_4tcp_5s", |b| {
-        b.iter_batched(
-            || {
-                let mut sim = Simulator::new(3);
-                let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
-                for i in 0..4 {
-                    let pair = db.add_host_pair(&mut sim);
-                    Tcp::install(
-                        &mut sim,
-                        &pair,
-                        TcpConfig::standard(1000),
-                        SimTime::from_millis(13 * i),
-                    );
-                }
-                sim
-            },
-            |mut sim| {
-                sim.run_until(SimTime::from_secs(5));
-                sim
-            },
-            BatchSize::PerIteration,
-        );
-    });
-    group.finish();
+    const RUNS: u32 = 10;
+    let mut total = std::time::Duration::ZERO;
+    for _ in 0..RUNS {
+        let mut sim = Simulator::new(3);
+        let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
+        for i in 0..4 {
+            let pair = db.add_host_pair(&mut sim);
+            Tcp::install(
+                &mut sim,
+                &pair,
+                TcpConfig::standard(1000),
+                SimTime::from_millis(13 * i),
+            );
+        }
+        let t0 = Instant::now();
+        sim.run_until(SimTime::from_secs(5));
+        total += t0.elapsed();
+        black_box(&sim);
+    }
+    println!(
+        "simulator/dumbbell_4tcp_5s     {:>8.2} ms/run ({RUNS} runs)",
+        total.as_secs_f64() * 1e3 / RUNS as f64
+    );
 }
 
-criterion_group!(benches, bench_red, bench_end_to_end);
-criterion_main!(benches);
+fn main() {
+    bench_red();
+    bench_end_to_end();
+}

@@ -1,0 +1,160 @@
+//! `bench_netsim` — wall-clock benchmark of the netsim hot path and the
+//! full figure sweep, written as `BENCH_netsim.json` at the repo root.
+//!
+//! Two measurements, both plain `std::time::Instant` (no bench
+//! framework):
+//!
+//! * **dumbbell** — simulate 5 s of 4 TCP flows on the 10 Mb/s paper
+//!   dumbbell (~50k packet events), repeated; reports mean and min
+//!   per-run time. This is the netsim hot path (`offer_to_link`,
+//!   EventQueue schedule/pop) in isolation.
+//! * **quick sweep** — `repro --quick all`, once with `--jobs 1` and
+//!   once with the machine's available parallelism, as subprocesses
+//!   (the thread budget is process-wide and set once, so the two
+//!   configurations need separate processes). The `repro` binary must
+//!   already be built: run `cargo build --release` first, or use
+//!   `scripts/verify.sh`. Pass `--skip-sweep` to record only the
+//!   dumbbell numbers.
+
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use slowcc_core::tcp::{Tcp, TcpConfig};
+use slowcc_netsim::prelude::*;
+
+#[derive(Serialize)]
+struct DumbbellBench {
+    runs: u32,
+    mean_ms: f64,
+    min_ms: f64,
+}
+
+#[derive(Serialize)]
+struct SweepBench {
+    serial_secs: f64,
+    parallel_secs: f64,
+    parallel_jobs: usize,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    available_parallelism: usize,
+    note: &'static str,
+    dumbbell_4tcp_5s: DumbbellBench,
+    quick_sweep: Option<SweepBench>,
+}
+
+const NOTE: &str = "sweep speedup scales with available_parallelism; \
+    on a single-core machine the serial and parallel runs coincide";
+
+fn bench_dumbbell() -> DumbbellBench {
+    const RUNS: u32 = 10;
+    let mut times = Vec::with_capacity(RUNS as usize);
+    for _ in 0..RUNS {
+        let mut sim = Simulator::new(3);
+        let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
+        for i in 0..4 {
+            let pair = db.add_host_pair(&mut sim);
+            Tcp::install(
+                &mut sim,
+                &pair,
+                TcpConfig::standard(1000),
+                SimTime::from_millis(13 * i),
+            );
+        }
+        let t0 = Instant::now();
+        sim.run_until(SimTime::from_secs(5));
+        times.push(t0.elapsed().as_secs_f64());
+        black_box(&sim);
+    }
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "dumbbell_4tcp_5s   mean {:.2} ms  min {:.2} ms  ({RUNS} runs)",
+        mean * 1e3,
+        min * 1e3
+    );
+    DumbbellBench {
+        runs: RUNS,
+        mean_ms: mean * 1e3,
+        min_ms: min * 1e3,
+    }
+}
+
+/// Time one `repro --quick all --jobs N` subprocess, output discarded.
+fn time_sweep(repro: &Path, jobs: usize) -> Option<f64> {
+    let t0 = Instant::now();
+    let status = Command::new(repro)
+        .args(["--quick", "all", "--jobs", &jobs.to_string()])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status();
+    match status {
+        Ok(s) if s.success() => Some(t0.elapsed().as_secs_f64()),
+        Ok(s) => {
+            eprintln!("warning: repro --jobs {jobs} exited with {s}");
+            None
+        }
+        Err(e) => {
+            eprintln!("warning: failed to spawn {}: {e}", repro.display());
+            None
+        }
+    }
+}
+
+fn bench_sweep(jobs: usize) -> Option<SweepBench> {
+    // `repro` lands in the same target directory as this binary.
+    let repro = std::env::current_exe()
+        .ok()?
+        .parent()?
+        .join(format!("repro{}", std::env::consts::EXE_SUFFIX));
+    if !repro.exists() {
+        eprintln!(
+            "warning: {} not found — run `cargo build --release` first; \
+             recording dumbbell numbers only",
+            repro.display()
+        );
+        return None;
+    }
+    println!("quick sweep --jobs 1 ...");
+    let serial = time_sweep(&repro, 1)?;
+    println!("quick sweep --jobs {jobs} ...");
+    let parallel = time_sweep(&repro, jobs)?;
+    println!(
+        "quick_sweep        serial {serial:.1} s  parallel({jobs}) {parallel:.1} s  speedup {:.2}x",
+        serial / parallel
+    );
+    Some(SweepBench {
+        serial_secs: serial,
+        parallel_secs: parallel,
+        parallel_jobs: jobs,
+        speedup: serial / parallel,
+    })
+}
+
+fn main() {
+    let skip_sweep = std::env::args().any(|a| a == "--skip-sweep");
+    let jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let report = BenchReport {
+        available_parallelism: jobs,
+        note: NOTE,
+        dumbbell_4tcp_5s: bench_dumbbell(),
+        quick_sweep: if skip_sweep { None } else { bench_sweep(jobs) },
+    };
+    // crates/bench/../.. == repo root.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/bench has a grandparent")
+        .to_path_buf();
+    slowcc_experiments::report::write_json(&root, "BENCH_netsim", &report)
+        .expect("write BENCH_netsim.json");
+    println!("wrote {}", root.join("BENCH_netsim.json").display());
+}

@@ -1,25 +1,64 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--out DIR] <experiment>... | all
+//! repro [--quick] [--jobs N] [--out DIR] <experiment>... | all
 //! ```
 //!
 //! Experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 //! fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 fairness-extreme
 //! sawtooth fk-model. (`fig4`/`fig5` share one sweep, as do
 //! `fig14`/`fig15`.)
+//!
+//! Experiment targets run concurrently (and each target's internal
+//! sweep is itself parallel) under a process-wide budget of `--jobs`
+//! threads, defaulting to the machine's available parallelism. Output
+//! is unaffected: every simulation cell is seeded independently and
+//! results are collected in input order, so tables, JSON and CSV are
+//! byte-identical to `--jobs 1`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use slowcc_experiments::runner;
 use slowcc_experiments::scale::Scale;
 use slowcc_experiments::*;
 
 const EXPERIMENTS: &[&str] = &[
-    "fig3", "fig45", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "fig1415", "fig16", "fig17", "fig18", "fig19", "fig20", "fairness-extreme", "sawtooth",
-    "fk-model", "validate-static", "validate-ecn", "validate-highloss", "response", "queue-dynamics", "rtt-bias", "multihop",
+    "fig3",
+    "fig45",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig1415",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fairness-extreme",
+    "sawtooth",
+    "fk-model",
+    "validate-static",
+    "validate-ecn",
+    "validate-highloss",
+    "response",
+    "queue-dynamics",
+    "rtt-bias",
+    "multihop",
 ];
+
+/// The deferred print-and-save half of a target, run serially in
+/// command-line order once the simulations are done.
+type Render = Box<dyn FnOnce(&Option<PathBuf>) + Send>;
+
+/// The simulation half of a target, safe to run concurrently with
+/// other targets (it writes nothing and prints nothing).
+type Compute = Box<dyn FnOnce() -> Render + Send>;
 
 fn main() -> ExitCode {
     let mut scale = Scale::Full;
@@ -33,6 +72,13 @@ fn main() -> ExitCode {
                 Some(dir) => out = Some(PathBuf::from(dir)),
                 None => {
                     eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => runner::set_jobs(n),
+                _ => {
+                    eprintln!("--jobs requires a thread count >= 1");
                     return ExitCode::FAILURE;
                 }
             },
@@ -52,179 +98,191 @@ fn main() -> ExitCode {
     }
     targets.dedup();
 
-    let save = |name: &str, value: &dyn erased_print::SerializeRef| {
-        if let Some(dir) = &out {
-            if let Err(e) = value.write(dir, name) {
-                eprintln!("warning: failed to write {name}.json: {e}");
-            }
-        }
-    };
-
+    let mut computes: Vec<Compute> = Vec::with_capacity(targets.len());
     for target in &targets {
-        match target.as_str() {
-            "list" => {
-                println!("experiments: {}", EXPERIMENTS.join(" "));
-                println!("aliases: fig4 fig5 -> fig45; fig14 fig15 -> fig1415");
-            }
-            "fig3" => {
-                let r = fig03::run(scale);
-                r.print();
-                save("fig3", &r);
-                if let Some(dir) = &out {
-                    if let Err(e) = r.write_csv(dir) {
-                        eprintln!("warning: failed to write fig3 CSV: {e}");
-                    }
-                }
-            }
-            "fig45" => {
-                let r = fig45::run(scale);
-                r.print();
-                save("fig4_fig5", &r);
-            }
-            "fig6" => {
-                let r = fig06::run(scale);
-                r.print();
-                save("fig6", &r);
-            }
-            "fig7" => {
-                let r = fig0789::run_fig7(scale);
-                r.print("Figure 7");
-                save("fig7", &r);
-            }
-            "fig8" => {
-                let r = fig0789::run_fig8(scale);
-                r.print("Figure 8");
-                save("fig8", &r);
-            }
-            "fig9" => {
-                let r = fig0789::run_fig9(scale);
-                r.print("Figure 9");
-                save("fig9", &r);
-            }
-            "fig10" => {
-                let r = fig1012::run_fig10(scale);
-                r.print("Figure 10");
-                save("fig10", &r);
-            }
-            "fig11" => {
-                let r = fig11::run(scale);
-                r.print();
-                save("fig11", &r);
-            }
-            "fig12" => {
-                let r = fig1012::run_fig12(scale);
-                r.print("Figure 12");
-                save("fig12", &r);
-            }
-            "fig13" => {
-                let r = fig13::run(scale);
-                r.print();
-                save("fig13", &r);
-            }
-            "fig1415" => {
-                let r = fig1416::run_fig14(scale);
-                r.print("Figures 14/15");
-                save("fig14_fig15", &r);
-            }
-            "fig16" => {
-                let r = fig1416::run_fig16(scale);
-                r.print("Figure 16");
-                save("fig16", &r);
-            }
-            "fig17" => {
-                let r = fig171819::run_fig17(scale);
-                r.print("Figure 17");
-                save("fig17", &r);
-                if let Some(dir) = &out {
-                    if let Err(e) = r.write_csv(dir, "fig17") {
-                        eprintln!("warning: failed to write fig17 CSV: {e}");
-                    }
-                }
-            }
-            "fig18" => {
-                let r = fig171819::run_fig18(scale);
-                r.print("Figure 18");
-                save("fig18", &r);
-                if let Some(dir) = &out {
-                    if let Err(e) = r.write_csv(dir, "fig18") {
-                        eprintln!("warning: failed to write fig18 CSV: {e}");
-                    }
-                }
-            }
-            "fig19" => {
-                let r = fig171819::run_fig19(scale);
-                r.print("Figure 19");
-                save("fig19", &r);
-                if let Some(dir) = &out {
-                    if let Err(e) = r.write_csv(dir, "fig19") {
-                        eprintln!("warning: failed to write fig19 CSV: {e}");
-                    }
-                }
-            }
-            "fig20" => {
-                let r = fig20::run(scale);
-                r.print();
-                save("fig20", &r);
-            }
-            "fairness-extreme" => {
-                let r = extras::run_fairness_extreme(scale);
-                r.print("Section 4.2.1 (10:1 oscillation)");
-                save("fairness_extreme", &r);
-            }
-            "sawtooth" => {
-                for (i, r) in extras::run_sawtooth_variants(scale).iter().enumerate() {
-                    r.print(&format!("Section 4.2.1 sawtooth variant {}", i + 1));
-                    save(&format!("sawtooth_{}", i + 1), r);
-                }
-            }
-            "fk-model" => {
-                let r = extras::run_fk_model(scale);
-                r.print();
-                save("fk_model", &r);
-            }
-            "validate-static" => {
-                let r = validate::run_static(scale);
-                r.print();
-                save("validate_static", &r);
-            }
-            "validate-ecn" => {
-                let r = validate::run_ecn_convergence(scale);
-                r.print();
-                save("validate_ecn", &r);
-            }
-            "validate-highloss" => {
-                let r = validate::run_high_loss(scale);
-                r.print();
-                save("validate_highloss", &r);
-            }
-            "response" => {
-                let r = response::run(scale);
-                r.print();
-                save("response", &r);
-            }
-            "queue-dynamics" => {
-                let r = queuedyn::run(scale);
-                r.print();
-                save("queue_dynamics", &r);
-            }
-            "rtt-bias" => {
-                let r = hetero::run_rtt_bias(scale);
-                r.print();
-                save("rtt_bias", &r);
-            }
-            "multihop" => {
-                let r = hetero::run_multihop(scale);
-                r.print();
-                save("multihop", &r);
-            }
-            other => {
-                eprintln!("unknown experiment: {other}");
+        match job_for(target, scale) {
+            Some(compute) => computes.push(compute),
+            None => {
+                eprintln!("unknown experiment: {target}");
                 usage();
                 return ExitCode::FAILURE;
             }
         }
     }
+
+    // Simulate all targets in parallel, then render serially in
+    // command-line order so the report reads exactly as it always has.
+    let renders = runner::run_cells(computes, |compute| compute());
+    for render in renders {
+        render(&out);
+    }
     ExitCode::SUCCESS
+}
+
+fn save(out: &Option<PathBuf>, name: &str, value: &dyn erased_print::SerializeRef) {
+    if let Some(dir) = out {
+        if let Err(e) = value.write(dir, name) {
+            eprintln!("warning: failed to write {name}.json: {e}");
+        }
+    }
+}
+
+/// Build the compute half of one experiment target, or `None` for an
+/// unknown name.
+fn job_for(target: &str, scale: Scale) -> Option<Compute> {
+    /// A target whose result only prints and writes JSON.
+    macro_rules! simple {
+        ($run:expr, $name:literal, print: $print:expr) => {
+            Box::new(move || -> Render {
+                let r = $run;
+                Box::new(move |out: &Option<PathBuf>| {
+                    $print(&r);
+                    save(out, $name, &r);
+                })
+            })
+        };
+    }
+
+    Some(match target {
+        "list" => Box::new(move || -> Render {
+            Box::new(move |_out: &Option<PathBuf>| {
+                println!("experiments: {}", EXPERIMENTS.join(" "));
+                println!("aliases: fig4 fig5 -> fig45; fig14 fig15 -> fig1415");
+            })
+        }),
+        "fig3" => Box::new(move || -> Render {
+            let r = fig03::run(scale);
+            Box::new(move |out: &Option<PathBuf>| {
+                r.print();
+                save(out, "fig3", &r);
+                if let Some(dir) = out {
+                    if let Err(e) = r.write_csv(dir) {
+                        eprintln!("warning: failed to write fig3 CSV: {e}");
+                    }
+                }
+            })
+        }),
+        "fig45" => simple!(fig45::run(scale), "fig4_fig5", print: |r: &fig45::Fig45| r.print()),
+        "fig6" => simple!(fig06::run(scale), "fig6", print: |r: &fig06::Fig6| r.print()),
+        "fig7" => simple!(
+            fig0789::run_fig7(scale),
+            "fig7",
+            print: |r: &fig0789::OscFairness| r.print("Figure 7")
+        ),
+        "fig8" => simple!(
+            fig0789::run_fig8(scale),
+            "fig8",
+            print: |r: &fig0789::OscFairness| r.print("Figure 8")
+        ),
+        "fig9" => simple!(
+            fig0789::run_fig9(scale),
+            "fig9",
+            print: |r: &fig0789::OscFairness| r.print("Figure 9")
+        ),
+        "fig10" => simple!(
+            fig1012::run_fig10(scale),
+            "fig10",
+            print: |r: &fig1012::Convergence| r.print("Figure 10")
+        ),
+        "fig11" => simple!(fig11::run(scale), "fig11", print: |r: &fig11::Fig11| r.print()),
+        "fig12" => simple!(
+            fig1012::run_fig12(scale),
+            "fig12",
+            print: |r: &fig1012::Convergence| r.print("Figure 12")
+        ),
+        "fig13" => simple!(fig13::run(scale), "fig13", print: |r: &fig13::Fig13| r.print()),
+        "fig1415" => simple!(
+            fig1416::run_fig14(scale),
+            "fig14_fig15",
+            print: |r: &fig1416::Osc2| r.print("Figures 14/15")
+        ),
+        "fig16" => simple!(
+            fig1416::run_fig16(scale),
+            "fig16",
+            print: |r: &fig1416::Osc2| r.print("Figure 16")
+        ),
+        "fig17" => smoothness_job(scale, "fig17", "Figure 17", fig171819::run_fig17),
+        "fig18" => smoothness_job(scale, "fig18", "Figure 18", fig171819::run_fig18),
+        "fig19" => smoothness_job(scale, "fig19", "Figure 19", fig171819::run_fig19),
+        "fig20" => simple!(fig20::run(scale), "fig20", print: |r: &fig20::Fig20| r.print()),
+        "fairness-extreme" => simple!(
+            extras::run_fairness_extreme(scale),
+            "fairness_extreme",
+            print: |r: &fig0789::OscFairness| r.print("Section 4.2.1 (10:1 oscillation)")
+        ),
+        "sawtooth" => Box::new(move || -> Render {
+            let rs = extras::run_sawtooth_variants(scale);
+            Box::new(move |out: &Option<PathBuf>| {
+                for (i, r) in rs.iter().enumerate() {
+                    r.print(&format!("Section 4.2.1 sawtooth variant {}", i + 1));
+                    save(out, &format!("sawtooth_{}", i + 1), r);
+                }
+            })
+        }),
+        "fk-model" => simple!(
+            extras::run_fk_model(scale),
+            "fk_model",
+            print: |r: &extras::FkModel| r.print()
+        ),
+        "validate-static" => simple!(
+            validate::run_static(scale),
+            "validate_static",
+            print: |r: &validate::StaticValidation| r.print()
+        ),
+        "validate-ecn" => simple!(
+            validate::run_ecn_convergence(scale),
+            "validate_ecn",
+            print: |r: &validate::EcnConvergence| r.print()
+        ),
+        "validate-highloss" => simple!(
+            validate::run_high_loss(scale),
+            "validate_highloss",
+            print: |r: &validate::HighLossValidation| r.print()
+        ),
+        "response" => simple!(
+            response::run(scale),
+            "response",
+            print: |r: &response::ResponseMetrics| r.print()
+        ),
+        "queue-dynamics" => simple!(
+            queuedyn::run(scale),
+            "queue_dynamics",
+            print: |r: &queuedyn::QueueDynamics| r.print()
+        ),
+        "rtt-bias" => simple!(
+            hetero::run_rtt_bias(scale),
+            "rtt_bias",
+            print: |r: &hetero::RttBias| r.print()
+        ),
+        "multihop" => simple!(
+            hetero::run_multihop(scale),
+            "multihop",
+            print: |r: &hetero::MultiHop| r.print()
+        ),
+        _ => return None,
+    })
+}
+
+/// Figures 17/18/19 print, save JSON, and also write the rate series
+/// CSV — same deferred-render shape, one extra output.
+fn smoothness_job(
+    scale: Scale,
+    name: &'static str,
+    figure: &'static str,
+    run: fn(Scale) -> fig171819::Smoothness,
+) -> Compute {
+    Box::new(move || -> Render {
+        let r = run(scale);
+        Box::new(move |out: &Option<PathBuf>| {
+            r.print(figure);
+            save(out, name, &r);
+            if let Some(dir) = out {
+                if let Err(e) = r.write_csv(dir, name) {
+                    eprintln!("warning: failed to write {name} CSV: {e}");
+                }
+            }
+        })
+    })
 }
 
 /// Map figure aliases onto canonical experiment names.
@@ -237,9 +295,10 @@ fn normalize(name: &str) -> String {
 }
 
 fn usage() {
-    eprintln!("usage: repro [--quick] [--out DIR] <experiment>... | all | list");
+    eprintln!("usage: repro [--quick] [--jobs N] [--out DIR] <experiment>... | all | list");
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
     eprintln!("aliases: fig4 fig5 -> fig45; fig14 fig15 -> fig1415");
+    eprintln!("--jobs N caps the process at N threads (default: available parallelism)");
 }
 
 /// Tiny object-safe serialization shim so `save` can take any result.

@@ -60,11 +60,10 @@ pub fn run(scale: Scale) -> Fig3 {
         .into_iter()
         .map(|flavor| {
             let sc = run_onset(flavor, &config, 42);
-            let loss = sc.sim.stats().link_loss_series(
-                sc.db.forward,
-                window,
-                config.timeline.end,
-            );
+            let loss = sc
+                .sim
+                .stats()
+                .link_loss_series(sc.db.forward, window, config.timeline.end);
             FlavorSeries {
                 label: flavor.label(),
                 loss,
@@ -158,8 +157,7 @@ mod tests {
     #[test]
     fn slow_tfrc_without_self_clocking_has_the_longest_transient() {
         let fig = run(Scale::Quick);
-        let onset_w =
-            (fig.config.timeline.onset.as_secs_f64() / fig.window_secs) as usize;
+        let onset_w = (fig.config.timeline.onset.as_secs_f64() / fig.window_secs) as usize;
         // Total post-onset loss mass per algorithm.
         let mass: std::collections::HashMap<&str, f64> = fig
             .series
@@ -171,14 +169,12 @@ mod tests {
                 )
             })
             .collect();
-        let tfrc = mass.iter().find(|(k, _)| k.starts_with("TFRC") && !k.ends_with("+sc"));
+        let tfrc = mass
+            .iter()
+            .find(|(k, _)| k.starts_with("TFRC") && !k.ends_with("+sc"));
         let tfrc_sc = mass.iter().find(|(k, _)| k.ends_with("+sc"));
         let tcp = mass.iter().find(|(k, _)| k.starts_with("TCP"));
-        let (tfrc, tfrc_sc, tcp) = (
-            *tfrc.unwrap().1,
-            *tfrc_sc.unwrap().1,
-            *tcp.unwrap().1,
-        );
+        let (tfrc, tfrc_sc, tcp) = (*tfrc.unwrap().1, *tfrc_sc.unwrap().1, *tcp.unwrap().1);
         assert!(
             tfrc > tcp,
             "TFRC(k) should suffer a worse transient than TCP(1/γ): {tfrc} vs {tcp}"

@@ -233,7 +233,11 @@ mod tests {
             .iter()
             .find(|s| s.label.starts_with("TFRC") && !s.label.ends_with("+sc"))
             .unwrap();
-        let sc = fig.series.iter().find(|s| s.label.ends_with("+sc")).unwrap();
+        let sc = fig
+            .series
+            .iter()
+            .find(|s| s.label.ends_with("+sc"))
+            .unwrap();
         assert!(
             sc.background_during_crowd_bps <= plain.background_during_crowd_bps * 1.5,
             "self-clocked TFRC should not out-grab plain TFRC during the crowd"

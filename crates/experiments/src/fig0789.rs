@@ -112,12 +112,9 @@ pub struct OscFairness {
 
 /// Run a fairness sweep of TCP vs `other` under `config`.
 pub fn run_with(other: Flavor, config: OscConfig, scale: Scale) -> OscFairness {
-    let points = config
-        .periods_secs
-        .clone()
-        .into_iter()
-        .map(|period| run_point(other, &config, period))
-        .collect();
+    let points = crate::runner::run_cells(config.periods_secs.clone(), |period| {
+        run_point(other, &config, period)
+    });
     OscFairness {
         scale,
         other_label: other.label(),
@@ -175,7 +172,13 @@ fn run_point(other: Flavor, cfg: &OscConfig, period: f64) -> OscPoint {
     let mut other_flows = Vec::new();
     let mut sc = scenario::standard_with(42, cfg.bottleneck_bps, |sim, db| {
         let pair = db.add_host_pair(sim);
-        install_cbr(sim, &pair, cbr_schedule(cfg, period), PKT_SIZE, SimTime::ZERO);
+        install_cbr(
+            sim,
+            &pair,
+            cbr_schedule(cfg, period),
+            PKT_SIZE,
+            SimTime::ZERO,
+        );
         let tcp = scenario::install_flows(
             sim,
             db,

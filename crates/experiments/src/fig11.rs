@@ -76,8 +76,7 @@ mod tests {
         // The paper's observation: b >~ 0.2 converges quickly, much
         // smaller b exponentially slower. At bp << 1 the count scales as
         // 1/(bp): halving b doubles the ACKs.
-        let b_small: Vec<&Fig11Point> =
-            fig.points.iter().filter(|p| p.b <= 0.0625).collect();
+        let b_small: Vec<&Fig11Point> = fig.points.iter().filter(|p| p.b <= 0.0625).collect();
         for w in b_small.windows(2) {
             let ratio = w[1].acks / w[0].acks;
             assert!(

@@ -125,14 +125,8 @@ fn run_point_seeded(family: &str, gamma: f64, cfg: &Fig13Config, seed: u64) -> (
     let mut survivors = Vec::new();
     let mut sc = scenario::standard_with(seed, cfg.bottleneck_bps, |sim, db| {
         // Half the flows stop at the doubling time...
-        let stoppers = scenario::install_flows(
-            sim,
-            db,
-            flavor,
-            half,
-            SimTime::ZERO,
-            Some(cfg.stop_at),
-        );
+        let stoppers =
+            scenario::install_flows(sim, db, flavor, half, SimTime::ZERO, Some(cfg.stop_at));
         // ...and half continue.
         survivors =
             scenario::install_flows(sim, db, flavor, cfg.n_flows - half, SimTime::ZERO, None);
@@ -202,6 +196,9 @@ mod tests {
         assert!(slow_f200 >= slow_f20 - 0.2);
         // Before the doubling the flows all share: baseline sanity is
         // implied by f20 > 0.5 for standard TCP (they keep their half).
-        assert!(slow_f20 > 0.4, "survivors keep their old half: {slow_f20:.3}");
+        assert!(
+            slow_f20 > 0.4,
+            "survivors keep their old half: {slow_f20:.3}"
+        );
     }
 }

@@ -113,12 +113,14 @@ pub fn run_fig16(scale: Scale) -> Osc2 {
 
 /// Run a utilization sweep with explicit sizing.
 pub fn run_with(config: Osc2Config, scale: Scale) -> Osc2 {
-    let mut points = Vec::new();
+    let mut cells: Vec<(Flavor, f64)> = Vec::new();
     for flavor in figure14_flavors() {
         for &on_off in &config.on_off_secs {
-            points.push(run_point(flavor, &config, on_off));
+            cells.push((flavor, on_off));
         }
     }
+    let points =
+        crate::runner::run_cells(cells, |(flavor, on_off)| run_point(flavor, &config, on_off));
     Osc2 {
         scale,
         config,

@@ -79,10 +79,8 @@ pub struct Smoothness {
 pub fn run_pattern(pattern: Pattern, flavors: &[Flavor], scale: Scale) -> Smoothness {
     let duration = scale.pick(SimTime::from_secs(80), SimTime::from_secs(30));
     let warmup = scale.pick(SimTime::from_secs(10), SimTime::from_secs(5));
-    let series = flavors
-        .iter()
-        .map(|&f| run_one(f, pattern, warmup, duration))
-        .collect();
+    let series =
+        crate::runner::run_cells(flavors.to_vec(), |f| run_one(f, pattern, warmup, duration));
     Smoothness {
         scale,
         pattern,
@@ -192,7 +190,10 @@ impl Smoothness {
 
     /// Render the summary.
     pub fn print(&self, figure: &str) {
-        println!("\n== {figure}: smoothness under the {:?} loss pattern ==", self.pattern);
+        println!(
+            "\n== {figure}: smoothness under the {:?} loss pattern ==",
+            self.pattern
+        );
         let mut t = Table::new([
             "algorithm",
             "throughput (Mb/s)",

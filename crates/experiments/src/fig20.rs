@@ -33,8 +33,22 @@ pub struct Fig20 {
 /// Evaluate the curves.
 pub fn run(_scale: Scale) -> Fig20 {
     let ps = [
-        0.02, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 1.0 / 3.0, 0.4, 0.5, 0.6, 2.0 / 3.0, 0.75, 0.8,
-        0.875, 0.9,
+        0.02,
+        0.05,
+        0.1,
+        0.15,
+        0.2,
+        0.25,
+        0.3,
+        1.0 / 3.0,
+        0.4,
+        0.5,
+        0.6,
+        2.0 / 3.0,
+        0.75,
+        0.8,
+        0.875,
+        0.9,
     ];
     let points = ps
         .iter()

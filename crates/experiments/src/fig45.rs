@@ -58,27 +58,40 @@ pub struct Fig45 {
     pub points: Vec<StabilizationPoint>,
 }
 
+/// The `(family, γ)` cell list for `scale`, in sweep order.
+pub fn cells(scale: Scale) -> Vec<(&'static str, f64)> {
+    let mut cells = Vec::new();
+    for family in FAMILIES {
+        for &gamma in &gamma_sweep(scale) {
+            cells.push((family, gamma));
+        }
+    }
+    cells
+}
+
+/// Measure one `(family, γ)` cell.
+pub fn run_cell(config: &OnsetConfig, family: &str, gamma: f64) -> StabilizationPoint {
+    // TFRC(1) is legal; RAP(1/1)/TCP(1/1) degenerate to full
+    // decrease, also legal.
+    let flavor = family_flavor(family, gamma);
+    let sc = run_onset(flavor, config, 42);
+    let st = onset_stabilization(&sc, config);
+    StabilizationPoint {
+        family: family.to_string(),
+        gamma,
+        time_rtts: st.time_rtts,
+        cost: st.cost,
+        steady_loss: st.steady_loss,
+        stabilized: st.stabilized,
+    }
+}
+
 /// Run the Figures 4/5 sweep.
 pub fn run(scale: Scale) -> Fig45 {
     let config = OnsetConfig::for_scale(scale);
-    let mut points = Vec::new();
-    for family in FAMILIES {
-        for &gamma in &gamma_sweep(scale) {
-            // TFRC(1) is legal; RAP(1/1)/TCP(1/1) degenerate to full
-            // decrease, also legal.
-            let flavor = family_flavor(family, gamma);
-            let sc = run_onset(flavor, &config, 42);
-            let st = onset_stabilization(&sc, &config);
-            points.push(StabilizationPoint {
-                family: family.to_string(),
-                gamma,
-                time_rtts: st.time_rtts,
-                cost: st.cost,
-                steady_loss: st.steady_loss,
-                stabilized: st.stabilized,
-            });
-        }
-    }
+    let points = crate::runner::run_cells(cells(scale), |(family, gamma)| {
+        run_cell(&config, family, gamma)
+    });
     Fig45 {
         scale,
         config,
@@ -103,11 +116,9 @@ impl Fig45 {
     fn print_metric(&self, get: impl Fn(&StabilizationPoint) -> f64) {
         let gammas: Vec<f64> = {
             let mut g: Vec<f64> = self.points.iter().map(|p| p.gamma).collect();
+            g.sort_by(|a, b| a.partial_cmp(b).unwrap());
             g.dedup();
-            let mut g2 = g.clone();
-            g2.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            g2.dedup();
-            g2
+            g
         };
         let mut header = vec!["family".to_string()];
         header.extend(gammas.iter().map(|g| format!("γ={g:.0}")));

@@ -134,7 +134,11 @@ mod tests {
     fn labels_match_paper_notation() {
         assert_eq!(Flavor::Tcp { gamma: 8.0 }.label(), "TCP(1/8)");
         assert_eq!(
-            Flavor::Tfrc { k: 256, self_clocking: true }.label(),
+            Flavor::Tfrc {
+                k: 256,
+                self_clocking: true
+            }
+            .label(),
             "TFRC(256)+sc"
         );
         assert_eq!(Flavor::standard_tfrc().label(), "TFRC(6)");

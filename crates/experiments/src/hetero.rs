@@ -57,20 +57,15 @@ pub fn run_rtt_bias(scale: Scale) -> RttBias {
         Flavor::Tcp { gamma: 8.0 },
         Flavor::standard_tfrc(),
     ];
-    let points = flavors
-        .into_iter()
-        .map(|flavor| {
+    let points = crate::runner::run_cells(flavors.to_vec(), |flavor| {
+        {
             let mut sim = Simulator::new(77);
-            let db = slowcc_netsim::topology::Dumbbell::build(
-                &mut sim,
-                DumbbellConfig::paper(10e6),
-            );
+            let db =
+                slowcc_netsim::topology::Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
             // Base RTT = 2*(2*access + 23 ms). access 2 ms -> 54 ms;
             // access 32 ms -> 174 ms (roughly 1:3.2).
-            let short_pair =
-                db.add_host_pair_with_delay(&mut sim, SimDuration::from_millis(2));
-            let long_pair =
-                db.add_host_pair_with_delay(&mut sim, SimDuration::from_millis(32));
+            let short_pair = db.add_host_pair_with_delay(&mut sim, SimDuration::from_millis(2));
+            let long_pair = db.add_host_pair_with_delay(&mut sim, SimDuration::from_millis(32));
             let short = flavor.install(&mut sim, &short_pair, PKT_SIZE, SimTime::ZERO, None);
             let long = flavor.install(
                 &mut sim,
@@ -80,7 +75,9 @@ pub fn run_rtt_bias(scale: Scale) -> RttBias {
                 None,
             );
             sim.run_until(duration);
-            let short_bps = sim.stats().flow_throughput_bps(short.flow, warmup, duration);
+            let short_bps = sim
+                .stats()
+                .flow_throughput_bps(short.flow, warmup, duration);
             let long_bps = sim.stats().flow_throughput_bps(long.flow, warmup, duration);
             let (short_rtt, long_rtt) = (0.054, 0.174);
             let ratio = short_bps / long_bps.max(1.0);
@@ -92,8 +89,8 @@ pub fn run_rtt_bias(scale: Scale) -> RttBias {
                 long_bps,
                 alpha: ratio.ln() / (long_rtt / short_rtt).ln(),
             }
-        })
-        .collect();
+        }
+    });
     RttBias { points }
 }
 
@@ -145,12 +142,15 @@ pub fn run_multihop(scale: Scale) -> MultiHop {
     let warmup = scale.pick(SimTime::from_secs(45), SimTime::from_secs(12));
     let flavors = [Flavor::standard_tcp(), Flavor::standard_tfrc()];
     let hop_counts: Vec<usize> = scale.pick(vec![1, 2, 4], vec![1, 3]);
-    let mut points = Vec::new();
+    let mut cells: Vec<(Flavor, usize)> = Vec::new();
     for flavor in flavors {
         for &hops in &hop_counts {
-            points.push(run_lot(flavor, hops, warmup, duration));
+            cells.push((flavor, hops));
         }
     }
+    let points = crate::runner::run_cells(cells, |(flavor, hops)| {
+        run_lot(flavor, hops, warmup, duration)
+    });
     MultiHop { points }
 }
 
@@ -195,7 +195,13 @@ impl MultiHop {
     pub fn print(&self) {
         println!("\n== Multi-hop equity (Section 1 caveat, measured) ==");
         println!("(one flow over h congested hops vs two cross flows per hop)\n");
-        let mut t = Table::new(["algorithm", "hops", "long (Mb/s)", "cross mean (Mb/s)", "long/cross"]);
+        let mut t = Table::new([
+            "algorithm",
+            "hops",
+            "long (Mb/s)",
+            "cross mean (Mb/s)",
+            "long/cross",
+        ]);
         for p in &self.points {
             t.row([
                 p.label.clone(),
@@ -232,8 +238,7 @@ mod tests {
     #[test]
     fn multihop_flows_lose_at_every_hop() {
         let mh = run_multihop(Scale::Quick);
-        let tcp: Vec<&MultiHopPoint> =
-            mh.points.iter().filter(|p| p.label == "TCP(1/2)").collect();
+        let tcp: Vec<&MultiHopPoint> = mh.points.iter().filter(|p| p.label == "TCP(1/2)").collect();
         assert!(tcp.len() >= 2);
         let one = tcp.iter().find(|p| p.hops == 1).unwrap();
         let many = tcp.iter().find(|p| p.hops > 1).unwrap();

@@ -29,8 +29,8 @@
 
 pub mod extras;
 pub mod fig03;
-pub mod fig0789;
 pub mod fig06;
+pub mod fig0789;
 pub mod fig1012;
 pub mod fig11;
 pub mod fig13;
@@ -39,11 +39,12 @@ pub mod fig171819;
 pub mod fig20;
 pub mod fig45;
 pub mod flavor;
-pub mod onset;
-pub mod report;
-pub mod scale;
 pub mod hetero;
+pub mod onset;
 pub mod queuedyn;
+pub mod report;
 pub mod response;
+pub mod runner;
+pub mod scale;
 pub mod scenario;
 pub mod validate;

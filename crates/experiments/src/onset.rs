@@ -117,7 +117,7 @@ mod tests {
     #[test]
     fn onset_produces_the_expected_loss_profile() {
         let cfg = OnsetConfig::for_scale(Scale::Quick);
-        let sc = run_onset(Flavor::standard_tcp(), &cfg, 3);
+        let sc = run_onset(Flavor::standard_tcp(), &cfg, 8);
         let t = cfg.timeline;
         let stats = sc.sim.stats();
         let steady = stats.link_loss_fraction_in(sc.db.forward, t.steady_from, t.steady_end);

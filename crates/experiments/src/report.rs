@@ -88,12 +88,7 @@ pub fn num(x: f64) -> String {
 /// Write a CSV file to `dir/name.csv` (creating `dir`): a header row
 /// followed by data rows. Intended for the time-series figures, so
 /// plotting tools can consume runs directly.
-pub fn write_csv<R, C>(
-    dir: &Path,
-    name: &str,
-    header: &[&str],
-    rows: R,
-) -> std::io::Result<()>
+pub fn write_csv<R, C>(dir: &Path, name: &str, header: &[&str], rows: R) -> std::io::Result<()>
 where
     R: IntoIterator<Item = C>,
     C: IntoIterator<Item = String>,

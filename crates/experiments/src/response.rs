@@ -46,8 +46,14 @@ pub fn response_flavors() -> Vec<Flavor> {
         Flavor::standard_tcp(),
         Flavor::Tcp { gamma: 8.0 },
         Flavor::Sqrt { gamma: 2.0 },
-        Flavor::Tfrc { k: 6, self_clocking: false },
-        Flavor::Tfrc { k: 16, self_clocking: false },
+        Flavor::Tfrc {
+            k: 6,
+            self_clocking: false,
+        },
+        Flavor::Tfrc {
+            k: 16,
+            self_clocking: false,
+        },
         Flavor::Rap { gamma: 2.0 },
     ]
 }
@@ -86,8 +92,7 @@ fn measure_responsiveness(flavor: Flavor, scale: Scale) -> Option<f64> {
     let tx = stats.flow_tx_rate_series_bps(h.flow, RTT, end);
     let onset_w = (onset.as_nanos() / RTT.as_nanos()) as usize;
     // Baseline: mean sending rate over the 40 RTTs before the onset.
-    let base: f64 =
-        tx[onset_w.saturating_sub(40)..onset_w].iter().sum::<f64>() / 40.0;
+    let base: f64 = tx[onset_w.saturating_sub(40)..onset_w].iter().sum::<f64>() / 40.0;
     // Rate considered halved when a 4-RTT average falls below base/2
     // (single-RTT bins are quantized by packet boundaries).
     for w in onset_w..tx.len().saturating_sub(4) {
@@ -112,10 +117,7 @@ fn measure_aggressiveness(flavor: Flavor, scale: Scale) -> f64 {
     slowcc_traffic::cbr::install_cbr(
         &mut sim,
         &cbr_pair,
-        slowcc_traffic::cbr::RateSchedule::Script(vec![
-            (SimTime::ZERO, 7e6),
-            (open_at, 0.0),
-        ]),
+        slowcc_traffic::cbr::RateSchedule::Script(vec![(SimTime::ZERO, 7e6), (open_at, 0.0)]),
         PKT_SIZE,
         SimTime::ZERO,
     );
@@ -156,7 +158,11 @@ impl ResponseMetrics {
         println!("\n== Section 3 metrics: responsiveness and aggressiveness ==");
         println!("(paper: TCP responsiveness 1 RTT, deployed TFRC 4-6 RTTs;");
         println!(" TCP(a,b) aggressiveness = a packets/RTT; TFRC far lower)\n");
-        let mut t = Table::new(["algorithm", "responsiveness (RTTs)", "aggressiveness (pkts/RTT)"]);
+        let mut t = Table::new([
+            "algorithm",
+            "responsiveness (RTTs)",
+            "aggressiveness (pkts/RTT)",
+        ]);
         for p in &self.points {
             t.row([
                 p.label.clone(),
@@ -181,8 +187,8 @@ mod tests {
     fn tcp_is_more_responsive_and_aggressive_than_tfrc() {
         let tcp_resp = measure_responsiveness(Flavor::standard_tcp(), Scale::Quick)
             .expect("TCP halves under persistent congestion");
-        let tfrc_resp = measure_responsiveness(Flavor::standard_tfrc(), Scale::Quick)
-            .unwrap_or(600.0);
+        let tfrc_resp =
+            measure_responsiveness(Flavor::standard_tfrc(), Scale::Quick).unwrap_or(600.0);
         assert!(
             tcp_resp <= 8.0,
             "TCP should halve within a few RTTs, took {tcp_resp}"

@@ -1,0 +1,196 @@
+//! Parallel sweep executor.
+//!
+//! Every experiment in this crate is a sweep over independent *cells*
+//! (one `(flavor, parameter, seed)` simulation each). [`run_cells`]
+//! fans those cells out over scoped worker threads and collects the
+//! results **in input order**, so a parallel sweep's output — including
+//! the serialized JSON — is bit-for-bit identical to the serial one.
+//!
+//! # Determinism
+//!
+//! Two properties make this safe to drop into any sweep:
+//!
+//! * each cell carries its own seed into a fresh [`Simulator`], so no
+//!   RNG state is shared between cells, and
+//! * results are written to the slot matching the cell's input index,
+//!   so the returned `Vec` never depends on completion order.
+//!
+//! Scheduling (which worker runs which cell, and when) therefore cannot
+//! affect any value the sweep produces — only the wall-clock time.
+//!
+//! # Nesting and oversubscription
+//!
+//! Sweeps nest: `repro --jobs N` runs experiment targets concurrently,
+//! and each target's own sweeps call [`run_cells`] again. A single
+//! process-wide token pool holds `jobs - 1` helper tokens; every
+//! `run_cells` invocation takes what it can from the pool for its
+//! lifetime and runs serially when the pool is empty. Total worker
+//! threads across all concurrent sweeps thus never exceed `jobs`
+//! (each caller's own thread plus the helpers it holds).
+//!
+//! [`Simulator`]: slowcc_netsim::sim::Simulator
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// The process-wide helper-token pool. Initialized on first use (or by
+/// [`set_jobs`]) with `jobs - 1` tokens.
+fn helper_pool() -> &'static AtomicUsize {
+    static POOL: OnceLock<AtomicUsize> = OnceLock::new();
+    POOL.get_or_init(|| AtomicUsize::new(default_jobs().saturating_sub(1)))
+}
+
+/// Degree of parallelism when [`set_jobs`] is never called: whatever
+/// the machine offers.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Fix the process-wide parallelism budget to `jobs` total threads
+/// (`jobs = 1` forces every sweep serial). Must be called before the
+/// first [`run_cells`]; the first initialization wins, so a late call
+/// after sweeps have started is ignored.
+pub fn set_jobs(jobs: usize) {
+    static INIT: OnceLock<()> = OnceLock::new();
+    INIT.get_or_init(|| {
+        let pool = helper_pool();
+        // `helper_pool` may have self-initialized from the default in a
+        // different thread first; overwrite is safe because tokens are
+        // only consumed by `run_cells`, which the caller contract says
+        // has not run yet.
+        pool.store(jobs.max(1) - 1, Ordering::Release);
+    });
+}
+
+/// Take up to `want` helper tokens from the pool; returns how many were
+/// actually acquired (possibly zero).
+fn acquire_helpers(want: usize) -> usize {
+    let pool = helper_pool();
+    let mut available = pool.load(Ordering::Relaxed);
+    loop {
+        let take = want.min(available);
+        if take == 0 {
+            return 0;
+        }
+        match pool.compare_exchange_weak(
+            available,
+            available - take,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return take,
+            Err(now) => available = now,
+        }
+    }
+}
+
+fn release_helpers(n: usize) {
+    if n > 0 {
+        helper_pool().fetch_add(n, Ordering::Release);
+    }
+}
+
+/// Run `f` over every cell and return the results in input order.
+///
+/// Cells are claimed in chunks off a shared atomic cursor (work
+/// stealing: fast workers drain what slow ones leave), and each result
+/// lands in the output slot of its input index, so the returned `Vec`
+/// equals `cells.into_iter().map(f).collect()` exactly — see the module
+/// docs for why scheduling cannot leak into the results.
+///
+/// Worker count adapts to the process-wide budget ([`set_jobs`]); with
+/// a single cell, an empty pool, or `--jobs 1` this degrades to the
+/// plain serial loop with no thread or synchronization overhead.
+pub fn run_cells<I, O, F>(cells: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n = cells.len();
+    if n <= 1 {
+        return cells.into_iter().map(f).collect();
+    }
+    let helpers = acquire_helpers(n - 1);
+    if helpers == 0 {
+        return cells.into_iter().map(f).collect();
+    }
+
+    // Cells are taken and results written strictly by index, each index
+    // touched by exactly one worker; the mutexes are never contended
+    // and exist to keep the executor entirely safe code.
+    let slots: Vec<Mutex<Option<I>>> = cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let results: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    // Chunked claiming: large sweeps amortize the cursor traffic, while
+    // the final chunks stay small enough to balance uneven cell costs.
+    let chunk = (n / ((helpers + 1) * 8)).max(1);
+
+    let worker = || loop {
+        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+        if start >= n {
+            break;
+        }
+        for i in start..(start + chunk).min(n) {
+            let cell = slots[i].lock().unwrap().take().expect("cell claimed twice");
+            let out = f(cell);
+            *results[i].lock().unwrap() = Some(out);
+        }
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..helpers {
+            scope.spawn(worker);
+        }
+        // The calling thread is a worker too: `jobs` threads total.
+        worker();
+    });
+    release_helpers(helpers);
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("worker finished without writing its result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        // Uneven per-cell cost scrambles completion order; input order
+        // must survive anyway.
+        let cells: Vec<u64> = (0..64).collect();
+        let out = run_cells(cells.clone(), |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i * i
+        });
+        let expected: Vec<u64> = cells.iter().map(|i| i * i).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn empty_and_singleton_sweeps_work() {
+        assert_eq!(run_cells(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(run_cells(vec![41], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn nested_sweeps_complete() {
+        // Inner sweeps run while the outer one holds helpers; whatever
+        // the pool state, everything must finish with correct results.
+        let out = run_cells(vec![10u64, 20, 30], |base| {
+            run_cells((0..base).collect(), |i| i)
+                .into_iter()
+                .sum::<u64>()
+        });
+        assert_eq!(out, vec![45, 190, 435]);
+    }
+}

@@ -37,12 +37,7 @@ pub struct Scenario {
 
 /// Build the standard dumbbell with `n` flows of `flavor`, staggered
 /// starts, and reverse background traffic.
-pub fn standard(
-    seed: u64,
-    bottleneck_bps: f64,
-    flavor: Flavor,
-    n_flows: usize,
-) -> Scenario {
+pub fn standard(seed: u64, bottleneck_bps: f64, flavor: Flavor, n_flows: usize) -> Scenario {
     standard_with(seed, bottleneck_bps, |sim, db| {
         install_flows(sim, db, flavor, n_flows, SimTime::ZERO, None)
     })

@@ -65,9 +65,14 @@ pub fn static_flavors() -> Vec<Flavor> {
 pub fn run_static(scale: Scale) -> StaticValidation {
     let ps: Vec<f64> = scale.pick(vec![0.003, 0.01, 0.03], vec![0.01]);
     let secs = scale.pick(240u64, 90);
-    let mut points = Vec::new();
+    let mut cells: Vec<(Flavor, f64)> = Vec::new();
     for flavor in static_flavors() {
         for &p in &ps {
+            cells.push((flavor, p));
+        }
+    }
+    let points = crate::runner::run_cells(cells, |(flavor, p)| {
+        {
             let mut sim = Simulator::new(2024);
             // Fat pipe, huge buffer: the imposed loss process is the only
             // constraint, exactly the static model's environment.
@@ -75,11 +80,8 @@ pub fn run_static(scale: Scale) -> StaticValidation {
                 queue: QueueKind::DropTail(20_000),
                 ..DumbbellConfig::paper(400e6)
             };
-            let db = Dumbbell::build_with_loss(
-                &mut sim,
-                cfg,
-                Some(Box::new(BernoulliLoss::new(p, 7))),
-            );
+            let db =
+                Dumbbell::build_with_loss(&mut sim, cfg, Some(Box::new(BernoulliLoss::new(p, 7))));
             let pair = db.add_host_pair(&mut sim);
             let h = flavor.install(&mut sim, &pair, PKT_SIZE, SimTime::ZERO, None);
             sim.run_until(SimTime::from_secs(secs));
@@ -92,15 +94,15 @@ pub fn run_static(scale: Scale) -> StaticValidation {
             // TCP's actual clamped RTO is the 200 ms minimum, same value.
             let rtt = 0.05;
             let equation = padhye_rate_bps(PKT_SIZE, p, rtt, 0.2) * 8.0;
-            points.push(StaticPoint {
+            StaticPoint {
                 label: flavor.label(),
                 p,
                 measured_bps: measured,
                 equation_bps: equation,
                 ratio: measured / equation,
-            });
+            }
         }
-    }
+    });
     StaticValidation { points }
 }
 
@@ -109,7 +111,13 @@ impl StaticValidation {
     pub fn print(&self) {
         println!("\n== Static TCP-compatibility: measured vs Padhye equation ==");
         println!("(fixed Bernoulli loss on a fat pipe; ratio ~1 = compatible)\n");
-        let mut t = Table::new(["algorithm", "p", "measured (Mb/s)", "equation (Mb/s)", "ratio"]);
+        let mut t = Table::new([
+            "algorithm",
+            "p",
+            "measured (Mb/s)",
+            "equation (Mb/s)",
+            "ratio",
+        ]);
         for pt in &self.points {
             t.row([
                 pt.label.clone(),
@@ -148,18 +156,15 @@ pub struct EcnConvergence {
 pub fn run_ecn_convergence(scale: Scale) -> EcnConvergence {
     let p = 0.01;
     let gammas: Vec<f64> = scale.pick(vec![2.0, 4.0, 8.0, 16.0], vec![2.0, 8.0]);
-    let points = gammas
-        .into_iter()
-        .map(|gamma| {
-            let b = 1.0 / gamma;
-            let (time_secs, ack_rate) = ecn_convergence_once(gamma, p, scale);
-            EcnConvPoint {
-                b,
-                measured_acks: time_secs * ack_rate,
-                model_acks: acks_to_delta_fairness(b, p, 0.1),
-            }
-        })
-        .collect();
+    let points = crate::runner::run_cells(gammas, |gamma| {
+        let b = 1.0 / gamma;
+        let (time_secs, ack_rate) = ecn_convergence_once(gamma, p, scale);
+        EcnConvPoint {
+            b,
+            measured_acks: time_secs * ack_rate,
+            model_acks: acks_to_delta_fairness(b, p, 0.1),
+        }
+    });
     EcnConvergence { p, points }
 }
 
@@ -199,8 +204,16 @@ fn ecn_convergence_once(gamma: f64, p: f64, scale: Scale) -> (f64, f64) {
     // Combined ACK rate = combined delivered packet rate.
     let from = start2;
     let to = horizon;
-    let pkts = sim.stats().flow(h1.flow).map(|f| f.total_rx_packets).unwrap_or(0)
-        + sim.stats().flow(h2.flow).map(|f| f.total_rx_packets).unwrap_or(0);
+    let pkts = sim
+        .stats()
+        .flow(h1.flow)
+        .map(|f| f.total_rx_packets)
+        .unwrap_or(0)
+        + sim
+            .stats()
+            .flow(h2.flow)
+            .map(|f| f.total_rx_packets)
+            .unwrap_or(0);
     let ack_rate = pkts as f64 / to.saturating_since(from).as_secs_f64().max(1e-9);
     (t, ack_rate)
 }
@@ -246,46 +259,39 @@ pub struct HighLossValidation {
 /// Measure TCP at the Appendix A drop rates and compare with the bound.
 pub fn run_high_loss(scale: Scale) -> HighLossValidation {
     let secs = scale.pick(300u64, 90);
-    let points = [2u64, 3]
-        .into_iter()
-        .map(|n| {
-            // Drop every n-th packet: p = 1/n (p = 1/2, 1/3... Appendix A
-            // parameterizes p = n/(n+1); dropping every 2nd packet is
-            // p = 0.5, every 3rd is 1/3).
-            let p = 1.0 / n as f64;
-            let mut sim = Simulator::new(11);
-            let cfg = DumbbellConfig {
-                queue: QueueKind::DropTail(1000),
-                ..DumbbellConfig::paper(100e6)
-            };
-            let db = Dumbbell::build_with_loss(
-                &mut sim,
-                cfg,
-                Some(Box::new(EveryNth::data_every(n))),
-            );
-            let pair = db.add_host_pair(&mut sim);
-            // Tighten the RTO floor so the timeout dynamics are visible
-            // at a 50 ms RTT (the model counts in RTTs, not wall time).
-            let mut tc = TcpConfig::standard(PKT_SIZE);
-            tc.min_rto = SimDuration::from_millis(100);
-            let h = Tcp::install(&mut sim, &pair, tc, SimTime::ZERO);
-            sim.run_until(SimTime::from_secs(secs));
-            // Unique delivered packets per RTT (retransmissions excluded
-            // via the sink's in-order progress).
-            let sink: &slowcc_core::tcp::TcpSink = sim.agent_downcast(h.sink).unwrap();
-            let rtts = (secs as f64) / 0.05;
-            let measured_ppr = sink.expected() as f64 / rtts;
-            HighLossPoint {
-                p,
-                measured_ppr,
-                bound_ppr: if p >= 0.5 {
-                    aimd_with_timeouts_rate_ppr(p)
-                } else {
-                    f64::NAN
-                },
-            }
-        })
-        .collect();
+    let points = crate::runner::run_cells(vec![2u64, 3], |n| {
+        // Drop every n-th packet: p = 1/n (p = 1/2, 1/3... Appendix A
+        // parameterizes p = n/(n+1); dropping every 2nd packet is
+        // p = 0.5, every 3rd is 1/3).
+        let p = 1.0 / n as f64;
+        let mut sim = Simulator::new(11);
+        let cfg = DumbbellConfig {
+            queue: QueueKind::DropTail(1000),
+            ..DumbbellConfig::paper(100e6)
+        };
+        let db = Dumbbell::build_with_loss(&mut sim, cfg, Some(Box::new(EveryNth::data_every(n))));
+        let pair = db.add_host_pair(&mut sim);
+        // Tighten the RTO floor so the timeout dynamics are visible
+        // at a 50 ms RTT (the model counts in RTTs, not wall time).
+        let mut tc = TcpConfig::standard(PKT_SIZE);
+        tc.min_rto = SimDuration::from_millis(100);
+        let h = Tcp::install(&mut sim, &pair, tc, SimTime::ZERO);
+        sim.run_until(SimTime::from_secs(secs));
+        // Unique delivered packets per RTT (retransmissions excluded
+        // via the sink's in-order progress).
+        let sink: &slowcc_core::tcp::TcpSink = sim.agent_downcast(h.sink).unwrap();
+        let rtts = (secs as f64) / 0.05;
+        let measured_ppr = sink.expected() as f64 / rtts;
+        HighLossPoint {
+            p,
+            measured_ppr,
+            bound_ppr: if p >= 0.5 {
+                aimd_with_timeouts_rate_ppr(p)
+            } else {
+                f64::NAN
+            },
+        }
+    });
     HighLossValidation { points }
 }
 

@@ -1,0 +1,29 @@
+//! The parallel sweep executor must be invisible in the results: a
+//! multi-threaded Figure 4/5 quick sweep has to serialize byte-for-byte
+//! identically to the plain serial loop over the same cells.
+
+use slowcc_experiments::onset::OnsetConfig;
+use slowcc_experiments::scale::Scale;
+use slowcc_experiments::{fig45, runner};
+
+#[test]
+fn parallel_fig45_sweep_serializes_identically_to_serial() {
+    // Force a multi-threaded pool even on single-core machines (this is
+    // the process's first pool use, so the first-init-wins contract
+    // makes 8 stick).
+    runner::set_jobs(8);
+
+    let config = OnsetConfig::for_scale(Scale::Quick);
+    let serial: Vec<_> = fig45::cells(Scale::Quick)
+        .into_iter()
+        .map(|(family, gamma)| fig45::run_cell(&config, family, gamma))
+        .collect();
+    let parallel = fig45::run(Scale::Quick);
+
+    let serial_json = serde_json::to_string_pretty(&serial).unwrap();
+    let parallel_json = serde_json::to_string_pretty(&parallel.points).unwrap();
+    assert_eq!(
+        serial_json, parallel_json,
+        "parallel sweep output must be byte-identical to serial"
+    );
+}

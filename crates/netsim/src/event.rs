@@ -68,6 +68,10 @@ impl EventQueue {
     }
 
     /// Schedule `kind` to fire at `time`.
+    ///
+    /// Inlined along with `pop`/`peek_time`: every packet hop and timer
+    /// goes through these, so they should collapse into their callers.
+    #[inline]
     pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -75,11 +79,13 @@ impl EventQueue {
     }
 
     /// Remove and return the earliest event.
+    #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, EventKind)> {
         self.heap.pop().map(|e| (e.time, e.kind))
     }
 
     /// Time of the earliest scheduled event.
+    #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.time)
     }

@@ -70,7 +70,7 @@ pub mod prelude {
     pub use crate::queue::{DropTail, QueueDiscipline, Red, RedConfig};
     pub use crate::sim::{Agent, Ctx, Simulator};
     pub use crate::stats::Stats;
-    pub use crate::trace::{NsTextTrace, TraceEvent, TraceKind, TraceSink, VecTrace};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{Dumbbell, DumbbellConfig, HostPair, ParkingLot, QueueKind};
+    pub use crate::trace::{NsTextTrace, TraceEvent, TraceKind, TraceSink, VecTrace};
 }

@@ -124,7 +124,12 @@ pub struct Link {
 impl Link {
     /// A link toward `dst` with the given rate, propagation delay and
     /// buffer discipline.
-    pub fn new(dst: NodeId, rate_bps: f64, delay: SimDuration, queue: Box<dyn QueueDiscipline>) -> Self {
+    pub fn new(
+        dst: NodeId,
+        rate_bps: f64,
+        delay: SimDuration,
+        queue: Box<dyn QueueDiscipline>,
+    ) -> Self {
         assert!(rate_bps >= 0.0, "link rate must be non-negative");
         Link {
             dst,

@@ -35,12 +35,7 @@ pub enum EnqueueResult {
 pub trait QueueDiscipline: Send {
     /// Offer `pkt` to the queue at time `now`. On `Dropped` the packet is
     /// consumed (the caller accounts the drop).
-    fn enqueue(
-        &mut self,
-        pkt: Packet,
-        now: SimTime,
-        rng: &mut dyn rand::RngCore,
-    ) -> EnqueueResult;
+    fn enqueue(&mut self, pkt: Packet, now: SimTime, rng: &mut dyn rand::RngCore) -> EnqueueResult;
 
     /// Remove the next packet to transmit, if any.
     fn dequeue(&mut self, now: SimTime) -> Option<Packet>;
@@ -227,12 +222,7 @@ impl Red {
 }
 
 impl QueueDiscipline for Red {
-    fn enqueue(
-        &mut self,
-        pkt: Packet,
-        now: SimTime,
-        rng: &mut dyn rand::RngCore,
-    ) -> EnqueueResult {
+    fn enqueue(&mut self, pkt: Packet, now: SimTime, rng: &mut dyn rand::RngCore) -> EnqueueResult {
         self.update_average(now);
         let result = self.enqueue_inner(pkt, now, rng);
         // If the buffer is (still) empty — e.g. the arrival was dropped
@@ -266,7 +256,6 @@ impl Red {
         _now: SimTime,
         rng: &mut dyn rand::RngCore,
     ) -> EnqueueResult {
-
         // Hard limit applies regardless of the average (and is never an
         // ECN mark: there is physically no room).
         if self.buf.len() >= self.cfg.capacity {
@@ -290,7 +279,11 @@ impl Red {
                 // Count correction spreads drops uniformly across the
                 // inter-drop interval: p_a = p_b / (1 - count * p_b).
                 let denom = 1.0 - count as f64 * pb;
-                let pa = if denom <= 0.0 { 1.0 } else { (pb / denom).min(1.0) };
+                let pa = if denom <= 0.0 {
+                    1.0
+                } else {
+                    (pb / denom).min(1.0)
+                };
                 if rng.gen::<f64>() < pa {
                     self.count = Some(0);
                     self.drop_or_mark(pkt)
@@ -347,9 +340,18 @@ mod tests {
     fn droptail_respects_capacity_and_order() {
         let mut q = DropTail::new(2);
         let mut r = rng();
-        assert_eq!(q.enqueue(pkt(1), SimTime::ZERO, &mut r), EnqueueResult::Enqueued);
-        assert_eq!(q.enqueue(pkt(2), SimTime::ZERO, &mut r), EnqueueResult::Enqueued);
-        assert_eq!(q.enqueue(pkt(3), SimTime::ZERO, &mut r), EnqueueResult::Dropped);
+        assert_eq!(
+            q.enqueue(pkt(1), SimTime::ZERO, &mut r),
+            EnqueueResult::Enqueued
+        );
+        assert_eq!(
+            q.enqueue(pkt(2), SimTime::ZERO, &mut r),
+            EnqueueResult::Enqueued
+        );
+        assert_eq!(
+            q.enqueue(pkt(3), SimTime::ZERO, &mut r),
+            EnqueueResult::Dropped
+        );
         assert_eq!(q.dequeue(SimTime::ZERO).unwrap().uid, 1);
         assert_eq!(q.dequeue(SimTime::ZERO).unwrap().uid, 2);
         assert!(q.dequeue(SimTime::ZERO).is_none());
@@ -393,7 +395,10 @@ mod tests {
             q.enqueue(pkt(i), SimTime::ZERO, &mut r);
         }
         // Average is now >= 15; the next arrival must be dropped.
-        assert_eq!(q.enqueue(pkt(99), SimTime::ZERO, &mut r), EnqueueResult::Dropped);
+        assert_eq!(
+            q.enqueue(pkt(99), SimTime::ZERO, &mut r),
+            EnqueueResult::Dropped
+        );
     }
 
     #[test]
@@ -405,9 +410,15 @@ mod tests {
         let mut q = Red::new(cfg);
         let mut r = rng();
         for i in 0..3 {
-            assert_eq!(q.enqueue(pkt(i), SimTime::ZERO, &mut r), EnqueueResult::Enqueued);
+            assert_eq!(
+                q.enqueue(pkt(i), SimTime::ZERO, &mut r),
+                EnqueueResult::Enqueued
+            );
         }
-        assert_eq!(q.enqueue(pkt(4), SimTime::ZERO, &mut r), EnqueueResult::Dropped);
+        assert_eq!(
+            q.enqueue(pkt(4), SimTime::ZERO, &mut r),
+            EnqueueResult::Dropped
+        );
     }
 
     #[test]
@@ -424,7 +435,11 @@ mod tests {
         while q.dequeue(SimTime::from_millis(1)).is_some() {}
         // A long idle period should decay the average dramatically.
         q.enqueue(pkt(100), SimTime::from_secs(10), &mut r);
-        assert!(q.average() < avg_busy * 0.01, "avg {} not decayed", q.average());
+        assert!(
+            q.average() < avg_busy * 0.01,
+            "avg {} not decayed",
+            q.average()
+        );
     }
 
     #[test]
@@ -514,7 +529,10 @@ mod tests {
         p.ecn = Ecn::Capable;
         assert_eq!(q.enqueue(p, SimTime::ZERO, &mut r), EnqueueResult::Marked);
         // A non-capable packet is still dropped.
-        assert_eq!(q.enqueue(pkt(100), SimTime::ZERO, &mut r), EnqueueResult::Dropped);
+        assert_eq!(
+            q.enqueue(pkt(100), SimTime::ZERO, &mut r),
+            EnqueueResult::Dropped
+        );
         // Marked packets come out carrying the CE codepoint (the fill
         // itself may have produced probabilistic early marks too).
         let marked = std::iter::from_fn(|| q.dequeue(SimTime::ZERO))
@@ -530,7 +548,10 @@ mod tests {
         let mut q = Red::new(cfg);
         let mut p0 = pkt(0);
         p0.ecn = Ecn::Capable;
-        assert_eq!(q.enqueue(p0, SimTime::ZERO, &mut r), EnqueueResult::Enqueued);
+        assert_eq!(
+            q.enqueue(p0, SimTime::ZERO, &mut r),
+            EnqueueResult::Enqueued
+        );
         let mut p1 = pkt(1);
         p1.ecn = Ecn::Capable;
         assert_eq!(q.enqueue(p1, SimTime::ZERO, &mut r), EnqueueResult::Dropped);

@@ -80,28 +80,55 @@ struct World {
     trace: Option<Box<dyn TraceSink>>,
 }
 
+/// Record a trace event if a sink is installed. Free function (rather
+/// than a `World` method) so hot paths that hold individual field
+/// borrows of the world can still emit traces.
+#[inline]
+fn trace_event(
+    trace: &mut Option<Box<dyn TraceSink>>,
+    now: SimTime,
+    kind: TraceKind,
+    pkt: &Packet,
+) {
+    if let Some(sink) = trace.as_mut() {
+        sink.record(&TraceEvent::new(now, kind, pkt));
+    }
+}
+
 impl World {
     #[inline]
     fn trace(&mut self, kind: TraceKind, pkt: &Packet) {
-        if let Some(sink) = self.trace.as_mut() {
-            sink.record(&TraceEvent::new(self.now, kind, pkt));
-        }
+        trace_event(&mut self.trace, self.now, kind, pkt);
     }
 }
 
 impl World {
     /// Offer `pkt` to `link`: run the loss script, then the queue
     /// discipline, then start serialization if the transmitter is idle.
+    ///
+    /// This is the hottest function in the simulator (every hop of every
+    /// packet lands here), so the link is indexed once and held as a
+    /// single borrow alongside disjoint borrows of the other world
+    /// fields, instead of re-indexing `self.links` per access.
     fn offer_to_link(&mut self, link_id: LinkId, mut pkt: Packet) {
-        let occupancy = self.links[link_id.index()].queue_len();
-        self.stats.record_link_arrival(link_id, self.now, occupancy);
+        let now = self.now;
+        let World {
+            links,
+            stats,
+            rng,
+            trace,
+            ..
+        } = self;
+        let link = &mut links[link_id.index()];
+        stats.record_link_arrival(link_id, now, link.queue_len());
 
         // Scripted loss first.
-        let now = self.now;
-        if let Some(loss) = self.links[link_id.index()].loss.as_mut() {
+        if let Some(loss) = link.loss.as_mut() {
             if loss.should_drop(&pkt, now) {
-                self.stats.record_link_drop(link_id, self.now);
-                self.trace(
+                stats.record_link_drop(link_id, now);
+                trace_event(
+                    trace,
+                    now,
                     TraceKind::Drop {
                         link: link_id,
                         reason: DropReason::LossPattern,
@@ -114,35 +141,37 @@ impl World {
         // Scripted ECN marking next.
         if pkt.ecn.is_capable() {
             let mut marked = false;
-            if let Some(marker) = self.links[link_id.index()].marker.as_mut() {
+            if let Some(marker) = link.marker.as_mut() {
                 marked = marker.should_mark(&pkt, now);
             }
             if marked {
                 pkt.ecn = crate::packet::Ecn::Marked;
-                self.stats.record_link_mark(link_id, self.now);
-                self.trace(TraceKind::Mark { link: link_id }, &pkt);
+                stats.record_link_mark(link_id, now);
+                trace_event(trace, now, TraceKind::Mark { link: link_id }, &pkt);
             }
         }
-        self.trace(TraceKind::Enqueue { link: link_id }, &pkt);
+        trace_event(trace, now, TraceKind::Enqueue { link: link_id }, &pkt);
 
         // The buffer. A snapshot of the identifying fields backs the
         // trace for the drop/mark outcomes (the discipline consumes the
-        // packet).
-        let traced = pkt.clone();
-        let busy = self.links[link_id.index()].busy;
-        let link = &mut self.links[link_id.index()];
-        let result = link.queue.enqueue(pkt, now, &mut self.rng);
+        // packet); without a sink installed the snapshot is skipped
+        // entirely — the clone was pure overhead on the untraced path.
+        let traced = trace.is_some().then(|| pkt.clone());
+        let busy = link.busy;
+        let result = link.queue.enqueue(pkt, now, rng);
         match result {
             EnqueueResult::Enqueued | EnqueueResult::Marked => {
                 if result == EnqueueResult::Marked {
-                    self.stats.record_link_mark(link_id, self.now);
-                    self.trace(TraceKind::Mark { link: link_id }, &traced);
+                    stats.record_link_mark(link_id, now);
+                    if let Some(traced) = traced.as_ref() {
+                        trace_event(trace, now, TraceKind::Mark { link: link_id }, traced);
+                    }
                 }
                 if !busy {
                     // ns-2 style: the arriving packet traverses the
                     // (empty) discipline so RED's average sees it, then
                     // starts serializing immediately.
-                    let pkt = self.links[link_id.index()]
+                    let pkt = link
                         .queue
                         .dequeue(now)
                         .expect("packet just enqueued must dequeue");
@@ -150,14 +179,18 @@ impl World {
                 }
             }
             EnqueueResult::Dropped => {
-                self.stats.record_link_drop(link_id, self.now);
-                self.trace(
-                    TraceKind::Drop {
-                        link: link_id,
-                        reason: DropReason::Queue,
-                    },
-                    &traced,
-                );
+                stats.record_link_drop(link_id, now);
+                if let Some(traced) = traced.as_ref() {
+                    trace_event(
+                        trace,
+                        now,
+                        TraceKind::Drop {
+                            link: link_id,
+                            reason: DropReason::Queue,
+                        },
+                        traced,
+                    );
+                }
             }
         }
     }
@@ -173,22 +206,31 @@ impl World {
     }
 
     fn on_tx_complete(&mut self, link_id: LinkId) {
-        let pkt = self.in_flight[link_id.index()]
+        let now = self.now;
+        let World {
+            links,
+            in_flight,
+            queue,
+            stats,
+            trace,
+            ..
+        } = self;
+        let link = &mut links[link_id.index()];
+        let pkt = in_flight[link_id.index()]
             .take()
             .expect("TxComplete without a packet in flight");
-        self.stats.record_link_tx(link_id, self.now, pkt.size);
-        self.trace(TraceKind::Dequeue { link: link_id }, &pkt);
-        let link = &mut self.links[link_id.index()];
-        let dst = link.dst;
-        let delay = link.delay;
-        self.queue.schedule(
-            self.now + delay,
-            EventKind::Arrive { node: dst, packet: pkt },
+        stats.record_link_tx(link_id, now, pkt.size);
+        trace_event(trace, now, TraceKind::Dequeue { link: link_id }, &pkt);
+        queue.schedule(
+            now + link.delay,
+            EventKind::Arrive {
+                node: link.dst,
+                packet: pkt,
+            },
         );
         // Pull the next packet, if any.
-        let link = &mut self.links[link_id.index()];
         link.busy = false;
-        if let Some(next) = link.queue.dequeue(self.now) {
+        if let Some(next) = link.queue.dequeue(now) {
             self.start_service(link_id, next);
         }
     }
@@ -197,12 +239,14 @@ impl World {
     /// topologies are static, so a missing route is a programming error
     /// worth failing loudly on).
     fn forward(&mut self, node: NodeId, pkt: Packet) {
-        let out = self.nodes[node.index()].route(pkt.dst_node).unwrap_or_else(|| {
-            panic!(
-                "no route from {node} to {} (flow {}, uid {})",
-                pkt.dst_node, pkt.flow, pkt.uid
-            )
-        });
+        let out = self.nodes[node.index()]
+            .route(pkt.dst_node)
+            .unwrap_or_else(|| {
+                panic!(
+                    "no route from {node} to {} (flow {}, uid {})",
+                    pkt.dst_node, pkt.flow, pkt.uid
+                )
+            });
         self.offer_to_link(out, pkt);
     }
 }
@@ -563,15 +607,26 @@ mod tests {
 
     /// Two nodes joined by a pair of links.
     fn two_node_world(
+        seed: u64,
         rate_bps: f64,
         delay: SimDuration,
         qcap: usize,
     ) -> (Simulator, NodeId, NodeId) {
-        let mut sim = Simulator::new(1);
+        two_node_world_with(seed, || Box::new(DropTail::new(qcap)), rate_bps, delay)
+    }
+
+    /// Two nodes joined by a pair of links with a custom discipline.
+    fn two_node_world_with(
+        seed: u64,
+        mut queue: impl FnMut() -> Box<dyn crate::queue::QueueDiscipline>,
+        rate_bps: f64,
+        delay: SimDuration,
+    ) -> (Simulator, NodeId, NodeId) {
+        let mut sim = Simulator::new(seed);
         let a = sim.add_node();
         let b = sim.add_node();
-        let ab = sim.add_link(a, Link::new(b, rate_bps, delay, Box::new(DropTail::new(qcap))));
-        let ba = sim.add_link(b, Link::new(a, rate_bps, delay, Box::new(DropTail::new(qcap))));
+        let ab = sim.add_link(a, Link::new(b, rate_bps, delay, queue()));
+        let ba = sim.add_link(b, Link::new(a, rate_bps, delay, queue()));
         sim.set_default_route(a, ab);
         sim.set_default_route(b, ba);
         (sim, a, b)
@@ -580,7 +635,7 @@ mod tests {
     #[test]
     fn packets_arrive_after_serialization_plus_propagation() {
         // 1000 B at 8 Mb/s = 1 ms serialization; 10 ms propagation.
-        let (mut sim, a, b) = two_node_world(8e6, SimDuration::from_millis(10), 100);
+        let (mut sim, a, b) = two_node_world(1, 8e6, SimDuration::from_millis(10), 100);
         let received = Arc::new(AtomicU64::new(0));
         let sink = sim.add_agent(
             b,
@@ -608,7 +663,7 @@ mod tests {
 
     #[test]
     fn back_to_back_packets_serialize_sequentially() {
-        let (mut sim, a, b) = two_node_world(8e6, SimDuration::from_millis(1), 100);
+        let (mut sim, a, b) = two_node_world(1, 8e6, SimDuration::from_millis(1), 100);
         let received = Arc::new(AtomicU64::new(0));
         let sink = sim.add_agent(
             b,
@@ -639,7 +694,7 @@ mod tests {
     #[test]
     fn queue_overflow_drops_are_counted() {
         // Queue of 4: burst of 10 -> 1 in service + 4 queued, 5 dropped.
-        let (mut sim, a, b) = two_node_world(8e6, SimDuration::from_millis(1), 4);
+        let (mut sim, a, b) = two_node_world(1, 8e6, SimDuration::from_millis(1), 4);
         let received = Arc::new(AtomicU64::new(0));
         let sink = sim.add_agent(
             b,
@@ -668,7 +723,7 @@ mod tests {
 
     #[test]
     fn acks_flow_back_and_are_not_counted_as_data() {
-        let (mut sim, a, b) = two_node_world(8e6, SimDuration::from_millis(1), 100);
+        let (mut sim, a, b) = two_node_world(1, 8e6, SimDuration::from_millis(1), 100);
         let received = Arc::new(AtomicU64::new(0));
         let sink = sim.add_agent(
             b,
@@ -698,8 +753,24 @@ mod tests {
 
     #[test]
     fn identical_seeds_reproduce_identical_runs() {
+        // RED draws from the simulator RNG on every enqueue, so the run's
+        // outcome genuinely depends on the seed (with DropTail any two
+        // seeds would agree trivially and the test would check nothing).
         let run = |seed: u64| -> (u64, u64) {
-            let (mut sim, a, b) = two_node_world(8e6, SimDuration::from_millis(1), 4);
+            use crate::queue::{Red, RedConfig};
+            let red = || -> Box<dyn crate::queue::QueueDiscipline> {
+                Box::new(Red::new(RedConfig {
+                    capacity: 20,
+                    min_thresh: 1.0,
+                    max_thresh: 6.0,
+                    max_p: 0.5,
+                    weight: 0.5,
+                    mean_pkt_time: SimDuration::from_micros(500),
+                    gentle: false,
+                    ecn: false,
+                }))
+            };
+            let (mut sim, a, b) = two_node_world_with(seed, red, 8e6, SimDuration::from_millis(1));
             let received = Arc::new(AtomicU64::new(0));
             let sink = sim.add_agent(
                 b,
@@ -719,12 +790,68 @@ mod tests {
                     size: 500,
                 }),
             );
-            let _ = seed;
             sim.run_until(SimTime::from_secs(2));
             let f = sim.stats().flow(flow).unwrap();
             (f.total_rx_packets, f.total_rx_bytes)
         };
-        assert_eq!(run(7), run(7));
+        assert_eq!(run(7), run(7), "same seed must reproduce bit-identically");
+        assert_ne!(
+            run(7),
+            run(8),
+            "distinct seeds should produce distinct RED drop patterns"
+        );
+    }
+
+    /// Installing a trace sink must observe the simulation, not perturb
+    /// it: the untraced hot path skips the per-packet trace snapshot, and
+    /// this pins down that the skip is invisible in the statistics.
+    #[test]
+    fn tracing_does_not_alter_simulation_outcomes() {
+        let run = |traced: bool| -> (u64, u64, u64) {
+            use crate::queue::{Red, RedConfig};
+            let red = || -> Box<dyn crate::queue::QueueDiscipline> {
+                Box::new(Red::new(RedConfig {
+                    capacity: 20,
+                    min_thresh: 1.0,
+                    max_thresh: 6.0,
+                    max_p: 0.5,
+                    weight: 0.5,
+                    mean_pkt_time: SimDuration::from_micros(500),
+                    gentle: false,
+                    ecn: false,
+                }))
+            };
+            let (mut sim, a, b) = two_node_world_with(9, red, 8e6, SimDuration::from_millis(1));
+            if traced {
+                sim.set_trace(Box::new(crate::trace::VecTrace::new(100_000)));
+            }
+            let received = Arc::new(AtomicU64::new(0));
+            let sink = sim.add_agent(
+                b,
+                Box::new(CountingSink {
+                    received: received.clone(),
+                    acks: true,
+                }),
+            );
+            let flow = sim.new_flow();
+            sim.add_agent(
+                a,
+                Box::new(Blaster {
+                    flow,
+                    dst_node: b,
+                    dst_agent: sink,
+                    count: 50,
+                    size: 500,
+                }),
+            );
+            sim.run_until(SimTime::from_secs(2));
+            let f = sim.stats().flow(flow).unwrap();
+            let drops = sim.stats().link(LinkId::from_index(0)).unwrap().total_drops;
+            (f.total_rx_packets, f.total_rx_bytes, drops)
+        };
+        let untraced = run(false);
+        assert_eq!(untraced, run(true), "trace sink changed the outcome");
+        assert!(untraced.2 > 0, "scenario should exercise RED drops");
     }
 
     #[test]
@@ -747,7 +874,12 @@ mod tests {
         let mut sim = Simulator::new(0);
         let n = sim.add_node();
         let fired = Arc::new(AtomicU64::new(0));
-        sim.add_agent(n, Box::new(TimerAgent { fired: fired.clone() }));
+        sim.add_agent(
+            n,
+            Box::new(TimerAgent {
+                fired: fired.clone(),
+            }),
+        );
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(fired.load(Ordering::Relaxed), 2);
     }

@@ -127,12 +127,7 @@ impl Stats {
         f.total_rx_packets += 1;
     }
 
-    pub(crate) fn record_link_arrival(
-        &mut self,
-        link: LinkId,
-        now: SimTime,
-        queue_len: usize,
-    ) {
+    pub(crate) fn record_link_arrival(&mut self, link: LinkId, now: SimTime, queue_len: usize) {
         let ix = self.bin_index(now);
         self.ensure_link(link);
         let l = &mut self.links[link.index()];
@@ -143,13 +138,10 @@ impl Stats {
 
     /// Mean buffer occupancy seen by packets arriving at `link`, per
     /// `window`-wide interval (zero where nothing arrived).
-    pub fn link_queue_series(
-        &self,
-        link: LinkId,
-        window: SimDuration,
-        until: SimTime,
-    ) -> Vec<f64> {
-        let Some(l) = self.link(link) else { return Vec::new() };
+    pub fn link_queue_series(&self, link: LinkId, window: SimDuration, until: SimTime) -> Vec<f64> {
+        let Some(l) = self.link(link) else {
+            return Vec::new();
+        };
         let n = until.as_nanos().div_ceil(window.as_nanos());
         (0..n)
             .map(|w| {
@@ -207,11 +199,7 @@ impl Stats {
         let lo = self.bin_index(from);
         // `to` is exclusive; the bin containing `to - 1ns` is the last.
         let hi = ((to.as_nanos() - 1) / self.bin.as_nanos()) as usize;
-        series
-            .iter()
-            .skip(lo)
-            .take(hi.saturating_sub(lo) + 1)
-            .sum()
+        series.iter().skip(lo).take(hi.saturating_sub(lo) + 1).sum()
     }
 
     /// Data bytes delivered on `flow` in `[from, to)`.
@@ -237,9 +225,16 @@ impl Stats {
 
     /// Delivered throughput of `flow` re-binned into windows of `window`
     /// width starting at time zero, in bits/s per window.
-    pub fn flow_rate_series_bps(&self, flow: FlowId, window: SimDuration, until: SimTime) -> Vec<f64> {
+    pub fn flow_rate_series_bps(
+        &self,
+        flow: FlowId,
+        window: SimDuration,
+        until: SimTime,
+    ) -> Vec<f64> {
         self.rate_series(
-            self.flow(flow).map(|f| f.rx_bytes.as_slice()).unwrap_or(&[]),
+            self.flow(flow)
+                .map(|f| f.rx_bytes.as_slice())
+                .unwrap_or(&[]),
             window,
             until,
         )
@@ -247,16 +242,26 @@ impl Stats {
 
     /// Source sending rate of `flow` re-binned into `window`-wide windows,
     /// in bits/s per window.
-    pub fn flow_tx_rate_series_bps(&self, flow: FlowId, window: SimDuration, until: SimTime) -> Vec<f64> {
+    pub fn flow_tx_rate_series_bps(
+        &self,
+        flow: FlowId,
+        window: SimDuration,
+        until: SimTime,
+    ) -> Vec<f64> {
         self.rate_series(
-            self.flow(flow).map(|f| f.tx_bytes.as_slice()).unwrap_or(&[]),
+            self.flow(flow)
+                .map(|f| f.tx_bytes.as_slice())
+                .unwrap_or(&[]),
             window,
             until,
         )
     }
 
     fn rate_series(&self, bytes: &[u64], window: SimDuration, until: SimTime) -> Vec<f64> {
-        assert!(window.as_nanos() >= self.bin.as_nanos(), "window narrower than stats bin");
+        assert!(
+            window.as_nanos() >= self.bin.as_nanos(),
+            "window narrower than stats bin"
+        );
         let n = until.as_nanos().div_ceil(window.as_nanos());
         let secs = window.as_secs_f64();
         (0..n)

@@ -11,11 +11,15 @@ use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 use serde::{Deserialize, Serialize};
 
 /// An instant on the simulation clock, in nanoseconds since time zero.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 /// Nanoseconds per second.
@@ -249,10 +253,7 @@ mod tests {
     #[test]
     fn saturating_arithmetic() {
         let t = SimTime::from_secs(1);
-        assert_eq!(
-            t.saturating_since(SimTime::from_secs(2)),
-            SimDuration::ZERO
-        );
+        assert_eq!(t.saturating_since(SimTime::from_secs(2)), SimDuration::ZERO);
         assert_eq!(t - SimDuration::from_secs(5), SimTime::ZERO);
         assert_eq!(t.checked_since(SimTime::from_secs(2)), None);
         assert_eq!(
@@ -274,10 +275,7 @@ mod tests {
     #[test]
     fn transmission_time_examples() {
         // 1000 bytes at 8 Mb/s is exactly 1 ms.
-        assert_eq!(
-            transmission_time(1000, 8e6),
-            SimDuration::from_millis(1)
-        );
+        assert_eq!(transmission_time(1000, 8e6), SimDuration::from_millis(1));
         // Zero-rate links serialize instantly rather than dividing by zero.
         assert_eq!(transmission_time(1000, 0.0), SimDuration::ZERO);
     }

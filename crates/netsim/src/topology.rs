@@ -288,7 +288,13 @@ mod tests {
     }
     impl Agent for Sender {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-            ctx.send(PacketSpec::data(self.flow, 0, 1000, self.dst_node, self.dst_agent));
+            ctx.send(PacketSpec::data(
+                self.flow,
+                0,
+                1000,
+                self.dst_node,
+                self.dst_agent,
+            ));
         }
         fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
     }
@@ -326,7 +332,13 @@ mod tests {
         }
         impl Agent for Counter {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-                ctx.send(PacketSpec::data(self.flow, 0, 1000, self.dst_node, self.dst_agent));
+                ctx.send(PacketSpec::data(
+                    self.flow,
+                    0,
+                    1000,
+                    self.dst_node,
+                    self.dst_agent,
+                ));
             }
             fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {
                 self.back.fetch_add(1, Ordering::Relaxed);
@@ -365,8 +377,22 @@ mod tests {
         let e2 = sim.add_agent(p2.right, Box::new(Echo { got: got.clone() }));
         let f1 = sim.new_flow();
         let f2 = sim.new_flow();
-        sim.add_agent(p1.left, Box::new(Sender { flow: f1, dst_node: p1.right, dst_agent: e1 }));
-        sim.add_agent(p2.left, Box::new(Sender { flow: f2, dst_node: p2.right, dst_agent: e2 }));
+        sim.add_agent(
+            p1.left,
+            Box::new(Sender {
+                flow: f1,
+                dst_node: p1.right,
+                dst_agent: e1,
+            }),
+        );
+        sim.add_agent(
+            p2.left,
+            Box::new(Sender {
+                flow: f2,
+                dst_node: p2.right,
+                dst_agent: e2,
+            }),
+        );
         sim.run_until(SimTime::from_millis(200));
         assert_eq!(got.load(Ordering::Relaxed), 2);
         // Both flows crossed the same forward bottleneck.
@@ -511,7 +537,13 @@ mod parking_lot_tests {
     }
     impl Agent for Probe {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-            ctx.send(PacketSpec::data(self.flow, 0, 1000, self.dst_node, self.dst_agent));
+            ctx.send(PacketSpec::data(
+                self.flow,
+                0,
+                1000,
+                self.dst_node,
+                self.dst_agent,
+            ));
         }
         fn on_packet(&mut self, _p: Packet, _c: &mut Ctx<'_>) {
             self.echoed.fetch_add(1, Ordering::Relaxed);
@@ -553,7 +585,11 @@ mod parking_lot_tests {
             );
         }
         sim.run_until(SimTime::from_secs(1));
-        assert_eq!(echoed.load(Ordering::Relaxed), 2, "both round trips completed");
+        assert_eq!(
+            echoed.load(Ordering::Relaxed),
+            2,
+            "both round trips completed"
+        );
         // The long flow's packet crossed every hop; the cross flow's only
         // hop 1.
         assert_eq!(sim.stats().link(lot.forward[0]).unwrap().total_arrivals, 1);

@@ -265,7 +265,11 @@ mod tests {
         let mut t = VecTrace::new(2).for_flow(FlowId::from_index(1));
         for i in 0..5 {
             let p = pkt(i, (i % 2) as usize);
-            t.record(&TraceEvent::new(SimTime::from_millis(i), TraceKind::Send, &p));
+            t.record(&TraceEvent::new(
+                SimTime::from_millis(i),
+                TraceKind::Send,
+                &p,
+            ));
         }
         // Flow 1 events: uids 1, 3 -> both stored (cap 2); a third would
         // only bump the counter.

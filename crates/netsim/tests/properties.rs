@@ -187,8 +187,20 @@ fn trace_records_the_packet_lifecycle() {
     }
     impl Agent for TwoShot {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-            ctx.send(PacketSpec::data(self.flow, 0, 1000, self.dst_node, self.dst_agent));
-            ctx.send(PacketSpec::data(self.flow, 1, 1000, self.dst_node, self.dst_agent));
+            ctx.send(PacketSpec::data(
+                self.flow,
+                0,
+                1000,
+                self.dst_node,
+                self.dst_agent,
+            ));
+            ctx.send(PacketSpec::data(
+                self.flow,
+                1,
+                1000,
+                self.dst_node,
+                self.dst_agent,
+            ));
         }
         fn on_packet(&mut self, _p: Packet, _c: &mut Ctx<'_>) {}
     }
@@ -203,13 +215,25 @@ fn trace_records_the_packet_lifecycle() {
     // Drop every 2nd data packet via the scripted pattern.
     let ab = sim.add_link(
         a,
-        Link::new(b, 10e6, SimDuration::from_millis(1), Box::new(DropTail::new(10)))
-            .with_loss(Box::new(EveryNth::data_every(2))),
+        Link::new(
+            b,
+            10e6,
+            SimDuration::from_millis(1),
+            Box::new(DropTail::new(10)),
+        )
+        .with_loss(Box::new(EveryNth::data_every(2))),
     );
     sim.set_default_route(a, ab);
     let sink = sim.add_agent(b, Box::new(Devour));
     let flow = sim.new_flow();
-    sim.add_agent(a, Box::new(TwoShot { flow, dst_node: b, dst_agent: sink }));
+    sim.add_agent(
+        a,
+        Box::new(TwoShot {
+            flow,
+            dst_node: b,
+            dst_agent: sink,
+        }),
+    );
     sim.set_trace(Box::new(VecTrace::new(100)));
     sim.run_until(SimTime::from_secs(1));
 
@@ -237,7 +261,14 @@ fn trace_records_the_packet_lifecycle() {
     // loss pattern: send, drop.
     assert_eq!(
         tags,
-        vec!["send seq0", "enq seq0", "send seq1", "drop seq1", "deq seq0", "recv seq0"],
+        vec![
+            "send seq0",
+            "enq seq0",
+            "send seq1",
+            "drop seq1",
+            "deq seq0",
+            "recv seq0"
+        ],
         "unexpected trace: {tags:?}"
     );
     assert_eq!(trace.total_seen(), 6);

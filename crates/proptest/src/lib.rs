@@ -1,0 +1,256 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] macro with an optional `#![proptest_config(...)]`
+//! header, integer/float range strategies, `prop::collection::vec` and
+//! `prop::bool::ANY`, and the `prop_assert*` macros (which forward to
+//! the std assert macros, so failures carry the usual panic message).
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * no shrinking — a failing case panics with the sampled values in
+//!   scope, which the assert messages already surface;
+//! * cases are generated from a fixed per-test seed (the test name's
+//!   FNV hash), so every run explores the same inputs. Deterministic
+//!   CI beats novelty here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Accepted and ignored (real proptest has many more knobs; struct
+    /// update syntax `.. ProptestConfig::default()` needs the field
+    /// list to be non-exhaustive-friendly, so keep this private-ish).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+    }
+}
+
+/// Deterministic per-test RNG (xorshift64*), seeded from the test name.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// An RNG whose stream is a pure function of `name`.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test name; never zero.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(h | 1)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u128;
+                let r = (rng.next_u64() as u128) % span;
+                self.start + r as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+pub mod prop {
+    //! The `prop::` strategy namespace.
+
+    pub mod collection {
+        //! Collection strategies.
+        use crate::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy producing `Vec`s with lengths drawn from `len` and
+        /// elements from `element`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// A `Vec` strategy: `vec(1u64..5000, 1..40)`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.len.sample(rng);
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    pub mod bool {
+        //! Boolean strategies.
+        use crate::{Strategy, TestRng};
+
+        /// The uniform boolean strategy.
+        pub struct Any;
+
+        /// Uniformly random booleans (`prop::bool::ANY`).
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn sample(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs.
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestRng};
+}
+
+/// Assert inside a property test (forwards to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property test (forwards to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property test (forwards to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...)` becomes
+/// a `#[test]` that samples its arguments `cases` times and runs the
+/// body on each sample.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut proptest_rng = $crate::TestRng::deterministic(stringify!($name));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut proptest_rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),*) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        let mut c = TestRng::deterministic("y");
+        let va: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..4).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..17, y in -2.0f64..2.0, n in 1usize..9) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(v in prop::collection::vec(0u32..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn bool_any_produces_both(flips in prop::collection::vec(prop::bool::ANY, 64..65)) {
+            // 64 fair flips virtually never agree unanimously; with the
+            // fixed per-test seed this is a deterministic check.
+            let heads = flips.iter().filter(|&&b| b).count();
+            prop_assert!(heads > 0 && heads < flips.len());
+        }
+    }
+}

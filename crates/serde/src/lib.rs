@@ -1,0 +1,246 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace only ever serializes (experiment results to JSON), so
+//! the full serde data model is replaced by a single intermediate
+//! [`Value`] tree: [`Serialize`] means "convert yourself to a
+//! `Value`", and the companion `serde_json` shim renders that tree.
+//! [`Deserialize`] is a marker trait so `#[derive(Deserialize)]` on the
+//! id/time newtypes keeps compiling; nothing in the workspace calls a
+//! deserializer.
+//!
+//! Object keys keep insertion (= declaration) order, so JSON output is
+//! deterministic and diffs cleanly across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+// The derive macros emit `::serde::...` paths; alias this crate under
+// its own name so they also resolve inside this crate's tests.
+#[cfg(test)]
+extern crate self as serde;
+
+/// A JSON-shaped value tree: the intermediate representation every
+/// [`Serialize`] implementation produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` (also the representation of non-finite floats, matching
+    /// real serde_json).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A finite float.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+/// Serialize by conversion to a [`Value`] tree.
+pub trait Serialize {
+    /// This value as a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait backing `#[derive(Deserialize)]`; no deserialization
+/// exists in this offline stand-in.
+pub trait Deserialize {}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as u64;
+                if v <= i64::MAX as u64 {
+                    Value::Int(v as i64)
+                } else {
+                    Value::UInt(v)
+                }
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Float(*self)
+        } else {
+            Value::Null
+        }
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        (*self as f64).to_value()
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Deserialize)]
+    struct Named {
+        a: u32,
+        b: String,
+        c: Vec<Option<f64>>,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Newtype(u64);
+
+    #[derive(Serialize)]
+    struct Wide(u8, u8);
+
+    #[derive(Serialize)]
+    enum Mixed {
+        Unit,
+        Struct { x: f64 },
+        Tuple(u32),
+        Pair(u32, u32),
+    }
+
+    #[test]
+    fn named_struct_keeps_field_order() {
+        let v = Named { a: 1, b: "hi".into(), c: vec![Some(0.5), None] }.to_value();
+        let Value::Object(fields) = v else { panic!("expected object") };
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn newtype_serializes_as_inner() {
+        assert_eq!(Newtype(9).to_value(), Value::Int(9));
+        assert_eq!(Wide(1, 2).to_value(), Value::Array(vec![Value::Int(1), Value::Int(2)]));
+    }
+
+    #[test]
+    fn enum_representations_match_serde() {
+        assert_eq!(Mixed::Unit.to_value(), Value::String("Unit".into()));
+        let Value::Object(o) = Mixed::Struct { x: 1.5 }.to_value() else { panic!() };
+        assert_eq!(o[0].0, "Struct");
+        assert_eq!(
+            Mixed::Tuple(3).to_value(),
+            Value::Object(vec![("Tuple".into(), Value::Int(3))])
+        );
+        let Value::Object(p) = Mixed::Pair(1, 2).to_value() else { panic!() };
+        assert!(matches!(p[0].1, Value::Array(_)));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f64::NAN.to_value(), Value::Null);
+        assert_eq!(f64::INFINITY.to_value(), Value::Null);
+        assert_eq!(1.25f64.to_value(), Value::Float(1.25));
+    }
+
+    #[test]
+    fn u64_above_i64_max_is_preserved() {
+        assert_eq!(u64::MAX.to_value(), Value::UInt(u64::MAX));
+        assert_eq!(5u64.to_value(), Value::Int(5));
+    }
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full verification: tier-1 (release build + tests) plus a smoke run of
+# the parallel figure regeneration, checking that `repro --quick all`
+# produces byte-identical output under --jobs 1 and --jobs 8.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test -q --workspace
+
+echo "== repro --quick all smoke (--jobs 1 vs --jobs 8) =="
+cargo build --release -p slowcc-experiments --bin repro
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+./target/release/repro --quick all --jobs 1 --out "$tmp/j1" > "$tmp/stdout_j1.txt"
+./target/release/repro --quick all --jobs 8 --out "$tmp/j8" > "$tmp/stdout_j8.txt"
+diff -r "$tmp/j1" "$tmp/j8"
+diff "$tmp/stdout_j1.txt" "$tmp/stdout_j8.txt"
+echo "parallel output byte-identical to serial"
+
+echo "== verify OK =="
