@@ -26,6 +26,7 @@ fn bench_red() {
         ecn: false,
     };
     let mut q = Red::new(cfg);
+    let mut pool = PacketPool::new();
     let mut rng = SmallRng::seed_from_u64(7);
     let mut uid = 0u64;
     let mut t = SimTime::ZERO;
@@ -47,9 +48,14 @@ fn bench_red() {
             ecn: Default::default(),
         };
         uid += 1;
-        black_box(q.enqueue(pkt, t, &mut rng));
+        let id = pool.insert(pkt);
+        if black_box(q.enqueue(id, &mut pool, t, &mut rng)) == EnqueueResult::Dropped {
+            pool.remove(id);
+        }
         if uid.is_multiple_of(2) {
-            black_box(q.dequeue(t));
+            if let Some(out) = black_box(q.dequeue(t)) {
+                pool.remove(out);
+            }
         }
     }
     let dt = t0.elapsed();

@@ -1,9 +1,14 @@
 //! `bench_netsim` — wall-clock benchmark of the netsim hot path and the
 //! full figure sweep, written as `BENCH_netsim.json` at the repo root.
 //!
-//! Two measurements, both plain `std::time::Instant` (no bench
+//! Three measurements, all plain `std::time::Instant` (no bench
 //! framework):
 //!
+//! * **schedulers** — a hold-model microbench of the event queue
+//!   itself: fill each backend (binary heap, calendar queue) with 10k
+//!   pending events, then pop-and-reschedule in a tight loop and report
+//!   pops/sec. This isolates the scheduler from the rest of the
+//!   simulator.
 //! * **dumbbell** — simulate 5 s of 4 TCP flows on the 10 Mb/s paper
 //!   dumbbell (~50k packet events), repeated; reports mean and min
 //!   per-run time. This is the netsim hot path (`offer_to_link`,
@@ -24,7 +29,17 @@ use std::time::Instant;
 use serde::Serialize;
 
 use slowcc_core::tcp::{Tcp, TcpConfig};
+use slowcc_netsim::event::{EventKind, EventQueue, SchedulerKind};
 use slowcc_netsim::prelude::*;
+
+#[derive(Serialize)]
+struct SchedulerBench {
+    pending_events: usize,
+    hold_ops: u64,
+    heap_pops_per_sec: f64,
+    calendar_pops_per_sec: f64,
+    calendar_speedup: f64,
+}
 
 #[derive(Serialize)]
 struct DumbbellBench {
@@ -44,13 +59,67 @@ struct SweepBench {
 #[derive(Serialize)]
 struct BenchReport {
     available_parallelism: usize,
-    note: &'static str,
+    /// Set only when the machine cannot demonstrate sweep parallelism.
+    warning: Option<&'static str>,
+    schedulers: SchedulerBench,
     dumbbell_4tcp_5s: DumbbellBench,
     quick_sweep: Option<SweepBench>,
 }
 
-const NOTE: &str = "sweep speedup scales with available_parallelism; \
-    on a single-core machine the serial and parallel runs coincide";
+const SINGLE_CORE_WARNING: &str = "available_parallelism is 1: the serial \
+    and parallel sweep runs coincide, so the sweep speedup is meaningless \
+    on this machine";
+
+/// Classic hold model: keep `pending` events in the queue and repeatedly
+/// pop the earliest and schedule a replacement a random increment later.
+/// Returns pops/sec. The increment stream is a fixed xorshift sequence,
+/// so both backends see the exact same workload.
+fn hold_model(kind: SchedulerKind, pending: usize, ops: u64) -> f64 {
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let mut q = EventQueue::with_kind(kind);
+    for i in 0..pending {
+        let t = SimTime::from_nanos(next() % 1_000_000_000);
+        q.schedule(t, EventKind::AgentTimer { agent: AgentId::from_index(0), token: i as u64 });
+    }
+    let t0 = Instant::now();
+    for i in 0..ops {
+        let (t, _) = black_box(q.pop().expect("hold model keeps the queue non-empty"));
+        // Mean hold time ~100 µs, matching packet-event spacing on the
+        // paper dumbbell.
+        let hold = next() % 200_000;
+        q.schedule(
+            SimTime::from_nanos(t.as_nanos() + hold),
+            EventKind::AgentTimer { agent: AgentId::from_index(0), token: i },
+        );
+    }
+    ops as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn bench_schedulers() -> SchedulerBench {
+    const PENDING: usize = 10_000;
+    const OPS: u64 = 2_000_000;
+    let heap = hold_model(SchedulerKind::Heap, PENDING, OPS);
+    let calendar = hold_model(SchedulerKind::Calendar, PENDING, OPS);
+    println!(
+        "schedulers         heap {:.1}M pops/s  calendar {:.1}M pops/s  ({:.2}x, {PENDING} pending)",
+        heap / 1e6,
+        calendar / 1e6,
+        calendar / heap
+    );
+    SchedulerBench {
+        pending_events: PENDING,
+        hold_ops: OPS,
+        heap_pops_per_sec: heap,
+        calendar_pops_per_sec: calendar,
+        calendar_speedup: calendar / heap,
+    }
+}
 
 fn bench_dumbbell() -> DumbbellBench {
     const RUNS: u32 = 10;
@@ -144,7 +213,8 @@ fn main() {
         .unwrap_or(1);
     let report = BenchReport {
         available_parallelism: jobs,
-        note: NOTE,
+        warning: (jobs == 1).then_some(SINGLE_CORE_WARNING),
+        schedulers: bench_schedulers(),
         dumbbell_4tcp_5s: bench_dumbbell(),
         quick_sweep: if skip_sweep { None } else { bench_sweep(jobs) },
     };

@@ -1,10 +1,13 @@
-//! The parallel sweep executor must be invisible in the results: a
-//! multi-threaded Figure 4/5 quick sweep has to serialize byte-for-byte
-//! identically to the plain serial loop over the same cells.
+//! Infrastructure must be invisible in the results: a multi-threaded
+//! Figure 4/5 quick sweep has to serialize byte-for-byte identically to
+//! the plain serial loop over the same cells, and the choice of event
+//! scheduler (binary heap vs calendar queue) must not change a single
+//! byte either.
 
 use slowcc_experiments::onset::OnsetConfig;
 use slowcc_experiments::scale::Scale;
 use slowcc_experiments::{fig45, runner};
+use slowcc_netsim::event::{set_default_scheduler, SchedulerKind};
 
 #[test]
 fn parallel_fig45_sweep_serializes_identically_to_serial() {
@@ -25,5 +28,32 @@ fn parallel_fig45_sweep_serializes_identically_to_serial() {
     assert_eq!(
         serial_json, parallel_json,
         "parallel sweep output must be byte-identical to serial"
+    );
+}
+
+#[test]
+fn scheduler_choice_does_not_change_fig45_output() {
+    // The programmatic override beats the SLOWCC_SCHEDULER env var, so
+    // this test is immune to the environment it runs under. Restore the
+    // default on every exit path so other tests in this binary see the
+    // normal scheduler selection.
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_default_scheduler(None);
+        }
+    }
+    let _restore = Restore;
+
+    set_default_scheduler(Some(SchedulerKind::Heap));
+    let heap = fig45::run(Scale::Quick);
+    set_default_scheduler(Some(SchedulerKind::Calendar));
+    let calendar = fig45::run(Scale::Quick);
+
+    let heap_json = serde_json::to_string_pretty(&heap.points).unwrap();
+    let calendar_json = serde_json::to_string_pretty(&calendar.points).unwrap();
+    assert_eq!(
+        heap_json, calendar_json,
+        "calendar-queue scheduler must reproduce the heap's output byte-for-byte"
     );
 }

@@ -55,6 +55,7 @@ pub mod ids;
 pub mod link;
 pub mod node;
 pub mod packet;
+pub mod pool;
 pub mod queue;
 pub mod sim;
 pub mod stats;
@@ -67,7 +68,8 @@ pub mod prelude {
     pub use crate::ids::{AgentId, FlowId, LinkId, NodeId};
     pub use crate::link::{BernoulliLoss, Link, LossPattern, MarkPattern};
     pub use crate::packet::{AckInfo, DataInfo, Ecn, Packet, PacketSpec, Payload};
-    pub use crate::queue::{DropTail, QueueDiscipline, Red, RedConfig};
+    pub use crate::pool::{PacketId, PacketPool};
+    pub use crate::queue::{DropTail, EnqueueResult, QueueDiscipline, Red, RedConfig};
     pub use crate::sim::{Agent, Ctx, Simulator};
     pub use crate::stats::Stats;
     pub use crate::time::{SimDuration, SimTime};

@@ -10,12 +10,18 @@
 //!
 //! Queue occupancy is measured in packets (the ns-2 default for these
 //! experiments).
+//!
+//! Buffered packets live in the simulator's [`PacketPool`]; disciplines
+//! store and hand back [`PacketId`]s, so queueing a packet moves four
+//! bytes instead of the whole struct. On [`EnqueueResult::Dropped`] the
+//! *caller* ends the packet's life in the pool (after tracing it);
+//! disciplines never free ids.
 
 use std::collections::VecDeque;
 
 use rand::Rng;
 
-use crate::packet::Packet;
+use crate::pool::{PacketId, PacketPool};
 use crate::time::{SimDuration, SimTime};
 
 /// Outcome of offering a packet to a queue.
@@ -23,7 +29,9 @@ use crate::time::{SimDuration, SimTime};
 pub enum EnqueueResult {
     /// The packet was accepted and buffered.
     Enqueued,
-    /// The packet was dropped by the discipline (early drop or overflow).
+    /// The packet was rejected by the discipline (early drop or
+    /// overflow); the caller accounts the drop and frees the pooled
+    /// packet.
     Dropped,
     /// The packet was accepted and ECN-marked instead of being
     /// early-dropped (RED with ECN enabled, RFC 2481).
@@ -33,12 +41,19 @@ pub enum EnqueueResult {
 /// A queue discipline: decides whether arriving packets are buffered or
 /// dropped, and hands back buffered packets in service order.
 pub trait QueueDiscipline: Send {
-    /// Offer `pkt` to the queue at time `now`. On `Dropped` the packet is
-    /// consumed (the caller accounts the drop).
-    fn enqueue(&mut self, pkt: Packet, now: SimTime, rng: &mut dyn rand::RngCore) -> EnqueueResult;
+    /// Offer the pooled packet `pkt` to the queue at time `now`. On
+    /// [`EnqueueResult::Dropped`] the discipline no longer references
+    /// `pkt`; the caller frees it.
+    fn enqueue(
+        &mut self,
+        pkt: PacketId,
+        pool: &mut PacketPool,
+        now: SimTime,
+        rng: &mut dyn rand::RngCore,
+    ) -> EnqueueResult;
 
     /// Remove the next packet to transmit, if any.
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet>;
+    fn dequeue(&mut self, now: SimTime) -> Option<PacketId>;
 
     /// Current occupancy in packets.
     fn len(&self) -> usize;
@@ -52,7 +67,7 @@ pub trait QueueDiscipline: Send {
 /// A FIFO queue with a hard capacity in packets.
 #[derive(Debug)]
 pub struct DropTail {
-    buf: VecDeque<Packet>,
+    buf: VecDeque<PacketId>,
     capacity: usize,
 }
 
@@ -70,7 +85,8 @@ impl DropTail {
 impl QueueDiscipline for DropTail {
     fn enqueue(
         &mut self,
-        pkt: Packet,
+        pkt: PacketId,
+        _pool: &mut PacketPool,
         _now: SimTime,
         _rng: &mut dyn rand::RngCore,
     ) -> EnqueueResult {
@@ -82,7 +98,7 @@ impl QueueDiscipline for DropTail {
         }
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, _now: SimTime) -> Option<PacketId> {
         self.buf.pop_front()
     }
 
@@ -137,11 +153,39 @@ impl RedConfig {
     }
 }
 
+/// Per-arrival constants derived from [`RedConfig`], hoisted out of the
+/// enqueue hot path at construction time. Every value is the *identical*
+/// `f64` the inline expression produced, so precomputing preserves
+/// bit-exact drop decisions.
+#[derive(Debug, Clone, Copy)]
+struct RedPrecomputed {
+    /// `1.0 - weight` (used twice per arrival by the EWMA update).
+    one_minus_weight: f64,
+    /// `max_thresh - min_thresh`.
+    thresh_range: f64,
+    /// `2.0 * max_thresh` (gentle-mode upper bound; exact doubling).
+    two_max_thresh: f64,
+    /// `1.0 - max_p` (gentle-mode slope numerator).
+    one_minus_max_p: f64,
+}
+
+impl RedPrecomputed {
+    fn from(cfg: &RedConfig) -> Self {
+        RedPrecomputed {
+            one_minus_weight: 1.0 - cfg.weight,
+            thresh_range: cfg.max_thresh - cfg.min_thresh,
+            two_max_thresh: 2.0 * cfg.max_thresh,
+            one_minus_max_p: 1.0 - cfg.max_p,
+        }
+    }
+}
+
 /// Random Early Detection queue.
 #[derive(Debug)]
 pub struct Red {
     cfg: RedConfig,
-    buf: VecDeque<Packet>,
+    pre: RedPrecomputed,
+    buf: VecDeque<PacketId>,
     /// EWMA of the instantaneous queue length, in packets.
     avg: f64,
     /// Packets enqueued since the last early drop (or since the average
@@ -171,6 +215,7 @@ impl Red {
             "RED weight must be in (0, 1]"
         );
         Red {
+            pre: RedPrecomputed::from(&cfg),
             cfg,
             buf: VecDeque::new(),
             avg: 0.0,
@@ -193,28 +238,25 @@ impl Red {
             let idle = now.saturating_since(idle_start);
             if !self.cfg.mean_pkt_time.is_zero() {
                 let m = idle / self.cfg.mean_pkt_time;
-                self.avg *= (1.0 - self.cfg.weight).powf(m);
+                self.avg *= self.pre.one_minus_weight.powf(m);
             }
         }
-        self.avg = (1.0 - self.cfg.weight) * self.avg + self.cfg.weight * self.buf.len() as f64;
+        self.avg = self.pre.one_minus_weight * self.avg + self.cfg.weight * self.buf.len() as f64;
     }
 
     /// Early-drop probability for the current average, before count
     /// correction. `None` means "no early drop"; `Some(1.0)` forces a drop.
     fn base_drop_prob(&self) -> Option<f64> {
-        let RedConfig {
-            min_thresh,
-            max_thresh,
-            max_p,
-            gentle,
-            ..
-        } = self.cfg;
-        if self.avg < min_thresh {
+        if self.avg < self.cfg.min_thresh {
             None
-        } else if self.avg < max_thresh {
-            Some(max_p * (self.avg - min_thresh) / (max_thresh - min_thresh))
-        } else if gentle && self.avg < 2.0 * max_thresh {
-            Some(max_p + (1.0 - max_p) * (self.avg - max_thresh) / max_thresh)
+        } else if self.avg < self.cfg.max_thresh {
+            Some(self.cfg.max_p * (self.avg - self.cfg.min_thresh) / self.pre.thresh_range)
+        } else if self.cfg.gentle && self.avg < self.pre.two_max_thresh {
+            Some(
+                self.cfg.max_p
+                    + self.pre.one_minus_max_p * (self.avg - self.cfg.max_thresh)
+                        / self.cfg.max_thresh,
+            )
         } else {
             Some(1.0)
         }
@@ -222,9 +264,15 @@ impl Red {
 }
 
 impl QueueDiscipline for Red {
-    fn enqueue(&mut self, pkt: Packet, now: SimTime, rng: &mut dyn rand::RngCore) -> EnqueueResult {
+    fn enqueue(
+        &mut self,
+        pkt: PacketId,
+        pool: &mut PacketPool,
+        now: SimTime,
+        rng: &mut dyn rand::RngCore,
+    ) -> EnqueueResult {
         self.update_average(now);
-        let result = self.enqueue_inner(pkt, now, rng);
+        let result = self.enqueue_inner(pkt, pool, rng);
         // If the buffer is (still) empty — e.g. the arrival was dropped
         // while the average sat above max_thresh — the queue remains
         // idle: re-arm the idle clock so the average keeps decaying.
@@ -236,7 +284,7 @@ impl QueueDiscipline for Red {
         result
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime) -> Option<PacketId> {
         let pkt = self.buf.pop_front();
         if self.buf.is_empty() && self.idle_since.is_none() {
             self.idle_since = Some(now);
@@ -252,8 +300,8 @@ impl QueueDiscipline for Red {
 impl Red {
     fn enqueue_inner(
         &mut self,
-        pkt: Packet,
-        _now: SimTime,
+        pkt: PacketId,
+        pool: &mut PacketPool,
         rng: &mut dyn rand::RngCore,
     ) -> EnqueueResult {
         // Hard limit applies regardless of the average (and is never an
@@ -271,7 +319,7 @@ impl Red {
             }
             Some(pb) if pb >= 1.0 => {
                 self.count = Some(0);
-                self.drop_or_mark(pkt)
+                self.drop_or_mark(pkt, pool)
             }
             Some(pb) => {
                 let count = self.count.map_or(0, |c| c + 1);
@@ -286,7 +334,7 @@ impl Red {
                 };
                 if rng.gen::<f64>() < pa {
                     self.count = Some(0);
-                    self.drop_or_mark(pkt)
+                    self.drop_or_mark(pkt, pool)
                 } else {
                     self.buf.push_back(pkt);
                     EnqueueResult::Enqueued
@@ -297,9 +345,9 @@ impl Red {
 
     /// Execute an early congestion signal: an ECN mark when both the
     /// queue and the packet are ECN-capable, a drop otherwise.
-    fn drop_or_mark(&mut self, mut pkt: Packet) -> EnqueueResult {
-        if self.cfg.ecn && pkt.ecn.is_capable() {
-            pkt.ecn = crate::packet::Ecn::Marked;
+    fn drop_or_mark(&mut self, pkt: PacketId, pool: &mut PacketPool) -> EnqueueResult {
+        if self.cfg.ecn && pool.get(pkt).ecn.is_capable() {
+            pool.get_mut(pkt).ecn = crate::packet::Ecn::Marked;
             self.buf.push_back(pkt);
             EnqueueResult::Marked
         } else {
@@ -312,7 +360,7 @@ impl Red {
 mod tests {
     use super::*;
     use crate::ids::{AgentId, FlowId, NodeId};
-    use crate::packet::{DataInfo, Payload};
+    use crate::packet::{DataInfo, Packet, Payload};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -336,24 +384,60 @@ mod tests {
         SmallRng::seed_from_u64(42)
     }
 
+    /// Offer a fresh packet with the given uid; on rejection, free it
+    /// from the pool the way the simulator does.
+    fn offer(
+        q: &mut dyn QueueDiscipline,
+        pool: &mut PacketPool,
+        uid: u64,
+        now: SimTime,
+        rng: &mut SmallRng,
+    ) -> EnqueueResult {
+        let id = pool.insert(pkt(uid));
+        let result = q.enqueue(id, pool, now, rng);
+        if result == EnqueueResult::Dropped {
+            pool.remove(id);
+        }
+        result
+    }
+
+    fn offer_ecn(
+        q: &mut dyn QueueDiscipline,
+        pool: &mut PacketPool,
+        uid: u64,
+        now: SimTime,
+        rng: &mut SmallRng,
+    ) -> EnqueueResult {
+        use crate::packet::Ecn;
+        let mut p = pkt(uid);
+        p.ecn = Ecn::Capable;
+        let id = pool.insert(p);
+        let result = q.enqueue(id, pool, now, rng);
+        if result == EnqueueResult::Dropped {
+            pool.remove(id);
+        }
+        result
+    }
+
     #[test]
     fn droptail_respects_capacity_and_order() {
         let mut q = DropTail::new(2);
+        let mut pool = PacketPool::new();
         let mut r = rng();
         assert_eq!(
-            q.enqueue(pkt(1), SimTime::ZERO, &mut r),
+            offer(&mut q, &mut pool, 1, SimTime::ZERO, &mut r),
             EnqueueResult::Enqueued
         );
         assert_eq!(
-            q.enqueue(pkt(2), SimTime::ZERO, &mut r),
+            offer(&mut q, &mut pool, 2, SimTime::ZERO, &mut r),
             EnqueueResult::Enqueued
         );
         assert_eq!(
-            q.enqueue(pkt(3), SimTime::ZERO, &mut r),
+            offer(&mut q, &mut pool, 3, SimTime::ZERO, &mut r),
             EnqueueResult::Dropped
         );
-        assert_eq!(q.dequeue(SimTime::ZERO).unwrap().uid, 1);
-        assert_eq!(q.dequeue(SimTime::ZERO).unwrap().uid, 2);
+        assert_eq!(pool.get(q.dequeue(SimTime::ZERO).unwrap()).uid, 1);
+        assert_eq!(pool.get(q.dequeue(SimTime::ZERO).unwrap()).uid, 2);
         assert!(q.dequeue(SimTime::ZERO).is_none());
         assert!(q.is_empty());
     }
@@ -374,14 +458,16 @@ mod tests {
     #[test]
     fn red_never_drops_below_min_thresh() {
         let mut q = Red::new(red_cfg());
+        let mut pool = PacketPool::new();
         let mut r = rng();
         // With an empty queue the average stays near zero: no early drops.
         for i in 0..4 {
             assert_eq!(
-                q.enqueue(pkt(i), SimTime::from_millis(i), &mut r),
+                offer(&mut q, &mut pool, i, SimTime::from_millis(i), &mut r),
                 EnqueueResult::Enqueued
             );
-            q.dequeue(SimTime::from_millis(i));
+            let id = q.dequeue(SimTime::from_millis(i)).unwrap();
+            pool.remove(id);
         }
     }
 
@@ -390,13 +476,14 @@ mod tests {
         let mut cfg = red_cfg();
         cfg.weight = 1.0; // average tracks the instantaneous queue
         let mut q = Red::new(cfg);
+        let mut pool = PacketPool::new();
         let mut r = rng();
         for i in 0..16 {
-            q.enqueue(pkt(i), SimTime::ZERO, &mut r);
+            offer(&mut q, &mut pool, i, SimTime::ZERO, &mut r);
         }
         // Average is now >= 15; the next arrival must be dropped.
         assert_eq!(
-            q.enqueue(pkt(99), SimTime::ZERO, &mut r),
+            offer(&mut q, &mut pool, 99, SimTime::ZERO, &mut r),
             EnqueueResult::Dropped
         );
     }
@@ -408,15 +495,16 @@ mod tests {
         cfg.min_thresh = 50.0; // never early-drop
         cfg.max_thresh = 60.0;
         let mut q = Red::new(cfg);
+        let mut pool = PacketPool::new();
         let mut r = rng();
         for i in 0..3 {
             assert_eq!(
-                q.enqueue(pkt(i), SimTime::ZERO, &mut r),
+                offer(&mut q, &mut pool, i, SimTime::ZERO, &mut r),
                 EnqueueResult::Enqueued
             );
         }
         assert_eq!(
-            q.enqueue(pkt(4), SimTime::ZERO, &mut r),
+            offer(&mut q, &mut pool, 4, SimTime::ZERO, &mut r),
             EnqueueResult::Dropped
         );
     }
@@ -426,15 +514,18 @@ mod tests {
         let mut cfg = red_cfg();
         cfg.weight = 0.5;
         let mut q = Red::new(cfg);
+        let mut pool = PacketPool::new();
         let mut r = rng();
         for i in 0..10 {
-            q.enqueue(pkt(i), SimTime::ZERO, &mut r);
+            offer(&mut q, &mut pool, i, SimTime::ZERO, &mut r);
         }
         let avg_busy = q.average();
         assert!(avg_busy > 1.0);
-        while q.dequeue(SimTime::from_millis(1)).is_some() {}
+        while let Some(id) = q.dequeue(SimTime::from_millis(1)) {
+            pool.remove(id);
+        }
         // A long idle period should decay the average dramatically.
-        q.enqueue(pkt(100), SimTime::from_secs(10), &mut r);
+        offer(&mut q, &mut pool, 100, SimTime::from_secs(10), &mut r);
         assert!(
             q.average() < avg_busy * 0.01,
             "avg {} not decayed",
@@ -450,20 +541,21 @@ mod tests {
         cfg.weight = 1.0;
         cfg.capacity = 1000;
         let mut q = Red::new(cfg);
+        let mut pool = PacketPool::new();
         let mut r = rng();
         // Fill to 10 packets: halfway between thresholds -> pb = 0.05.
         for i in 0..10 {
-            q.enqueue(pkt(i), SimTime::ZERO, &mut r);
+            offer(&mut q, &mut pool, i, SimTime::ZERO, &mut r);
         }
         let trials = 20_000;
         let mut drops = 0;
         for i in 0..trials {
-            match q.enqueue(pkt(1000 + i), SimTime::ZERO, &mut r) {
+            match offer(&mut q, &mut pool, 1000 + i, SimTime::ZERO, &mut r) {
                 EnqueueResult::Dropped => drops += 1,
                 EnqueueResult::Enqueued | EnqueueResult::Marked => {
                     // Restore the level so the operating point is fixed.
                     let got = q.dequeue(SimTime::ZERO);
-                    assert!(got.is_some());
+                    pool.remove(got.expect("queue should not be empty"));
                 }
             }
         }
@@ -488,26 +580,30 @@ mod tests {
         cfg.weight = 0.01;
         cfg.capacity = 1000;
         let mut q = Red::new(cfg);
+        let mut pool = PacketPool::new();
         let mut r = rng();
         // Hold the queue near 40 packets for 600 arrivals so the average
         // climbs well above max_thresh (15).
         for i in 0..40 {
-            q.enqueue(pkt(i), SimTime::ZERO, &mut r);
+            offer(&mut q, &mut pool, i, SimTime::ZERO, &mut r);
         }
         for i in 0..600u64 {
-            if q.enqueue(pkt(100 + i), SimTime::ZERO, &mut r) == EnqueueResult::Enqueued {
-                q.dequeue(SimTime::ZERO);
+            if offer(&mut q, &mut pool, 100 + i, SimTime::ZERO, &mut r) == EnqueueResult::Enqueued {
+                let id = q.dequeue(SimTime::ZERO).unwrap();
+                pool.remove(id);
             }
         }
         assert!(q.average() > 15.0, "setup failed: avg {}", q.average());
-        while q.dequeue(SimTime::from_millis(1)).is_some() {}
+        while let Some(id) = q.dequeue(SimTime::from_millis(1)) {
+            pool.remove(id);
+        }
         // First probe shortly after drain: average still high, dropped.
-        let first = q.enqueue(pkt(9000), SimTime::from_millis(2), &mut r);
+        let first = offer(&mut q, &mut pool, 9000, SimTime::from_millis(2), &mut r);
         assert_eq!(first, EnqueueResult::Dropped);
         // Probe again after a long idle gap: the average must have
         // decayed across the gap even though no dequeue happened since
         // the dropped probe.
-        let later = q.enqueue(pkt(9001), SimTime::from_secs(5), &mut r);
+        let later = offer(&mut q, &mut pool, 9001, SimTime::from_secs(5), &mut r);
         assert_eq!(later, EnqueueResult::Enqueued);
     }
 
@@ -518,25 +614,25 @@ mod tests {
         cfg.weight = 1.0; // average tracks the instantaneous queue
         cfg.ecn = true;
         let mut q = Red::new(cfg);
+        let mut pool = PacketPool::new();
         let mut r = rng();
         for i in 0..16 {
-            let mut p = pkt(i);
-            p.ecn = Ecn::Capable;
-            q.enqueue(p, SimTime::ZERO, &mut r);
+            offer_ecn(&mut q, &mut pool, i, SimTime::ZERO, &mut r);
         }
         // Average >= max_thresh: a capable packet is marked, not dropped.
-        let mut p = pkt(99);
-        p.ecn = Ecn::Capable;
-        assert_eq!(q.enqueue(p, SimTime::ZERO, &mut r), EnqueueResult::Marked);
+        assert_eq!(
+            offer_ecn(&mut q, &mut pool, 99, SimTime::ZERO, &mut r),
+            EnqueueResult::Marked
+        );
         // A non-capable packet is still dropped.
         assert_eq!(
-            q.enqueue(pkt(100), SimTime::ZERO, &mut r),
+            offer(&mut q, &mut pool, 100, SimTime::ZERO, &mut r),
             EnqueueResult::Dropped
         );
         // Marked packets come out carrying the CE codepoint (the fill
         // itself may have produced probabilistic early marks too).
         let marked = std::iter::from_fn(|| q.dequeue(SimTime::ZERO))
-            .filter(|p| p.ecn == Ecn::Marked)
+            .filter(|id| pool.get(*id).ecn == Ecn::Marked)
             .count();
         assert!(marked >= 1, "no CE-marked packet dequeued");
         // Hard-limit overflow always drops, even for capable packets.
@@ -546,15 +642,14 @@ mod tests {
         cfg.max_thresh = 60.0;
         cfg.ecn = true;
         let mut q = Red::new(cfg);
-        let mut p0 = pkt(0);
-        p0.ecn = Ecn::Capable;
         assert_eq!(
-            q.enqueue(p0, SimTime::ZERO, &mut r),
+            offer_ecn(&mut q, &mut pool, 0, SimTime::ZERO, &mut r),
             EnqueueResult::Enqueued
         );
-        let mut p1 = pkt(1);
-        p1.ecn = Ecn::Capable;
-        assert_eq!(q.enqueue(p1, SimTime::ZERO, &mut r), EnqueueResult::Dropped);
+        assert_eq!(
+            offer_ecn(&mut q, &mut pool, 1, SimTime::ZERO, &mut r),
+            EnqueueResult::Dropped
+        );
     }
 
     #[test]

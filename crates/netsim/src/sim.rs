@@ -26,11 +26,12 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::event::{EventKind, EventQueue};
+use crate::event::{EventKind, EventQueue, SchedulerKind};
 use crate::ids::{AgentId, FlowId, LinkId, NodeId};
 use crate::link::Link;
 use crate::node::Node;
 use crate::packet::{Packet, PacketSpec, Payload};
+use crate::pool::{PacketId, PacketPool};
 use crate::queue::EnqueueResult;
 use crate::stats::Stats;
 use crate::time::{transmission_time, SimDuration, SimTime};
@@ -72,8 +73,11 @@ struct World {
     queue: EventQueue,
     nodes: Vec<Node>,
     links: Vec<Link>,
+    /// All live packets; events and link buffers reference slots by
+    /// [`PacketId`], so the hot path moves 4-byte ids, not packet bytes.
+    pool: PacketPool,
     /// The packet currently being serialized by each link, if any.
-    in_flight: Vec<Option<Packet>>,
+    in_flight: Vec<Option<PacketId>>,
     stats: Stats,
     rng: SmallRng,
     next_uid: u64,
@@ -110,10 +114,11 @@ impl World {
     /// packet lands here), so the link is indexed once and held as a
     /// single borrow alongside disjoint borrows of the other world
     /// fields, instead of re-indexing `self.links` per access.
-    fn offer_to_link(&mut self, link_id: LinkId, mut pkt: Packet) {
+    fn offer_to_link(&mut self, link_id: LinkId, pkt: PacketId) {
         let now = self.now;
         let World {
             links,
+            pool,
             stats,
             rng,
             trace,
@@ -124,7 +129,7 @@ impl World {
 
         // Scripted loss first.
         if let Some(loss) = link.loss.as_mut() {
-            if loss.should_drop(&pkt, now) {
+            if loss.should_drop(pool.get(pkt), now) {
                 stats.record_link_drop(link_id, now);
                 trace_event(
                     trace,
@@ -133,73 +138,69 @@ impl World {
                         link: link_id,
                         reason: DropReason::LossPattern,
                     },
-                    &pkt,
+                    pool.get(pkt),
                 );
+                pool.remove(pkt);
                 return;
             }
         }
         // Scripted ECN marking next.
-        if pkt.ecn.is_capable() {
+        if pool.get(pkt).ecn.is_capable() {
             let mut marked = false;
             if let Some(marker) = link.marker.as_mut() {
-                marked = marker.should_mark(&pkt, now);
+                marked = marker.should_mark(pool.get(pkt), now);
             }
             if marked {
-                pkt.ecn = crate::packet::Ecn::Marked;
+                pool.get_mut(pkt).ecn = crate::packet::Ecn::Marked;
                 stats.record_link_mark(link_id, now);
-                trace_event(trace, now, TraceKind::Mark { link: link_id }, &pkt);
+                trace_event(trace, now, TraceKind::Mark { link: link_id }, pool.get(pkt));
             }
         }
-        trace_event(trace, now, TraceKind::Enqueue { link: link_id }, &pkt);
+        trace_event(trace, now, TraceKind::Enqueue { link: link_id }, pool.get(pkt));
 
-        // The buffer. A snapshot of the identifying fields backs the
-        // trace for the drop/mark outcomes (the discipline consumes the
-        // packet); without a sink installed the snapshot is skipped
-        // entirely — the clone was pure overhead on the untraced path.
-        let traced = trace.is_some().then(|| pkt.clone());
+        // The buffer. The packet stays pooled whatever the discipline
+        // decides, so the drop/mark outcomes trace straight from the pool
+        // slot — no per-packet snapshot on either path.
         let busy = link.busy;
-        let result = link.queue.enqueue(pkt, now, rng);
+        let result = link.queue.enqueue(pkt, pool, now, rng);
         match result {
             EnqueueResult::Enqueued | EnqueueResult::Marked => {
                 if result == EnqueueResult::Marked {
                     stats.record_link_mark(link_id, now);
-                    if let Some(traced) = traced.as_ref() {
-                        trace_event(trace, now, TraceKind::Mark { link: link_id }, traced);
-                    }
+                    trace_event(trace, now, TraceKind::Mark { link: link_id }, pool.get(pkt));
                 }
                 if !busy {
                     // ns-2 style: the arriving packet traverses the
                     // (empty) discipline so RED's average sees it, then
                     // starts serializing immediately.
-                    let pkt = link
+                    let next = link
                         .queue
                         .dequeue(now)
                         .expect("packet just enqueued must dequeue");
-                    self.start_service(link_id, pkt);
+                    self.start_service(link_id, next);
                 }
             }
             EnqueueResult::Dropped => {
                 stats.record_link_drop(link_id, now);
-                if let Some(traced) = traced.as_ref() {
-                    trace_event(
-                        trace,
-                        now,
-                        TraceKind::Drop {
-                            link: link_id,
-                            reason: DropReason::Queue,
-                        },
-                        traced,
-                    );
-                }
+                trace_event(
+                    trace,
+                    now,
+                    TraceKind::Drop {
+                        link: link_id,
+                        reason: DropReason::Queue,
+                    },
+                    pool.get(pkt),
+                );
+                pool.remove(pkt);
             }
         }
     }
 
-    fn start_service(&mut self, link_id: LinkId, pkt: Packet) {
+    fn start_service(&mut self, link_id: LinkId, pkt: PacketId) {
         let link = &mut self.links[link_id.index()];
         debug_assert!(!link.busy, "start_service on busy link");
         link.busy = true;
-        let tx = transmission_time(pkt.size, link.rate_bps);
+        let tx = transmission_time(self.pool.get(pkt).size, link.rate_bps);
         self.in_flight[link_id.index()] = Some(pkt);
         self.queue
             .schedule(self.now + tx, EventKind::LinkTxComplete { link: link_id });
@@ -209,6 +210,7 @@ impl World {
         let now = self.now;
         let World {
             links,
+            pool,
             in_flight,
             queue,
             stats,
@@ -219,8 +221,8 @@ impl World {
         let pkt = in_flight[link_id.index()]
             .take()
             .expect("TxComplete without a packet in flight");
-        stats.record_link_tx(link_id, now, pkt.size);
-        trace_event(trace, now, TraceKind::Dequeue { link: link_id }, &pkt);
+        stats.record_link_tx(link_id, now, pool.get(pkt).size);
+        trace_event(trace, now, TraceKind::Dequeue { link: link_id }, pool.get(pkt));
         queue.schedule(
             now + link.delay,
             EventKind::Arrive {
@@ -238,15 +240,14 @@ impl World {
     /// Route `pkt` out of `node`, or panic on a routing hole (our
     /// topologies are static, so a missing route is a programming error
     /// worth failing loudly on).
-    fn forward(&mut self, node: NodeId, pkt: Packet) {
-        let out = self.nodes[node.index()]
-            .route(pkt.dst_node)
-            .unwrap_or_else(|| {
-                panic!(
-                    "no route from {node} to {} (flow {}, uid {})",
-                    pkt.dst_node, pkt.flow, pkt.uid
-                )
-            });
+    fn forward(&mut self, node: NodeId, pkt: PacketId) {
+        let p = self.pool.get(pkt);
+        let out = self.nodes[node.index()].route(p.dst_node).unwrap_or_else(|| {
+            panic!(
+                "no route from {node} to {} (flow {}, uid {})",
+                p.dst_node, p.flow, p.uid
+            )
+        });
         self.offer_to_link(out, pkt);
     }
 }
@@ -263,7 +264,8 @@ pub struct Simulator {
 pub const DEFAULT_STATS_BIN: SimDuration = SimDuration::from_millis(10);
 
 impl Simulator {
-    /// A fresh simulator with the given RNG seed.
+    /// A fresh simulator with the given RNG seed, on the process default
+    /// event scheduler (see [`SchedulerKind::default_kind`]).
     pub fn new(seed: u64) -> Self {
         Simulator::with_stats_bin(seed, DEFAULT_STATS_BIN)
     }
@@ -276,6 +278,7 @@ impl Simulator {
                 queue: EventQueue::new(),
                 nodes: Vec::new(),
                 links: Vec::new(),
+                pool: PacketPool::new(),
                 in_flight: Vec::new(),
                 stats: Stats::new(bin),
                 rng: SmallRng::seed_from_u64(seed),
@@ -285,6 +288,18 @@ impl Simulator {
             agents: Vec::new(),
             next_flow: 0,
         }
+    }
+
+    /// Which event-scheduler backend this simulator runs on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.world.queue.kind()
+    }
+
+    /// High-water mark of simultaneously in-flight packets — the packet
+    /// pool's slab size. Exposed so tests can assert the pool recycles
+    /// instead of growing per packet.
+    pub fn packet_pool_capacity(&self) -> usize {
+        self.world.pool.capacity()
     }
 
     /// Add a node (host or router).
@@ -388,12 +403,13 @@ impl Simulator {
 
     /// Run until the event queue drains or `until` is reached, whichever
     /// comes first. The clock is left at `until` when the horizon is hit.
+    ///
+    /// Each iteration is a single `pop_if_at_or_before` on the scheduler
+    /// — not a peek followed by a pop, which paid for the earliest-event
+    /// search twice per event.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(t) = self.world.queue.peek_time() {
-            if t > until {
-                break;
-            }
-            self.step();
+        while let Some((time, kind)) = self.world.queue.pop_if_at_or_before(until) {
+            self.process(time, kind);
         }
         if self.world.now < until {
             self.world.now = until;
@@ -405,20 +421,29 @@ impl Simulator {
         let Some((time, kind)) = self.world.queue.pop() else {
             return false;
         };
+        self.process(time, kind);
+        true
+    }
+
+    /// Advance the clock to `time` and fire `kind`.
+    fn process(&mut self, time: SimTime, kind: EventKind) {
         debug_assert!(time >= self.world.now, "event queue went backwards");
         self.world.now = time;
         match kind {
             EventKind::LinkTxComplete { link } => self.world.on_tx_complete(link),
             EventKind::Arrive { node, packet } => {
-                if packet.dst_node == node {
-                    if packet.is_data() {
+                if self.world.pool.get(packet).dst_node == node {
+                    // Delivery ends the packet's pooled life; the agent
+                    // receives the value.
+                    let pkt = self.world.pool.remove(packet);
+                    if pkt.is_data() {
                         self.world
                             .stats
-                            .record_flow_rx(packet.flow, self.world.now, packet.size);
+                            .record_flow_rx(pkt.flow, self.world.now, pkt.size);
                     }
-                    self.world.trace(TraceKind::Deliver { node }, &packet);
-                    let agent = packet.dst_agent;
-                    self.dispatch(agent, |a, ctx| a.on_packet(packet, ctx));
+                    self.world.trace(TraceKind::Deliver { node }, &pkt);
+                    let agent = pkt.dst_agent;
+                    self.dispatch(agent, |a, ctx| a.on_packet(pkt, ctx));
                 } else {
                     self.world.forward(node, packet);
                 }
@@ -430,7 +455,6 @@ impl Simulator {
                 self.dispatch(agent, |a, ctx| a.on_start(ctx));
             }
         }
-        true
     }
 
     fn dispatch<F>(&mut self, id: AgentId, f: F)
@@ -523,15 +547,17 @@ impl Ctx<'_> {
                 .record_flow_tx(pkt.flow, self.world.now, pkt.size);
         }
         self.world.trace(TraceKind::Send, &pkt);
-        if pkt.dst_node == self.node {
+        let local = pkt.dst_node == self.node;
+        let id = self.world.pool.insert(pkt);
+        if local {
             // Local delivery: still goes through the event queue so the
             // receiving agent runs after the current callback returns.
             let node = self.node;
             self.world
                 .queue
-                .schedule(self.world.now, EventKind::Arrive { node, packet: pkt });
+                .schedule(self.world.now, EventKind::Arrive { node, packet: id });
         } else {
-            self.world.forward(self.node, pkt);
+            self.world.forward(self.node, id);
         }
     }
 

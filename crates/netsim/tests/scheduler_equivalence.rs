@@ -1,0 +1,149 @@
+//! Property tests pinning the calendar queue to the binary-heap
+//! reference: for *any* schedule — equal-timestamp ties, far-future
+//! times that land in overflow buckets, pops interleaved with pushes —
+//! both backends must produce the identical event sequence. This is the
+//! determinism contract `event.rs` promises; if it ever breaks, figure
+//! outputs silently diverge between scheduler settings.
+
+use proptest::prelude::*;
+
+use slowcc_netsim::event::{EventKind, EventQueue, SchedulerKind};
+use slowcc_netsim::ids::AgentId;
+use slowcc_netsim::time::SimTime;
+
+/// A timer event carrying `token` so pops are distinguishable even when
+/// timestamps collide.
+fn ev(token: u64) -> EventKind {
+    EventKind::AgentTimer { agent: AgentId::from_index(0), token }
+}
+
+/// Drive one queue through the op sequence and record everything popped.
+///
+/// `ops` encodes a schedule/pop trace: `Some(t)` schedules an event at
+/// time `t` (tokens count up in program order, so ties are detectable),
+/// `None` pops. Pops from an empty queue record a sentinel so "popped
+/// nothing" must also match across backends.
+fn run_trace(kind: SchedulerKind, ops: &[Option<u64>]) -> Vec<(u64, u64)> {
+    let mut q = EventQueue::with_kind(kind);
+    let mut token = 0u64;
+    let mut popped = Vec::new();
+    for op in ops {
+        match op {
+            Some(t) => {
+                q.schedule(SimTime::from_nanos(*t), ev(token));
+                token += 1;
+            }
+            None => match q.pop() {
+                Some((t, EventKind::AgentTimer { token, .. })) => {
+                    popped.push((t.as_nanos(), token));
+                }
+                Some(_) => unreachable!("only timers are scheduled"),
+                None => popped.push((u64::MAX, u64::MAX)),
+            },
+        }
+    }
+    // Drain the remainder so the full order is compared, not a prefix.
+    while let Some((t, EventKind::AgentTimer { token, .. })) = q.pop() {
+        popped.push((t.as_nanos(), token));
+    }
+    popped
+}
+
+/// Map raw sampled values into a time distribution that stresses every
+/// calendar-queue regime: dense collisions (many ties per bucket),
+/// ordinary nanosecond spacing, and far-future times hours ahead that
+/// overflow the bucket year and take the global-scan fallback.
+fn shape_time(raw: u64) -> u64 {
+    match raw % 4 {
+        0 => raw % 16,                                 // heavy ties near zero
+        1 => raw % 1_000_000,                          // sub-millisecond spread
+        2 => raw % 10_000_000_000,                     // multi-second spread
+        _ => 3_600_000_000_000 + raw % 7_200_000_000_000, // 1-3 hours out
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Pure schedules (no interleaved pops): both backends pop the
+    /// identical (time, token) sequence.
+    #[test]
+    fn identical_pop_order_for_random_schedules(
+        raw_times in prop::collection::vec(0u64..u64::MAX, 1..300),
+    ) {
+        let ops: Vec<Option<u64>> =
+            raw_times.iter().map(|&r| Some(shape_time(r))).collect();
+        let heap = run_trace(SchedulerKind::Heap, &ops);
+        let cal = run_trace(SchedulerKind::Calendar, &ops);
+        prop_assert_eq!(heap, cal);
+    }
+
+    /// Interleaved pushes and pops — the cursor-rewind and resize paths
+    /// of the calendar queue fire mid-stream — still byte-identical.
+    #[test]
+    fn identical_order_with_interleaved_pops(
+        raw_times in prop::collection::vec(0u64..u64::MAX, 1..300),
+        pops in prop::collection::vec(prop::bool::ANY, 1..300),
+    ) {
+        let ops: Vec<Option<u64>> = raw_times
+            .iter()
+            .zip(pops.iter().cycle())
+            .map(|(&r, &pop)| if pop { None } else { Some(shape_time(r)) })
+            .collect();
+        let heap = run_trace(SchedulerKind::Heap, &ops);
+        let cal = run_trace(SchedulerKind::Calendar, &ops);
+        prop_assert_eq!(heap, cal);
+    }
+
+    /// Massed equal-timestamp ties: every event at one of a handful of
+    /// instants, so ordering is carried almost entirely by the seq token.
+    #[test]
+    fn ties_resolve_identically(
+        slots in prop::collection::vec(0u64..4, 2..200),
+        base in 0u64..1_000_000,
+    ) {
+        let ops: Vec<Option<u64>> = slots.iter().map(|&s| Some(base + s)).collect();
+        let heap = run_trace(SchedulerKind::Heap, &ops);
+        let cal = run_trace(SchedulerKind::Calendar, &ops);
+        prop_assert_eq!(heap, cal);
+    }
+
+    /// `pop_if_at_or_before` agrees between backends at every horizon,
+    /// including horizons before, between, and after all events.
+    #[test]
+    fn horizon_pops_agree(
+        raw_times in prop::collection::vec(0u64..u64::MAX, 1..120),
+        raw_horizons in prop::collection::vec(0u64..u64::MAX, 1..40),
+    ) {
+        let times: Vec<u64> = raw_times.iter().map(|&r| shape_time(r)).collect();
+        let mut heap = EventQueue::with_kind(SchedulerKind::Heap);
+        let mut cal = EventQueue::with_kind(SchedulerKind::Calendar);
+        for (tok, &t) in times.iter().enumerate() {
+            heap.schedule(SimTime::from_nanos(t), ev(tok as u64));
+            cal.schedule(SimTime::from_nanos(t), ev(tok as u64));
+        }
+        let mut horizons: Vec<u64> = raw_horizons.iter().map(|&r| shape_time(r)).collect();
+        horizons.sort_unstable();
+        for h in horizons {
+            let horizon = SimTime::from_nanos(h);
+            loop {
+                let a = heap.pop_if_at_or_before(horizon);
+                let b = cal.pop_if_at_or_before(horizon);
+                prop_assert_eq!(a, b);
+                prop_assert_eq!(heap.peek_time(), cal.peek_time());
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+        // Whatever survives past the last horizon must still agree.
+        loop {
+            let a = heap.pop();
+            let b = cal.pop();
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

@@ -24,4 +24,10 @@ diff -r "$tmp/j1" "$tmp/j8"
 diff "$tmp/stdout_j1.txt" "$tmp/stdout_j8.txt"
 echo "parallel output byte-identical to serial"
 
+echo "== scheduler equivalence smoke (heap vs calendar) =="
+SLOWCC_SCHEDULER=heap ./target/release/repro --quick fig45 --out "$tmp/heap" > /dev/null
+SLOWCC_SCHEDULER=calendar ./target/release/repro --quick fig45 --out "$tmp/calendar" > /dev/null
+diff -r "$tmp/heap" "$tmp/calendar"
+echo "calendar-queue output byte-identical to binary heap"
+
 echo "== verify OK =="

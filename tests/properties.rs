@@ -171,7 +171,8 @@ proptest! {
         use rand::SeedableRng;
         use slowcc::netsim::ids::{AgentId, FlowId, NodeId};
         use slowcc::netsim::packet::{DataInfo, Packet, Payload};
-        use slowcc::netsim::queue::{QueueDiscipline, Red, RedConfig};
+        use slowcc::netsim::pool::PacketPool;
+        use slowcc::netsim::queue::{EnqueueResult, QueueDiscipline, Red, RedConfig};
 
         let cfg = RedConfig {
             capacity: 50,
@@ -184,6 +185,7 @@ proptest! {
             ecn: false,
         };
         let mut q = Red::new(cfg);
+        let mut pool = PacketPool::new();
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut t = SimTime::ZERO;
         let mut uid = 0u64;
@@ -204,10 +206,15 @@ proptest! {
                     ecn: Default::default(),
                 };
                 uid += 1;
-                let _ = q.enqueue(pkt, t, &mut rng);
+                let id = pool.insert(pkt);
+                if q.enqueue(id, &mut pool, t, &mut rng) == EnqueueResult::Dropped {
+                    pool.remove(id);
+                }
                 prop_assert!(q.len() <= cfg.capacity);
             } else {
-                q.dequeue(t);
+                if let Some(id) = q.dequeue(t) {
+                    pool.remove(id);
+                }
             }
             prop_assert!(q.average() >= 0.0);
             prop_assert!(q.average() <= cfg.capacity as f64 + 1.0);
