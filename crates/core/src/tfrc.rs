@@ -345,6 +345,10 @@ impl TfrcSink {
         self.bytes_this_round = 0;
         self.round_start = now;
         self.new_loss_since_feedback = false;
+        // This report supersedes any packet held for the timer-driven
+        // one; keeping it would make the next timer tick re-report a
+        // template (and acked_seq) that predates this report.
+        self.pending = None;
         // Re-arm the per-RTT feedback timer.
         self.feedback_gen += 1;
         ctx.set_timer(self.rtt_for_grouping(), self.feedback_gen);
@@ -409,6 +413,11 @@ impl Agent for TfrcSink {
         if token != self.feedback_gen {
             return;
         }
+        if let Some(stop) = self.cfg.stop_at {
+            if ctx.now() >= stop {
+                return; // flow stopped: let the feedback timer lapse
+            }
+        }
         if let Some(pkt) = self.pending.take() {
             self.send_feedback(&pkt, ctx);
         } else {
@@ -421,6 +430,10 @@ impl Agent for TfrcSink {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+
+    fn audit_done(&self, now: SimTime) -> bool {
+        self.cfg.stop_at.is_some_and(|stop| now >= stop)
     }
 }
 
@@ -640,6 +653,10 @@ impl Agent for Tfrc {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+
+    fn audit_done(&self, now: SimTime) -> bool {
+        self.cfg.stop_at.is_some_and(|stop| now >= stop)
     }
 }
 
@@ -984,7 +1001,7 @@ mod sink_tests {
         }
     }
 
-    fn drive(sends: Vec<(SimDuration, u64)>) -> (Simulator, slowcc_netsim::ids::AgentId) {
+    fn drive(sends: Vec<(SimDuration, u64)>) -> (Simulator, AgentId, AgentId) {
         let mut sim = Simulator::new(0);
         let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(100e6));
         let pair = db.add_host_pair(&mut sim);
@@ -995,7 +1012,7 @@ mod sink_tests {
             Box::new(TfrcSink::new(TfrcConfig::tfrc_k(8, 1000))),
             SimTime::ZERO,
         );
-        sim.add_agent(
+        let script = sim.add_agent(
             pair.left,
             Box::new(Script {
                 flow,
@@ -1007,7 +1024,7 @@ mod sink_tests {
             }),
         );
         sim.run_until(SimTime::from_secs(5));
-        (sim, sink)
+        (sim, sink, script)
     }
 
     fn ms(v: u64) -> SimDuration {
@@ -1039,7 +1056,7 @@ mod sink_tests {
             sends.push((ms(t), seq));
             t += 2;
         }
-        let (sim, sink) = drive(sends);
+        let (sim, sink, _) = drive(sends);
         let s: &TfrcSink = sim.agent_downcast(sink).unwrap();
         // Event one: the 3/6 pair (grouped). Event two: 150.
         // With exactly two events there is exactly one *closed* interval
@@ -1061,9 +1078,55 @@ mod sink_tests {
             sends.push((ms(t), seq));
             t += 2;
         }
-        let (sim, sink) = drive(sends);
+        let (sim, sink, _) = drive(sends);
         let s: &TfrcSink = sim.agent_downcast(sink).unwrap();
         assert_eq!(s.history_len(), 1);
         assert!(s.loss_event_rate() > 0.0);
+    }
+
+    /// A loss-forced report must consume the packet held for the
+    /// timer-driven report: otherwise the next timer tick re-sends
+    /// feedback from a template that predates the forced report, with a
+    /// stale (non-monotone) `acked_seq`.
+    #[test]
+    fn forced_report_clears_the_pending_template() {
+        // seq 0 -> immediate first report; seq 1 -> held as pending;
+        // seq 3 (seq 2 lost) -> forced loss report. A stale pending
+        // would produce a third, timer-driven report echoing seq 1.
+        let sends = vec![(ms(0), 0), (ms(10), 1), (ms(20), 3)];
+        let (sim, _, script) = drive(sends);
+        let s: &Script = sim.agent_downcast(script).unwrap();
+        let acked: Vec<u64> = s.reports.iter().map(|r| r.acked_seq).collect();
+        assert_eq!(
+            s.reports.len(),
+            2,
+            "exactly the first-packet and loss-forced reports, got acked_seq {acked:?}"
+        );
+        assert!(
+            acked.windows(2).all(|w| w[0] <= w[1]),
+            "acked_seq must be monotone, got {acked:?}"
+        );
+    }
+
+    /// A stopped TFRC flow must let its timers lapse on both ends; the
+    /// sink's per-RTT feedback timer used to tick forever past `stop_at`,
+    /// which the audit layer flags as a timer leak.
+    #[test]
+    fn stopped_flow_leaks_no_timers() {
+        use slowcc_netsim::audit::AuditMode;
+
+        let mut sim = Simulator::with_audit_mode(3, AuditMode::Collect);
+        let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
+        let pair = db.add_host_pair(&mut sim);
+        let cfg = TfrcConfig::standard(1000).with_stop_at(SimTime::from_secs(1));
+        Tfrc::install(&mut sim, &pair, cfg, SimTime::ZERO);
+        sim.run_until(SimTime::from_secs(5));
+        let report = sim.finish_audit().unwrap();
+        assert_eq!(
+            report.timer_leaks, 0,
+            "stopped TFRC flow kept ticking: {:?}",
+            report.violation_messages
+        );
+        report.assert_clean();
     }
 }

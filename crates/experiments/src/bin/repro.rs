@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--jobs N] [--out DIR] <experiment>... | all
+//! repro [--quick] [--audit] [--jobs N] [--out DIR] <experiment>... | all
 //! ```
 //!
 //! Experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
@@ -22,6 +22,7 @@ use std::process::ExitCode;
 use slowcc_experiments::runner;
 use slowcc_experiments::scale::Scale;
 use slowcc_experiments::*;
+use slowcc_netsim::audit::{self, AuditMode};
 
 const EXPERIMENTS: &[&str] = &[
     "fig3",
@@ -63,11 +64,13 @@ type Compute = Box<dyn FnOnce() -> Render + Send>;
 fn main() -> ExitCode {
     let mut scale = Scale::Full;
     let mut out: Option<PathBuf> = None;
+    let mut audit_run = false;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => scale = Scale::Quick,
+            "--audit" => audit_run = true,
             "--out" => match args.next() {
                 Some(dir) => out = Some(PathBuf::from(dir)),
                 None => {
@@ -112,9 +115,34 @@ fn main() -> ExitCode {
 
     // Simulate all targets in parallel, then render serially in
     // command-line order so the report reads exactly as it always has.
+    if audit_run {
+        // Collect, not Strict: a sweep should report every violation
+        // across all cells rather than abort at the first one.
+        audit::set_default_audit(Some(AuditMode::Collect));
+        let _ = audit::take_global_report(); // start from a clean slate
+    }
     let renders = runner::run_cells(computes, |compute| compute());
     for render in renders {
         render(&out);
+    }
+    if audit_run {
+        return match audit::take_global_report() {
+            None => {
+                eprintln!("audit: no simulation was audited");
+                ExitCode::FAILURE
+            }
+            Some(report) => {
+                println!("audit: {}", report.summary());
+                for msg in &report.violation_messages {
+                    eprintln!("audit violation: {msg}");
+                }
+                if report.is_clean() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+        };
     }
     ExitCode::SUCCESS
 }
@@ -295,10 +323,12 @@ fn normalize(name: &str) -> String {
 }
 
 fn usage() {
-    eprintln!("usage: repro [--quick] [--jobs N] [--out DIR] <experiment>... | all | list");
+    eprintln!("usage: repro [--quick] [--audit] [--jobs N] [--out DIR] <experiment>... | all | list");
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
     eprintln!("aliases: fig4 fig5 -> fig45; fig14 fig15 -> fig1415");
     eprintln!("--jobs N caps the process at N threads (default: available parallelism)");
+    eprintln!("--audit runs every simulation under the packet/timer invariant auditor");
+    eprintln!("        and fails (nonzero exit) on any conservation violation or timer leak");
 }
 
 /// Tiny object-safe serialization shim so `save` can take any result.

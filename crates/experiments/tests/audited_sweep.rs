@@ -1,0 +1,41 @@
+//! The Figure 4/5 quick sweep must hold the simulator's conservation
+//! invariants: every packet ends in exactly one terminal state, the
+//! link ledgers balance, and no done flow keeps its timers ticking.
+//!
+//! This lives in its own integration-test binary (own process) because
+//! it flips the process-global audit default; sharing a binary with
+//! other tests would race on that override.
+
+use slowcc_experiments::scale::Scale;
+use slowcc_experiments::fig45;
+use slowcc_netsim::audit::{set_default_audit, take_global_report, AuditMode};
+
+#[test]
+fn quick_fig45_sweep_holds_all_audit_invariants() {
+    // Restore the default on every exit path so nothing leaks out of
+    // this process even if the assertions below panic first.
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_default_audit(None);
+        }
+    }
+    let _restore = Restore;
+
+    // Strict would also work, but Collect lets the assertion below show
+    // the whole report instead of dying inside the first bad cell.
+    set_default_audit(Some(AuditMode::Collect));
+    let _ = take_global_report();
+
+    let _result = fig45::run(Scale::Quick);
+
+    let report = take_global_report().expect("sweep must have audited sims");
+    assert!(report.sims > 0, "no simulation was audited");
+    assert!(report.packets_injected > 0, "sweep injected no packets");
+    report.assert_clean();
+    assert_eq!(
+        report.packets_injected,
+        report.packets_delivered + report.packets_dropped + report.packets_in_flight,
+        "packet conservation must hold across the whole sweep"
+    );
+}

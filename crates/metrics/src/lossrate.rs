@@ -111,35 +111,6 @@ mod tests {
     use slowcc_netsim::prelude::*;
     use slowcc_netsim::sim::Simulator;
 
-    /// Build stats with a scripted loss profile: `steady` loss fraction
-    /// everywhere except a `spike` fraction for `spike_rtts` RTTs after
-    /// onset.
-    fn scripted_stats(steady: f64, spike: f64, spike_rtts: u64) -> (Simulator, LinkId) {
-        let mut sim = Simulator::new(0);
-        let a = sim.add_node();
-        let b = sim.add_node();
-        let l = sim.add_link(
-            a,
-            Link::new(
-                b,
-                1e9,
-                SimDuration::from_millis(1),
-                Box::new(DropTail::new(10)),
-            ),
-        );
-        // Drive the stats store directly through a scripting agent is
-        // heavyweight; instead synthesize with a tiny sender is overkill
-        // too. We reach for the public recording API via a helper agent.
-        let _ = (l, steady, spike, spike_rtts);
-        (sim, l)
-    }
-
-    // The synthetic-driver approach above is awkward without exposing
-    // recording; instead test against hand-built Stats through the
-    // simulator's own pathway in integration tests. Here we unit-test the
-    // scanning logic with a fake link driven by an agent that sends
-    // packets into a capacity-zero queue during the spike.
-
     struct Pulse {
         flow: FlowId,
         dst_node: NodeId,
@@ -176,6 +147,74 @@ mod tests {
     struct Devour;
     impl Agent for Devour {
         fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+    }
+
+    /// Build a world whose bottleneck link really carries a scripted loss
+    /// profile: a `steady` loss fraction everywhere, and a `spike` loss
+    /// fraction for `spike_rtts` RTTs (of 50 ms) after the 1 s onset.
+    ///
+    /// A [`Pulse`] agent emits a burst every 10 ms into a slow (1 ms per
+    /// 100-byte packet) cap-4 DropTail link: of an `n`-packet burst, 5
+    /// survive (4 queued + 1 in service) and `n - 5` drop, so a target
+    /// loss fraction `p` needs bursts of `5 / (1 - p)` packets. Callers
+    /// still drive `run_until` themselves.
+    fn scripted_stats(steady: f64, spike: f64, spike_rtts: u64) -> (Simulator, LinkId) {
+        assert!((0.0..1.0).contains(&steady) && (0.0..1.0).contains(&spike));
+        let burst = |p: f64| -> u32 {
+            if p <= 0.0 {
+                2 // fits the queue: lossless
+            } else {
+                (5.0 / (1.0 - p)).round() as u32
+            }
+        };
+        let mut sim = Simulator::new(0);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let l = sim.add_link(
+            a,
+            Link::new(
+                b,
+                8e5, // 1 ms per 100-byte packet
+                SimDuration::from_millis(1),
+                Box::new(DropTail::new(4)),
+            ),
+        );
+        let back = sim.add_link(
+            b,
+            Link::new(
+                a,
+                1e9,
+                SimDuration::from_millis(1),
+                Box::new(DropTail::new(100)),
+            ),
+        );
+        sim.set_default_route(a, l);
+        sim.set_default_route(b, back);
+        let sink = sim.add_agent(b, Box::new(Devour));
+        let flow = sim.new_flow();
+        let spike_from_ms = 1000u64;
+        let spike_to_ms = spike_from_ms + 50 * spike_rtts;
+        let script = (0..400u64)
+            .map(|i| {
+                let t_ms = 10 * i;
+                let in_spike = (spike_from_ms..spike_to_ms).contains(&t_ms);
+                (
+                    SimTime::from_millis(t_ms),
+                    burst(if in_spike { spike } else { steady }),
+                )
+            })
+            .collect();
+        sim.add_agent(
+            a,
+            Box::new(Pulse {
+                flow,
+                dst_node: b,
+                dst_agent: sink,
+                script,
+                next: 0,
+            }),
+        );
+        (sim, l)
     }
 
     /// A world where bursts larger than the queue produce a known loss
@@ -265,8 +304,40 @@ mod tests {
             horizon: SimTime::from_secs(2),
         };
         let st = stabilization(sim.stats(), l, &cfg);
+        // The helper must actually push traffic through the link — a
+        // trivially-empty world would make this test vacuous.
+        assert!(
+            sim.stats().link(l).map_or(0, |ls| ls.total_arrivals) > 0,
+            "scripted world carried no traffic"
+        );
         assert!(st.stabilized);
         assert!(st.time_rtts <= 1.01);
         assert_eq!(st.cost, 0.0);
+    }
+
+    #[test]
+    fn scripted_spike_is_seen_and_priced() {
+        // Lossless background, ~50% loss for 10 RTTs after t = 1 s.
+        let (mut sim, l) = scripted_stats(0.0, 0.5, 10);
+        sim.run_until(SimTime::from_secs(3));
+        let cfg = StabilizationConfig {
+            onset: SimTime::from_secs(1),
+            steady_from: SimTime::ZERO,
+            steady_to: SimTime::from_millis(900),
+            rtt: SimDuration::from_millis(50),
+            window_rtts: 10,
+            factor: 1.5,
+            horizon: SimTime::from_secs(3),
+        };
+        let st = stabilization(sim.stats(), l, &cfg);
+        assert!(st.stabilized, "never stabilized: {st:?}");
+        assert!(st.steady_loss < 0.01, "steady loss {:.3}", st.steady_loss);
+        // 10 RTTs of spike plus up to a 10-RTT window to flush it out.
+        assert!(
+            st.time_rtts >= 9.0 && st.time_rtts <= 40.0,
+            "time {} RTTs",
+            st.time_rtts
+        );
+        assert!(st.cost > 0.0, "a real spike must have nonzero cost");
     }
 }

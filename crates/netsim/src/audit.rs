@@ -1,0 +1,548 @@
+//! Opt-in runtime invariant auditing.
+//!
+//! Every figure in the paper reduces to counting packets correctly, so a
+//! silent accounting bug — a slot leaked in the packet pool, a stale
+//! timer firing into a stopped flow, link counters drifting apart —
+//! corrupts results without failing a test. The auditor is a second,
+//! independent set of books kept alongside the simulator's own state:
+//!
+//! * **Packet ledger.** Every packet injected via [`crate::sim::Ctx::send`]
+//!   is tracked from injection to exactly one terminal state (delivered,
+//!   dropped, or still in flight at end of run). After every event the
+//!   ledger's live count is compared against the slab pool's live-slot
+//!   count, and at teardown the exact uid sets are compared, so the pool
+//!   can never silently leak or double-free.
+//! * **Link ledger.** Arrivals, departures, drops and transmitted bytes
+//!   are counted per link independently of [`crate::stats::Stats`]; at
+//!   teardown the conservation law `arrivals == departures + drops +
+//!   queued + in_service` must hold and both sets of counters must agree.
+//! * **Timer ledger.** Armed and fired timers are counted per agent. A
+//!   *timer leak* — an agent whose [`crate::sim::Agent::audit_done`]
+//!   reports the flow finished, yet re-arms a timer from its own timer
+//!   callback — is flagged, because such an agent ticks forever and
+//!   corrupts any metric sampled near it.
+//!
+//! Auditing is off by default (the hot path pays one pointer-null check
+//! per event). Enable it per simulator with
+//! [`crate::sim::Simulator::with_audit`], per process with
+//! [`set_default_audit`], or via the environment: `SLOWCC_AUDIT=1` (or
+//! `strict`) panics at the first violation, `SLOWCC_AUDIT=collect`
+//! accumulates violations into a process-global [`AuditReport`] that
+//! [`take_global_report`] drains — the mode the experiments runner's
+//! `--audit` flag uses to audit a whole figure sweep.
+
+use std::sync::atomic::{AtomicU8, Ordering as AtomicOrdering};
+use std::sync::{Mutex, OnceLock};
+
+use serde::Serialize;
+
+use crate::ids::{AgentId, LinkId};
+use crate::stats::Stats;
+use crate::time::SimTime;
+
+/// How audit violations are handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditMode {
+    /// Panic at the first violation. The mode for tests and the
+    /// `SLOWCC_AUDIT=1` smoke runs: a violation is a bug, fail loudly.
+    Strict,
+    /// Record violations into the [`AuditReport`] and keep running. The
+    /// mode for sweep-wide audits (`repro --audit`), where one report at
+    /// the end beats a panic in the middle of a parallel sweep.
+    Collect,
+}
+
+/// Process-wide programmatic override:
+/// 0 = unset (fall through to the environment), 1 = strict, 2 = collect,
+/// 3 = force off.
+static AUDIT_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// The `SLOWCC_AUDIT` environment knob, read once per process.
+static ENV_MODE: OnceLock<Option<AuditMode>> = OnceLock::new();
+
+/// Force every subsequently created [`crate::sim::Simulator`] to audit in
+/// `mode` (or not audit at all for `Some` of nothing — pass `None` to
+/// restore the default resolution: environment, then off). Mirrors
+/// [`crate::event::set_default_scheduler`].
+pub fn set_default_audit(mode: Option<AuditMode>) {
+    let v = match mode {
+        None => 0,
+        Some(AuditMode::Strict) => 1,
+        Some(AuditMode::Collect) => 2,
+    };
+    AUDIT_OVERRIDE.store(v, AtomicOrdering::Relaxed);
+}
+
+/// The audit mode newly created simulators get: the [`set_default_audit`]
+/// override if set, else the `SLOWCC_AUDIT` environment variable
+/// (`1`/`strict`/`on`, `collect`, or `0`/`off`), else no auditing.
+pub fn default_mode() -> Option<AuditMode> {
+    match AUDIT_OVERRIDE.load(AtomicOrdering::Relaxed) {
+        1 => Some(AuditMode::Strict),
+        2 => Some(AuditMode::Collect),
+        _ => *ENV_MODE.get_or_init(|| match std::env::var("SLOWCC_AUDIT") {
+            Ok(v) if v == "1" || v == "strict" || v == "on" => Some(AuditMode::Strict),
+            Ok(v) if v == "collect" => Some(AuditMode::Collect),
+            Ok(v) if v == "0" || v == "off" || v.is_empty() => None,
+            Ok(v) => panic!("SLOWCC_AUDIT must be 0/1/strict/collect, got `{v}`"),
+            Err(_) => None,
+        }),
+    }
+}
+
+/// Terminal-state tracking for one injected packet, indexed by uid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PacketState {
+    InFlight,
+    Delivered,
+    Dropped,
+}
+
+/// Independent per-link books: what the auditor itself saw happen at the
+/// link, to be reconciled against [`Stats`] and the buffer occupancy.
+#[derive(Debug, Default, Clone)]
+struct LinkLedger {
+    arrivals: u64,
+    departures: u64,
+    drops: u64,
+    tx_bytes: u64,
+}
+
+/// Per-agent timer books.
+#[derive(Debug, Default, Clone)]
+struct TimerLedger {
+    armed: u64,
+    fired: u64,
+}
+
+/// Cap on stored violation messages, so a Collect-mode run with a
+/// systematic bug doesn't grow a report without bound. The violation
+/// *count* keeps counting past the cap.
+const MAX_VIOLATION_MESSAGES: usize = 64;
+
+/// The structured result of an audited run (or of several merged runs).
+#[derive(Debug, Default, Clone, Serialize)]
+pub struct AuditReport {
+    /// Simulations merged into this report.
+    pub sims: u64,
+    /// Packets injected via `Ctx::send`.
+    pub packets_injected: u64,
+    /// Packets that reached their destination agent.
+    pub packets_delivered: u64,
+    /// Packets dropped (scripted loss + queue drops).
+    pub packets_dropped: u64,
+    /// Packets still in flight (queued or being serialized) at teardown.
+    pub packets_in_flight: u64,
+    /// Timers armed via `Ctx::set_timer`.
+    pub timers_armed: u64,
+    /// Timer events that fired.
+    pub timers_fired: u64,
+    /// Timers still pending at teardown. Informational, not a violation:
+    /// a fire-and-forget timer design legitimately leaves e.g. a TCP
+    /// sender's final RTO pending when the run's horizon cuts it off.
+    pub timers_pending: u64,
+    /// Done agents that re-armed a timer from their own timer callback —
+    /// flows that would tick forever. Every leak is also a violation.
+    pub timer_leaks: u64,
+    /// Total invariant violations detected.
+    pub violations: u64,
+    /// Human-readable description of each violation (capped at
+    /// [`MAX_VIOLATION_MESSAGES`] messages; `violations` keeps counting).
+    pub violation_messages: Vec<String>,
+}
+
+impl AuditReport {
+    /// True when the run held every invariant: no violations, no timer
+    /// leaks.
+    pub fn is_clean(&self) -> bool {
+        self.violations == 0 && self.timer_leaks == 0
+    }
+
+    /// Panic with the report's summary unless [`Self::is_clean`].
+    pub fn assert_clean(&self) {
+        assert!(self.is_clean(), "audit failed: {}", self.summary());
+    }
+
+    /// Fold another report into this one.
+    pub fn merge(&mut self, other: &AuditReport) {
+        self.sims += other.sims;
+        self.packets_injected += other.packets_injected;
+        self.packets_delivered += other.packets_delivered;
+        self.packets_dropped += other.packets_dropped;
+        self.packets_in_flight += other.packets_in_flight;
+        self.timers_armed += other.timers_armed;
+        self.timers_fired += other.timers_fired;
+        self.timers_pending += other.timers_pending;
+        self.timer_leaks += other.timer_leaks;
+        self.violations += other.violations;
+        for msg in &other.violation_messages {
+            if self.violation_messages.len() >= MAX_VIOLATION_MESSAGES {
+                break;
+            }
+            self.violation_messages.push(msg.clone());
+        }
+    }
+
+    /// One-line human summary, for the `repro --audit` epilogue.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} sims audited: {} packets ({} delivered, {} dropped, {} in flight at end), \
+             {} timers armed ({} fired, {} pending), {} timer leaks, {} violations",
+            self.sims,
+            self.packets_injected,
+            self.packets_delivered,
+            self.packets_dropped,
+            self.packets_in_flight,
+            self.timers_armed,
+            self.timers_fired,
+            self.timers_pending,
+            self.timer_leaks,
+            self.violations
+        )
+    }
+}
+
+/// Process-global accumulator: every audited simulator merges its report
+/// here at teardown, so a whole sweep can be audited and read out once.
+static GLOBAL_REPORT: Mutex<Option<AuditReport>> = Mutex::new(None);
+
+pub(crate) fn merge_global(report: &AuditReport) {
+    let mut g = GLOBAL_REPORT.lock().unwrap_or_else(|e| e.into_inner());
+    match g.as_mut() {
+        Some(acc) => acc.merge(report),
+        None => *g = Some(report.clone()),
+    }
+}
+
+/// Take (and clear) the process-global accumulated report. `None` when no
+/// audited simulator has torn down since the last call.
+pub fn take_global_report() -> Option<AuditReport> {
+    GLOBAL_REPORT
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take()
+}
+
+/// The auditor itself: one per audited simulator, owned by the world and
+/// fed by hooks on the simulator's hot paths.
+#[derive(Debug)]
+pub(crate) struct Auditor {
+    mode: AuditMode,
+    /// Terminal-state ledger indexed by packet uid (uids are assigned
+    /// densely from zero by `Ctx::send`).
+    ledger: Vec<PacketState>,
+    delivered: u64,
+    dropped: u64,
+    links: Vec<LinkLedger>,
+    timers: Vec<TimerLedger>,
+    timer_leaks: u64,
+    violations: u64,
+    messages: Vec<String>,
+}
+
+impl Auditor {
+    pub(crate) fn new(mode: AuditMode) -> Self {
+        Auditor {
+            mode,
+            ledger: Vec::new(),
+            delivered: 0,
+            dropped: 0,
+            links: Vec::new(),
+            timers: Vec::new(),
+            timer_leaks: 0,
+            violations: 0,
+            messages: Vec::new(),
+        }
+    }
+
+    /// Downgrade to Collect, used when teardown runs during an unrelated
+    /// panic and must not double-panic.
+    pub(crate) fn set_collect(&mut self) {
+        self.mode = AuditMode::Collect;
+    }
+
+    fn violation(&mut self, msg: String) {
+        if self.mode == AuditMode::Strict {
+            panic!("audit violation: {msg}");
+        }
+        self.violations += 1;
+        if self.messages.len() < MAX_VIOLATION_MESSAGES {
+            self.messages.push(msg);
+        }
+    }
+
+    /// Live packets according to the ledger.
+    fn ledger_live(&self) -> u64 {
+        self.ledger.len() as u64 - self.delivered - self.dropped
+    }
+
+    fn link_mut(&mut self, link: LinkId) -> &mut LinkLedger {
+        let ix = link.index();
+        if self.links.len() <= ix {
+            self.links.resize_with(ix + 1, LinkLedger::default);
+        }
+        &mut self.links[ix]
+    }
+
+    fn timer_mut(&mut self, agent: AgentId) -> &mut TimerLedger {
+        let ix = agent.index();
+        if self.timers.len() <= ix {
+            self.timers.resize_with(ix + 1, TimerLedger::default);
+        }
+        &mut self.timers[ix]
+    }
+
+    // --- hooks fed by sim.rs ---
+
+    /// A packet entered the pool via `Ctx::send`.
+    pub(crate) fn on_inject(&mut self, uid: u64) {
+        if uid != self.ledger.len() as u64 {
+            self.violation(format!(
+                "packet uid {uid} injected out of order (expected {})",
+                self.ledger.len()
+            ));
+            return;
+        }
+        self.ledger.push(PacketState::InFlight);
+    }
+
+    fn terminate(&mut self, uid: u64, state: PacketState, what: &str) {
+        match self.ledger.get(uid as usize).copied() {
+            Some(PacketState::InFlight) => {
+                self.ledger[uid as usize] = state;
+                match state {
+                    PacketState::Delivered => self.delivered += 1,
+                    PacketState::Dropped => self.dropped += 1,
+                    PacketState::InFlight => unreachable!(),
+                }
+            }
+            Some(prior) => self.violation(format!(
+                "packet uid {uid} {what} but was already {prior:?} (double terminal state)"
+            )),
+            None => self.violation(format!("packet uid {uid} {what} but was never injected")),
+        }
+    }
+
+    /// A packet was dropped at `link` (scripted loss or queue drop).
+    pub(crate) fn on_link_drop(&mut self, link: LinkId, uid: u64) {
+        self.terminate(uid, PacketState::Dropped, "dropped");
+        self.link_mut(link).drops += 1;
+    }
+
+    /// A packet reached its destination agent.
+    pub(crate) fn on_deliver(&mut self, uid: u64) {
+        self.terminate(uid, PacketState::Delivered, "delivered");
+    }
+
+    /// A packet was offered to `link` (counted before loss/queueing).
+    pub(crate) fn on_link_arrival(&mut self, link: LinkId) {
+        self.link_mut(link).arrivals += 1;
+    }
+
+    /// A packet finished serializing on `link`.
+    pub(crate) fn on_link_departure(&mut self, link: LinkId, bytes: u32) {
+        let l = self.link_mut(link);
+        l.departures += 1;
+        l.tx_bytes += bytes as u64;
+    }
+
+    /// `Ctx::set_timer` ran for `agent`.
+    pub(crate) fn on_timer_armed(&mut self, agent: AgentId) {
+        self.timer_mut(agent).armed += 1;
+    }
+
+    /// An `AgentTimer` event fired for `agent`.
+    pub(crate) fn on_timer_fired(&mut self, agent: AgentId) {
+        self.timer_mut(agent).fired += 1;
+    }
+
+    /// Timers `agent` has armed so far (for the re-arm-while-done check).
+    pub(crate) fn timers_armed_of(&self, agent: AgentId) -> u64 {
+        self.timers.get(agent.index()).map_or(0, |t| t.armed)
+    }
+
+    /// `agent` reported itself done yet re-armed a timer from its own
+    /// timer callback — it will tick forever.
+    pub(crate) fn on_timer_leak(&mut self, agent: AgentId, now: SimTime) {
+        self.timer_leaks += 1;
+        self.violation(format!(
+            "timer leak: done agent {agent} re-armed a timer from its timer callback at {now}"
+        ));
+    }
+
+    /// Per-event O(1) cross-check: the pool's live-slot count must equal
+    /// the ledger's live count at every event boundary.
+    pub(crate) fn check_pool(&mut self, pool_len: usize, now: SimTime) {
+        let live = self.ledger_live();
+        if pool_len as u64 != live {
+            self.violation(format!(
+                "pool/ledger divergence at {now}: pool holds {pool_len} live packets, \
+                 ledger says {live}"
+            ));
+        }
+    }
+
+    /// Teardown: reconcile the ledger against the pool's exact live uid
+    /// set, each link's conservation law and [`Stats`] counters, and
+    /// produce the run's report.
+    ///
+    /// `link_state[i]` is `(queue_len, in_service)` for link `i`.
+    pub(crate) fn finish(
+        &mut self,
+        mut pool_live_uids: Vec<u64>,
+        link_state: &[(usize, bool)],
+        stats: &Stats,
+    ) -> AuditReport {
+        // Exact uid-set equality between the pool and the ledger.
+        pool_live_uids.sort_unstable();
+        let ledger_live_uids: Vec<u64> = self
+            .ledger
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == PacketState::InFlight)
+            .map(|(uid, _)| uid as u64)
+            .collect();
+        if pool_live_uids != ledger_live_uids {
+            let pool_only: Vec<u64> = pool_live_uids
+                .iter()
+                .filter(|u| ledger_live_uids.binary_search(u).is_err())
+                .copied()
+                .collect();
+            let ledger_only: Vec<u64> = ledger_live_uids
+                .iter()
+                .filter(|u| pool_live_uids.binary_search(u).is_err())
+                .copied()
+                .collect();
+            self.violation(format!(
+                "pool/ledger uid sets diverge at teardown: \
+                 {pool_only:?} live only in pool, {ledger_only:?} live only in ledger"
+            ));
+        }
+
+        // Per-link conservation and Stats reconciliation.
+        for ix in 0..self.links.len().max(link_state.len()) {
+            let id = LinkId::from_index(ix);
+            let ledger = self.links.get(ix).cloned().unwrap_or_default();
+            let (queued, in_service) = link_state.get(ix).copied().unwrap_or((0, false));
+            let held = queued as u64 + u64::from(in_service);
+            if ledger.arrivals != ledger.departures + ledger.drops + held {
+                self.violation(format!(
+                    "link {id} conservation broken: {} arrivals != {} departures \
+                     + {} drops + {held} held",
+                    ledger.arrivals, ledger.departures, ledger.drops
+                ));
+            }
+            let Some(s) = stats.link(id) else {
+                if ledger.arrivals != 0 {
+                    self.violation(format!("link {id} has audit traffic but no Stats entry"));
+                }
+                continue;
+            };
+            if s.total_arrivals != ledger.arrivals
+                || s.total_drops != ledger.drops
+                || s.total_tx_bytes != ledger.tx_bytes
+                || s.total_tx_packets != ledger.departures
+            {
+                self.violation(format!(
+                    "link {id} Stats/audit divergence: stats \
+                     (arrivals {}, drops {}, tx_bytes {}, tx_packets {}) vs audit \
+                     (arrivals {}, drops {}, tx_bytes {}, departures {})",
+                    s.total_arrivals,
+                    s.total_drops,
+                    s.total_tx_bytes,
+                    s.total_tx_packets,
+                    ledger.arrivals,
+                    ledger.drops,
+                    ledger.tx_bytes,
+                    ledger.departures
+                ));
+            }
+        }
+
+        // Global packet conservation.
+        let in_flight = self.ledger_live();
+        if self.ledger.len() as u64 != self.delivered + self.dropped + in_flight {
+            self.violation(format!(
+                "packet conservation broken: {} injected != {} delivered + {} dropped \
+                 + {in_flight} in flight",
+                self.ledger.len(),
+                self.delivered,
+                self.dropped
+            ));
+        }
+
+        let timers_armed: u64 = self.timers.iter().map(|t| t.armed).sum();
+        let timers_fired: u64 = self.timers.iter().map(|t| t.fired).sum();
+
+        AuditReport {
+            sims: 1,
+            packets_injected: self.ledger.len() as u64,
+            packets_delivered: self.delivered,
+            packets_dropped: self.dropped,
+            packets_in_flight: in_flight,
+            timers_armed,
+            timers_fired,
+            timers_pending: timers_armed.saturating_sub(timers_fired),
+            timer_leaks: self.timer_leaks,
+            violations: self.violations,
+            violation_messages: std::mem::take(&mut self.messages),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_merge_sums_counters_and_caps_messages() {
+        let mut a = AuditReport {
+            sims: 1,
+            packets_injected: 10,
+            packets_delivered: 8,
+            packets_dropped: 1,
+            packets_in_flight: 1,
+            timers_armed: 5,
+            timers_fired: 4,
+            timers_pending: 1,
+            timer_leaks: 0,
+            violations: 0,
+            violation_messages: Vec::new(),
+        };
+        let b = AuditReport {
+            sims: 2,
+            packets_injected: 5,
+            packets_delivered: 5,
+            violations: 1,
+            violation_messages: vec!["x".into()],
+            ..AuditReport::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.sims, 3);
+        assert_eq!(a.packets_injected, 15);
+        assert_eq!(a.packets_delivered, 13);
+        assert_eq!(a.violations, 1);
+        assert_eq!(a.violation_messages.len(), 1);
+        assert!(!a.is_clean());
+    }
+
+    #[test]
+    fn collect_mode_records_instead_of_panicking() {
+        let mut auditor = Auditor::new(AuditMode::Collect);
+        auditor.on_inject(0);
+        auditor.on_deliver(0);
+        auditor.on_deliver(0); // double terminal state
+        auditor.on_deliver(7); // never injected
+        let report = auditor.finish(Vec::new(), &[], &Stats::new(crate::time::SimDuration::from_millis(10)));
+        assert_eq!(report.violations, 2);
+        assert!(!report.is_clean());
+        assert_eq!(report.packets_delivered, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "audit violation")]
+    fn strict_mode_panics_on_violation() {
+        let mut auditor = Auditor::new(AuditMode::Strict);
+        auditor.on_deliver(3); // never injected
+    }
+}

@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod event;
 pub mod ids;
 pub mod link;
@@ -65,6 +66,7 @@ pub mod trace;
 
 /// The handful of names almost every user needs.
 pub mod prelude {
+    pub use crate::audit::{AuditMode, AuditReport};
     pub use crate::ids::{AgentId, FlowId, LinkId, NodeId};
     pub use crate::link::{BernoulliLoss, Link, LossPattern, MarkPattern};
     pub use crate::packet::{AckInfo, DataInfo, Ecn, Packet, PacketSpec, Payload};

@@ -118,6 +118,21 @@ impl PacketPool {
     pub fn capacity(&self) -> usize {
         self.slots.len()
     }
+
+    /// Uids of all live packets, in slot order. O(slots) — meant for
+    /// teardown auditing, never the hot path.
+    pub fn live_uids(&self) -> Vec<u64> {
+        let mut freed = vec![false; self.slots.len()];
+        for &ix in &self.free {
+            freed[ix as usize] = true;
+        }
+        self.slots
+            .iter()
+            .zip(&freed)
+            .filter(|(_, &f)| !f)
+            .map(|(p, _)| p.uid)
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::audit::{self, AuditMode, AuditReport, Auditor};
 use crate::event::{EventKind, EventQueue, SchedulerKind};
 use crate::ids::{AgentId, FlowId, LinkId, NodeId};
 use crate::link::Link;
@@ -58,6 +59,16 @@ pub trait Agent: Send {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         None
     }
+
+    /// Whether this agent considers its work finished at `now` (flow
+    /// completed, or past its scripted stop time). Only consulted by the
+    /// audit layer: a done agent that re-arms a timer from its own timer
+    /// callback is flagged as a timer leak, because it will tick forever.
+    /// The default `false` opts out — agents without a notion of "done"
+    /// are never flagged.
+    fn audit_done(&self, _now: SimTime) -> bool {
+        false
+    }
 }
 
 struct AgentSlot {
@@ -82,6 +93,9 @@ struct World {
     rng: SmallRng,
     next_uid: u64,
     trace: Option<Box<dyn TraceSink>>,
+    /// Invariant auditor, when enabled (see [`crate::audit`]). Boxed so
+    /// the disabled case costs one null check per hook.
+    audit: Option<Box<Auditor>>,
 }
 
 /// Record a trace event if a sink is installed. Free function (rather
@@ -122,15 +136,22 @@ impl World {
             stats,
             rng,
             trace,
+            audit,
             ..
         } = self;
         let link = &mut links[link_id.index()];
         stats.record_link_arrival(link_id, now, link.queue_len());
+        if let Some(a) = audit.as_deref_mut() {
+            a.on_link_arrival(link_id);
+        }
 
         // Scripted loss first.
         if let Some(loss) = link.loss.as_mut() {
             if loss.should_drop(pool.get(pkt), now) {
                 stats.record_link_drop(link_id, now);
+                if let Some(a) = audit.as_deref_mut() {
+                    a.on_link_drop(link_id, pool.get(pkt).uid);
+                }
                 trace_event(
                     trace,
                     now,
@@ -182,6 +203,9 @@ impl World {
             }
             EnqueueResult::Dropped => {
                 stats.record_link_drop(link_id, now);
+                if let Some(a) = audit.as_deref_mut() {
+                    a.on_link_drop(link_id, pool.get(pkt).uid);
+                }
                 trace_event(
                     trace,
                     now,
@@ -215,6 +239,7 @@ impl World {
             queue,
             stats,
             trace,
+            audit,
             ..
         } = self;
         let link = &mut links[link_id.index()];
@@ -222,6 +247,9 @@ impl World {
             .take()
             .expect("TxComplete without a packet in flight");
         stats.record_link_tx(link_id, now, pool.get(pkt).size);
+        if let Some(a) = audit.as_deref_mut() {
+            a.on_link_departure(link_id, pool.get(pkt).size);
+        }
         trace_event(trace, now, TraceKind::Dequeue { link: link_id }, pool.get(pkt));
         queue.schedule(
             now + link.delay,
@@ -284,10 +312,58 @@ impl Simulator {
                 rng: SmallRng::seed_from_u64(seed),
                 next_uid: 0,
                 trace: None,
+                audit: audit::default_mode().map(|mode| Box::new(Auditor::new(mode))),
             },
             agents: Vec::new(),
             next_flow: 0,
         }
+    }
+
+    /// A fresh simulator with the invariant auditor enabled in
+    /// [`AuditMode::Strict`]: any violation of packet conservation,
+    /// pool/ledger consistency, link accounting or timer discipline
+    /// panics on the spot. See [`crate::audit`].
+    pub fn with_audit(seed: u64) -> Self {
+        Simulator::with_audit_mode(seed, AuditMode::Strict)
+    }
+
+    /// A fresh simulator with the invariant auditor enabled in `mode`.
+    pub fn with_audit_mode(seed: u64, mode: AuditMode) -> Self {
+        let mut sim = Simulator::new(seed);
+        sim.world.audit = Some(Box::new(Auditor::new(mode)));
+        sim
+    }
+
+    /// Whether this simulator is running under the invariant auditor.
+    pub fn audit_enabled(&self) -> bool {
+        self.world.audit.is_some()
+    }
+
+    /// Run the teardown audit (pool/ledger uid-set reconciliation, link
+    /// conservation laws, timer accounting) and return the report. The
+    /// report is also merged into the process-global accumulator read by
+    /// [`audit::take_global_report`].
+    ///
+    /// Returns `None` when auditing is off, and on the second call (the
+    /// auditor is consumed). In [`AuditMode::Strict`] the teardown checks
+    /// panic on the first violation. If never called, [`Drop`] runs the
+    /// same teardown.
+    pub fn finish_audit(&mut self) -> Option<AuditReport> {
+        let mut auditor = self.world.audit.take()?;
+        let report = Self::audit_teardown(&mut auditor, &self.world);
+        audit::merge_global(&report);
+        Some(report)
+    }
+
+    fn audit_teardown(auditor: &mut Auditor, world: &World) -> AuditReport {
+        let pool_live = world.pool.live_uids();
+        let link_state: Vec<(usize, bool)> = world
+            .links
+            .iter()
+            .zip(&world.in_flight)
+            .map(|(l, inflight)| (l.queue_len(), inflight.is_some()))
+            .collect();
+        auditor.finish(pool_live, &link_state, &world.stats)
     }
 
     /// Which event-scheduler backend this simulator runs on.
@@ -436,6 +512,9 @@ impl Simulator {
                     // Delivery ends the packet's pooled life; the agent
                     // receives the value.
                     let pkt = self.world.pool.remove(packet);
+                    if let Some(a) = self.world.audit.as_deref_mut() {
+                        a.on_deliver(pkt.uid);
+                    }
                     if pkt.is_data() {
                         self.world
                             .stats
@@ -449,11 +528,46 @@ impl Simulator {
                 }
             }
             EventKind::AgentTimer { agent, token } => {
+                let armed_before = self.world.audit.as_deref_mut().map(|a| {
+                    a.on_timer_fired(agent);
+                    a.timers_armed_of(agent)
+                });
                 self.dispatch(agent, |a, ctx| a.on_timer(token, ctx));
+                if let Some(before) = armed_before {
+                    self.audit_check_timer_leak(agent, before);
+                }
             }
             EventKind::AgentStart { agent } => {
                 self.dispatch(agent, |a, ctx| a.on_start(ctx));
             }
+        }
+        // O(1) per-event cross-check: pool live slots vs packet ledger.
+        let World { audit, pool, now, .. } = &mut self.world;
+        if let Some(a) = audit.as_deref_mut() {
+            a.check_pool(pool.len(), *now);
+        }
+    }
+
+    /// After a timer callback: if the agent re-armed a timer while
+    /// reporting itself done, it will tick forever — flag the leak.
+    fn audit_check_timer_leak(&mut self, agent: AgentId, armed_before: u64) {
+        let now = self.world.now;
+        let Some(a) = self.world.audit.as_deref_mut() else {
+            return;
+        };
+        if a.timers_armed_of(agent) <= armed_before {
+            return;
+        }
+        let done = self.agents[agent.index()]
+            .agent
+            .as_deref()
+            .is_some_and(|ag| ag.audit_done(now));
+        if done {
+            self.world
+                .audit
+                .as_deref_mut()
+                .expect("audit checked above")
+                .on_timer_leak(agent, now);
         }
     }
 
@@ -492,6 +606,23 @@ impl Simulator {
     /// [`Agent::as_any`].
     pub fn agent_downcast<T: 'static>(&self, id: AgentId) -> Option<&T> {
         self.agent(id).as_any().and_then(|a| a.downcast_ref::<T>())
+    }
+}
+
+impl Drop for Simulator {
+    /// Audited simulators that were never [`Self::finish_audit`]ed still
+    /// run the teardown checks and contribute to the global report. When
+    /// the thread is already panicking the auditor is downgraded to
+    /// [`AuditMode::Collect`] so a strict-mode teardown never
+    /// double-panics.
+    fn drop(&mut self) {
+        if let Some(mut auditor) = self.world.audit.take() {
+            if std::thread::panicking() {
+                auditor.set_collect();
+            }
+            let report = Self::audit_teardown(&mut auditor, &self.world);
+            audit::merge_global(&report);
+        }
     }
 }
 
@@ -547,6 +678,9 @@ impl Ctx<'_> {
                 .record_flow_tx(pkt.flow, self.world.now, pkt.size);
         }
         self.world.trace(TraceKind::Send, &pkt);
+        if let Some(a) = self.world.audit.as_deref_mut() {
+            a.on_inject(uid);
+        }
         let local = pkt.dst_node == self.node;
         let id = self.world.pool.insert(pkt);
         if local {
@@ -566,6 +700,9 @@ impl Ctx<'_> {
     /// Timers cannot be cancelled; agents keep a generation counter in the
     /// token and ignore stale generations.
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        if let Some(a) = self.world.audit.as_deref_mut() {
+            a.on_timer_armed(self.agent_id);
+        }
         self.world.queue.schedule(
             self.world.now + delay,
             EventKind::AgentTimer {

@@ -58,6 +58,8 @@ pub struct LinkStats {
     pub total_marks: u64,
     /// Total bytes that completed serialization.
     pub total_tx_bytes: u64,
+    /// Total packets that completed serialization.
+    pub total_tx_packets: u64,
 }
 
 /// Statistics store. Owned by the simulator; read out after (or during)
@@ -179,6 +181,7 @@ impl Stats {
         let l = &mut self.links[link.index()];
         bump(&mut l.tx_bytes, ix, bytes as u64);
         l.total_tx_bytes += bytes as u64;
+        l.total_tx_packets += 1;
     }
 
     /// Raw per-flow counters, if the flow ever carried traffic.
@@ -271,6 +274,18 @@ impl Stats {
                 self.sum_window(bytes, from, to) as f64 * 8.0 / secs
             })
             .collect()
+    }
+
+    /// Packets dropped at `link` over `[from, to)`.
+    pub fn link_drops_in(&self, link: LinkId, from: SimTime, to: SimTime) -> u64 {
+        self.link(link)
+            .map_or(0, |l| self.sum_window(&l.drops, from, to))
+    }
+
+    /// Packets ECN-marked at `link` over `[from, to)`.
+    pub fn link_marks_in(&self, link: LinkId, from: SimTime, to: SimTime) -> u64 {
+        self.link(link)
+            .map_or(0, |l| self.sum_window(&l.marks, from, to))
     }
 
     /// Packet drop fraction at `link` over `[from, to)`:

@@ -30,4 +30,13 @@ SLOWCC_SCHEDULER=calendar ./target/release/repro --quick fig45 --out "$tmp/calen
 diff -r "$tmp/heap" "$tmp/calendar"
 echo "calendar-queue output byte-identical to binary heap"
 
+echo "== audited smoke (SLOWCC_AUDIT=1, both schedulers) =="
+# Strict env-var path: any invariant violation panics the run.
+SLOWCC_AUDIT=1 SLOWCC_SCHEDULER=heap ./target/release/repro --quick fig45 > /dev/null
+# Collect --audit path: the run reports and the exit code gates.
+SLOWCC_AUDIT=1 SLOWCC_SCHEDULER=calendar ./target/release/repro --quick --audit fig45 > "$tmp/audit_calendar.txt"
+grep "audit: " "$tmp/audit_calendar.txt"
+grep -q " 0 timer leaks, 0 violations" "$tmp/audit_calendar.txt"
+echo "audited fig45 clean under both schedulers"
+
 echo "== verify OK =="
