@@ -1,12 +1,13 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--audit] [--jobs N] [--out DIR] <experiment>... | all
+//! repro [--quick] [--audit] [--jobs N] [--out DIR]
+//!       [--resume] [--cell-timeout SECS] <experiment>... | all
 //! ```
 //!
 //! Experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 //! fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 fairness-extreme
-//! sawtooth fk-model. (`fig4`/`fig5` share one sweep, as do
+//! sawtooth fk-model chaos. (`fig4`/`fig5` share one sweep, as do
 //! `fig14`/`fig15`.)
 //!
 //! Experiment targets run concurrently (and each target's internal
@@ -15,11 +16,24 @@
 //! is unaffected: every simulation cell is seeded independently and
 //! results are collected in input order, so tables, JSON and CSV are
 //! byte-identical to `--jobs 1`.
+//!
+//! # Crash isolation and resumption
+//!
+//! Each target runs under `catch_unwind` (plus a wall-clock watchdog
+//! when `--cell-timeout` is set): a panicking simulation fails its own
+//! cell, its siblings complete, and the sweep exits nonzero. As cells
+//! finish, their fate is recorded in `<results dir>/manifest.json`
+//! (`ok` / `panicked` / `timeout`, no timestamps), so `--resume` can
+//! skip everything already `ok` at the same scale and re-run only the
+//! failures and the never-attempted.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
-use slowcc_experiments::runner;
+use slowcc_experiments::manifest::{CellRecord, Manifest};
+use slowcc_experiments::runner::{self, CellError, CellFailure};
 use slowcc_experiments::scale::Scale;
 use slowcc_experiments::*;
 use slowcc_netsim::audit::{self, AuditMode};
@@ -51,6 +65,7 @@ const EXPERIMENTS: &[&str] = &[
     "queue-dynamics",
     "rtt-bias",
     "multihop",
+    "chaos",
 ];
 
 /// The deferred print-and-save half of a target, run serially in
@@ -65,12 +80,15 @@ fn main() -> ExitCode {
     let mut scale = Scale::Full;
     let mut out: Option<PathBuf> = None;
     let mut audit_run = false;
+    let mut resume = false;
+    let mut cell_timeout: Option<Duration> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => scale = Scale::Quick,
             "--audit" => audit_run = true,
+            "--resume" => resume = true,
             "--out" => match args.next() {
                 Some(dir) => out = Some(PathBuf::from(dir)),
                 None => {
@@ -82,6 +100,13 @@ fn main() -> ExitCode {
                 Some(n) if n >= 1 => runner::set_jobs(n),
                 _ => {
                     eprintln!("--jobs requires a thread count >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--cell-timeout" => match args.next().and_then(|n| n.parse::<f64>().ok()) {
+                Some(secs) if secs > 0.0 => cell_timeout = Some(Duration::from_secs_f64(secs)),
+                _ => {
+                    eprintln!("--cell-timeout requires a positive number of seconds");
                     return ExitCode::FAILURE;
                 }
             },
@@ -101,10 +126,48 @@ fn main() -> ExitCode {
     }
     targets.dedup();
 
-    let mut computes: Vec<Compute> = Vec::with_capacity(targets.len());
+    // The manifest ledger lives next to the other outputs; without
+    // `--out` it still goes to `results/` so a bare sweep is resumable.
+    let manifest_dir = out.clone().unwrap_or_else(|| PathBuf::from("results"));
+    let scale_tag = scale.pick("full", "quick");
+    let mut ledger = Manifest::new(scale_tag);
+    if resume {
+        match Manifest::load(&manifest_dir) {
+            Some(prior) if prior.scale == scale_tag => {
+                // Inherit the whole prior ledger; cells re-run below
+                // overwrite their records as they complete.
+                ledger = prior.clone();
+                let before = targets.len();
+                targets.retain(|t| {
+                    let done = prior.is_ok(t);
+                    if done {
+                        println!("resume: skipping {t} (ok in manifest)");
+                    }
+                    !done
+                });
+                if targets.is_empty() {
+                    println!(
+                        "resume: all {before} requested cells already ok in {}",
+                        manifest_dir.join("manifest.json").display()
+                    );
+                    return ExitCode::SUCCESS;
+                }
+            }
+            Some(prior) => eprintln!(
+                "resume: manifest is for scale `{}`, this run is `{scale_tag}`; re-running everything",
+                prior.scale
+            ),
+            None => eprintln!(
+                "resume: no readable manifest in {}; re-running everything",
+                manifest_dir.display()
+            ),
+        }
+    }
+
+    let mut computes: Vec<(String, Compute)> = Vec::with_capacity(targets.len());
     for target in &targets {
         match job_for(target, scale) {
-            Some(compute) => computes.push(compute),
+            Some(compute) => computes.push((target.clone(), compute)),
             None => {
                 eprintln!("unknown experiment: {target}");
                 usage();
@@ -121,30 +184,88 @@ fn main() -> ExitCode {
         audit::set_default_audit(Some(AuditMode::Collect));
         let _ = audit::take_global_report(); // start from a clean slate
     }
-    let renders = runner::run_cells(computes, |compute| compute());
-    for render in renders {
-        render(&out);
+
+    // Each target runs crash-isolated; as it completes, its fate is
+    // appended to the manifest on disk so a killed sweep still leaves
+    // an accurate ledger for `--resume`.
+    let ledger = Arc::new(Mutex::new(ledger));
+    let recorder = {
+        let ledger = Arc::clone(&ledger);
+        let dir = manifest_dir.clone();
+        move |cell: &str, record: CellRecord| {
+            // `list` is a CLI listing, not a sweep cell: it gets no
+            // manifest entry and must not create `results/` on disk.
+            if cell == "list" {
+                return;
+            }
+            let mut m = ledger.lock().unwrap_or_else(|e| e.into_inner());
+            m.record(cell, record);
+            if let Err(e) = m.write(&dir) {
+                eprintln!("warning: failed to write manifest: {e}");
+            }
+        }
+    };
+    let on_ok = recorder.clone();
+    let outcomes = runner::run_cells_isolated(
+        computes,
+        cell_timeout,
+        move |(target, compute): (String, Compute)| {
+            let render = compute();
+            on_ok(&target, CellRecord::ok());
+            (target, render)
+        },
+    );
+
+    let mut failures: Vec<CellFailure> = Vec::new();
+    for (outcome, target) in outcomes.into_iter().zip(&targets) {
+        match outcome {
+            Ok((_, render)) => render(&out),
+            Err(err) => {
+                let status = match &err {
+                    CellError::Panic(_) => "panicked",
+                    CellError::Timeout(_) => "timeout",
+                };
+                recorder(target, CellRecord::failed(status, err.message()));
+                failures.push(CellFailure {
+                    cell_id: target.clone(),
+                    seed: 0,
+                    panic_msg: err.message(),
+                });
+            }
+        }
+    }
+
+    let mut code = ExitCode::SUCCESS;
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAILED cell {}: {}", f.cell_id, f.panic_msg);
+        }
+        eprintln!(
+            "{} of {} cells failed; see {}",
+            failures.len(),
+            targets.len(),
+            manifest_dir.join("manifest.json").display()
+        );
+        code = ExitCode::FAILURE;
     }
     if audit_run {
-        return match audit::take_global_report() {
+        match audit::take_global_report() {
             None => {
                 eprintln!("audit: no simulation was audited");
-                ExitCode::FAILURE
+                code = ExitCode::FAILURE;
             }
             Some(report) => {
                 println!("audit: {}", report.summary());
                 for msg in &report.violation_messages {
                     eprintln!("audit violation: {msg}");
                 }
-                if report.is_clean() {
-                    ExitCode::SUCCESS
-                } else {
-                    ExitCode::FAILURE
+                if !report.is_clean() {
+                    code = ExitCode::FAILURE;
                 }
             }
-        };
+        }
     }
-    ExitCode::SUCCESS
+    code
 }
 
 fn save(out: &Option<PathBuf>, name: &str, value: &dyn erased_print::SerializeRef) {
@@ -287,6 +408,13 @@ fn job_for(target: &str, scale: Scale) -> Option<Compute> {
             "multihop",
             print: |r: &hetero::MultiHop| r.print()
         ),
+        "chaos" => simple!(chaos::run(scale), "chaos", print: |r: &chaos::Chaos| r.print()),
+        // Hidden fixture (not in EXPERIMENTS): panics on purpose so the
+        // crash-isolation path — sibling survival, manifest record,
+        // nonzero exit — can be exercised end to end by verify.sh.
+        "panic-cell" => Box::new(move || -> Render {
+            panic!("deliberate panic: repro crash-isolation fixture")
+        }),
         _ => return None,
     })
 }
@@ -323,12 +451,19 @@ fn normalize(name: &str) -> String {
 }
 
 fn usage() {
-    eprintln!("usage: repro [--quick] [--audit] [--jobs N] [--out DIR] <experiment>... | all | list");
+    eprintln!(
+        "usage: repro [--quick] [--audit] [--jobs N] [--out DIR] [--resume] \
+         [--cell-timeout SECS] <experiment>... | all | list"
+    );
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
     eprintln!("aliases: fig4 fig5 -> fig45; fig14 fig15 -> fig1415");
     eprintln!("--jobs N caps the process at N threads (default: available parallelism)");
     eprintln!("--audit runs every simulation under the packet/timer invariant auditor");
     eprintln!("        and fails (nonzero exit) on any conservation violation or timer leak");
+    eprintln!("--resume skips cells marked ok in <results dir>/manifest.json (same scale)");
+    eprintln!("         and re-runs only failed or never-attempted cells");
+    eprintln!("--cell-timeout SECS fails any cell that exceeds the wall-clock budget");
+    eprintln!("         (its thread is abandoned, not killed; see DESIGN.md section 5e)");
 }
 
 /// Tiny object-safe serialization shim so `save` can take any result.

@@ -23,10 +23,16 @@
 //! | [`response`] | Section 3 responsiveness/aggressiveness, measured |
 //! | [`queuedyn`] | queue dynamics under SlowCC (Section 2 extension) |
 //! | [`hetero`] | RTT bias and multi-hop equity (Section 1 caveats) |
+//! | [`chaos`] | randomized fault plans over every flavor (robustness) |
+//!
+//! [`runner`] fans sweeps out over worker threads (with crash isolation
+//! for chaos-style sweeps), and [`manifest`] is the incremental ledger
+//! behind `repro --resume`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod extras;
 pub mod fig03;
 pub mod fig06;
@@ -40,6 +46,7 @@ pub mod fig20;
 pub mod fig45;
 pub mod flavor;
 pub mod hetero;
+pub mod manifest;
 pub mod onset;
 pub mod queuedyn;
 pub mod report;

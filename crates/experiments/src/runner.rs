@@ -30,8 +30,20 @@
 //!
 //! [`Simulator`]: slowcc_netsim::sim::Simulator
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use serde::Serialize;
+
+/// Lock a mutex, tolerating poison: a worker that panicked while holding
+/// (or before releasing) a slot must never wedge the cells other workers
+/// are still computing, so we take the data as-is. Safe here because
+/// every slot is written at most once by exactly one worker.
+fn lock_tolerant<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// The process-wide helper-token pool. Initialized on first use (or by
 /// [`set_jobs`]) with `jobs - 1` tokens.
@@ -132,9 +144,9 @@ where
             break;
         }
         for i in start..(start + chunk).min(n) {
-            let cell = slots[i].lock().unwrap().take().expect("cell claimed twice");
+            let cell = lock_tolerant(&slots[i]).take().expect("cell claimed twice");
             let out = f(cell);
-            *results[i].lock().unwrap() = Some(out);
+            *lock_tolerant(&results[i]) = Some(out);
         }
     };
 
@@ -151,10 +163,114 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .unwrap()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
                 .expect("worker finished without writing its result")
         })
         .collect()
+}
+
+/// Why an isolated cell failed.
+#[derive(Debug, Clone, Serialize)]
+pub enum CellError {
+    /// The cell's closure panicked; the payload is the panic message.
+    Panic(String),
+    /// The cell ran past the watchdog deadline (seconds).
+    Timeout(f64),
+}
+
+impl CellError {
+    /// The failure as a one-line human message.
+    pub fn message(&self) -> String {
+        match self {
+            CellError::Panic(msg) => msg.clone(),
+            CellError::Timeout(secs) => format!("cell exceeded the {secs}s watchdog deadline"),
+        }
+    }
+}
+
+/// A structured record of one failed sweep cell, ready for the results
+/// manifest: which cell, which seed, and what the panic said.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellFailure {
+    /// Stable identifier of the cell within its sweep.
+    pub cell_id: String,
+    /// The cell's simulation seed (0 when the cell has no single seed,
+    /// e.g. a whole multi-seed experiment target).
+    pub seed: u64,
+    /// The panic payload, or the watchdog message for timeouts.
+    pub panic_msg: String,
+}
+
+/// Extract a human-readable message from a panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Crash-isolated variant of [`run_cells`]: each cell runs under
+/// `catch_unwind` (and, when `timeout` is set, a wall-clock watchdog),
+/// so one panicking or runaway simulation yields an `Err` in its own
+/// slot instead of tearing down the sweep.
+///
+/// Caveats, by design:
+///
+/// * A timed-out cell's thread is **abandoned**, not killed (Rust has no
+///   safe thread cancellation): it keeps burning its CPU until it
+///   finishes or the process exits, and anything it writes to global
+///   state afterwards (e.g. the process-global audit report) still
+///   lands. The watchdog bounds the *sweep's* wall clock, not the
+///   process's total work — use it to survive pathological cells, not
+///   as routine scheduling.
+/// * With `timeout` set, every cell runs on its own transient thread
+///   (the only way to keep waiting bounded), which is why the bounds
+///   tighten to `'static`.
+pub fn run_cells_isolated<I, O, F>(
+    cells: Vec<I>,
+    timeout: Option<Duration>,
+    f: F,
+) -> Vec<Result<O, CellError>>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    F: Fn(I) -> O + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    run_cells(cells, move |cell| match timeout {
+        None => std::panic::catch_unwind(AssertUnwindSafe(|| f(cell)))
+            .map_err(|p| CellError::Panic(panic_message(p.as_ref()))),
+        Some(deadline) => {
+            let f = Arc::clone(&f);
+            let (tx, rx) = mpsc::channel();
+            let spawned = std::thread::Builder::new()
+                .name("sweep-cell".into())
+                .spawn(move || {
+                    let result = std::panic::catch_unwind(AssertUnwindSafe(|| f(cell)));
+                    // The receiver may have given up; a dead channel is
+                    // the abandoned-cell case and not an error here.
+                    let _ = tx.send(result);
+                });
+            let handle = match spawned {
+                Ok(h) => h,
+                Err(e) => return Err(CellError::Panic(format!("failed to spawn cell: {e}"))),
+            };
+            match rx.recv_timeout(deadline) {
+                Ok(Ok(out)) => {
+                    let _ = handle.join();
+                    Ok(out)
+                }
+                Ok(Err(p)) => {
+                    let _ = handle.join();
+                    Err(CellError::Panic(panic_message(p.as_ref())))
+                }
+                Err(_) => Err(CellError::Timeout(deadline.as_secs_f64())),
+            }
+        }
+    })
 }
 
 #[cfg(test)]
@@ -180,6 +296,53 @@ mod tests {
     fn empty_and_singleton_sweeps_work() {
         assert_eq!(run_cells(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
         assert_eq!(run_cells(vec![41], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn isolated_panic_fails_one_cell_without_wedging_siblings() {
+        let out = run_cells_isolated(vec![1u64, 2, 3, 4], None, |i| {
+            if i == 3 {
+                panic!("cell {i} exploded");
+            }
+            i * 10
+        });
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].as_ref().unwrap(), &10);
+        assert_eq!(out[1].as_ref().unwrap(), &20);
+        match &out[2] {
+            Err(CellError::Panic(msg)) => assert!(msg.contains("cell 3 exploded"), "{msg}"),
+            other => panic!("expected a panic failure, got {other:?}"),
+        }
+        assert_eq!(out[3].as_ref().unwrap(), &40);
+    }
+
+    #[test]
+    fn watchdog_times_out_runaway_cells_and_passes_fast_ones() {
+        let out = run_cells_isolated(
+            vec![0u64, 1],
+            Some(Duration::from_millis(200)),
+            |i| {
+                if i == 1 {
+                    // Runaway cell: far past the deadline.
+                    std::thread::sleep(Duration::from_secs(30));
+                }
+                i
+            },
+        );
+        assert_eq!(out[0].as_ref().unwrap(), &0);
+        assert!(
+            matches!(out[1], Err(CellError::Timeout(_))),
+            "runaway cell should have hit the watchdog: {:?}",
+            out[1]
+        );
+    }
+
+    #[test]
+    fn panic_messages_survive_both_payload_shapes() {
+        let static_payload = std::panic::catch_unwind(|| panic!("static str")).unwrap_err();
+        assert_eq!(panic_message(static_payload.as_ref()), "static str");
+        let owned = std::panic::catch_unwind(|| panic!("{} owned", 42)).unwrap_err();
+        assert_eq!(panic_message(owned.as_ref()), "42 owned");
     }
 
     #[test]

@@ -59,6 +59,17 @@ pub enum EventKind {
         /// The agent to start.
         agent: AgentId,
     },
+    /// A fault-held (or duplicated) packet is re-offered to `link` by the
+    /// fault-injection layer (see [`crate::faults`]).
+    FaultRelease {
+        /// The link the packet is admitted to.
+        link: LinkId,
+        /// The pooled packet.
+        packet: PacketId,
+        /// Whether this packet occupies a slot in the link's hold bay
+        /// (reordering) as opposed to being a freshly minted duplicate.
+        held: bool,
+    },
 }
 
 /// One scheduled event. Shared by both backends.

@@ -52,6 +52,7 @@
 
 pub mod audit;
 pub mod event;
+pub mod faults;
 pub mod ids;
 pub mod link;
 pub mod node;
@@ -67,6 +68,7 @@ pub mod trace;
 /// The handful of names almost every user needs.
 pub mod prelude {
     pub use crate::audit::{AuditMode, AuditReport};
+    pub use crate::faults::{FaultPlan, FlapWindow};
     pub use crate::ids::{AgentId, FlowId, LinkId, NodeId};
     pub use crate::link::{BernoulliLoss, Link, LossPattern, MarkPattern};
     pub use crate::packet::{AckInfo, DataInfo, Ecn, Packet, PacketSpec, Payload};

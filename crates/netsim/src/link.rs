@@ -6,6 +6,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::faults::{FaultPlan, FaultState};
 use crate::ids::NodeId;
 use crate::packet::Packet;
 use crate::queue::QueueDiscipline;
@@ -117,6 +118,8 @@ pub struct Link {
     pub(crate) queue: Box<dyn QueueDiscipline>,
     pub(crate) loss: Option<Box<dyn LossPattern>>,
     pub(crate) marker: Option<Box<dyn MarkPattern>>,
+    /// Optional scripted fault injection (see [`crate::faults`]).
+    pub(crate) faults: Option<FaultState>,
     /// Whether a packet is currently being serialized.
     pub(crate) busy: bool,
 }
@@ -138,6 +141,7 @@ impl Link {
             queue,
             loss: None,
             marker: None,
+            faults: None,
             busy: false,
         }
     }
@@ -153,6 +157,19 @@ impl Link {
     pub fn with_marker(mut self, marker: Box<dyn MarkPattern>) -> Self {
         self.marker = Some(marker);
         self
+    }
+
+    /// Attach a deterministic fault plan (reordering, duplication,
+    /// jitter, flapping) executed around the loss/mark stage. See
+    /// [`crate::faults`] for the model and its audit guarantees.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(FaultState::new(plan));
+        self
+    }
+
+    /// The fault plan attached to this link, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| f.plan())
     }
 
     /// Destination node of this link.

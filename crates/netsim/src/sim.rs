@@ -121,14 +121,79 @@ impl World {
 }
 
 impl World {
-    /// Offer `pkt` to `link`: run the loss script, then the queue
+    /// Offer `pkt` to `link`: run the fault pre-stage (duplication and
+    /// hold-for-reorder, see [`crate::faults`]), then admit the packet to
+    /// the link proper.
+    ///
+    /// Duplicates and held packets re-enter through the event queue
+    /// ([`EventKind::FaultRelease`]) and are then *admitted* directly —
+    /// the pre-stage runs once per hop offer, so a duplicate is never
+    /// re-duplicated and a held packet never re-held.
+    fn offer_to_link(&mut self, link_id: LinkId, pkt: PacketId) {
+        let now = self.now;
+        if self.links[link_id.index()].faults.is_some() {
+            let World {
+                links,
+                pool,
+                stats,
+                queue,
+                trace,
+                audit,
+                next_uid,
+                ..
+            } = self;
+            let link = &mut links[link_id.index()];
+            let faults = link.faults.as_mut().expect("checked above");
+            if faults.should_duplicate() {
+                // The clone is a brand-new packet as far as the books are
+                // concerned: fresh uid, injected into the ledger, its own
+                // pool slot. It joins the link behind the original via
+                // the event queue's tie-break.
+                let mut dup = pool.get(pkt).clone();
+                dup.uid = *next_uid;
+                *next_uid += 1;
+                stats.record_link_duplicate(link_id);
+                if let Some(a) = audit.as_deref_mut() {
+                    a.on_inject(dup.uid);
+                }
+                trace_event(trace, now, TraceKind::FaultDup { link: link_id }, &dup);
+                let dup_id = pool.insert(dup);
+                queue.schedule(
+                    now,
+                    EventKind::FaultRelease {
+                        link: link_id,
+                        packet: dup_id,
+                        held: false,
+                    },
+                );
+            }
+            if let Some(hold) = faults.should_hold() {
+                // Not an arrival yet: the link first sees the packet at
+                // release time, so the conservation books stay balanced.
+                stats.record_link_fault_held(link_id);
+                trace_event(trace, now, TraceKind::FaultHold { link: link_id }, pool.get(pkt));
+                queue.schedule(
+                    now + hold,
+                    EventKind::FaultRelease {
+                        link: link_id,
+                        packet: pkt,
+                        held: true,
+                    },
+                );
+                return;
+            }
+        }
+        self.admit_to_link(link_id, pkt);
+    }
+
+    /// Admit `pkt` to `link`: run the loss script, then the queue
     /// discipline, then start serialization if the transmitter is idle.
     ///
     /// This is the hottest function in the simulator (every hop of every
     /// packet lands here), so the link is indexed once and held as a
     /// single borrow alongside disjoint borrows of the other world
     /// fields, instead of re-indexing `self.links` per access.
-    fn offer_to_link(&mut self, link_id: LinkId, pkt: PacketId) {
+    fn admit_to_link(&mut self, link_id: LinkId, pkt: PacketId) {
         let now = self.now;
         let World {
             links,
@@ -143,6 +208,26 @@ impl World {
         stats.record_link_arrival(link_id, now, link.queue_len());
         if let Some(a) = audit.as_deref_mut() {
             a.on_link_arrival(link_id);
+        }
+
+        // Scripted outage: a down link blackholes everything offered to
+        // it, accounted as ordinary link drops.
+        if link.faults.as_mut().is_some_and(|f| f.is_down(now)) {
+            stats.record_link_flap_drop(link_id, now);
+            if let Some(a) = audit.as_deref_mut() {
+                a.on_link_drop(link_id, pool.get(pkt).uid);
+            }
+            trace_event(
+                trace,
+                now,
+                TraceKind::Drop {
+                    link: link_id,
+                    reason: DropReason::LinkDown,
+                },
+                pool.get(pkt),
+            );
+            pool.remove(pkt);
+            return;
         }
 
         // Scripted loss first.
@@ -251,8 +336,13 @@ impl World {
             a.on_link_departure(link_id, pool.get(pkt).size);
         }
         trace_event(trace, now, TraceKind::Dequeue { link: link_id }, pool.get(pkt));
+        // Fault-layer delay jitter stretches this packet's propagation.
+        let jitter = link
+            .faults
+            .as_mut()
+            .map_or(SimDuration::ZERO, |f| f.jitter());
         queue.schedule(
-            now + link.delay,
+            now + link.delay + jitter,
             EventKind::Arrive {
                 node: link.dst,
                 packet: pkt,
@@ -539,6 +629,16 @@ impl Simulator {
             }
             EventKind::AgentStart { agent } => {
                 self.dispatch(agent, |a, ctx| a.on_start(ctx));
+            }
+            EventKind::FaultRelease { link, packet, held } => {
+                if held {
+                    self.world.links[link.index()]
+                        .faults
+                        .as_mut()
+                        .expect("FaultRelease on a link without faults")
+                        .on_release();
+                }
+                self.world.admit_to_link(link, packet);
             }
         }
         // O(1) per-event cross-check: pool live slots vs packet ledger.

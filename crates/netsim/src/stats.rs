@@ -60,6 +60,15 @@ pub struct LinkStats {
     pub total_tx_bytes: u64,
     /// Total packets that completed serialization.
     pub total_tx_packets: u64,
+    /// Packets cloned by the fault layer (see [`crate::faults`]). The
+    /// clone later shows up in `total_arrivals` like any offered packet.
+    pub total_duplicates: u64,
+    /// Packets sent through the fault layer's reorder hold bay.
+    pub total_fault_held: u64,
+    /// Packets dropped inside a scripted outage window. A subset of
+    /// `total_drops`, kept separately so experiments can distinguish
+    /// blackhole loss from congestive loss.
+    pub total_flap_drops: u64,
 }
 
 /// Statistics store. Owned by the simulator; read out after (or during)
@@ -165,6 +174,23 @@ impl Stats {
         let l = &mut self.links[link.index()];
         bump(&mut l.drops, ix, 1);
         l.total_drops += 1;
+    }
+
+    /// A scripted-outage drop: ordinary drop accounting plus the
+    /// flap-specific sub-counter.
+    pub(crate) fn record_link_flap_drop(&mut self, link: LinkId, now: SimTime) {
+        self.record_link_drop(link, now);
+        self.links[link.index()].total_flap_drops += 1;
+    }
+
+    pub(crate) fn record_link_duplicate(&mut self, link: LinkId) {
+        self.ensure_link(link);
+        self.links[link.index()].total_duplicates += 1;
+    }
+
+    pub(crate) fn record_link_fault_held(&mut self, link: LinkId) {
+        self.ensure_link(link);
+        self.links[link.index()].total_fault_held += 1;
     }
 
     pub(crate) fn record_link_mark(&mut self, link: LinkId, now: SimTime) {

@@ -11,6 +11,7 @@
 //!  sN ─┘    (bottleneck, RED) └─ dN
 //! ```
 
+use crate::faults::FaultPlan;
 use crate::ids::{LinkId, NodeId};
 use crate::link::{Link, LossPattern, MarkPattern};
 use crate::queue::{DropTail, QueueDiscipline, Red, RedConfig};
@@ -123,7 +124,7 @@ impl Dumbbell {
         cfg: DumbbellConfig,
         forward_loss: Option<Box<dyn LossPattern>>,
     ) -> Self {
-        Self::build_full(sim, cfg, forward_loss, None)
+        Self::build_full(sim, cfg, forward_loss, None, None, None, None)
     }
 
     /// Build with an ECN marking pattern attached to the forward
@@ -133,7 +134,31 @@ impl Dumbbell {
         cfg: DumbbellConfig,
         forward_marker: Box<dyn MarkPattern>,
     ) -> Self {
-        Self::build_full(sim, cfg, None, Some(forward_marker))
+        Self::build_full(sim, cfg, None, Some(forward_marker), None, None, None)
+    }
+
+    /// Build with a scripted loss pattern on the *reverse* bottleneck
+    /// link, the congested-ACK-path scenario of the failure-injection
+    /// tests: data flows left -> right unmolested while acknowledgments
+    /// and feedback reports are thinned on the way back.
+    pub fn build_with_reverse_loss(
+        sim: &mut Simulator,
+        cfg: DumbbellConfig,
+        reverse_loss: Box<dyn LossPattern>,
+    ) -> Self {
+        Self::build_full(sim, cfg, None, None, Some(reverse_loss), None, None)
+    }
+
+    /// Build with deterministic fault plans (see [`crate::faults`])
+    /// attached to the forward and/or reverse bottleneck links — the
+    /// chaos-sweep topology.
+    pub fn build_with_faults(
+        sim: &mut Simulator,
+        cfg: DumbbellConfig,
+        forward_faults: Option<FaultPlan>,
+        reverse_faults: Option<FaultPlan>,
+    ) -> Self {
+        Self::build_full(sim, cfg, None, None, None, forward_faults, reverse_faults)
     }
 
     fn build_full(
@@ -141,6 +166,9 @@ impl Dumbbell {
         cfg: DumbbellConfig,
         forward_loss: Option<Box<dyn LossPattern>>,
         forward_marker: Option<Box<dyn MarkPattern>>,
+        reverse_loss: Option<Box<dyn LossPattern>>,
+        forward_faults: Option<FaultPlan>,
+        reverse_faults: Option<FaultPlan>,
     ) -> Self {
         let left_router = sim.add_node();
         let right_router = sim.add_node();
@@ -156,16 +184,23 @@ impl Dumbbell {
         if let Some(marker) = forward_marker {
             fwd_link = fwd_link.with_marker(marker);
         }
+        if let Some(plan) = forward_faults {
+            fwd_link = fwd_link.with_faults(plan);
+        }
         let forward = sim.add_link(left_router, fwd_link);
-        let reverse = sim.add_link(
-            right_router,
-            Link::new(
-                left_router,
-                cfg.bottleneck_bps,
-                cfg.bottleneck_delay,
-                cfg.make_bottleneck_queue(),
-            ),
+        let mut rev_link = Link::new(
+            left_router,
+            cfg.bottleneck_bps,
+            cfg.bottleneck_delay,
+            cfg.make_bottleneck_queue(),
         );
+        if let Some(loss) = reverse_loss {
+            rev_link = rev_link.with_loss(loss);
+        }
+        if let Some(plan) = reverse_faults {
+            rev_link = rev_link.with_faults(plan);
+        }
+        let reverse = sim.add_link(right_router, rev_link);
         // Routers default-route across the bottleneck; host-specific
         // routes are added as host pairs are created.
         sim.set_default_route(left_router, forward);

@@ -48,6 +48,18 @@ pub enum TraceKind {
         /// The destination node.
         node: NodeId,
     },
+    /// The fault layer cloned the packet at the link; the event carries
+    /// the duplicate (fresh uid), not the original.
+    FaultDup {
+        /// The link involved.
+        link: LinkId,
+    },
+    /// The fault layer put the packet in the link's hold bay for
+    /// reordering; it re-enters via the event queue later.
+    FaultHold {
+        /// The link involved.
+        link: LinkId,
+    },
 }
 
 /// Why a packet was dropped.
@@ -57,6 +69,9 @@ pub enum DropReason {
     LossPattern,
     /// The queue discipline rejected it (early drop or overflow).
     Queue,
+    /// The link was inside a scripted outage window (see
+    /// [`crate::faults::FlapWindow`]).
+    LinkDown,
 }
 
 /// One trace record.
@@ -217,6 +232,7 @@ impl<W: Write + Send> TraceSink for NsTextTrace<W> {
                 match reason {
                     DropReason::LossPattern => "loss-pattern",
                     DropReason::Queue => "queue",
+                    DropReason::LinkDown => "link-down",
                 }
             ),
             TraceKind::Mark { link } => writeln!(
@@ -230,6 +246,18 @@ impl<W: Write + Send> TraceSink for NsTextTrace<W> {
                 "r {} node{} {tail}",
                 e.time.as_secs_f64(),
                 node.index()
+            ),
+            TraceKind::FaultDup { link } => writeln!(
+                self.out,
+                "D {} link{} {tail}",
+                e.time.as_secs_f64(),
+                link.index()
+            ),
+            TraceKind::FaultHold { link } => writeln!(
+                self.out,
+                "h {} link{} {tail}",
+                e.time.as_secs_f64(),
+                link.index()
             ),
         };
         // A failed trace write must not bring the simulation down; the

@@ -1,0 +1,147 @@
+//! Faulted runs must be byte-identical across scheduler backends.
+//!
+//! The fault layer re-enters packets through the event queue
+//! (`FaultRelease` for holds and duplicates), so its determinism contract
+//! leans directly on the `(time, seq)` tie-break both backends share.
+//! This lives in its own test binary because `set_default_scheduler` is
+//! process-global: integration tests in other binaries run concurrently
+//! and must not see the override flip underneath them.
+
+use std::sync::{Arc, Mutex};
+
+use slowcc_netsim::event::{set_default_scheduler, SchedulerKind};
+use slowcc_netsim::faults::FaultPlan;
+use slowcc_netsim::ids::{AgentId, FlowId, NodeId};
+use slowcc_netsim::link::Link;
+use slowcc_netsim::packet::{AckInfo, Packet, PacketSpec};
+use slowcc_netsim::queue::DropTail;
+use slowcc_netsim::sim::{Agent, Ctx, Simulator};
+use slowcc_netsim::time::{SimDuration, SimTime};
+use slowcc_netsim::trace::VecTrace;
+
+/// Restore the process default on drop, so a failing assertion can't
+/// leak the override into nothing (this binary has one test, but the
+/// discipline is cheap).
+struct Restore;
+impl Drop for Restore {
+    fn drop(&mut self) {
+        set_default_scheduler(None);
+    }
+}
+
+struct Paced {
+    flow: FlowId,
+    dst_node: NodeId,
+    dst_agent: AgentId,
+    count: u64,
+    sent: u64,
+}
+
+impl Agent for Paced {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(SimDuration::from_millis(2), 0);
+    }
+    fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+    fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+        if self.sent < self.count {
+            ctx.send(PacketSpec::data(
+                self.flow,
+                self.sent,
+                1000,
+                self.dst_node,
+                self.dst_agent,
+            ));
+            self.sent += 1;
+            if self.sent < self.count {
+                ctx.set_timer(SimDuration::from_millis(2), 0);
+            }
+        }
+    }
+}
+
+struct AckingSink {
+    seqs: Arc<Mutex<Vec<u64>>>,
+}
+
+impl Agent for AckingSink {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        if pkt.is_data() {
+            self.seqs.lock().unwrap().push(pkt.seq);
+            let info = AckInfo::cumulative(pkt.seq + 1, pkt.seq, pkt.sent_at);
+            ctx.send(PacketSpec::ack_to(&pkt, 40, info));
+        }
+    }
+}
+
+/// Run the full fault menu (reorder + duplication + jitter + flap) on the
+/// current default scheduler and return a byte-comparable transcript.
+fn run_chaotic(seed: u64) -> (String, Vec<u64>) {
+    let plan = FaultPlan::seeded(seed ^ 0xC0FFEE)
+        .with_reorder(9, SimDuration::from_millis(20), 6)
+        .with_duplication(0.03)
+        .with_jitter(SimDuration::from_millis(4))
+        .with_flap(SimTime::from_millis(120), SimTime::from_millis(180));
+    let mut sim = Simulator::new(seed);
+    let a = sim.add_node();
+    let b = sim.add_node();
+    let ab = sim.add_link(
+        a,
+        Link::new(
+            b,
+            8e6,
+            SimDuration::from_millis(5),
+            Box::new(DropTail::new(64)),
+        )
+        .with_faults(plan),
+    );
+    let ba = sim.add_link(
+        b,
+        Link::new(
+            a,
+            8e6,
+            SimDuration::from_millis(5),
+            Box::new(DropTail::new(64)),
+        ),
+    );
+    sim.set_default_route(a, ab);
+    sim.set_default_route(b, ba);
+    sim.set_trace(Box::new(VecTrace::new(250_000)));
+
+    let seqs = Arc::new(Mutex::new(Vec::new()));
+    let sink = sim.add_agent(b, Box::new(AckingSink { seqs: seqs.clone() }));
+    let flow = sim.new_flow();
+    sim.add_agent(
+        a,
+        Box::new(Paced {
+            flow,
+            dst_node: b,
+            dst_agent: sink,
+            count: 200,
+            sent: 0,
+        }),
+    );
+    sim.run_until(SimTime::from_secs(2));
+
+    let trace_sink = sim.take_trace().expect("trace installed");
+    let trace: &VecTrace = trace_sink
+        .as_any()
+        .and_then(|s| s.downcast_ref())
+        .expect("VecTrace downcasts");
+    let order = seqs.lock().unwrap().clone();
+    (format!("{:?}", trace.events()), order)
+}
+
+#[test]
+fn faulted_runs_are_identical_across_scheduler_backends() {
+    let _restore = Restore;
+    for seed in [1u64, 17, 99] {
+        set_default_scheduler(Some(SchedulerKind::Heap));
+        let heap = run_chaotic(seed);
+        set_default_scheduler(Some(SchedulerKind::Calendar));
+        let calendar = run_chaotic(seed);
+        assert_eq!(
+            heap, calendar,
+            "seed {seed}: fault-layer transcript diverged between schedulers"
+        );
+    }
+}

@@ -253,6 +253,8 @@ fn trace_records_the_packet_lifecycle() {
                 TraceKind::Drop { .. } => "drop",
                 TraceKind::Mark { .. } => "mark",
                 TraceKind::Deliver { .. } => "recv",
+                TraceKind::FaultDup { .. } => "dup",
+                TraceKind::FaultHold { .. } => "hold",
             };
             format!("{tag} seq{}", e.seq)
         })

@@ -39,4 +39,36 @@ grep "audit: " "$tmp/audit_calendar.txt"
 grep -q " 0 timer leaks, 0 violations" "$tmp/audit_calendar.txt"
 echo "audited fig45 clean under both schedulers"
 
+echo "== chaos fault-injection smoke (SLOWCC_AUDIT=strict, both schedulers) =="
+SLOWCC_AUDIT=strict SLOWCC_SCHEDULER=heap \
+  ./target/release/repro --quick chaos --out "$tmp/chaos_heap" > "$tmp/chaos_heap.txt"
+SLOWCC_AUDIT=strict SLOWCC_SCHEDULER=calendar \
+  ./target/release/repro --quick chaos --out "$tmp/chaos_cal" > "$tmp/chaos_cal.txt"
+# Same seeds, same backend, second run: must replay byte-identically.
+SLOWCC_AUDIT=strict SLOWCC_SCHEDULER=calendar \
+  ./target/release/repro --quick chaos --out "$tmp/chaos_cal2" > "$tmp/chaos_cal2.txt"
+diff -r "$tmp/chaos_heap" "$tmp/chaos_cal"
+diff -r "$tmp/chaos_cal" "$tmp/chaos_cal2"
+diff "$tmp/chaos_heap.txt" "$tmp/chaos_cal.txt"
+diff "$tmp/chaos_cal.txt" "$tmp/chaos_cal2.txt"
+grep -q "all graceful" "$tmp/chaos_heap.txt"
+echo "chaos sweep audit-clean, bit-identical across runs and schedulers"
+
+echo "== crash isolation: deliberate panic-cell fixture =="
+if ./target/release/repro --quick --out "$tmp/crash" fig11 panic-cell \
+    > "$tmp/crash.txt" 2>&1; then
+  echo "ERROR: panic-cell should have produced a nonzero exit"; exit 1
+fi
+grep -q "FAILED cell panic-cell" "$tmp/crash.txt"
+grep -q '"panic-cell": {"status": "panicked"' "$tmp/crash/manifest.json"
+grep -q '"fig11": {"status": "ok"}' "$tmp/crash/manifest.json"  # sibling survived
+# --resume skips the ok sibling and re-runs only the failed cell.
+if ./target/release/repro --quick --out "$tmp/crash" --resume fig11 panic-cell \
+    > "$tmp/resume.txt" 2>&1; then
+  echo "ERROR: resumed panic-cell should still exit nonzero"; exit 1
+fi
+grep -q "resume: skipping fig11" "$tmp/resume.txt"
+grep -q "FAILED cell panic-cell" "$tmp/resume.txt"
+echo "panic isolated, manifest recorded, resume re-ran only the failure"
+
 echo "== verify OK =="

@@ -1,11 +1,16 @@
 //! Failure injection on the *feedback* path: congestion control must
 //! survive losing its ACKs and receiver reports, not just its data.
 //! The reverse bottleneck gets a loss pattern; data flows clean.
+//!
+//! Every flavor family is covered: window-based with cumulative ACKs
+//! (TCP, SQRT, IIAD), rate-based (RAP), and equation-based (TFRC).
 
+use slowcc::core::rap::{Rap, RapConfig};
 use slowcc::core::tcp::{Tcp, TcpConfig, TcpSink};
 use slowcc::core::tfrc::{Tfrc, TfrcConfig};
 use slowcc::netsim::link::LossPattern;
 use slowcc::netsim::prelude::*;
+use slowcc::netsim::topology::QueueKind;
 
 /// Drops every `n`-th ACK packet (data passes untouched).
 struct AckLoss {
@@ -22,57 +27,20 @@ impl LossPattern for AckLoss {
     }
 }
 
-/// Manual dumbbell with an ACK-dropping reverse bottleneck
-/// (`Dumbbell::build_with_loss` attaches patterns to the forward link,
-/// so this one is wired by hand).
-fn build_ack_lossy(sim: &mut Simulator, n: u64) -> (NodeId, NodeId) {
-    let cfg = DumbbellConfig::paper(10e6);
-    let r1 = sim.add_node();
-    let r2 = sim.add_node();
-    let fwd = sim.add_link(
-        r1,
-        Link::new(
-            r2,
-            cfg.bottleneck_bps,
-            cfg.bottleneck_delay,
-            Box::new(DropTail::new(200)),
-        ),
-    );
-    let rev = sim.add_link(
-        r2,
-        Link::new(
-            r1,
-            cfg.bottleneck_bps,
-            cfg.bottleneck_delay,
-            Box::new(DropTail::new(200)),
-        )
-        .with_loss(Box::new(AckLoss { n, seen: 0 })),
-    );
-    sim.set_default_route(r1, fwd);
-    sim.set_default_route(r2, rev);
-    let left = sim.add_node();
-    let right = sim.add_node();
-    let lu = sim.add_link(
-        left,
-        Link::new(r1, 1e9, SimDuration::from_millis(1), Box::new(DropTail::new(256))),
-    );
-    let ld = sim.add_link(
-        r1,
-        Link::new(left, 1e9, SimDuration::from_millis(1), Box::new(DropTail::new(256))),
-    );
-    let ru = sim.add_link(
-        right,
-        Link::new(r2, 1e9, SimDuration::from_millis(1), Box::new(DropTail::new(256))),
-    );
-    let rd = sim.add_link(
-        r2,
-        Link::new(right, 1e9, SimDuration::from_millis(1), Box::new(DropTail::new(256))),
-    );
-    sim.set_default_route(left, lu);
-    sim.set_default_route(right, ru);
-    sim.add_route(r1, left, ld);
-    sim.add_route(r2, right, rd);
-    (left, right)
+/// The paper dumbbell with an ACK-dropping reverse bottleneck, via
+/// [`Dumbbell::build_with_reverse_loss`]. DropTail rather than RED so
+/// the only loss process in the experiment is the scripted one.
+fn build_ack_lossy(sim: &mut Simulator, n: u64) -> HostPair {
+    let mut cfg = DumbbellConfig::paper(10e6);
+    cfg.queue = QueueKind::DropTail(200);
+    let db = Dumbbell::build_with_reverse_loss(sim, cfg, Box::new(AckLoss { n, seen: 0 }));
+    db.add_host_pair(sim)
+}
+
+/// Mean goodput over the steady-state window, in bits per second.
+fn steady_tput(sim: &Simulator, flow: FlowId) -> f64 {
+    sim.stats()
+        .flow_throughput_bps(flow, SimTime::from_secs(20), SimTime::from_secs(60))
 }
 
 /// TCP's cumulative ACKs make isolated ACK loss almost free: a transfer
@@ -81,21 +49,13 @@ fn build_ack_lossy(sim: &mut Simulator, n: u64) -> (NodeId, NodeId) {
 #[test]
 fn tcp_survives_heavy_ack_loss() {
     let mut sim = Simulator::new(4);
-    let (left, right) = build_ack_lossy(&mut sim, 4); // drop 25% of ACKs
-    let sink = sim.reserve_agent(right);
-    sim.install_agent(sink, Box::new(TcpSink::new()), SimTime::ZERO);
-    let flow = sim.new_flow();
-    let wiring = slowcc::core::agent::SenderWiring {
-        flow,
-        dst_node: right,
-        dst_agent: sink,
-    };
+    let pair = build_ack_lossy(&mut sim, 4); // drop 25% of ACKs
     let cfg = TcpConfig::standard(1000).with_max_packets(2000);
-    let sender = sim.add_agent(left, Box::new(Tcp::new(cfg, wiring)));
+    let h = Tcp::install(&mut sim, &pair, cfg, SimTime::ZERO);
     sim.run_until(SimTime::from_secs(60));
-    let s: &Tcp = sim.agent_downcast(sender).unwrap();
+    let s: &Tcp = sim.agent_downcast(h.sender).unwrap();
     assert!(s.is_done(), "transfer must complete under ACK loss");
-    let k: &TcpSink = sim.agent_downcast(sink).unwrap();
+    let k: &TcpSink = sim.agent_downcast(h.sink).unwrap();
     assert_eq!(k.expected(), 2000);
     // And it should not be timeout-dominated: cumulative ACKs cover the
     // gaps.
@@ -106,33 +66,121 @@ fn tcp_survives_heavy_ack_loss() {
     );
 }
 
+/// Goodput in the final 10 seconds — zero means the flow wedged.
+fn still_progressing(sim: &Simulator, flow: FlowId) -> bool {
+    sim.stats()
+        .flow_rx_bytes_in(flow, SimTime::from_secs(50), SimTime::from_secs(60))
+        > 0
+}
+
+/// The binomial flavors are *measurably* more fragile here than standard
+/// TCP: their mild decrease rides with a large window, every overflow
+/// loses a burst, and the SACK-less cumulative recovery repairs one hole
+/// per RTT — so heavy ACK loss costs them real throughput where TCP's
+/// halving keeps loss events small. The robustness contract is therefore
+/// graceful degradation, not full utilization: light loss keeps most of
+/// the pipe, heavy loss degrades smoothly and never wedges the flow.
+#[test]
+fn sqrt_degrades_gracefully_under_ack_loss() {
+    // Light (1/16) report loss: most of the pipe survives.
+    let mut sim = Simulator::new(4);
+    let pair = build_ack_lossy(&mut sim, 16);
+    let h = Tcp::install(&mut sim, &pair, TcpConfig::sqrt_gamma(2.0, 1000), SimTime::ZERO);
+    sim.run_until(SimTime::from_secs(60));
+    let light = steady_tput(&sim, h.flow);
+    assert!(
+        light > 3e6,
+        "SQRT under light ACK loss should keep most of 10 Mb/s, got {:.2} Mb/s",
+        light / 1e6
+    );
+
+    // Heavy (1/4) loss: degraded but alive, no deadlock, no timeout storm.
+    let mut sim = Simulator::new(4);
+    let pair = build_ack_lossy(&mut sim, 4);
+    let h = Tcp::install(&mut sim, &pair, TcpConfig::sqrt_gamma(2.0, 1000), SimTime::ZERO);
+    sim.run_until(SimTime::from_secs(60));
+    let heavy = steady_tput(&sim, h.flow);
+    assert!(
+        heavy > 0.5e6 && heavy < light,
+        "SQRT under heavy ACK loss should degrade smoothly, got {:.2} Mb/s (light: {:.2})",
+        heavy / 1e6,
+        light / 1e6
+    );
+    assert!(still_progressing(&sim, h.flow), "SQRT wedged under ACK loss");
+}
+
+/// Same contract for IIAD(1/2), whose inverse increase is the slowest to
+/// rebuild after a loss event.
+#[test]
+fn iiad_degrades_gracefully_under_ack_loss() {
+    let mut sim = Simulator::new(4);
+    let pair = build_ack_lossy(&mut sim, 16);
+    let h = Tcp::install(&mut sim, &pair, TcpConfig::iiad_gamma(2.0, 1000), SimTime::ZERO);
+    sim.run_until(SimTime::from_secs(60));
+    let light = steady_tput(&sim, h.flow);
+    assert!(
+        light > 3e6,
+        "IIAD under light ACK loss should keep most of 10 Mb/s, got {:.2} Mb/s",
+        light / 1e6
+    );
+
+    let mut sim = Simulator::new(4);
+    let pair = build_ack_lossy(&mut sim, 4);
+    let h = Tcp::install(&mut sim, &pair, TcpConfig::iiad_gamma(2.0, 1000), SimTime::ZERO);
+    sim.run_until(SimTime::from_secs(60));
+    let heavy = steady_tput(&sim, h.flow);
+    assert!(
+        heavy > 0.5e6 && heavy < light,
+        "IIAD under heavy ACK loss should degrade smoothly, got {:.2} Mb/s (light: {:.2})",
+        heavy / 1e6,
+        light / 1e6
+    );
+    assert!(still_progressing(&sim, h.flow), "IIAD wedged under ACK loss");
+}
+
+/// RAP detects loss from *gaps in the ACK sequence* (its receiver ACKs
+/// every packet), so a dropped ACK is indistinguishable from a dropped
+/// data packet: 25% ACK loss reads as 25% congestion and the rate backs
+/// way off. That steep response is the algorithm working as specified —
+/// what robustness requires is that the flow never stalls outright.
+#[test]
+fn rap_backs_off_but_never_stalls_under_ack_loss() {
+    let mut sim = Simulator::new(4);
+    let pair = build_ack_lossy(&mut sim, 4);
+    let h = Rap::install(&mut sim, &pair, RapConfig::rap_gamma(2.0, 1000), SimTime::ZERO);
+    sim.run_until(SimTime::from_secs(60));
+    let tput = steady_tput(&sim, h.flow);
+    assert!(
+        tput > 0.2e6,
+        "RAP should keep a working rate under ACK loss, got {:.2} Mb/s",
+        tput / 1e6
+    );
+    assert!(still_progressing(&sim, h.flow), "RAP wedged under ACK loss");
+
+    // And with mild report thinning it recovers most of its clean rate.
+    let mut sim = Simulator::new(4);
+    let pair = build_ack_lossy(&mut sim, 64);
+    let h = Rap::install(&mut sim, &pair, RapConfig::rap_gamma(2.0, 1000), SimTime::ZERO);
+    sim.run_until(SimTime::from_secs(60));
+    let mild = steady_tput(&sim, h.flow);
+    assert!(
+        mild > tput,
+        "lighter ACK loss should cost RAP less: 1/64 gave {:.2} Mb/s vs 1/4 giving {:.2}",
+        mild / 1e6,
+        tput / 1e6
+    );
+}
+
 /// TFRC keeps regulating when feedback reports are lost: the no-feedback
 /// timer and per-RTT reporting cadence absorb isolated report loss
 /// without collapsing the rate.
 #[test]
 fn tfrc_survives_feedback_loss() {
     let mut sim = Simulator::new(4);
-    let (left, right) = build_ack_lossy(&mut sim, 3); // drop a third of reports
-    let cfg = TfrcConfig::standard(1000);
-    let sink = sim.reserve_agent(right);
-    sim.install_agent(
-        sink,
-        Box::new(slowcc::core::tfrc::TfrcSink::new(cfg)),
-        SimTime::ZERO,
-    );
-    let flow = sim.new_flow();
-    let wiring = slowcc::core::agent::SenderWiring {
-        flow,
-        dst_node: right,
-        dst_agent: sink,
-    };
-    sim.add_agent(left, Box::new(Tfrc::new(cfg, wiring)));
+    let pair = build_ack_lossy(&mut sim, 3); // drop a third of reports
+    let h = Tfrc::install(&mut sim, &pair, TfrcConfig::standard(1000), SimTime::ZERO);
     sim.run_until(SimTime::from_secs(60));
-    let tput = sim.stats().flow_throughput_bps(
-        flow,
-        SimTime::from_secs(20),
-        SimTime::from_secs(60),
-    );
+    let tput = steady_tput(&sim, h.flow);
     assert!(
         tput > 4e6,
         "TFRC should hold most of a clean 10 Mb/s path under report loss, got {:.2} Mb/s",
