@@ -2,79 +2,39 @@
 //!
 //! ```text
 //! repro [--quick] [--audit] [--jobs N] [--out DIR]
-//!       [--resume] [--cell-timeout SECS] <experiment>... | all
+//!       [--resume] [--cell-timeout SECS] <experiment>... | all | list
 //! ```
 //!
-//! Experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
-//! fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 fairness-extreme
-//! sawtooth fk-model chaos. (`fig4`/`fig5` share one sweep, as do
-//! `fig14`/`fig15`.)
+//! The binary is a thin shell: targets (and figure aliases like
+//! `fig4` -> `fig45`) resolve against the [`registry`], and everything
+//! registered runs through the one execution path in [`exec`] — a flat
+//! sweep over every requested experiment's cells with parallelism
+//! (`--jobs`), per-cell crash isolation and `--cell-timeout`, a
+//! per-cell `manifest.json` ledger plus output cache for `--resume`,
+//! and `--audit` gating. `repro list` prints the registry.
 //!
-//! Experiment targets run concurrently (and each target's internal
-//! sweep is itself parallel) under a process-wide budget of `--jobs`
-//! threads, defaulting to the machine's available parallelism. Output
-//! is unaffected: every simulation cell is seeded independently and
-//! results are collected in input order, so tables, JSON and CSV are
-//! byte-identical to `--jobs 1`.
+//! Cells are seeded independently and collected in declaration order,
+//! so tables, JSON and CSV are byte-identical across `--jobs`
+//! settings, scheduler backends, and resumed runs.
 //!
 //! # Crash isolation and resumption
 //!
-//! Each target runs under `catch_unwind` (plus a wall-clock watchdog
+//! Each cell runs under `catch_unwind` (plus a wall-clock watchdog
 //! when `--cell-timeout` is set): a panicking simulation fails its own
 //! cell, its siblings complete, and the sweep exits nonzero. As cells
 //! finish, their fate is recorded in `<results dir>/manifest.json`
-//! (`ok` / `panicked` / `timeout`, no timestamps), so `--resume` can
-//! skip everything already `ok` at the same scale and re-run only the
+//! (`ok` / `panicked` / `timeout`, no timestamps) and their output is
+//! cached under `<results dir>/cells/`, so `--resume` replays
+//! everything already `ok` at the same scale and re-runs only the
 //! failures and the never-attempted.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use slowcc_experiments::manifest::{CellRecord, Manifest};
-use slowcc_experiments::runner::{self, CellError, CellFailure};
 use slowcc_experiments::scale::Scale;
-use slowcc_experiments::*;
+use slowcc_experiments::{exec, registry, runner};
 use slowcc_netsim::audit::{self, AuditMode};
-
-const EXPERIMENTS: &[&str] = &[
-    "fig3",
-    "fig45",
-    "fig6",
-    "fig7",
-    "fig8",
-    "fig9",
-    "fig10",
-    "fig11",
-    "fig12",
-    "fig13",
-    "fig1415",
-    "fig16",
-    "fig17",
-    "fig18",
-    "fig19",
-    "fig20",
-    "fairness-extreme",
-    "sawtooth",
-    "fk-model",
-    "validate-static",
-    "validate-ecn",
-    "validate-highloss",
-    "response",
-    "queue-dynamics",
-    "rtt-bias",
-    "multihop",
-    "chaos",
-];
-
-/// The deferred print-and-save half of a target, run serially in
-/// command-line order once the simulations are done.
-type Render = Box<dyn FnOnce(&Option<PathBuf>) + Send>;
-
-/// The simulation half of a target, safe to run concurrently with
-/// other targets (it writes nothing and prints nothing).
-type Compute = Box<dyn FnOnce() -> Render + Send>;
 
 fn main() -> ExitCode {
     let mut scale = Scale::Full;
@@ -82,7 +42,7 @@ fn main() -> ExitCode {
     let mut audit_run = false;
     let mut resume = false;
     let mut cell_timeout: Option<Duration> = None;
-    let mut targets: Vec<String> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -114,70 +74,29 @@ fn main() -> ExitCode {
                 usage();
                 return ExitCode::SUCCESS;
             }
-            other => targets.push(normalize(other)),
+            other => names.push(other.to_string()),
         }
     }
-    if targets.is_empty() {
+    if names.is_empty() {
         usage();
         return ExitCode::FAILURE;
     }
-    if targets.iter().any(|t| t == "all") {
-        targets = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    // `list` is a CLI listing, not a sweep: print the registry and
+    // leave the filesystem untouched.
+    if names.iter().any(|n| n == "list") {
+        print!("{}", registry::list_text());
+        return ExitCode::SUCCESS;
     }
-    targets.dedup();
 
-    // The manifest ledger lives next to the other outputs; without
-    // `--out` it still goes to `results/` so a bare sweep is resumable.
-    let manifest_dir = out.clone().unwrap_or_else(|| PathBuf::from("results"));
-    let scale_tag = scale.pick("full", "quick");
-    let mut ledger = Manifest::new(scale_tag);
-    if resume {
-        match Manifest::load(&manifest_dir) {
-            Some(prior) if prior.scale == scale_tag => {
-                // Inherit the whole prior ledger; cells re-run below
-                // overwrite their records as they complete.
-                ledger = prior.clone();
-                let before = targets.len();
-                targets.retain(|t| {
-                    let done = prior.is_ok(t);
-                    if done {
-                        println!("resume: skipping {t} (ok in manifest)");
-                    }
-                    !done
-                });
-                if targets.is_empty() {
-                    println!(
-                        "resume: all {before} requested cells already ok in {}",
-                        manifest_dir.join("manifest.json").display()
-                    );
-                    return ExitCode::SUCCESS;
-                }
-            }
-            Some(prior) => eprintln!(
-                "resume: manifest is for scale `{}`, this run is `{scale_tag}`; re-running everything",
-                prior.scale
-            ),
-            None => eprintln!(
-                "resume: no readable manifest in {}; re-running everything",
-                manifest_dir.display()
-            ),
+    let targets = match registry::resolve_targets(&names) {
+        Ok(targets) => targets,
+        Err(unknown) => {
+            eprintln!("unknown experiment: {unknown}");
+            usage();
+            return ExitCode::FAILURE;
         }
-    }
+    };
 
-    let mut computes: Vec<(String, Compute)> = Vec::with_capacity(targets.len());
-    for target in &targets {
-        match job_for(target, scale) {
-            Some(compute) => computes.push((target.clone(), compute)),
-            None => {
-                eprintln!("unknown experiment: {target}");
-                usage();
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-
-    // Simulate all targets in parallel, then render serially in
-    // command-line order so the report reads exactly as it always has.
     if audit_run {
         // Collect, not Strict: a sweep should report every violation
         // across all cells rather than abort at the first one.
@@ -185,71 +104,29 @@ fn main() -> ExitCode {
         let _ = audit::take_global_report(); // start from a clean slate
     }
 
-    // Each target runs crash-isolated; as it completes, its fate is
-    // appended to the manifest on disk so a killed sweep still leaves
-    // an accurate ledger for `--resume`.
-    let ledger = Arc::new(Mutex::new(ledger));
-    let recorder = {
-        let ledger = Arc::clone(&ledger);
-        let dir = manifest_dir.clone();
-        move |cell: &str, record: CellRecord| {
-            // `list` is a CLI listing, not a sweep cell: it gets no
-            // manifest entry and must not create `results/` on disk.
-            if cell == "list" {
-                return;
-            }
-            let mut m = ledger.lock().unwrap_or_else(|e| e.into_inner());
-            m.record(cell, record);
-            if let Err(e) = m.write(&dir) {
-                eprintln!("warning: failed to write manifest: {e}");
-            }
-        }
-    };
-    let on_ok = recorder.clone();
-    let outcomes = runner::run_cells_isolated(
-        computes,
+    // The manifest ledger lives next to the other outputs; without
+    // `--out` it still goes to `results/` so a bare sweep is resumable.
+    let manifest_dir = out.clone().unwrap_or_else(|| PathBuf::from("results"));
+    let opts = exec::ExecOptions {
+        scale,
+        out,
+        manifest_dir,
+        resume,
         cell_timeout,
-        move |(target, compute): (String, Compute)| {
-            let render = compute();
-            on_ok(&target, CellRecord::ok());
-            (target, render)
-        },
-    );
-
-    let mut failures: Vec<CellFailure> = Vec::new();
-    for (outcome, target) in outcomes.into_iter().zip(&targets) {
-        match outcome {
-            Ok((_, render)) => render(&out),
-            Err(err) => {
-                let status = match &err {
-                    CellError::Panic(_) => "panicked",
-                    CellError::Timeout(_) => "timeout",
-                };
-                recorder(target, CellRecord::failed(status, err.message()));
-                failures.push(CellFailure {
-                    cell_id: target.clone(),
-                    seed: 0,
-                    panic_msg: err.message(),
-                });
-            }
-        }
-    }
+    };
+    let summary = exec::run(&targets, &opts);
 
     let mut code = ExitCode::SUCCESS;
-    if !failures.is_empty() {
-        for f in &failures {
-            eprintln!("FAILED cell {}: {}", f.cell_id, f.panic_msg);
-        }
-        eprintln!(
-            "{} of {} cells failed; see {}",
-            failures.len(),
-            targets.len(),
-            manifest_dir.join("manifest.json").display()
-        );
+    if !summary.is_ok() {
         code = ExitCode::FAILURE;
     }
     if audit_run {
         match audit::take_global_report() {
+            None if summary.executed_cells == 0 => {
+                // A fully-replayed resume executes no simulation; that
+                // is not an audit failure.
+                eprintln!("audit: no cells executed (all replayed from cache)");
+            }
             None => {
                 eprintln!("audit: no simulation was audited");
                 code = ExitCode::FAILURE;
@@ -268,215 +145,18 @@ fn main() -> ExitCode {
     code
 }
 
-fn save(out: &Option<PathBuf>, name: &str, value: &dyn erased_print::SerializeRef) {
-    if let Some(dir) = out {
-        if let Err(e) = value.write(dir, name) {
-            eprintln!("warning: failed to write {name}.json: {e}");
-        }
-    }
-}
-
-/// Build the compute half of one experiment target, or `None` for an
-/// unknown name.
-fn job_for(target: &str, scale: Scale) -> Option<Compute> {
-    /// A target whose result only prints and writes JSON.
-    macro_rules! simple {
-        ($run:expr, $name:literal, print: $print:expr) => {
-            Box::new(move || -> Render {
-                let r = $run;
-                Box::new(move |out: &Option<PathBuf>| {
-                    $print(&r);
-                    save(out, $name, &r);
-                })
-            })
-        };
-    }
-
-    Some(match target {
-        "list" => Box::new(move || -> Render {
-            Box::new(move |_out: &Option<PathBuf>| {
-                println!("experiments: {}", EXPERIMENTS.join(" "));
-                println!("aliases: fig4 fig5 -> fig45; fig14 fig15 -> fig1415");
-            })
-        }),
-        "fig3" => Box::new(move || -> Render {
-            let r = fig03::run(scale);
-            Box::new(move |out: &Option<PathBuf>| {
-                r.print();
-                save(out, "fig3", &r);
-                if let Some(dir) = out {
-                    if let Err(e) = r.write_csv(dir) {
-                        eprintln!("warning: failed to write fig3 CSV: {e}");
-                    }
-                }
-            })
-        }),
-        "fig45" => simple!(fig45::run(scale), "fig4_fig5", print: |r: &fig45::Fig45| r.print()),
-        "fig6" => simple!(fig06::run(scale), "fig6", print: |r: &fig06::Fig6| r.print()),
-        "fig7" => simple!(
-            fig0789::run_fig7(scale),
-            "fig7",
-            print: |r: &fig0789::OscFairness| r.print("Figure 7")
-        ),
-        "fig8" => simple!(
-            fig0789::run_fig8(scale),
-            "fig8",
-            print: |r: &fig0789::OscFairness| r.print("Figure 8")
-        ),
-        "fig9" => simple!(
-            fig0789::run_fig9(scale),
-            "fig9",
-            print: |r: &fig0789::OscFairness| r.print("Figure 9")
-        ),
-        "fig10" => simple!(
-            fig1012::run_fig10(scale),
-            "fig10",
-            print: |r: &fig1012::Convergence| r.print("Figure 10")
-        ),
-        "fig11" => simple!(fig11::run(scale), "fig11", print: |r: &fig11::Fig11| r.print()),
-        "fig12" => simple!(
-            fig1012::run_fig12(scale),
-            "fig12",
-            print: |r: &fig1012::Convergence| r.print("Figure 12")
-        ),
-        "fig13" => simple!(fig13::run(scale), "fig13", print: |r: &fig13::Fig13| r.print()),
-        "fig1415" => simple!(
-            fig1416::run_fig14(scale),
-            "fig14_fig15",
-            print: |r: &fig1416::Osc2| r.print("Figures 14/15")
-        ),
-        "fig16" => simple!(
-            fig1416::run_fig16(scale),
-            "fig16",
-            print: |r: &fig1416::Osc2| r.print("Figure 16")
-        ),
-        "fig17" => smoothness_job(scale, "fig17", "Figure 17", fig171819::run_fig17),
-        "fig18" => smoothness_job(scale, "fig18", "Figure 18", fig171819::run_fig18),
-        "fig19" => smoothness_job(scale, "fig19", "Figure 19", fig171819::run_fig19),
-        "fig20" => simple!(fig20::run(scale), "fig20", print: |r: &fig20::Fig20| r.print()),
-        "fairness-extreme" => simple!(
-            extras::run_fairness_extreme(scale),
-            "fairness_extreme",
-            print: |r: &fig0789::OscFairness| r.print("Section 4.2.1 (10:1 oscillation)")
-        ),
-        "sawtooth" => Box::new(move || -> Render {
-            let rs = extras::run_sawtooth_variants(scale);
-            Box::new(move |out: &Option<PathBuf>| {
-                for (i, r) in rs.iter().enumerate() {
-                    r.print(&format!("Section 4.2.1 sawtooth variant {}", i + 1));
-                    save(out, &format!("sawtooth_{}", i + 1), r);
-                }
-            })
-        }),
-        "fk-model" => simple!(
-            extras::run_fk_model(scale),
-            "fk_model",
-            print: |r: &extras::FkModel| r.print()
-        ),
-        "validate-static" => simple!(
-            validate::run_static(scale),
-            "validate_static",
-            print: |r: &validate::StaticValidation| r.print()
-        ),
-        "validate-ecn" => simple!(
-            validate::run_ecn_convergence(scale),
-            "validate_ecn",
-            print: |r: &validate::EcnConvergence| r.print()
-        ),
-        "validate-highloss" => simple!(
-            validate::run_high_loss(scale),
-            "validate_highloss",
-            print: |r: &validate::HighLossValidation| r.print()
-        ),
-        "response" => simple!(
-            response::run(scale),
-            "response",
-            print: |r: &response::ResponseMetrics| r.print()
-        ),
-        "queue-dynamics" => simple!(
-            queuedyn::run(scale),
-            "queue_dynamics",
-            print: |r: &queuedyn::QueueDynamics| r.print()
-        ),
-        "rtt-bias" => simple!(
-            hetero::run_rtt_bias(scale),
-            "rtt_bias",
-            print: |r: &hetero::RttBias| r.print()
-        ),
-        "multihop" => simple!(
-            hetero::run_multihop(scale),
-            "multihop",
-            print: |r: &hetero::MultiHop| r.print()
-        ),
-        "chaos" => simple!(chaos::run(scale), "chaos", print: |r: &chaos::Chaos| r.print()),
-        // Hidden fixture (not in EXPERIMENTS): panics on purpose so the
-        // crash-isolation path — sibling survival, manifest record,
-        // nonzero exit — can be exercised end to end by verify.sh.
-        "panic-cell" => Box::new(move || -> Render {
-            panic!("deliberate panic: repro crash-isolation fixture")
-        }),
-        _ => return None,
-    })
-}
-
-/// Figures 17/18/19 print, save JSON, and also write the rate series
-/// CSV — same deferred-render shape, one extra output.
-fn smoothness_job(
-    scale: Scale,
-    name: &'static str,
-    figure: &'static str,
-    run: fn(Scale) -> fig171819::Smoothness,
-) -> Compute {
-    Box::new(move || -> Render {
-        let r = run(scale);
-        Box::new(move |out: &Option<PathBuf>| {
-            r.print(figure);
-            save(out, name, &r);
-            if let Some(dir) = out {
-                if let Err(e) = r.write_csv(dir, name) {
-                    eprintln!("warning: failed to write {name} CSV: {e}");
-                }
-            }
-        })
-    })
-}
-
-/// Map figure aliases onto canonical experiment names.
-fn normalize(name: &str) -> String {
-    match name {
-        "fig4" | "fig5" => "fig45".to_string(),
-        "fig14" | "fig15" => "fig1415".to_string(),
-        other => other.to_string(),
-    }
-}
-
 fn usage() {
     eprintln!(
         "usage: repro [--quick] [--audit] [--jobs N] [--out DIR] [--resume] \
          [--cell-timeout SECS] <experiment>... | all | list"
     );
-    eprintln!("experiments: {}", EXPERIMENTS.join(" "));
-    eprintln!("aliases: fig4 fig5 -> fig45; fig14 fig15 -> fig1415");
+    eprintln!("experiments: {}", registry::names_line());
+    eprintln!("aliases: {}", registry::aliases_line());
     eprintln!("--jobs N caps the process at N threads (default: available parallelism)");
     eprintln!("--audit runs every simulation under the packet/timer invariant auditor");
     eprintln!("        and fails (nonzero exit) on any conservation violation or timer leak");
-    eprintln!("--resume skips cells marked ok in <results dir>/manifest.json (same scale)");
-    eprintln!("         and re-runs only failed or never-attempted cells");
+    eprintln!("--resume replays cells marked ok in <results dir>/manifest.json (same scale)");
+    eprintln!("         from the cell cache and re-runs only failed or never-attempted cells");
     eprintln!("--cell-timeout SECS fails any cell that exceeds the wall-clock budget");
     eprintln!("         (its thread is abandoned, not killed; see DESIGN.md section 5e)");
-}
-
-/// Tiny object-safe serialization shim so `save` can take any result.
-mod erased_print {
-    use std::path::Path;
-
-    pub trait SerializeRef {
-        fn write(&self, dir: &Path, name: &str) -> std::io::Result<()>;
-    }
-
-    impl<T: serde::Serialize> SerializeRef for T {
-        fn write(&self, dir: &Path, name: &str) -> std::io::Result<()> {
-            slowcc_experiments::report::write_json(dir, name, self)
-        }
-    }
 }

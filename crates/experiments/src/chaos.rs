@@ -23,7 +23,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use slowcc_netsim::audit::AuditMode;
 use slowcc_netsim::faults::FaultPlan;
@@ -31,12 +31,13 @@ use slowcc_netsim::sim::Simulator;
 use slowcc_netsim::time::{SimDuration, SimTime};
 use slowcc_netsim::topology::{Dumbbell, DumbbellConfig};
 
+use crate::experiment::{CellSpec, Experiment};
 use crate::flavor::Flavor;
 use crate::runner::{self, CellFailure};
 use crate::scale::Scale;
 
 /// Outcome of one `(flavor, seed)` chaos cell.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ChaosCell {
     /// Flavor label in the paper's notation.
     pub flavor: String,
@@ -161,6 +162,66 @@ fn flavors() -> Vec<Flavor> {
         Flavor::Sqrt { gamma: 2.0 },
         Flavor::Iiad { gamma: 2.0 },
     ]
+}
+
+/// Registry entry for the chaos sweep: one cell per `(flavor, seed)`.
+/// Under the unified execution path a crashed cell is recorded in the
+/// manifest and fails the run without a digest panic; the standalone
+/// [`run`] wrapper keeps the panicking contract for in-process callers.
+pub struct ChaosExperiment;
+
+impl Experiment for ChaosExperiment {
+    type Cell = (Flavor, u64);
+    type CellOut = ChaosCell;
+    type Output = Chaos;
+
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+
+    fn description(&self) -> &'static str {
+        "Chaos sweep - randomized faults under the strict auditor"
+    }
+
+    fn artifact(&self) -> &'static str {
+        "chaos"
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<CellSpec<(Flavor, u64)>> {
+        let seeds_per_flavor: u64 = scale.pick(6, 2);
+        let mut cells = Vec::new();
+        for flavor in flavors() {
+            for s in 0..seeds_per_flavor {
+                // Seeds disjoint across flavors so no two cells share RNG
+                // streams even by accident.
+                let seed = 1000 * (cells.len() as u64 / seeds_per_flavor + 1) + s;
+                cells.push(CellSpec::new(
+                    format!("{}/seed{seed}", flavor.label()),
+                    seed,
+                    (flavor, seed),
+                ));
+            }
+        }
+        cells
+    }
+
+    fn run_cell(&self, scale: Scale, (flavor, seed): (Flavor, u64)) -> ChaosCell {
+        let horizon = scale.pick(SimDuration::from_secs(40), SimDuration::from_secs(15));
+        run_cell(flavor, seed, horizon)
+    }
+
+    fn assemble(&self, scale: Scale, cells: Vec<ChaosCell>) -> Chaos {
+        let horizon = scale.pick(SimDuration::from_secs(40), SimDuration::from_secs(15));
+        Chaos {
+            scale,
+            horizon_secs: horizon.as_secs_f64(),
+            cells,
+        }
+    }
+
+    fn render(&self, output: &Chaos) {
+        output.print();
+    }
 }
 
 /// Run the chaos sweep. Panics with a failure digest if any cell

@@ -1,0 +1,278 @@
+//! The unified execution path behind `repro`: one flat, crash-isolated,
+//! resumable sweep over every requested experiment's cells.
+//!
+//! [`run`] takes the resolved targets and:
+//!
+//! 1. expands each into its [`crate::experiment::Experiment::cells`]
+//!    and keys every cell as `<target>/<cell-id>` in the shared
+//!    [`crate::manifest`] ledger;
+//! 2. under `--resume`, replays cells already `ok` at the same scale
+//!    from the on-disk cell cache (`<dir>/cells/...`) instead of
+//!    re-running them — an unreadable cache entry just re-runs;
+//! 3. fans the remaining cells of *all* targets out together through
+//!    [`crate::runner::run_cells_isolated`], so `--jobs`, the
+//!    `--cell-timeout` watchdog, and panic isolation apply per cell
+//!    and a wide target cannot serialize behind a narrow one;
+//! 4. records every cell's fate in `manifest.json` as it lands (cache
+//!    write first, then the `ok` record, so a ledger `ok` implies a
+//!    replayable cache or a re-run);
+//! 5. assembles, renders and saves each fully-ok target serially in
+//!    command-line order — cells print nothing, so stdout is
+//!    byte-identical across `--jobs`, scheduler backends, and resumed
+//!    runs — and reports failed cells on stderr with a nonzero-exit
+//!    summary.
+//!
+//! Progress chatter (`resume: ...`) goes to stderr for the same
+//! reason: stdout carries only the report.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::experiment::AnyExperiment;
+use crate::manifest::{CellRecord, Manifest};
+use crate::runner::{self, CellError, CellFailure};
+use crate::scale::Scale;
+
+/// Options of one `repro` invocation, minus the target list.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Scale every experiment runs at.
+    pub scale: Scale,
+    /// Artifact directory (`--out`); `None` prints tables only.
+    pub out: Option<PathBuf>,
+    /// Where `manifest.json` and the cell cache live (the `--out` dir,
+    /// or `results/` for a bare sweep).
+    pub manifest_dir: PathBuf,
+    /// Replay cells already `ok` in the manifest at this scale.
+    pub resume: bool,
+    /// Per-cell wall-clock watchdog.
+    pub cell_timeout: Option<Duration>,
+}
+
+/// What [`run`] did, for exit-code and audit-gating decisions.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecSummary {
+    /// Cells across all requested targets.
+    pub total_cells: usize,
+    /// Cells actually executed this run (not replayed from the cache).
+    pub executed_cells: usize,
+    /// Cells that panicked or timed out this run.
+    pub failed_cells: usize,
+}
+
+impl ExecSummary {
+    /// Whether the sweep completed without cell failures.
+    pub fn is_ok(&self) -> bool {
+        self.failed_cells == 0
+    }
+}
+
+/// Keep ids filesystem-safe: anything outside `[A-Za-z0-9.-]` becomes
+/// `_`. Collisions are broken by the cell-index prefix on filenames.
+fn sanitize(id: &str) -> String {
+    id.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// On-disk location of one cell's cached output. The index prefix ties
+/// the file to its position, so any change to an experiment's cell
+/// list invalidates stale caches instead of silently misfiling them.
+fn cell_cache_path(dir: &Path, target: &str, index: usize, cell_id: &str) -> PathBuf {
+    dir.join("cells")
+        .join(sanitize(target))
+        .join(format!("{index}_{}.json", sanitize(cell_id)))
+}
+
+fn write_cell_cache(path: &Path, json: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, json)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// One cell scheduled for execution.
+struct WorkItem {
+    exp: &'static dyn AnyExperiment,
+    /// Position in the target's cell list.
+    cell_idx: usize,
+    /// Manifest key: `<target>/<cell-id>`.
+    key: String,
+    /// The cell's seed, echoed into failure records.
+    seed: u64,
+    /// Cache file for the cell's output.
+    cache: PathBuf,
+}
+
+/// Execute `targets` under one isolated, resumable cell sweep. See the
+/// module docs for the exact pipeline.
+pub fn run(targets: &[&'static dyn AnyExperiment], opts: &ExecOptions) -> ExecSummary {
+    let scale = opts.scale;
+    let scale_tag = scale.pick("full", "quick");
+
+    // Ledger: inherit the prior manifest wholesale under --resume (at
+    // the same scale), so records of cells outside this run survive.
+    let mut ledger = Manifest::new(scale_tag);
+    let mut prior: Option<Manifest> = None;
+    if opts.resume {
+        match Manifest::load(&opts.manifest_dir) {
+            Some(p) if p.scale == scale_tag => {
+                ledger = p.clone();
+                prior = Some(p);
+            }
+            Some(p) => eprintln!(
+                "resume: manifest is for scale `{}`, this run is `{scale_tag}`; re-running everything",
+                p.scale
+            ),
+            None => eprintln!(
+                "resume: no readable manifest in {}; re-running everything",
+                opts.manifest_dir.display()
+            ),
+        }
+    }
+
+    // Expand every target into keyed cells; decide replay vs run.
+    let mut cell_keys: Vec<Vec<String>> = Vec::with_capacity(targets.len());
+    let mut cached: HashMap<String, Box<dyn std::any::Any + Send>> = HashMap::new();
+    let mut work: Vec<WorkItem> = Vec::new();
+    let mut total_cells = 0usize;
+    for exp in targets {
+        let metas = exp.cell_meta(scale);
+        let mut keys = Vec::with_capacity(metas.len());
+        for (idx, meta) in metas.iter().enumerate() {
+            let key = format!("{}/{}", exp.name(), meta.id);
+            let cache = cell_cache_path(&opts.manifest_dir, exp.name(), idx, &meta.id);
+            total_cells += 1;
+            let replay = prior
+                .as_ref()
+                .map(|p| p.is_ok(&key))
+                .unwrap_or(false)
+                .then(|| std::fs::read_to_string(&cache).ok().and_then(|json| exp.load_cell(&json).ok()))
+                .flatten();
+            match replay {
+                Some(out) => {
+                    eprintln!("resume: skipping {key} (ok in manifest)");
+                    cached.insert(key.clone(), out);
+                }
+                None => {
+                    if prior.as_ref().map(|p| p.is_ok(&key)).unwrap_or(false) {
+                        eprintln!("resume: cell cache for {key} unreadable; re-running");
+                    }
+                    work.push(WorkItem {
+                        exp: *exp,
+                        cell_idx: idx,
+                        key: key.clone(),
+                        seed: meta.seed,
+                        cache,
+                    });
+                }
+            }
+            keys.push(key);
+        }
+        cell_keys.push(keys);
+    }
+    let executed_cells = work.len();
+    if opts.resume && executed_cells == 0 && total_cells > 0 {
+        eprintln!(
+            "resume: all {total_cells} requested cells already ok in {}",
+            opts.manifest_dir.join("manifest.json").display()
+        );
+    }
+
+    // As cells finish, their fate lands in the manifest on disk, so a
+    // killed sweep still leaves an accurate ledger for --resume.
+    let ledger = Arc::new(Mutex::new(ledger));
+    let recorder = {
+        let ledger = Arc::clone(&ledger);
+        let dir = opts.manifest_dir.clone();
+        move |key: &str, record: CellRecord| {
+            let mut m = ledger.lock().unwrap_or_else(|e| e.into_inner());
+            m.record(key, record);
+            if let Err(e) = m.write(&dir) {
+                eprintln!("warning: failed to write manifest: {e}");
+            }
+        }
+    };
+
+    let keys: Vec<(String, u64)> = work.iter().map(|w| (w.key.clone(), w.seed)).collect();
+    let on_ok = recorder.clone();
+    let outcomes = runner::run_cells_isolated(work, opts.cell_timeout, move |item: WorkItem| {
+        let (out, json) = item.exp.run_cell_dyn(scale, item.cell_idx);
+        // Cache before the ok record: a ledger `ok` must imply a
+        // replayable cache (or, if this write failed, a re-run).
+        if let Err(e) = write_cell_cache(&item.cache, &json) {
+            eprintln!("warning: failed to write cell cache {}: {e}", item.cache.display());
+        }
+        on_ok(&item.key, CellRecord::ok());
+        (item.key, out)
+    });
+
+    let mut failures: Vec<CellFailure> = Vec::new();
+    let mut fresh: HashMap<String, Box<dyn std::any::Any + Send>> = HashMap::new();
+    for (outcome, (key, seed)) in outcomes.into_iter().zip(keys) {
+        match outcome {
+            Ok((key, out)) => {
+                fresh.insert(key, out);
+            }
+            Err(err) => {
+                let status = match &err {
+                    CellError::Panic(_) => "panicked",
+                    CellError::Timeout(_) => "timeout",
+                };
+                recorder(&key, CellRecord::failed(status, err.message()));
+                failures.push(CellFailure {
+                    cell_id: key,
+                    seed,
+                    panic_msg: err.message(),
+                });
+            }
+        }
+    }
+
+    // Render complete targets serially in command-line order; a target
+    // with any failed cell is withheld (partial figures mislead).
+    for (exp, keys) in targets.iter().zip(&cell_keys) {
+        let mut outs: Vec<Box<dyn std::any::Any + Send>> = Vec::with_capacity(keys.len());
+        let mut complete = true;
+        for key in keys {
+            match fresh.remove(key).or_else(|| cached.remove(key)) {
+                Some(out) => outs.push(out),
+                None => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        if complete {
+            exp.finish(scale, outs, opts.out.as_deref());
+        }
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAILED cell {}: {}", f.cell_id, f.panic_msg);
+        }
+        eprintln!(
+            "{} of {} cells failed; see {}",
+            failures.len(),
+            total_cells,
+            opts.manifest_dir.join("manifest.json").display()
+        );
+    }
+
+    ExecSummary {
+        total_cells,
+        executed_cells,
+        failed_cells: failures.len(),
+    }
+}

@@ -9,12 +9,13 @@
 //! * the **f(k) model check** of Section 4.2.3: measured `f(k)` against
 //!   the approximation `1/2 + k·a/(4Rλ)`.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use slowcc_core::aimd::tcp_compatible_a;
 use slowcc_core::analysis::fk_model_tcp;
 
-use crate::fig0789::{run_with, CbrShape, OscConfig, OscFairness};
+use crate::experiment::{CellSpec, Experiment};
+use crate::fig0789::{run_point, run_with, CbrShape, OscConfig, OscFairness, OscPoint};
 use crate::fig13::{self, Fig13Config};
 use crate::flavor::Flavor;
 use crate::report::{num, Table};
@@ -32,20 +33,91 @@ pub fn run_fairness_extreme(scale: Scale) -> OscFairness {
 
 /// Run the sawtooth and reverse-sawtooth variants of Figure 7.
 pub fn run_sawtooth_variants(scale: Scale) -> Vec<OscFairness> {
-    [CbrShape::Sawtooth, CbrShape::ReverseSawtooth]
-        .into_iter()
-        .map(|shape| {
-            let config = OscConfig {
-                shape,
-                ..OscConfig::for_scale(scale)
-            };
-            run_with(Flavor::standard_tfrc(), config, scale)
-        })
-        .collect()
+    crate::experiment::run_experiment(&SawtoothExperiment, scale)
+}
+
+/// The CBR shapes of the sawtooth experiment, in output order.
+const SAWTOOTH_SHAPES: [CbrShape; 2] = [CbrShape::Sawtooth, CbrShape::ReverseSawtooth];
+
+/// Registry entry for the Section 4.2.1 sawtooth variants: one cell per
+/// `(shape, period)`, assembled into one sweep per shape.
+pub struct SawtoothExperiment;
+
+impl Experiment for SawtoothExperiment {
+    type Cell = (CbrShape, f64);
+    type CellOut = OscPoint;
+    type Output = Vec<OscFairness>;
+
+    fn name(&self) -> &'static str {
+        "sawtooth"
+    }
+
+    fn description(&self) -> &'static str {
+        "Section 4.2.1 - sawtooth/reverse-sawtooth CBR variants"
+    }
+
+    fn artifact(&self) -> &'static str {
+        "sawtooth"
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<CellSpec<(CbrShape, f64)>> {
+        let periods = OscConfig::for_scale(scale).periods_secs;
+        let mut cells = Vec::new();
+        for shape in SAWTOOTH_SHAPES {
+            for &period in &periods {
+                cells.push(CellSpec::new(
+                    format!("{shape:?}/p{period}"),
+                    42,
+                    (shape, period),
+                ));
+            }
+        }
+        cells
+    }
+
+    fn run_cell(&self, scale: Scale, (shape, period): (CbrShape, f64)) -> OscPoint {
+        let config = OscConfig {
+            shape,
+            ..OscConfig::for_scale(scale)
+        };
+        run_point(Flavor::standard_tfrc(), &config, period)
+    }
+
+    fn assemble(&self, scale: Scale, outs: Vec<OscPoint>) -> Vec<OscFairness> {
+        let n_periods = OscConfig::for_scale(scale).periods_secs.len();
+        let mut outs = outs.into_iter();
+        SAWTOOTH_SHAPES
+            .into_iter()
+            .map(|shape| OscFairness {
+                scale,
+                other_label: Flavor::standard_tfrc().label(),
+                config: OscConfig {
+                    shape,
+                    ..OscConfig::for_scale(scale)
+                },
+                points: outs.by_ref().take(n_periods).collect(),
+            })
+            .collect()
+    }
+
+    fn render(&self, output: &Vec<OscFairness>) {
+        for (i, r) in output.iter().enumerate() {
+            r.print(&format!("Section 4.2.1 sawtooth variant {}", i + 1));
+        }
+    }
+
+    fn save(&self, output: &Vec<OscFairness>, dir: &std::path::Path) {
+        for (i, r) in output.iter().enumerate() {
+            let name = format!("sawtooth_{}", i + 1);
+            if let Err(e) = crate::report::write_json(dir, &name, r) {
+                eprintln!("warning: failed to write {name}.json: {e}");
+            }
+        }
+    }
 }
 
 /// One comparison of measured vs modeled f(k).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FkModelPoint {
     /// γ of the TCP(1/γ) flows.
     pub gamma: f64,
@@ -68,31 +140,61 @@ pub struct FkModel {
 
 /// Compare measured f(k) for TCP(1/γ) against the paper's closed form.
 pub fn run_fk_model(scale: Scale) -> FkModel {
-    let cfg = Fig13Config::for_scale(scale);
-    let gammas: Vec<f64> = scale.pick(vec![2.0, 8.0, 64.0, 256.0], vec![2.0, 64.0]);
-    // Per-flow rate before the doubling: 10 flows share the bottleneck.
-    let lambda_pps = cfg.bottleneck_bps / 8.0 / 1000.0 / cfg.n_flows as f64;
-    let points = gammas
-        .into_iter()
-        .map(|gamma| {
-            let fig = fig13_point(gamma, &cfg);
-            let a = tcp_compatible_a(1.0 / gamma);
-            FkModelPoint {
-                gamma,
-                measured_f20: fig.0,
-                model_f20: fk_model_tcp(20, a, RTT.as_secs_f64(), lambda_pps),
-                measured_f200: fig.1,
-                model_f200: fk_model_tcp(200, a, RTT.as_secs_f64(), lambda_pps),
-            }
-        })
-        .collect();
-    FkModel { points }
+    crate::experiment::run_experiment(&FkModelExperiment, scale)
 }
 
-fn fig13_point(gamma: f64, cfg: &Fig13Config) -> (f64, f64) {
-    // Reuse Figure 13's runner for a single family point.
-    let fig = fig13::run_single("TCP", gamma, cfg);
-    (fig.0, fig.1)
+/// Registry entry for the Section 4.2.3 f(k) model check: one cell per
+/// γ, each producing the measured-vs-model comparison row.
+pub struct FkModelExperiment;
+
+impl Experiment for FkModelExperiment {
+    type Cell = f64;
+    type CellOut = FkModelPoint;
+    type Output = FkModel;
+
+    fn name(&self) -> &'static str {
+        "fk-model"
+    }
+
+    fn description(&self) -> &'static str {
+        "Section 4.2.3 - measured f(k) vs the closed-form model"
+    }
+
+    fn artifact(&self) -> &'static str {
+        "fk_model"
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<CellSpec<f64>> {
+        let gammas: Vec<f64> = scale.pick(vec![2.0, 8.0, 64.0, 256.0], vec![2.0, 64.0]);
+        gammas
+            .into_iter()
+            .map(|gamma| CellSpec::new(format!("g{gamma}"), 42, gamma))
+            .collect()
+    }
+
+    fn run_cell(&self, scale: Scale, gamma: f64) -> FkModelPoint {
+        let cfg = Fig13Config::for_scale(scale);
+        // Per-flow rate before the doubling: 10 flows share the bottleneck.
+        let lambda_pps = cfg.bottleneck_bps / 8.0 / 1000.0 / cfg.n_flows as f64;
+        // Reuse Figure 13's runner for a single family point.
+        let fig = fig13::run_single("TCP", gamma, &cfg);
+        let a = tcp_compatible_a(1.0 / gamma);
+        FkModelPoint {
+            gamma,
+            measured_f20: fig.0,
+            model_f20: fk_model_tcp(20, a, RTT.as_secs_f64(), lambda_pps),
+            measured_f200: fig.1,
+            model_f200: fk_model_tcp(200, a, RTT.as_secs_f64(), lambda_pps),
+        }
+    }
+
+    fn assemble(&self, _scale: Scale, points: Vec<FkModelPoint>) -> FkModel {
+        FkModel { points }
+    }
+
+    fn render(&self, output: &FkModel) {
+        output.print();
+    }
 }
 
 impl FkModel {

@@ -2,17 +2,18 @@
 //! t = 180 s after a 30 s idle period, for several very slowly responsive
 //! SlowCC algorithms.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use slowcc_netsim::time::SimDuration;
 
+use crate::experiment::{CellSpec, Experiment};
 use crate::flavor::Flavor;
 use crate::onset::{run_onset, OnsetConfig};
 use crate::report::{num, Table};
 use crate::scale::Scale;
 
 /// One algorithm's loss-rate series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FlavorSeries {
     /// Algorithm label.
     pub label: String,
@@ -52,29 +53,76 @@ pub fn figure3_flavors(scale: Scale) -> Vec<Flavor> {
     ]
 }
 
+/// Loss-series window width: 10 RTTs.
+fn window() -> SimDuration {
+    SimDuration::from_millis(500)
+}
+
 /// Run Figure 3.
 pub fn run(scale: Scale) -> Fig3 {
-    let config = OnsetConfig::for_scale(scale);
-    let window = SimDuration::from_millis(500); // 10 RTTs
-    let series = figure3_flavors(scale)
-        .into_iter()
-        .map(|flavor| {
-            let sc = run_onset(flavor, &config, 42);
-            let loss = sc
-                .sim
-                .stats()
-                .link_loss_series(sc.db.forward, window, config.timeline.end);
-            FlavorSeries {
-                label: flavor.label(),
-                loss,
-            }
-        })
-        .collect();
-    Fig3 {
-        scale,
-        config,
-        window_secs: window.as_secs_f64(),
-        series,
+    crate::experiment::run_experiment(&Fig3Experiment, scale)
+}
+
+/// Registry entry for Figure 3: one cell per very-slow algorithm.
+pub struct Fig3Experiment;
+
+impl Experiment for Fig3Experiment {
+    type Cell = Flavor;
+    type CellOut = FlavorSeries;
+    type Output = Fig3;
+
+    fn name(&self) -> &'static str {
+        "fig3"
+    }
+
+    fn description(&self) -> &'static str {
+        "Figure 3 - drop-rate transient after a CBR restart"
+    }
+
+    fn artifact(&self) -> &'static str {
+        "fig3"
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<CellSpec<Flavor>> {
+        figure3_flavors(scale)
+            .into_iter()
+            .map(|flavor| CellSpec::new(flavor.label(), 42, flavor))
+            .collect()
+    }
+
+    fn run_cell(&self, scale: Scale, flavor: Flavor) -> FlavorSeries {
+        let config = OnsetConfig::for_scale(scale);
+        let sc = run_onset(flavor, &config, 42);
+        let loss = sc
+            .sim
+            .stats()
+            .link_loss_series(sc.db.forward, window(), config.timeline.end);
+        FlavorSeries {
+            label: flavor.label(),
+            loss,
+        }
+    }
+
+    fn assemble(&self, scale: Scale, series: Vec<FlavorSeries>) -> Fig3 {
+        Fig3 {
+            scale,
+            config: OnsetConfig::for_scale(scale),
+            window_secs: window().as_secs_f64(),
+            series,
+        }
+    }
+
+    fn render(&self, output: &Fig3) {
+        output.print();
+    }
+
+    fn save(&self, output: &Fig3, dir: &std::path::Path) {
+        if let Err(e) = crate::report::write_json(dir, self.artifact(), output) {
+            eprintln!("warning: failed to write {}.json: {e}", self.artifact());
+        }
+        if let Err(e) = output.write_csv(dir) {
+            eprintln!("warning: failed to write fig3 CSV: {e}");
+        }
     }
 }
 

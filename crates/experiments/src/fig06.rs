@@ -3,11 +3,12 @@
 //! SlowCC flows, for TCP(1/2), TFRC(256) without self-clocking, and
 //! TFRC(256) with self-clocking.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use slowcc_netsim::time::{SimDuration, SimTime};
 use slowcc_traffic::flash::{install_flash_crowd, FlashCrowdConfig};
 
+use crate::experiment::{CellSpec, Experiment};
 use crate::flavor::Flavor;
 use crate::report::{num, Table};
 use crate::scale::Scale;
@@ -56,7 +57,7 @@ impl Fig6Config {
 }
 
 /// One background flavor's outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fig6Series {
     /// Background algorithm.
     pub label: String,
@@ -103,17 +104,56 @@ pub fn figure6_flavors(scale: Scale) -> Vec<Flavor> {
 
 /// Run Figure 6.
 pub fn run(scale: Scale) -> Fig6 {
-    let config = Fig6Config::for_scale(scale);
-    let window = SimDuration::from_millis(500);
-    let series = figure6_flavors(scale)
-        .into_iter()
-        .map(|flavor| run_one(flavor, &config, window))
-        .collect();
-    Fig6 {
-        scale,
-        config,
-        window_secs: window.as_secs_f64(),
-        series,
+    crate::experiment::run_experiment(&Fig6Experiment, scale)
+}
+
+/// Series window width.
+fn window() -> SimDuration {
+    SimDuration::from_millis(500)
+}
+
+/// Registry entry for Figure 6: one cell per background flavor.
+pub struct Fig6Experiment;
+
+impl Experiment for Fig6Experiment {
+    type Cell = Flavor;
+    type CellOut = Fig6Series;
+    type Output = Fig6;
+
+    fn name(&self) -> &'static str {
+        "fig6"
+    }
+
+    fn description(&self) -> &'static str {
+        "Figure 6 - flash crowd vs background SlowCC"
+    }
+
+    fn artifact(&self) -> &'static str {
+        "fig6"
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<CellSpec<Flavor>> {
+        figure6_flavors(scale)
+            .into_iter()
+            .map(|flavor| CellSpec::new(flavor.label(), 42, flavor))
+            .collect()
+    }
+
+    fn run_cell(&self, scale: Scale, flavor: Flavor) -> Fig6Series {
+        run_one(flavor, &Fig6Config::for_scale(scale), window())
+    }
+
+    fn assemble(&self, scale: Scale, series: Vec<Fig6Series>) -> Fig6 {
+        Fig6 {
+            scale,
+            config: Fig6Config::for_scale(scale),
+            window_secs: window().as_secs_f64(),
+            series,
+        }
+    }
+
+    fn render(&self, output: &Fig6) {
+        output.print();
     }
 }
 

@@ -7,11 +7,12 @@
 //! reverse-sawtooth variants discussed in Section 4.2.1, and the more
 //! extreme 10:1 oscillation.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use slowcc_netsim::time::{SimDuration, SimTime};
 use slowcc_traffic::cbr::{install_cbr, RateSchedule};
 
+use crate::experiment::{CellSpec, Experiment};
 use crate::flavor::Flavor;
 use crate::report::{num, Table};
 use crate::scale::Scale;
@@ -80,7 +81,7 @@ impl OscConfig {
 }
 
 /// One period's outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OscPoint {
     /// Combined high+low period (seconds).
     pub period_secs: f64,
@@ -120,6 +121,66 @@ pub fn run_with(other: Flavor, config: OscConfig, scale: Scale) -> OscFairness {
         other_label: other.label(),
         config,
         points,
+    }
+}
+
+/// Registry entry shape shared by Figures 7/8/9 and the 10:1 extreme
+/// variant: one cell per oscillation period.
+pub struct OscExperiment {
+    /// Canonical target name.
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// JSON artifact stem.
+    pub artifact: &'static str,
+    /// Figure title passed to [`OscFairness::print`].
+    pub title: &'static str,
+    /// The SlowCC flavor competing against standard TCP.
+    pub other: Flavor,
+    /// Configuration builder for the scale.
+    pub config: fn(Scale) -> OscConfig,
+}
+
+impl Experiment for OscExperiment {
+    type Cell = f64;
+    type CellOut = OscPoint;
+    type Output = OscFairness;
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn description(&self) -> &'static str {
+        self.description
+    }
+
+    fn artifact(&self) -> &'static str {
+        self.artifact
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<CellSpec<f64>> {
+        (self.config)(scale)
+            .periods_secs
+            .into_iter()
+            .map(|period| CellSpec::new(format!("p{period}"), 42, period))
+            .collect()
+    }
+
+    fn run_cell(&self, scale: Scale, period: f64) -> OscPoint {
+        run_point(self.other, &(self.config)(scale), period)
+    }
+
+    fn assemble(&self, scale: Scale, points: Vec<OscPoint>) -> OscFairness {
+        OscFairness {
+            scale,
+            other_label: self.other.label(),
+            config: (self.config)(scale),
+            points,
+        }
+    }
+
+    fn render(&self, output: &OscFairness) {
+        output.print(self.title);
     }
 }
 
@@ -168,7 +229,9 @@ fn cbr_schedule(cfg: &OscConfig, period: f64) -> RateSchedule {
     }
 }
 
-fn run_point(other: Flavor, cfg: &OscConfig, period: f64) -> OscPoint {
+/// Run one (shape, period) point. `pub(crate)` so the sawtooth-variant
+/// experiment in [`crate::extras`] can reuse the same cell body.
+pub(crate) fn run_point(other: Flavor, cfg: &OscConfig, period: f64) -> OscPoint {
     let mut other_flows = Vec::new();
     let mut sc = scenario::standard_with(42, cfg.bottleneck_bps, |sim, db| {
         let pair = db.add_host_pair(sim);

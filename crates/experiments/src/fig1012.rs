@@ -13,6 +13,7 @@ use slowcc_netsim::time::{SimDuration, SimTime};
 
 use slowcc_core::tcp::{Tcp, TcpConfig};
 
+use crate::experiment::{CellSpec, Experiment};
 use crate::flavor::Flavor;
 use crate::report::{num, Table};
 use crate::scale::Scale;
@@ -109,44 +110,109 @@ pub fn run_fig12(scale: Scale) -> Convergence {
 
 /// Run a convergence sweep for one family.
 pub fn run_family(family: ConvFamily, scale: Scale) -> Convergence {
-    let config = ConvConfig::for_scale(scale);
-    // Parallelize over (param, seed) cells — the finest independent
-    // unit — then regroup per parameter in sweep order.
-    let mut cells: Vec<(f64, u64)> = Vec::new();
-    for &param in &config.params {
-        for &seed in &config.seeds {
-            cells.push((param, seed));
+    let exp = ConvExperiment::for_family(family);
+    crate::experiment::run_experiment(&exp, scale)
+}
+
+/// Registry entry shape shared by Figures 10 and 12: one cell per
+/// `(param, seed)` — the finest independent unit — regrouped per
+/// parameter in sweep order by `assemble`.
+pub struct ConvExperiment {
+    /// Canonical target name.
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Figure title.
+    pub title: &'static str,
+    /// Which family this instance sweeps.
+    pub family: ConvFamily,
+}
+
+impl ConvExperiment {
+    /// The registry entry for `family` (used by [`run_family`]).
+    pub fn for_family(family: ConvFamily) -> Self {
+        match family {
+            ConvFamily::Tcp => ConvExperiment {
+                name: "fig10",
+                description: "Figure 10 - delta-fair convergence time for TCP(1/g)",
+                title: "Figure 10",
+                family,
+            },
+            ConvFamily::Tfrc => ConvExperiment {
+                name: "fig12",
+                description: "Figure 12 - delta-fair convergence time for TFRC(k)",
+                title: "Figure 12",
+                family,
+            },
         }
     }
-    let times = crate::runner::run_cells(cells, |(param, seed)| {
-        run_once(family, param, &config, seed)
-    });
-    let points = config
-        .params
-        .iter()
-        .enumerate()
-        .map(|(i, &param)| {
-            let n_seeds = config.seeds.len();
-            let per_seed: Vec<Option<f64>> = times[i * n_seeds..(i + 1) * n_seeds].to_vec();
-            let converged: Vec<f64> = per_seed.iter().flatten().copied().collect();
-            let mean = if converged.is_empty() {
-                f64::INFINITY
-            } else {
-                converged.iter().sum::<f64>() / converged.len() as f64
-            };
-            ConvPoint {
-                param,
-                mean_secs: mean,
-                converged_fraction: converged.len() as f64 / per_seed.len() as f64,
-                per_seed_secs: per_seed,
+}
+
+impl Experiment for ConvExperiment {
+    type Cell = (f64, u64);
+    type CellOut = Option<f64>;
+    type Output = Convergence;
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn description(&self) -> &'static str {
+        self.description
+    }
+
+    fn artifact(&self) -> &'static str {
+        self.name
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<CellSpec<(f64, u64)>> {
+        let config = ConvConfig::for_scale(scale);
+        let mut cells = Vec::new();
+        for &param in &config.params {
+            for &seed in &config.seeds {
+                cells.push(CellSpec::new(format!("b{param}/seed{seed}"), seed, (param, seed)));
             }
-        })
-        .collect();
-    Convergence {
-        scale,
-        family,
-        config,
-        points,
+        }
+        cells
+    }
+
+    fn run_cell(&self, scale: Scale, (param, seed): (f64, u64)) -> Option<f64> {
+        run_once(self.family, param, &ConvConfig::for_scale(scale), seed)
+    }
+
+    fn assemble(&self, scale: Scale, times: Vec<Option<f64>>) -> Convergence {
+        let config = ConvConfig::for_scale(scale);
+        let points = config
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, &param)| {
+                let n_seeds = config.seeds.len();
+                let per_seed: Vec<Option<f64>> = times[i * n_seeds..(i + 1) * n_seeds].to_vec();
+                let converged: Vec<f64> = per_seed.iter().flatten().copied().collect();
+                let mean = if converged.is_empty() {
+                    f64::INFINITY
+                } else {
+                    converged.iter().sum::<f64>() / converged.len() as f64
+                };
+                ConvPoint {
+                    param,
+                    mean_secs: mean,
+                    converged_fraction: converged.len() as f64 / per_seed.len() as f64,
+                    per_seed_secs: per_seed,
+                }
+            })
+            .collect();
+        Convergence {
+            scale,
+            family: self.family,
+            config,
+            points,
+        }
+    }
+
+    fn render(&self, output: &Convergence) {
+        output.print(self.title);
     }
 }
 

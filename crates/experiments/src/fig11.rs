@@ -1,15 +1,16 @@
 //! Figure 11: the analytical number of ACKs to 0.1-fairness for two
 //! AIMD(b) flows at mark rate p = 0.1, as a function of b.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use slowcc_core::analysis::acks_to_delta_fairness;
 
+use crate::experiment::{CellSpec, Experiment};
 use crate::report::{num, Table};
 use crate::scale::Scale;
 
 /// One point of the analytic curve.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct Fig11Point {
     /// Decrease fraction b.
     pub b: f64,
@@ -18,7 +19,7 @@ pub struct Fig11Point {
 }
 
 /// Result of the Figure 11 computation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fig11 {
     /// Mark probability used (paper: 0.1).
     pub p: f64,
@@ -42,6 +43,44 @@ pub fn run(_scale: Scale) -> Fig11 {
         })
         .collect();
     Fig11 { p, delta, points }
+}
+
+/// Registry entry for Figure 11: a single analytic cell (no
+/// simulation, no seed).
+pub struct Fig11Experiment;
+
+impl Experiment for Fig11Experiment {
+    type Cell = ();
+    type CellOut = Fig11;
+    type Output = Fig11;
+
+    fn name(&self) -> &'static str {
+        "fig11"
+    }
+
+    fn description(&self) -> &'static str {
+        "Figure 11 - analytic ACKs-to-fairness for AIMD(b)"
+    }
+
+    fn artifact(&self) -> &'static str {
+        "fig11"
+    }
+
+    fn cells(&self, _scale: Scale) -> Vec<CellSpec<()>> {
+        vec![CellSpec::new("model", 0, ())]
+    }
+
+    fn run_cell(&self, scale: Scale, _cell: ()) -> Fig11 {
+        run(scale)
+    }
+
+    fn assemble(&self, _scale: Scale, mut outs: Vec<Fig11>) -> Fig11 {
+        outs.pop().expect("the single analytic cell is present")
+    }
+
+    fn render(&self, output: &Fig11) {
+        output.print();
+    }
 }
 
 impl Fig11 {

@@ -2,11 +2,12 @@
 //! bandwidth suddenly doubles (five of ten flows stop), for TCP(1/b),
 //! SQRT(1/b) and TFRC(b) across b.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use slowcc_metrics::util::f_k;
 use slowcc_netsim::time::SimTime;
 
+use crate::experiment::{CellSpec, Experiment};
 use crate::fig45::family_flavor;
 use crate::report::{num, Table};
 use crate::scale::{gamma_sweep, Scale};
@@ -52,7 +53,7 @@ impl Fig13Config {
 }
 
 /// One (family, b) measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fig13Point {
     /// Family name.
     pub family: String,
@@ -77,39 +78,101 @@ pub struct Fig13 {
 
 /// Run the Figure 13 sweep.
 pub fn run(scale: Scale) -> Fig13 {
-    let config = Fig13Config::for_scale(scale);
-    let mut points = Vec::new();
+    crate::experiment::run_experiment(&Fig13Experiment, scale)
+}
+
+/// Seeds averaged per point. f(20) covers a single second of simulated
+/// time, so a single run is at the mercy of whether a loss event lands
+/// inside it; average a few seeds.
+fn seeds(scale: Scale) -> &'static [u64] {
+    match scale {
+        Scale::Full => &[42, 43, 44],
+        Scale::Quick => &[42],
+    }
+}
+
+/// The `(family, γ)` pairs of the sweep, skipping γ = 1 (full
+/// decrease), which is not part of Figure 13.
+fn sweep_pairs(scale: Scale) -> Vec<(&'static str, f64)> {
+    let mut pairs = Vec::new();
     for family in FAMILIES {
         for &gamma in &gamma_sweep(scale) {
-            if gamma < 2.0 {
-                continue; // γ = 1 (full decrease) is not part of Fig 13
+            if gamma >= 2.0 {
+                pairs.push((family, gamma));
             }
-            // f(20) covers a single second of simulated time, so a
-            // single run is at the mercy of whether a loss event lands
-            // inside it; average a few seeds.
-            let seeds: &[u64] = match scale {
-                Scale::Full => &[42, 43, 44],
-                Scale::Quick => &[42],
-            };
-            let mut f20 = 0.0;
-            let mut f200 = 0.0;
-            for &seed in seeds {
-                let (a, b) = run_point_seeded(family, gamma, &config, seed);
-                f20 += a / seeds.len() as f64;
-                f200 += b / seeds.len() as f64;
-            }
-            points.push(Fig13Point {
-                family: family.to_string(),
-                gamma,
-                f20,
-                f200,
-            });
         }
     }
-    Fig13 {
-        scale,
-        config,
-        points,
+    pairs
+}
+
+/// Registry entry for Figure 13: one cell per `(family, γ, seed)`,
+/// averaged per `(family, γ)` in seed order by `assemble`.
+pub struct Fig13Experiment;
+
+impl Experiment for Fig13Experiment {
+    type Cell = (&'static str, f64, u64);
+    type CellOut = (f64, f64);
+    type Output = Fig13;
+
+    fn name(&self) -> &'static str {
+        "fig13"
+    }
+
+    fn description(&self) -> &'static str {
+        "Figure 13 - f(20)/f(200) after bandwidth doubling"
+    }
+
+    fn artifact(&self) -> &'static str {
+        "fig13"
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<CellSpec<(&'static str, f64, u64)>> {
+        let mut cells = Vec::new();
+        for (family, gamma) in sweep_pairs(scale) {
+            for &seed in seeds(scale) {
+                cells.push(CellSpec::new(
+                    format!("{family}/g{gamma}/seed{seed}"),
+                    seed,
+                    (family, gamma, seed),
+                ));
+            }
+        }
+        cells
+    }
+
+    fn run_cell(&self, scale: Scale, (family, gamma, seed): (&'static str, f64, u64)) -> (f64, f64) {
+        run_point_seeded(family, gamma, &Fig13Config::for_scale(scale), seed)
+    }
+
+    fn assemble(&self, scale: Scale, outs: Vec<(f64, f64)>) -> Fig13 {
+        let n_seeds = seeds(scale).len();
+        let points = sweep_pairs(scale)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (family, gamma))| {
+                let mut f20 = 0.0;
+                let mut f200 = 0.0;
+                for &(a, b) in &outs[i * n_seeds..(i + 1) * n_seeds] {
+                    f20 += a / n_seeds as f64;
+                    f200 += b / n_seeds as f64;
+                }
+                Fig13Point {
+                    family: family.to_string(),
+                    gamma,
+                    f20,
+                    f200,
+                }
+            })
+            .collect();
+        Fig13 {
+            scale,
+            config: Fig13Config::for_scale(scale),
+            points,
+        }
+    }
+
+    fn render(&self, output: &Fig13) {
+        output.print();
     }
 }
 

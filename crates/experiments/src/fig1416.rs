@@ -6,12 +6,13 @@
 //! TCP(1/8), TCP and TFRC(6); Figure 15 the corresponding drop rates;
 //! Figure 16 repeats the utilization under 10:1 oscillation.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use slowcc_metrics::util::flows_utilization;
 use slowcc_netsim::time::{SimDuration, SimTime};
 use slowcc_traffic::cbr::{install_cbr, RateSchedule};
 
+use crate::experiment::{CellSpec, Experiment};
 use crate::flavor::Flavor;
 use crate::report::{num, Table};
 use crate::scale::Scale;
@@ -74,7 +75,7 @@ impl Osc2Config {
 }
 
 /// One (flavor, period) measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Osc2Point {
     /// Algorithm label.
     pub label: String,
@@ -125,6 +126,76 @@ pub fn run_with(config: Osc2Config, scale: Scale) -> Osc2 {
         scale,
         config,
         points,
+    }
+}
+
+/// Registry entry shape shared by Figures 14/15 and Figure 16: one cell
+/// per `(flavor, ON/OFF period)`.
+pub struct Osc2Experiment {
+    /// Canonical target name.
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Accepted alternate names.
+    pub aliases: &'static [&'static str],
+    /// JSON artifact stem.
+    pub artifact: &'static str,
+    /// Figure title passed to [`Osc2::print`].
+    pub title: &'static str,
+    /// Configuration builder for the scale.
+    pub config: fn(Scale) -> Osc2Config,
+}
+
+impl Experiment for Osc2Experiment {
+    type Cell = (Flavor, f64);
+    type CellOut = Osc2Point;
+    type Output = Osc2;
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn description(&self) -> &'static str {
+        self.description
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        self.aliases
+    }
+
+    fn artifact(&self) -> &'static str {
+        self.artifact
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<CellSpec<(Flavor, f64)>> {
+        let config = (self.config)(scale);
+        let mut cells = Vec::new();
+        for flavor in figure14_flavors() {
+            for &on_off in &config.on_off_secs {
+                cells.push(CellSpec::new(
+                    format!("{}/on{on_off}", flavor.label()),
+                    42,
+                    (flavor, on_off),
+                ));
+            }
+        }
+        cells
+    }
+
+    fn run_cell(&self, scale: Scale, (flavor, on_off): (Flavor, f64)) -> Osc2Point {
+        run_point(flavor, &(self.config)(scale), on_off)
+    }
+
+    fn assemble(&self, scale: Scale, points: Vec<Osc2Point>) -> Osc2 {
+        Osc2 {
+            scale,
+            config: (self.config)(scale),
+            points,
+        }
+    }
+
+    fn render(&self, output: &Osc2) {
+        output.print(self.title);
     }
 }
 

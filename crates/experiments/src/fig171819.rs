@@ -11,7 +11,7 @@
 //! * Figure 19 — IIAD vs SQRT, mild pattern (IIAD trades throughput for
 //!   smoothness relative to SQRT).
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use slowcc_metrics::smooth::{coefficient_of_variation, smoothness_metric};
 use slowcc_netsim::link::LossPattern;
@@ -20,6 +20,7 @@ use slowcc_netsim::time::{SimDuration, SimTime};
 use slowcc_netsim::topology::{Dumbbell, DumbbellConfig, QueueKind};
 use slowcc_traffic::losspat::{CountPhases, TimePhases};
 
+use crate::experiment::{CellSpec, Experiment};
 use crate::flavor::Flavor;
 use crate::report::{num, Table};
 use crate::scale::Scale;
@@ -44,7 +45,7 @@ impl Pattern {
 }
 
 /// One algorithm's smoothness measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SmoothnessSeries {
     /// Algorithm label.
     pub label: String,
@@ -119,6 +120,78 @@ pub fn run_fig19(scale: Scale) -> Smoothness {
         &[Flavor::Iiad { gamma: 2.0 }, Flavor::Sqrt { gamma: 2.0 }],
         scale,
     )
+}
+
+/// Registry entry shape shared by Figures 17/18/19: one cell per
+/// flavor under the figure's loss pattern. Saving writes the JSON
+/// artifact plus the 0.2 s rate-series CSV.
+pub struct SmoothnessExperiment {
+    /// Canonical target name (also the artifact stem).
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Figure title passed to [`Smoothness::print`].
+    pub title: &'static str,
+    /// The scripted loss pattern.
+    pub pattern: Pattern,
+    /// Flavors measured, in figure order.
+    pub flavors: fn() -> Vec<Flavor>,
+}
+
+impl Experiment for SmoothnessExperiment {
+    type Cell = Flavor;
+    type CellOut = SmoothnessSeries;
+    type Output = Smoothness;
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn description(&self) -> &'static str {
+        self.description
+    }
+
+    fn artifact(&self) -> &'static str {
+        self.name
+    }
+
+    fn cells(&self, _scale: Scale) -> Vec<CellSpec<Flavor>> {
+        (self.flavors)()
+            .into_iter()
+            .map(|flavor| CellSpec::new(flavor.label(), 42, flavor))
+            .collect()
+    }
+
+    fn run_cell(&self, scale: Scale, flavor: Flavor) -> SmoothnessSeries {
+        let duration = scale.pick(SimTime::from_secs(80), SimTime::from_secs(30));
+        let warmup = scale.pick(SimTime::from_secs(10), SimTime::from_secs(5));
+        run_one(flavor, self.pattern, warmup, duration)
+    }
+
+    fn assemble(&self, scale: Scale, series: Vec<SmoothnessSeries>) -> Smoothness {
+        let duration = scale.pick(SimTime::from_secs(80), SimTime::from_secs(30));
+        let warmup = scale.pick(SimTime::from_secs(10), SimTime::from_secs(5));
+        Smoothness {
+            scale,
+            pattern: self.pattern,
+            warmup_secs: warmup.as_secs_f64(),
+            duration_secs: duration.as_secs_f64(),
+            series,
+        }
+    }
+
+    fn render(&self, output: &Smoothness) {
+        output.print(self.title);
+    }
+
+    fn save(&self, output: &Smoothness, dir: &std::path::Path) {
+        if let Err(e) = crate::report::write_json(dir, self.name, output) {
+            eprintln!("warning: failed to write {}.json: {e}", self.name);
+        }
+        if let Err(e) = output.write_csv(dir, self.name) {
+            eprintln!("warning: failed to write {} CSV: {e}", self.name);
+        }
+    }
 }
 
 fn run_one(

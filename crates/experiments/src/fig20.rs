@@ -2,16 +2,17 @@
 //! rates — pure AIMD `sqrt(1.5/p)`, the paper's "AIMD with timeouts"
 //! extension below one packet per RTT, and the Padhye Reno formula.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use slowcc_core::analysis::{aimd_with_timeouts_rate_ppr, pure_aimd_rate_ppr};
 use slowcc_core::equation::padhye_rate_pps;
 
+use crate::experiment::{CellSpec, Experiment};
 use crate::report::{num, Table};
 use crate::scale::Scale;
 
 /// One drop rate's model values (packets per RTT).
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct Fig20Point {
     /// Packet drop rate.
     pub p: f64,
@@ -24,7 +25,7 @@ pub struct Fig20Point {
 }
 
 /// The Figure 20 curves.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fig20 {
     /// All evaluated points.
     pub points: Vec<Fig20Point>,
@@ -61,6 +62,44 @@ pub fn run(_scale: Scale) -> Fig20 {
         })
         .collect();
     Fig20 { points }
+}
+
+/// Registry entry for Figure 20: a single analytic cell (no
+/// simulation, no seed).
+pub struct Fig20Experiment;
+
+impl Experiment for Fig20Experiment {
+    type Cell = ();
+    type CellOut = Fig20;
+    type Output = Fig20;
+
+    fn name(&self) -> &'static str {
+        "fig20"
+    }
+
+    fn description(&self) -> &'static str {
+        "Figure 20 - the Appendix A throughput models"
+    }
+
+    fn artifact(&self) -> &'static str {
+        "fig20"
+    }
+
+    fn cells(&self, _scale: Scale) -> Vec<CellSpec<()>> {
+        vec![CellSpec::new("model", 0, ())]
+    }
+
+    fn run_cell(&self, scale: Scale, _cell: ()) -> Fig20 {
+        run(scale)
+    }
+
+    fn assemble(&self, _scale: Scale, mut outs: Vec<Fig20>) -> Fig20 {
+        outs.pop().expect("the single analytic cell is present")
+    }
+
+    fn render(&self, output: &Fig20) {
+        output.print();
+    }
 }
 
 impl Fig20 {

@@ -2,8 +2,9 @@
 //! function of the slowness parameter γ, for TCP(1/γ), RAP(1/γ),
 //! SQRT(1/γ), TFRC(γ), and TFRC(γ) with self-clocking.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
+use crate::experiment::{CellSpec, Experiment};
 use crate::flavor::Flavor;
 use crate::onset::{onset_stabilization, run_onset, OnsetConfig};
 use crate::report::{num, Table};
@@ -31,7 +32,7 @@ pub fn family_flavor(family: &str, gamma: f64) -> Flavor {
 }
 
 /// One (family, γ) measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StabilizationPoint {
     /// Family name.
     pub family: String,
@@ -88,14 +89,54 @@ pub fn run_cell(config: &OnsetConfig, family: &str, gamma: f64) -> Stabilization
 
 /// Run the Figures 4/5 sweep.
 pub fn run(scale: Scale) -> Fig45 {
-    let config = OnsetConfig::for_scale(scale);
-    let points = crate::runner::run_cells(cells(scale), |(family, gamma)| {
-        run_cell(&config, family, gamma)
-    });
-    Fig45 {
-        scale,
-        config,
-        points,
+    crate::experiment::run_experiment(&Fig45Experiment, scale)
+}
+
+/// Registry entry for Figures 4/5: one cell per `(family, γ)`.
+pub struct Fig45Experiment;
+
+impl Experiment for Fig45Experiment {
+    type Cell = (&'static str, f64);
+    type CellOut = StabilizationPoint;
+    type Output = Fig45;
+
+    fn name(&self) -> &'static str {
+        "fig45"
+    }
+
+    fn description(&self) -> &'static str {
+        "Figures 4/5 - stabilization time and cost vs gamma"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["fig4", "fig5"]
+    }
+
+    fn artifact(&self) -> &'static str {
+        "fig4_fig5"
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<CellSpec<(&'static str, f64)>> {
+        cells(scale)
+            .into_iter()
+            .map(|(family, gamma)| CellSpec::new(format!("{family}/g{gamma}"), 42, (family, gamma)))
+            .collect()
+    }
+
+    fn run_cell(&self, scale: Scale, (family, gamma): (&'static str, f64)) -> StabilizationPoint {
+        run_cell(&OnsetConfig::for_scale(scale), family, gamma)
+    }
+
+    fn assemble(&self, scale: Scale, points: Vec<StabilizationPoint>) -> Fig45 {
+        Fig45 {
+            scale,
+            config: OnsetConfig::for_scale(scale),
+            points,
+        }
+    }
+
+    fn render(&self, output: &Fig45) {
+        output.print();
     }
 }
 

@@ -12,19 +12,20 @@
 //!   hops competes against cross traffic on every hop and receives far
 //!   less than any single-hop flow.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use slowcc_netsim::sim::Simulator;
 use slowcc_netsim::time::{SimDuration, SimTime};
 use slowcc_netsim::topology::{DumbbellConfig, ParkingLot};
 
+use crate::experiment::{CellSpec, Experiment};
 use crate::flavor::Flavor;
 use crate::report::{num, Table};
 use crate::scale::Scale;
 use crate::scenario::{self, PKT_SIZE};
 
 /// One RTT-bias measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RttBiasPoint {
     /// Algorithm label.
     pub label: String,
@@ -50,48 +51,85 @@ pub struct RttBias {
 /// Run the RTT-bias experiment: two same-algorithm flows, RTTs ~30 ms
 /// and ~150 ms, sharing a 10 Mb/s RED bottleneck.
 pub fn run_rtt_bias(scale: Scale) -> RttBias {
-    let duration = scale.pick(SimTime::from_secs(240), SimTime::from_secs(60));
-    let warmup = scale.pick(SimTime::from_secs(60), SimTime::from_secs(15));
-    let flavors = [
-        Flavor::standard_tcp(),
-        Flavor::Tcp { gamma: 8.0 },
-        Flavor::standard_tfrc(),
-    ];
-    let points = crate::runner::run_cells(flavors.to_vec(), |flavor| {
-        {
-            let mut sim = Simulator::new(77);
-            let db =
-                slowcc_netsim::topology::Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
-            // Base RTT = 2*(2*access + 23 ms). access 2 ms -> 54 ms;
-            // access 32 ms -> 174 ms (roughly 1:3.2).
-            let short_pair = db.add_host_pair_with_delay(&mut sim, SimDuration::from_millis(2));
-            let long_pair = db.add_host_pair_with_delay(&mut sim, SimDuration::from_millis(32));
-            let short = flavor.install(&mut sim, &short_pair, PKT_SIZE, SimTime::ZERO, None);
-            let long = flavor.install(
-                &mut sim,
-                &long_pair,
-                PKT_SIZE,
-                SimTime::from_millis(29),
-                None,
-            );
-            sim.run_until(duration);
-            let short_bps = sim
-                .stats()
-                .flow_throughput_bps(short.flow, warmup, duration);
-            let long_bps = sim.stats().flow_throughput_bps(long.flow, warmup, duration);
-            let (short_rtt, long_rtt) = (0.054, 0.174);
-            let ratio = short_bps / long_bps.max(1.0);
-            RttBiasPoint {
-                label: flavor.label(),
-                short_rtt_secs: short_rtt,
-                long_rtt_secs: long_rtt,
-                short_bps,
-                long_bps,
-                alpha: ratio.ln() / (long_rtt / short_rtt).ln(),
-            }
-        }
-    });
-    RttBias { points }
+    crate::experiment::run_experiment(&RttBiasExperiment, scale)
+}
+
+fn run_bias(flavor: Flavor, warmup: SimTime, duration: SimTime) -> RttBiasPoint {
+    let mut sim = Simulator::new(77);
+    let db = slowcc_netsim::topology::Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
+    // Base RTT = 2*(2*access + 23 ms). access 2 ms -> 54 ms;
+    // access 32 ms -> 174 ms (roughly 1:3.2).
+    let short_pair = db.add_host_pair_with_delay(&mut sim, SimDuration::from_millis(2));
+    let long_pair = db.add_host_pair_with_delay(&mut sim, SimDuration::from_millis(32));
+    let short = flavor.install(&mut sim, &short_pair, PKT_SIZE, SimTime::ZERO, None);
+    let long = flavor.install(
+        &mut sim,
+        &long_pair,
+        PKT_SIZE,
+        SimTime::from_millis(29),
+        None,
+    );
+    sim.run_until(duration);
+    let short_bps = sim
+        .stats()
+        .flow_throughput_bps(short.flow, warmup, duration);
+    let long_bps = sim.stats().flow_throughput_bps(long.flow, warmup, duration);
+    let (short_rtt, long_rtt) = (0.054, 0.174);
+    let ratio = short_bps / long_bps.max(1.0);
+    RttBiasPoint {
+        label: flavor.label(),
+        short_rtt_secs: short_rtt,
+        long_rtt_secs: long_rtt,
+        short_bps,
+        long_bps,
+        alpha: ratio.ln() / (long_rtt / short_rtt).ln(),
+    }
+}
+
+/// Registry entry for the RTT-bias experiment: one cell per algorithm.
+pub struct RttBiasExperiment;
+
+impl Experiment for RttBiasExperiment {
+    type Cell = Flavor;
+    type CellOut = RttBiasPoint;
+    type Output = RttBias;
+
+    fn name(&self) -> &'static str {
+        "rtt-bias"
+    }
+
+    fn description(&self) -> &'static str {
+        "Section 1 caveat - RTT bias, measured per algorithm"
+    }
+
+    fn artifact(&self) -> &'static str {
+        "rtt_bias"
+    }
+
+    fn cells(&self, _scale: Scale) -> Vec<CellSpec<Flavor>> {
+        [
+            Flavor::standard_tcp(),
+            Flavor::Tcp { gamma: 8.0 },
+            Flavor::standard_tfrc(),
+        ]
+        .into_iter()
+        .map(|flavor| CellSpec::new(flavor.label(), 77, flavor))
+        .collect()
+    }
+
+    fn run_cell(&self, scale: Scale, flavor: Flavor) -> RttBiasPoint {
+        let duration = scale.pick(SimTime::from_secs(240), SimTime::from_secs(60));
+        let warmup = scale.pick(SimTime::from_secs(60), SimTime::from_secs(15));
+        run_bias(flavor, warmup, duration)
+    }
+
+    fn assemble(&self, _scale: Scale, points: Vec<RttBiasPoint>) -> RttBias {
+        RttBias { points }
+    }
+
+    fn render(&self, output: &RttBias) {
+        output.print();
+    }
 }
 
 impl RttBias {
@@ -114,7 +152,7 @@ impl RttBias {
 }
 
 /// One multi-hop measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MultiHopPoint {
     /// Algorithm label.
     pub label: String,
@@ -138,20 +176,59 @@ pub struct MultiHop {
 /// Run the parking-lot experiment: one long flow across `h` hops, two
 /// cross flows per hop, everyone using the same algorithm.
 pub fn run_multihop(scale: Scale) -> MultiHop {
-    let duration = scale.pick(SimTime::from_secs(180), SimTime::from_secs(50));
-    let warmup = scale.pick(SimTime::from_secs(45), SimTime::from_secs(12));
-    let flavors = [Flavor::standard_tcp(), Flavor::standard_tfrc()];
-    let hop_counts: Vec<usize> = scale.pick(vec![1, 2, 4], vec![1, 3]);
-    let mut cells: Vec<(Flavor, usize)> = Vec::new();
-    for flavor in flavors {
-        for &hops in &hop_counts {
-            cells.push((flavor, hops));
-        }
+    crate::experiment::run_experiment(&MultiHopExperiment, scale)
+}
+
+/// Registry entry for the multi-hop experiment: one cell per
+/// `(algorithm, hop count)`.
+pub struct MultiHopExperiment;
+
+impl Experiment for MultiHopExperiment {
+    type Cell = (Flavor, usize);
+    type CellOut = MultiHopPoint;
+    type Output = MultiHop;
+
+    fn name(&self) -> &'static str {
+        "multihop"
     }
-    let points = crate::runner::run_cells(cells, |(flavor, hops)| {
+
+    fn description(&self) -> &'static str {
+        "Section 1 caveat - multi-hop equity on a parking lot"
+    }
+
+    fn artifact(&self) -> &'static str {
+        "multihop"
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<CellSpec<(Flavor, usize)>> {
+        let flavors = [Flavor::standard_tcp(), Flavor::standard_tfrc()];
+        let hop_counts: Vec<usize> = scale.pick(vec![1, 2, 4], vec![1, 3]);
+        let mut cells = Vec::new();
+        for flavor in flavors {
+            for &hops in &hop_counts {
+                cells.push(CellSpec::new(
+                    format!("{}/h{hops}", flavor.label()),
+                    77,
+                    (flavor, hops),
+                ));
+            }
+        }
+        cells
+    }
+
+    fn run_cell(&self, scale: Scale, (flavor, hops): (Flavor, usize)) -> MultiHopPoint {
+        let duration = scale.pick(SimTime::from_secs(180), SimTime::from_secs(50));
+        let warmup = scale.pick(SimTime::from_secs(45), SimTime::from_secs(12));
         run_lot(flavor, hops, warmup, duration)
-    });
-    MultiHop { points }
+    }
+
+    fn assemble(&self, _scale: Scale, points: Vec<MultiHopPoint>) -> MultiHop {
+        MultiHop { points }
+    }
+
+    fn render(&self, output: &MultiHop) {
+        output.print();
+    }
 }
 
 fn run_lot(flavor: Flavor, hops: usize, warmup: SimTime, duration: SimTime) -> MultiHopPoint {

@@ -25,14 +25,20 @@
 //! | [`hetero`] | RTT bias and multi-hop equity (Section 1 caveats) |
 //! | [`chaos`] | randomized fault plans over every flavor (robustness) |
 //!
-//! [`runner`] fans sweeps out over worker threads (with crash isolation
-//! for chaos-style sweeps), and [`manifest`] is the incremental ledger
-//! behind `repro --resume`.
+//! Every module implements the [`experiment::Experiment`] trait — a
+//! declarative list of seeded cells plus a pure per-cell body — and is
+//! listed in the [`registry`]. [`exec`] is the single execution path
+//! behind the `repro` binary: it fans all requested targets' cells out
+//! over [`runner`]'s crash-isolated workers, records each cell in the
+//! [`manifest`], caches per-cell outputs for `--resume`, and renders
+//! each target once its cells are in.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod exec;
+pub mod experiment;
 pub mod extras;
 pub mod fig03;
 pub mod fig06;
@@ -49,6 +55,7 @@ pub mod hetero;
 pub mod manifest;
 pub mod onset;
 pub mod queuedyn;
+pub mod registry;
 pub mod report;
 pub mod response;
 pub mod runner;

@@ -1,11 +1,12 @@
 //! Incremental sweep manifest (`results/manifest.json`).
 //!
-//! `repro` records the fate of every experiment target here as it
-//! completes — `ok`, `panicked`, or `timeout` — rewriting the file
-//! after each cell so a crashed or killed sweep leaves an accurate
-//! ledger behind. `repro --resume` reads it back, skips cells already
-//! marked `ok` at the same scale, and re-runs only the failures (and
-//! anything never attempted).
+//! `repro` records the fate of every sweep cell here as it completes
+//! — `ok`, `panicked`, or `timeout`, keyed `<target>/<cell-id>` —
+//! rewriting the file after each cell so a crashed or killed sweep
+//! leaves an accurate ledger behind. `repro --resume` reads it back,
+//! replays cells already marked `ok` at the same scale from the cell
+//! cache, and re-runs only the failures (and anything never
+//! attempted).
 //!
 //! The manifest deliberately carries **no timestamps or durations**:
 //! two runs of the same sweep at the same scale produce byte-identical
@@ -49,7 +50,8 @@ impl CellRecord {
     }
 }
 
-/// The sweep ledger: scale plus per-cell fate, keyed by target name.
+/// The sweep ledger: scale plus per-cell fate, keyed
+/// `<target>/<cell-id>`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Manifest {
     /// `"full"` or `"quick"`; a manifest written at one scale never

@@ -10,18 +10,19 @@
 //! expectation from the literature: smoother senders produce a smoother
 //! (less oscillatory) queue, most visibly under DropTail.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use slowcc_metrics::smooth::coefficient_of_variation;
 use slowcc_netsim::time::{SimDuration, SimTime};
 
+use crate::experiment::{CellSpec, Experiment};
 use crate::flavor::Flavor;
 use crate::report::{num, Table};
 use crate::scale::Scale;
 use crate::scenario;
 
 /// One (algorithm, queue discipline) measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QueueDynPoint {
     /// Algorithm label.
     pub label: String,
@@ -55,21 +56,64 @@ pub fn queuedyn_flavors() -> Vec<Flavor> {
 
 /// Run the queue-dynamics comparison.
 pub fn run(scale: Scale) -> QueueDynamics {
-    let duration = scale.pick(SimTime::from_secs(120), SimTime::from_secs(40));
-    let warmup = scale.pick(SimTime::from_secs(30), SimTime::from_secs(10));
-    let mut points = Vec::new();
-    for flavor in queuedyn_flavors() {
-        for red in [true, false] {
-            // Both the single-flow case (where the sender's own shape
-            // drives the queue) and the aggregate case (where
-            // desynchronization smooths TCP's sawteeth but can leave
-            // TFRC's slower coherent swings visible).
-            for n in [1usize, 10] {
-                points.push(run_one(flavor, red, n, warmup, duration));
+    crate::experiment::run_experiment(&QueueDynExperiment, scale)
+}
+
+/// Registry entry for the queue-dynamics comparison: one cell per
+/// `(algorithm, discipline, flow count)`.
+pub struct QueueDynExperiment;
+
+impl Experiment for QueueDynExperiment {
+    type Cell = (Flavor, bool, usize);
+    type CellOut = QueueDynPoint;
+    type Output = QueueDynamics;
+
+    fn name(&self) -> &'static str {
+        "queue-dynamics"
+    }
+
+    fn description(&self) -> &'static str {
+        "Section 2 extension - queue occupancy and oscillation"
+    }
+
+    fn artifact(&self) -> &'static str {
+        "queue_dynamics"
+    }
+
+    fn cells(&self, _scale: Scale) -> Vec<CellSpec<(Flavor, bool, usize)>> {
+        let mut cells = Vec::new();
+        for flavor in queuedyn_flavors() {
+            for red in [true, false] {
+                // Both the single-flow case (where the sender's own shape
+                // drives the queue) and the aggregate case (where
+                // desynchronization smooths TCP's sawteeth but can leave
+                // TFRC's slower coherent swings visible).
+                for n in [1usize, 10] {
+                    let q = if red { "red" } else { "droptail" };
+                    cells.push(CellSpec::new(
+                        format!("{}/{q}/n{n}", flavor.label()),
+                        42,
+                        (flavor, red, n),
+                    ));
+                }
             }
         }
+        cells
     }
-    QueueDynamics { points }
+
+    fn run_cell(&self, scale: Scale, (flavor, red, n): (Flavor, bool, usize)) -> QueueDynPoint {
+        let duration = scale.pick(SimTime::from_secs(120), SimTime::from_secs(40));
+        let warmup = scale.pick(SimTime::from_secs(30), SimTime::from_secs(10));
+        run_one(flavor, red, n, warmup, duration)
+    }
+
+    fn assemble(&self, _scale: Scale, points: Vec<QueueDynPoint>) -> QueueDynamics {
+        QueueDynamics { points }
+    }
+
+    fn render(&self, output: &QueueDynamics) {
+        output.print();
+    }
 }
 
 fn run_one(

@@ -9,19 +9,20 @@
 //!   one round-trip time, in packets per second, given the absence of
 //!   congestion". For TCP(a, b) this is the parameter `a` (per RTT).
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use slowcc_netsim::prelude::*;
 use slowcc_netsim::sim::Simulator;
 use slowcc_traffic::losspat::OnePerRtt;
 
+use crate::experiment::{CellSpec, Experiment};
 use crate::flavor::Flavor;
 use crate::report::{num, Table};
 use crate::scale::Scale;
 use crate::scenario::{PKT_SIZE, RTT};
 
 /// One algorithm's measured transient metrics.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ResponsePoint {
     /// Algorithm label.
     pub label: String,
@@ -60,15 +61,52 @@ pub fn response_flavors() -> Vec<Flavor> {
 
 /// Measure both metrics for the named algorithms.
 pub fn run(scale: Scale) -> ResponseMetrics {
-    let points = response_flavors()
-        .into_iter()
-        .map(|f| ResponsePoint {
+    crate::experiment::run_experiment(&ResponseExperiment, scale)
+}
+
+/// Registry entry for the Section 3 metrics: one cell per algorithm,
+/// each measuring both responsiveness and aggressiveness.
+pub struct ResponseExperiment;
+
+impl Experiment for ResponseExperiment {
+    type Cell = Flavor;
+    type CellOut = ResponsePoint;
+    type Output = ResponseMetrics;
+
+    fn name(&self) -> &'static str {
+        "response"
+    }
+
+    fn description(&self) -> &'static str {
+        "Section 3 metrics - responsiveness and aggressiveness"
+    }
+
+    fn artifact(&self) -> &'static str {
+        "response"
+    }
+
+    fn cells(&self, _scale: Scale) -> Vec<CellSpec<Flavor>> {
+        response_flavors()
+            .into_iter()
+            .map(|f| CellSpec::new(f.label(), 321, f))
+            .collect()
+    }
+
+    fn run_cell(&self, scale: Scale, f: Flavor) -> ResponsePoint {
+        ResponsePoint {
             label: f.label(),
             responsiveness_rtts: measure_responsiveness(f, scale),
             aggressiveness_ppr: measure_aggressiveness(f, scale),
-        })
-        .collect();
-    ResponseMetrics { points }
+        }
+    }
+
+    fn assemble(&self, _scale: Scale, points: Vec<ResponsePoint>) -> ResponseMetrics {
+        ResponseMetrics { points }
+    }
+
+    fn render(&self, output: &ResponseMetrics) {
+        output.print();
+    }
 }
 
 /// Drive a steady flow into one-drop-per-RTT congestion and count RTTs

@@ -12,7 +12,7 @@
 //!   of 1/2 and 2/3, laid against the "AIMD with timeouts" curve that
 //!   Figure 20 claims upper-bounds it.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use slowcc_core::analysis::{acks_to_delta_fairness, aimd_with_timeouts_rate_ppr};
 use slowcc_core::equation::padhye_rate_bps;
@@ -22,13 +22,14 @@ use slowcc_netsim::link::{BernoulliLoss, EveryNth};
 use slowcc_netsim::prelude::*;
 use slowcc_netsim::sim::Simulator;
 
+use crate::experiment::{CellSpec, Experiment};
 use crate::flavor::Flavor;
 use crate::report::{num, Table};
 use crate::scale::Scale;
 use crate::scenario::PKT_SIZE;
 
 /// One (algorithm, loss-rate) static measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StaticPoint {
     /// Algorithm label.
     pub label: String,
@@ -63,47 +64,86 @@ pub fn static_flavors() -> Vec<Flavor> {
 
 /// Run the static-compatibility validation.
 pub fn run_static(scale: Scale) -> StaticValidation {
-    let ps: Vec<f64> = scale.pick(vec![0.003, 0.01, 0.03], vec![0.01]);
-    let secs = scale.pick(240u64, 90);
-    let mut cells: Vec<(Flavor, f64)> = Vec::new();
-    for flavor in static_flavors() {
-        for &p in &ps {
-            cells.push((flavor, p));
-        }
+    crate::experiment::run_experiment(&StaticExperiment, scale)
+}
+
+fn static_point(flavor: Flavor, p: f64, secs: u64) -> StaticPoint {
+    let mut sim = Simulator::new(2024);
+    // Fat pipe, huge buffer: the imposed loss process is the only
+    // constraint, exactly the static model's environment.
+    let cfg = DumbbellConfig {
+        queue: QueueKind::DropTail(20_000),
+        ..DumbbellConfig::paper(400e6)
+    };
+    let db = Dumbbell::build_with_loss(&mut sim, cfg, Some(Box::new(BernoulliLoss::new(p, 7))));
+    let pair = db.add_host_pair(&mut sim);
+    let h = flavor.install(&mut sim, &pair, PKT_SIZE, SimTime::ZERO, None);
+    sim.run_until(SimTime::from_secs(secs));
+    let measured = sim.stats().flow_throughput_bps(
+        h.flow,
+        SimTime::from_secs(secs / 4),
+        SimTime::from_secs(secs),
+    );
+    // RTT on the clean path is 50 ms; RTO ~ 4 RTT (per TFRC) —
+    // TCP's actual clamped RTO is the 200 ms minimum, same value.
+    let rtt = 0.05;
+    let equation = padhye_rate_bps(PKT_SIZE, p, rtt, 0.2) * 8.0;
+    StaticPoint {
+        label: flavor.label(),
+        p,
+        measured_bps: measured,
+        equation_bps: equation,
+        ratio: measured / equation,
     }
-    let points = crate::runner::run_cells(cells, |(flavor, p)| {
-        {
-            let mut sim = Simulator::new(2024);
-            // Fat pipe, huge buffer: the imposed loss process is the only
-            // constraint, exactly the static model's environment.
-            let cfg = DumbbellConfig {
-                queue: QueueKind::DropTail(20_000),
-                ..DumbbellConfig::paper(400e6)
-            };
-            let db =
-                Dumbbell::build_with_loss(&mut sim, cfg, Some(Box::new(BernoulliLoss::new(p, 7))));
-            let pair = db.add_host_pair(&mut sim);
-            let h = flavor.install(&mut sim, &pair, PKT_SIZE, SimTime::ZERO, None);
-            sim.run_until(SimTime::from_secs(secs));
-            let measured = sim.stats().flow_throughput_bps(
-                h.flow,
-                SimTime::from_secs(secs / 4),
-                SimTime::from_secs(secs),
-            );
-            // RTT on the clean path is 50 ms; RTO ~ 4 RTT (per TFRC) —
-            // TCP's actual clamped RTO is the 200 ms minimum, same value.
-            let rtt = 0.05;
-            let equation = padhye_rate_bps(PKT_SIZE, p, rtt, 0.2) * 8.0;
-            StaticPoint {
-                label: flavor.label(),
-                p,
-                measured_bps: measured,
-                equation_bps: equation,
-                ratio: measured / equation,
+}
+
+/// Registry entry for the static-compatibility sweep: one cell per
+/// `(algorithm, loss rate)`.
+pub struct StaticExperiment;
+
+impl Experiment for StaticExperiment {
+    type Cell = (Flavor, f64);
+    type CellOut = StaticPoint;
+    type Output = StaticValidation;
+
+    fn name(&self) -> &'static str {
+        "validate-static"
+    }
+
+    fn description(&self) -> &'static str {
+        "Validation - throughput vs the Padhye equation under fixed loss"
+    }
+
+    fn artifact(&self) -> &'static str {
+        "validate_static"
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<CellSpec<(Flavor, f64)>> {
+        let ps: Vec<f64> = scale.pick(vec![0.003, 0.01, 0.03], vec![0.01]);
+        let mut cells = Vec::new();
+        for flavor in static_flavors() {
+            for &p in &ps {
+                cells.push(CellSpec::new(
+                    format!("{}/p{p}", flavor.label()),
+                    2024,
+                    (flavor, p),
+                ));
             }
         }
-    });
-    StaticValidation { points }
+        cells
+    }
+
+    fn run_cell(&self, scale: Scale, (flavor, p): (Flavor, f64)) -> StaticPoint {
+        static_point(flavor, p, scale.pick(240u64, 90))
+    }
+
+    fn assemble(&self, _scale: Scale, points: Vec<StaticPoint>) -> StaticValidation {
+        StaticValidation { points }
+    }
+
+    fn render(&self, output: &StaticValidation) {
+        output.print();
+    }
 }
 
 impl StaticValidation {
@@ -132,7 +172,7 @@ impl StaticValidation {
 }
 
 /// One b-value of the ECN convergence validation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EcnConvPoint {
     /// AIMD decrease fraction b = 1/γ.
     pub b: f64,
@@ -154,18 +194,60 @@ pub struct EcnConvergence {
 /// Simulate the Figure 11 model: ECN marks at probability `p`, no drops,
 /// two TCP(b) flows from a skewed allocation.
 pub fn run_ecn_convergence(scale: Scale) -> EcnConvergence {
-    let p = 0.01;
-    let gammas: Vec<f64> = scale.pick(vec![2.0, 4.0, 8.0, 16.0], vec![2.0, 8.0]);
-    let points = crate::runner::run_cells(gammas, |gamma| {
+    crate::experiment::run_experiment(&EcnConvExperiment, scale)
+}
+
+/// Mark probability of the ECN convergence validation.
+const ECN_MARK_P: f64 = 0.01;
+
+/// Registry entry for the ECN convergence validation: one cell per γ.
+pub struct EcnConvExperiment;
+
+impl Experiment for EcnConvExperiment {
+    type Cell = f64;
+    type CellOut = EcnConvPoint;
+    type Output = EcnConvergence;
+
+    fn name(&self) -> &'static str {
+        "validate-ecn"
+    }
+
+    fn description(&self) -> &'static str {
+        "Validation - Figure 11's ACK model on a mark-only link"
+    }
+
+    fn artifact(&self) -> &'static str {
+        "validate_ecn"
+    }
+
+    fn cells(&self, scale: Scale) -> Vec<CellSpec<f64>> {
+        let gammas: Vec<f64> = scale.pick(vec![2.0, 4.0, 8.0, 16.0], vec![2.0, 8.0]);
+        gammas
+            .into_iter()
+            .map(|gamma| CellSpec::new(format!("g{gamma}"), 606, gamma))
+            .collect()
+    }
+
+    fn run_cell(&self, scale: Scale, gamma: f64) -> EcnConvPoint {
         let b = 1.0 / gamma;
-        let (time_secs, ack_rate) = ecn_convergence_once(gamma, p, scale);
+        let (time_secs, ack_rate) = ecn_convergence_once(gamma, ECN_MARK_P, scale);
         EcnConvPoint {
             b,
             measured_acks: time_secs * ack_rate,
-            model_acks: acks_to_delta_fairness(b, p, 0.1),
+            model_acks: acks_to_delta_fairness(b, ECN_MARK_P, 0.1),
         }
-    });
-    EcnConvergence { p, points }
+    }
+
+    fn assemble(&self, _scale: Scale, points: Vec<EcnConvPoint>) -> EcnConvergence {
+        EcnConvergence {
+            p: ECN_MARK_P,
+            points,
+        }
+    }
+
+    fn render(&self, output: &EcnConvergence) {
+        output.print();
+    }
 }
 
 fn ecn_convergence_once(gamma: f64, p: f64, scale: Scale) -> (f64, f64) {
@@ -239,7 +321,7 @@ impl EcnConvergence {
 }
 
 /// One high-loss point of the Appendix A check.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HighLossPoint {
     /// Imposed drop rate (every n-th packet).
     pub p: f64,
@@ -258,41 +340,82 @@ pub struct HighLossValidation {
 
 /// Measure TCP at the Appendix A drop rates and compare with the bound.
 pub fn run_high_loss(scale: Scale) -> HighLossValidation {
-    let secs = scale.pick(300u64, 90);
-    let points = crate::runner::run_cells(vec![2u64, 3], |n| {
-        // Drop every n-th packet: p = 1/n (p = 1/2, 1/3... Appendix A
-        // parameterizes p = n/(n+1); dropping every 2nd packet is
-        // p = 0.5, every 3rd is 1/3).
-        let p = 1.0 / n as f64;
-        let mut sim = Simulator::new(11);
-        let cfg = DumbbellConfig {
-            queue: QueueKind::DropTail(1000),
-            ..DumbbellConfig::paper(100e6)
-        };
-        let db = Dumbbell::build_with_loss(&mut sim, cfg, Some(Box::new(EveryNth::data_every(n))));
-        let pair = db.add_host_pair(&mut sim);
-        // Tighten the RTO floor so the timeout dynamics are visible
-        // at a 50 ms RTT (the model counts in RTTs, not wall time).
-        let mut tc = TcpConfig::standard(PKT_SIZE);
-        tc.min_rto = SimDuration::from_millis(100);
-        let h = Tcp::install(&mut sim, &pair, tc, SimTime::ZERO);
-        sim.run_until(SimTime::from_secs(secs));
-        // Unique delivered packets per RTT (retransmissions excluded
-        // via the sink's in-order progress).
-        let sink: &slowcc_core::tcp::TcpSink = sim.agent_downcast(h.sink).unwrap();
-        let rtts = (secs as f64) / 0.05;
-        let measured_ppr = sink.expected() as f64 / rtts;
-        HighLossPoint {
-            p,
-            measured_ppr,
-            bound_ppr: if p >= 0.5 {
-                aimd_with_timeouts_rate_ppr(p)
-            } else {
-                f64::NAN
-            },
-        }
-    });
-    HighLossValidation { points }
+    crate::experiment::run_experiment(&HighLossExperiment, scale)
+}
+
+fn high_loss_point(n: u64, secs: u64) -> HighLossPoint {
+    // Drop every n-th packet: p = 1/n (p = 1/2, 1/3... Appendix A
+    // parameterizes p = n/(n+1); dropping every 2nd packet is
+    // p = 0.5, every 3rd is 1/3).
+    let p = 1.0 / n as f64;
+    let mut sim = Simulator::new(11);
+    let cfg = DumbbellConfig {
+        queue: QueueKind::DropTail(1000),
+        ..DumbbellConfig::paper(100e6)
+    };
+    let db = Dumbbell::build_with_loss(&mut sim, cfg, Some(Box::new(EveryNth::data_every(n))));
+    let pair = db.add_host_pair(&mut sim);
+    // Tighten the RTO floor so the timeout dynamics are visible
+    // at a 50 ms RTT (the model counts in RTTs, not wall time).
+    let mut tc = TcpConfig::standard(PKT_SIZE);
+    tc.min_rto = SimDuration::from_millis(100);
+    let h = Tcp::install(&mut sim, &pair, tc, SimTime::ZERO);
+    sim.run_until(SimTime::from_secs(secs));
+    // Unique delivered packets per RTT (retransmissions excluded
+    // via the sink's in-order progress).
+    let sink: &slowcc_core::tcp::TcpSink = sim.agent_downcast(h.sink).unwrap();
+    let rtts = (secs as f64) / 0.05;
+    let measured_ppr = sink.expected() as f64 / rtts;
+    HighLossPoint {
+        p,
+        measured_ppr,
+        bound_ppr: if p >= 0.5 {
+            aimd_with_timeouts_rate_ppr(p)
+        } else {
+            f64::NAN
+        },
+    }
+}
+
+/// Registry entry for the Appendix A high-loss check: one cell per
+/// drop-every-n rate.
+pub struct HighLossExperiment;
+
+impl Experiment for HighLossExperiment {
+    type Cell = u64;
+    type CellOut = HighLossPoint;
+    type Output = HighLossValidation;
+
+    fn name(&self) -> &'static str {
+        "validate-highloss"
+    }
+
+    fn description(&self) -> &'static str {
+        "Validation - TCP at p >= 1/3 vs the Appendix A bound"
+    }
+
+    fn artifact(&self) -> &'static str {
+        "validate_highloss"
+    }
+
+    fn cells(&self, _scale: Scale) -> Vec<CellSpec<u64>> {
+        vec![2u64, 3]
+            .into_iter()
+            .map(|n| CellSpec::new(format!("n{n}"), 11, n))
+            .collect()
+    }
+
+    fn run_cell(&self, scale: Scale, n: u64) -> HighLossPoint {
+        high_loss_point(n, scale.pick(300u64, 90))
+    }
+
+    fn assemble(&self, _scale: Scale, points: Vec<HighLossPoint>) -> HighLossValidation {
+        HighLossValidation { points }
+    }
+
+    fn render(&self, output: &HighLossValidation) {
+        output.print();
+    }
 }
 
 impl HighLossValidation {

@@ -1,15 +1,16 @@
 //! Offline stand-in for `serde`.
 //!
-//! This workspace only ever serializes (experiment results to JSON), so
-//! the full serde data model is replaced by a single intermediate
+//! The full serde data model is replaced by a single intermediate
 //! [`Value`] tree: [`Serialize`] means "convert yourself to a
-//! `Value`", and the companion `serde_json` shim renders that tree.
-//! [`Deserialize`] is a marker trait so `#[derive(Deserialize)]` on the
-//! id/time newtypes keeps compiling; nothing in the workspace calls a
-//! deserializer.
+//! `Value`", [`Deserialize`] means "rebuild yourself from a `Value`",
+//! and the companion `serde_json` shim renders/parses that tree.
 //!
 //! Object keys keep insertion (= declaration) order, so JSON output is
 //! deterministic and diffs cleanly across runs.
+//!
+//! Round-trip caveat inherited from real serde_json: non-finite floats
+//! serialize as `null`, so `f64::from_value(Null)` yields `NaN` (the
+//! sign of the original non-finite value is not recoverable).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,9 +51,76 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
-/// Marker trait backing `#[derive(Deserialize)]`; no deserialization
-/// exists in this offline stand-in.
-pub trait Deserialize {}
+/// Deserialize by conversion from a [`Value`] tree.
+///
+/// The error type is a plain `String`: the shim has no error taxonomy,
+/// and every caller either bubbles the message up or treats any error
+/// as "cache miss, recompute".
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, String>;
+}
+
+impl Value {
+    /// Short tag for error messages ("object", "array", ...).
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Look up a required field of a deserialized object (derive support).
+pub fn de_field<'a>(fields: &'a [(String, Value)], key: &str) -> Result<&'a Value, String> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field `{key}`"))
+}
+
+/// Expect an object and return its fields (derive support).
+pub fn de_object(v: &Value) -> Result<&[(String, Value)], String> {
+    match v {
+        Value::Object(fields) => Ok(fields),
+        other => Err(format!("expected object, found {}", other.kind())),
+    }
+}
+
+/// Expect an array of exactly `n` elements (derive support for tuple
+/// structs and tuple enum variants).
+pub fn de_tuple(v: &Value, n: usize) -> Result<&[Value], String> {
+    match v {
+        Value::Array(items) if items.len() == n => Ok(items),
+        Value::Array(items) => Err(format!(
+            "expected array of {n} elements, found {}",
+            items.len()
+        )),
+        other => Err(format!("expected array, found {}", other.kind())),
+    }
+}
+
+fn de_i64(v: &Value) -> Result<i64, String> {
+    match v {
+        Value::Int(i) => Ok(*i),
+        Value::UInt(u) => i64::try_from(*u).map_err(|_| format!("integer {u} out of range")),
+        other => Err(format!("expected integer, found {}", other.kind())),
+    }
+}
+
+fn de_u64(v: &Value) -> Result<u64, String> {
+    match v {
+        Value::Int(i) => u64::try_from(*i).map_err(|_| format!("integer {i} out of range")),
+        Value::UInt(u) => Ok(*u),
+        other => Err(format!("expected integer, found {}", other.kind())),
+    }
+}
 
 macro_rules! impl_signed {
     ($($t:ty),*) => {$(
@@ -61,7 +129,14 @@ macro_rules! impl_signed {
                 Value::Int(*self as i64)
             }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                let i = de_i64(v)?;
+                <$t>::try_from(i).map_err(|_| {
+                    format!("integer {i} out of range for {}", stringify!($t))
+                })
+            }
+        }
     )*};
 }
 
@@ -77,7 +152,14 @@ macro_rules! impl_unsigned {
                 }
             }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                let u = de_u64(v)?;
+                <$t>::try_from(u).map_err(|_| {
+                    format!("integer {u} out of range for {}", stringify!($t))
+                })
+            }
+        }
     )*};
 }
 
@@ -93,21 +175,45 @@ impl Serialize for f64 {
         }
     }
 }
-impl Deserialize for f64 {}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            // Serialization maps every non-finite float to Null; NaN is
+            // the only faithful reading back (the sign/infinity class
+            // is gone). Callers that care must avoid non-finite floats.
+            Value::Null => Ok(f64::NAN),
+            other => Err(format!("expected number, found {}", other.kind())),
+        }
+    }
+}
 
 impl Serialize for f32 {
     fn to_value(&self) -> Value {
         (*self as f64).to_value()
     }
 }
-impl Deserialize for f32 {}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
 
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
     }
 }
-impl Deserialize for bool {}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, found {}", other.kind())),
+        }
+    }
+}
 
 impl Serialize for str {
     fn to_value(&self) -> Value {
@@ -120,7 +226,14 @@ impl Serialize for String {
         Value::String(self.clone())
     }
 }
-impl Deserialize for String {}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(format!("expected string, found {}", other.kind())),
+        }
+    }
+}
 
 impl Serialize for char {
     fn to_value(&self) -> Value {
@@ -137,9 +250,29 @@ impl<T: Serialize> Serialize for Option<T> {
     }
 }
 
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        // `None` and non-finite floats both serialize as `null`; for an
+        // `Option<f64>` field, `null` reads back as `None`.
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(format!("expected array, found {}", other.kind())),
+        }
     }
 }
 
@@ -167,15 +300,49 @@ impl<T: Serialize + ?Sized> Serialize for Box<T> {
     }
 }
 
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
 impl<A: Serialize, B: Serialize> Serialize for (A, B) {
     fn to_value(&self) -> Value {
         Value::Array(vec![self.0.to_value(), self.1.to_value()])
     }
 }
 
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let items = de_tuple(v, 2)?;
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(format!("expected null, found {}", other.kind())),
+        }
+    }
+}
+
 impl Serialize for Value {
     fn to_value(&self) -> Value {
         self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(v.clone())
     }
 }
 
@@ -242,5 +409,65 @@ mod tests {
     fn u64_above_i64_max_is_preserved() {
         assert_eq!(u64::MAX.to_value(), Value::UInt(u64::MAX));
         assert_eq!(5u64.to_value(), Value::Int(5));
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct RoundTrip {
+        n: u64,
+        x: f64,
+        label: String,
+        maybe: Option<f64>,
+        series: Vec<i32>,
+        pair: (u32, f64),
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    enum Verdict {
+        Graceful,
+        Stalled { at_secs: f64 },
+        Coded(u32),
+        Pair(u8, u8),
+    }
+
+    #[test]
+    fn derived_structs_round_trip_through_value() {
+        let orig = RoundTrip {
+            n: u64::MAX,
+            x: -0.125,
+            label: "γ=2 \"quoted\"".into(),
+            maybe: None,
+            series: vec![-3, 0, 7],
+            pair: (9, 1.5),
+        };
+        assert_eq!(RoundTrip::from_value(&orig.to_value()).unwrap(), orig);
+    }
+
+    #[test]
+    fn derived_enums_round_trip_through_value() {
+        for v in [
+            Verdict::Graceful,
+            Verdict::Stalled { at_secs: 2.5 },
+            Verdict::Coded(17),
+            Verdict::Pair(1, 2),
+        ] {
+            assert_eq!(Verdict::from_value(&v.to_value()).unwrap(), v);
+        }
+        assert!(Verdict::from_value(&Value::String("Nope".into())).is_err());
+    }
+
+    #[test]
+    fn deserialize_reports_type_and_range_errors() {
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+        assert!(bool::from_value(&Value::Null).is_err());
+        assert!(String::from_value(&Value::Int(1)).is_err());
+        let err = RoundTrip::from_value(&Value::Object(vec![])).unwrap_err();
+        assert!(err.contains("missing field"), "got: {err}");
+    }
+
+    #[test]
+    fn null_reads_back_as_nan_or_none() {
+        assert!(f64::from_value(&Value::Null).unwrap().is_nan());
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
     }
 }

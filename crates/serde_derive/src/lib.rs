@@ -46,15 +46,26 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .expect("serde_derive shim generated invalid Serialize impl")
 }
 
-/// Derive `serde::Deserialize` (a marker trait in the offline shim; no
-/// deserialization happens anywhere in this workspace).
+/// Derive `serde::Deserialize` (the offline shim's value-reading
+/// trait). Field types are never inspected: every field decodes through
+/// `::serde::Deserialize::from_value`, and type inference against the
+/// constructed `Self` picks the impl.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => de_struct_body(name, fields),
+        Item::Enum { name, variants } => de_enum_body(name, variants),
+    };
     let name = item_name(&item);
-    format!("impl ::serde::Deserialize for {name} {{}}")
-        .parse()
-        .expect("serde_derive shim generated invalid Deserialize impl")
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::std::string::String> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive shim generated invalid Deserialize impl")
 }
 
 fn item_name(item: &Item) -> &str {
@@ -86,6 +97,132 @@ fn struct_body(fields: &Fields) -> String {
             format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
         }
     }
+}
+
+/// `Self::from_value` body mirroring [`struct_body`]'s representation:
+/// unit -> null, newtype -> inner value, tuple -> array, named ->
+/// object keyed by field name.
+fn de_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!(
+            "match v {{\n\
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 other => ::std::result::Result::Err(::std::format!(\
+                     \"{name}: expected null, found {{other:?}}\")),\n\
+             }}"
+        ),
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::de_field(fields, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let fields = ::serde::de_object(v)?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Fields::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Fields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = ::serde::de_tuple(v, {n})?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+    }
+}
+
+/// `Self::from_value` body mirroring [`enum_body`]'s externally-tagged
+/// representation: unit variants are bare strings, data variants are
+/// single-key `{variant: payload}` objects.
+fn de_enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, f)| matches!(f, Fields::Unit))
+        .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|(v, fields)| match fields {
+            Fields::Unit => None,
+            Fields::Named(field_names) => {
+                let inits: Vec<String> = field_names
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                             ::serde::de_field(inner_fields, \"{f}\")?)?"
+                        )
+                    })
+                    .collect();
+                Some(format!(
+                    "\"{v}\" => {{\n\
+                         let inner_fields = ::serde::de_object(payload)?;\n\
+                         ::std::result::Result::Ok({name}::{v} {{ {} }})\n\
+                     }}",
+                    inits.join(", ")
+                ))
+            }
+            Fields::Tuple(1) => Some(format!(
+                "\"{v}\" => ::std::result::Result::Ok(\
+                 {name}::{v}(::serde::Deserialize::from_value(payload)?)),"
+            )),
+            Fields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                Some(format!(
+                    "\"{v}\" => {{\n\
+                         let items = ::serde::de_tuple(payload, {n})?;\n\
+                         ::std::result::Result::Ok({name}::{v}({}))\n\
+                     }}",
+                    inits.join(", ")
+                ))
+            }
+        })
+        .collect();
+    let string_arm = format!(
+        "::serde::Value::String(tag) => match tag.as_str() {{\n\
+             {}\n\
+             other => ::std::result::Result::Err(::std::format!(\
+                 \"unknown unit variant `{{other}}` for {name}\")),\n\
+         }},",
+        unit_arms.join("\n")
+    );
+    let object_arm = if data_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                 let (tag, payload) = &fields[0];\n\
+                 match tag.as_str() {{\n\
+                     {}\n\
+                     other => ::std::result::Result::Err(::std::format!(\
+                         \"unknown variant `{{other}}` for {name}\")),\n\
+                 }}\n\
+             }},",
+            data_arms.join("\n")
+        )
+    };
+    format!(
+        "match v {{\n\
+             {string_arm}\n\
+             {object_arm}\n\
+             other => ::std::result::Result::Err(::std::format!(\
+                 \"{name}: expected variant tag, found {{other:?}}\")),\n\
+         }}"
+    )
 }
 
 fn enum_body(name: &str, variants: &[(String, Fields)]) -> String {

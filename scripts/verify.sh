@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Full verification: tier-1 (release build + tests) plus a smoke run of
-# the parallel figure regeneration, checking that `repro --quick all`
-# produces byte-identical output under --jobs 1 and --jobs 8.
+# Full verification: tier-1 (release build + tests) plus smoke runs of
+# the unified `repro` execution path — parallel and resumed sweeps must
+# be byte-identical, schedulers interchangeable, audits clean, and a
+# panicking cell isolated to itself.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,12 +15,25 @@ cargo test -q
 echo "== workspace tests =="
 cargo test -q --workspace
 
-echo "== repro --quick all smoke (--jobs 1 vs --jobs 8) =="
 cargo build --release -p slowcc-experiments --bin repro
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
-./target/release/repro --quick all --jobs 1 --out "$tmp/j1" > "$tmp/stdout_j1.txt"
-./target/release/repro --quick all --jobs 8 --out "$tmp/j8" > "$tmp/stdout_j8.txt"
+
+echo "== target list from the registry (repro list) =="
+# Every target below comes from `repro list` itself, so a newly
+# registered experiment is covered here without editing this script.
+targets="$(./target/release/repro list \
+  | awk '/^experiments:$/{f=1; next} /^aliases:$/{f=0} f{print $1}')"
+if [ -z "$targets" ]; then
+  echo "ERROR: repro list produced no targets"; exit 1
+fi
+echo "targets: $(echo "$targets" | tr '\n' ' ')"
+
+echo "== repro --quick smoke over all listed targets (--jobs 1 vs --jobs 8) =="
+# shellcheck disable=SC2086
+./target/release/repro --quick $targets --jobs 1 --out "$tmp/j1" > "$tmp/stdout_j1.txt"
+# shellcheck disable=SC2086
+./target/release/repro --quick $targets --jobs 8 --out "$tmp/j8" > "$tmp/stdout_j8.txt"
 diff -r "$tmp/j1" "$tmp/j8"
 diff "$tmp/stdout_j1.txt" "$tmp/stdout_j8.txt"
 echo "parallel output byte-identical to serial"
@@ -54,21 +68,41 @@ diff "$tmp/chaos_cal.txt" "$tmp/chaos_cal2.txt"
 grep -q "all graceful" "$tmp/chaos_heap.txt"
 echo "chaos sweep audit-clean, bit-identical across runs and schedulers"
 
+echo "== resume replay smoke (fully cached rerun, byte-identical) =="
+./target/release/repro --quick fig3 fig45 --out "$tmp/resume_base" > "$tmp/resume_stdout1.txt"
+cp -r "$tmp/resume_base" "$tmp/resume_before"
+./target/release/repro --quick fig3 fig45 --out "$tmp/resume_base" --resume \
+  > "$tmp/resume_stdout2.txt" 2> "$tmp/resume_stderr2.txt"
+diff "$tmp/resume_stdout1.txt" "$tmp/resume_stdout2.txt"
+diff -r "$tmp/resume_before" "$tmp/resume_base"
+grep -q "cells already ok" "$tmp/resume_stderr2.txt"
+echo "resumed run replayed every cell from cache, output byte-identical"
+
 echo "== crash isolation: deliberate panic-cell fixture =="
-if ./target/release/repro --quick --out "$tmp/crash" fig11 panic-cell \
+# A multi-cell figure rides along so the resume below demonstrably
+# skips completed cells one by one rather than per target.
+if ./target/release/repro --quick --out "$tmp/crash" fig45 panic-cell \
     > "$tmp/crash.txt" 2>&1; then
   echo "ERROR: panic-cell should have produced a nonzero exit"; exit 1
 fi
-grep -q "FAILED cell panic-cell" "$tmp/crash.txt"
-grep -q '"panic-cell": {"status": "panicked"' "$tmp/crash/manifest.json"
-grep -q '"fig11": {"status": "ok"}' "$tmp/crash/manifest.json"  # sibling survived
-# --resume skips the ok sibling and re-runs only the failed cell.
-if ./target/release/repro --quick --out "$tmp/crash" --resume fig11 panic-cell \
+grep -q "FAILED cell panic-cell/fixture" "$tmp/crash.txt"
+grep -q '"panic-cell/fixture": {"status": "panicked"' "$tmp/crash/manifest.json"
+# Every sibling figure cell survived the panic.
+fig45_cells="$(grep -c '"fig45/' "$tmp/crash/manifest.json")"
+fig45_ok="$(grep '"fig45/' "$tmp/crash/manifest.json" | grep -c '"status": "ok"')"
+if [ "$fig45_cells" -lt 2 ] || [ "$fig45_cells" -ne "$fig45_ok" ]; then
+  echo "ERROR: expected all $fig45_cells fig45 cells ok, got $fig45_ok"; exit 1
+fi
+# --resume skips each completed cell and re-runs only the failed one.
+if ./target/release/repro --quick --out "$tmp/crash" --resume fig45 panic-cell \
     > "$tmp/resume.txt" 2>&1; then
   echo "ERROR: resumed panic-cell should still exit nonzero"; exit 1
 fi
-grep -q "resume: skipping fig11" "$tmp/resume.txt"
-grep -q "FAILED cell panic-cell" "$tmp/resume.txt"
-echo "panic isolated, manifest recorded, resume re-ran only the failure"
+skips="$(grep -c "resume: skipping fig45/" "$tmp/resume.txt")"
+if [ "$skips" -ne "$fig45_cells" ]; then
+  echo "ERROR: resume skipped $skips of $fig45_cells completed fig45 cells"; exit 1
+fi
+grep -q "FAILED cell panic-cell/fixture" "$tmp/resume.txt"
+echo "panic isolated per cell, manifest recorded, resume re-ran only the failure"
 
 echo "== verify OK =="
