@@ -1,0 +1,25 @@
+//! Profiling harness: the bench dumbbell scenario in a loop, long enough
+//! for a sampling profiler (`gprofng collect app`) to get useful counts.
+
+use std::hint::black_box;
+
+use slowcc_core::tcp::{Tcp, TcpConfig};
+use slowcc_netsim::prelude::*;
+
+fn main() {
+    for _ in 0..3000 {
+        let mut sim = Simulator::new(3);
+        let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
+        for i in 0..4 {
+            let pair = db.add_host_pair(&mut sim);
+            Tcp::install(
+                &mut sim,
+                &pair,
+                TcpConfig::standard(1000),
+                SimTime::from_millis(13 * i),
+            );
+        }
+        sim.run_until(SimTime::from_secs(5));
+        black_box(&sim);
+    }
+}

@@ -1,25 +1,47 @@
 //! `bench_netsim` — wall-clock benchmark of the netsim hot path and the
 //! full figure sweep, written as `BENCH_netsim.json` at the repo root.
 //!
-//! Three measurements, all plain `std::time::Instant` (no bench
-//! framework):
+//! Measurements, all plain `std::time::Instant` (no bench framework):
 //!
 //! * **schedulers** — a hold-model microbench of the event queue
-//!   itself: fill each backend (binary heap, calendar queue) with 10k
-//!   pending events, then pop-and-reschedule in a tight loop and report
-//!   pops/sec. This isolates the scheduler from the rest of the
-//!   simulator.
+//!   itself at 1k, 10k and 100k pending events: fill each backend
+//!   (binary heap, calendar queue), then pop-and-reschedule in a tight
+//!   loop and report pops/sec per backend. This isolates the scheduler
+//!   from the rest of the simulator and shows how each backend scales
+//!   with occupancy.
 //! * **dumbbell** — simulate 5 s of 4 TCP flows on the 10 Mb/s paper
-//!   dumbbell (~50k packet events), repeated; reports mean and min
-//!   per-run time. This is the netsim hot path (`offer_to_link`,
-//!   EventQueue schedule/pop) in isolation.
+//!   dumbbell, repeated after one untimed warmup; reports mean and min
+//!   per-run time plus the event-throughput counters the regression
+//!   gate watches: events/sec, events per injected packet, and the raw
+//!   totals they derive from.
+//! * **packet_bytes** — `size_of` pins for the data-plane structs, so
+//!   the recorded baseline documents the layout the numbers were
+//!   measured against.
 //! * **quick sweep** — `repro --quick all`, once with `--jobs 1` and
 //!   once with the machine's available parallelism, as subprocesses
 //!   (the thread budget is process-wide and set once, so the two
 //!   configurations need separate processes). The `repro` binary must
 //!   already be built: run `cargo build --release` first, or use
-//!   `scripts/verify.sh`. Pass `--skip-sweep` to record only the
-//!   dumbbell numbers.
+//!   `scripts/verify.sh`. Skipped entirely — reported as `null`, with
+//!   a machine-readable warning — when only one CPU is available,
+//!   since serial and parallel runs coincide there. Pass `--skip-sweep`
+//!   to skip it unconditionally.
+//!
+//! Anything that limits a section's validity is appended to the
+//! top-level `warnings` array as a `{section, message}` object, so
+//! downstream tooling can filter sections without parsing prose.
+//!
+//! # Regression gate
+//!
+//! `bench_netsim --check` re-measures the dumbbell section and compares
+//! it against the committed `BENCH_netsim.json`: the run FAILS (exit 1)
+//! if `mean_ms` regresses by more than 25% or `events_per_sec` drops by
+//! more than 20%. Nothing is written in check mode. Set
+//! `SLOWCC_SKIP_BENCH_GATE=1` to skip the comparison (exit 0), e.g. on
+//! known-noisy CI hosts. The committed baseline is parsed with a small
+//! hand-rolled scanner (the vendored `serde_json` shim serializes
+//! only), which is enough because the file is always written by this
+//! binary.
 
 use std::hint::black_box;
 use std::path::{Path, PathBuf};
@@ -31,6 +53,13 @@ use serde::Serialize;
 use slowcc_core::tcp::{Tcp, TcpConfig};
 use slowcc_netsim::event::{EventKind, EventQueue, SchedulerKind};
 use slowcc_netsim::prelude::*;
+
+#[derive(Serialize)]
+struct Warning {
+    /// Which report section the warning qualifies.
+    section: &'static str,
+    message: &'static str,
+}
 
 #[derive(Serialize)]
 struct SchedulerBench {
@@ -46,6 +75,27 @@ struct DumbbellBench {
     runs: u32,
     mean_ms: f64,
     min_ms: f64,
+    /// Events dispatched per wall-clock second, from the mean run time.
+    /// The primary throughput number the `--check` gate watches.
+    events_per_sec: f64,
+    /// Dispatched events per injected packet — a pure simulation-shape
+    /// number (independent of host speed) that catches accidental event
+    /// inflation, e.g. a change that starts scheduling per-byte timers.
+    events_per_packet: f64,
+    events_processed: u64,
+    packets_injected: u64,
+}
+
+/// `size_of` pins for the structs the hot path copies and scans; the
+/// committed baseline thereby records the layout it was measured with.
+#[derive(Serialize)]
+struct PacketBytes {
+    packet: usize,
+    payload: usize,
+    ack_info: usize,
+    data_info: usize,
+    packet_id: usize,
+    event_kind: usize,
 }
 
 #[derive(Serialize)]
@@ -59,16 +109,23 @@ struct SweepBench {
 #[derive(Serialize)]
 struct BenchReport {
     available_parallelism: usize,
-    /// Set only when the machine cannot demonstrate sweep parallelism.
-    warning: Option<&'static str>,
-    schedulers: SchedulerBench,
+    warnings: Vec<Warning>,
+    schedulers: Vec<SchedulerBench>,
     dumbbell_4tcp_5s: DumbbellBench,
+    packet_bytes: PacketBytes,
     quick_sweep: Option<SweepBench>,
 }
 
-const SINGLE_CORE_WARNING: &str = "available_parallelism is 1: the serial \
-    and parallel sweep runs coincide, so the sweep speedup is meaningless \
-    on this machine";
+const SINGLE_CORE_WARNING: Warning = Warning {
+    section: "quick_sweep",
+    message: "available_parallelism is 1: the serial and parallel sweep \
+              runs would coincide, so the sweep was skipped",
+};
+
+/// Allowed relative regression of `dumbbell_4tcp_5s.mean_ms` in `--check`.
+const MEAN_MS_TOLERANCE: f64 = 0.25;
+/// Allowed relative drop of `dumbbell_4tcp_5s.events_per_sec` in `--check`.
+const EVENTS_PER_SEC_TOLERANCE: f64 = 0.20;
 
 /// Classic hold model: keep `pending` events in the queue and repeatedly
 /// pop the earliest and schedule a replacement a random increment later.
@@ -101,57 +158,94 @@ fn hold_model(kind: SchedulerKind, pending: usize, ops: u64) -> f64 {
     ops as f64 / t0.elapsed().as_secs_f64()
 }
 
-fn bench_schedulers() -> SchedulerBench {
-    const PENDING: usize = 10_000;
+fn bench_schedulers() -> Vec<SchedulerBench> {
     const OPS: u64 = 2_000_000;
-    let heap = hold_model(SchedulerKind::Heap, PENDING, OPS);
-    let calendar = hold_model(SchedulerKind::Calendar, PENDING, OPS);
-    println!(
-        "schedulers         heap {:.1}M pops/s  calendar {:.1}M pops/s  ({:.2}x, {PENDING} pending)",
-        heap / 1e6,
-        calendar / 1e6,
-        calendar / heap
-    );
-    SchedulerBench {
-        pending_events: PENDING,
-        hold_ops: OPS,
-        heap_pops_per_sec: heap,
-        calendar_pops_per_sec: calendar,
-        calendar_speedup: calendar / heap,
+    [1_000usize, 10_000, 100_000]
+        .into_iter()
+        .map(|pending| {
+            let heap = hold_model(SchedulerKind::Heap, pending, OPS);
+            let calendar = hold_model(SchedulerKind::Calendar, pending, OPS);
+            println!(
+                "schedulers         heap {:.1}M pops/s  calendar {:.1}M pops/s  ({:.2}x, {pending} pending)",
+                heap / 1e6,
+                calendar / 1e6,
+                calendar / heap
+            );
+            SchedulerBench {
+                pending_events: pending,
+                hold_ops: OPS,
+                heap_pops_per_sec: heap,
+                calendar_pops_per_sec: calendar,
+                calendar_speedup: calendar / heap,
+            }
+        })
+        .collect()
+}
+
+fn dumbbell_run() -> (f64, u64, u64) {
+    let mut sim = Simulator::new(3);
+    let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
+    for i in 0..4 {
+        let pair = db.add_host_pair(&mut sim);
+        Tcp::install(
+            &mut sim,
+            &pair,
+            TcpConfig::standard(1000),
+            SimTime::from_millis(13 * i),
+        );
     }
+    let t0 = Instant::now();
+    sim.run_until(SimTime::from_secs(5));
+    let secs = t0.elapsed().as_secs_f64();
+    let events = sim.events_processed();
+    let packets = sim.packets_injected();
+    black_box(&sim);
+    (secs, events, packets)
 }
 
 fn bench_dumbbell() -> DumbbellBench {
     const RUNS: u32 = 10;
+    // One untimed warmup run: first-touch page faults and lazy
+    // allocator growth land here instead of skewing the first sample.
+    let (_, events, packets) = dumbbell_run();
     let mut times = Vec::with_capacity(RUNS as usize);
     for _ in 0..RUNS {
-        let mut sim = Simulator::new(3);
-        let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
-        for i in 0..4 {
-            let pair = db.add_host_pair(&mut sim);
-            Tcp::install(
-                &mut sim,
-                &pair,
-                TcpConfig::standard(1000),
-                SimTime::from_millis(13 * i),
-            );
-        }
-        let t0 = Instant::now();
-        sim.run_until(SimTime::from_secs(5));
-        times.push(t0.elapsed().as_secs_f64());
-        black_box(&sim);
+        let (secs, e, p) = dumbbell_run();
+        assert_eq!((e, p), (events, packets), "dumbbell runs must be deterministic");
+        times.push(secs);
     }
     let mean = times.iter().sum::<f64>() / times.len() as f64;
     let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let events_per_sec = events as f64 / mean;
     println!(
-        "dumbbell_4tcp_5s   mean {:.2} ms  min {:.2} ms  ({RUNS} runs)",
+        "dumbbell_4tcp_5s   mean {:.2} ms  min {:.2} ms  ({RUNS} runs, {:.1}M events/s, {:.2} events/pkt)",
         mean * 1e3,
-        min * 1e3
+        min * 1e3,
+        events_per_sec / 1e6,
+        events as f64 / packets as f64,
     );
     DumbbellBench {
         runs: RUNS,
         mean_ms: mean * 1e3,
         min_ms: min * 1e3,
+        events_per_sec,
+        events_per_packet: events as f64 / packets as f64,
+        events_processed: events,
+        packets_injected: packets,
+    }
+}
+
+fn packet_bytes() -> PacketBytes {
+    use core::mem::size_of;
+    use slowcc_netsim::packet::{AckInfo, DataInfo, Packet, Payload};
+    use slowcc_netsim::pool::PacketId;
+    PacketBytes {
+        packet: size_of::<Packet>(),
+        payload: size_of::<Payload>(),
+        ack_info: size_of::<AckInfo>(),
+        data_info: size_of::<DataInfo>(),
+        packet_id: size_of::<PacketId>(),
+        event_kind: size_of::<EventKind>(),
     }
 }
 
@@ -206,24 +300,126 @@ fn bench_sweep(jobs: usize) -> Option<SweepBench> {
     })
 }
 
-fn main() {
-    let skip_sweep = std::env::args().any(|a| a == "--skip-sweep");
-    let jobs = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let report = BenchReport {
-        available_parallelism: jobs,
-        warning: (jobs == 1).then_some(SINGLE_CORE_WARNING),
-        schedulers: bench_schedulers(),
-        dumbbell_4tcp_5s: bench_dumbbell(),
-        quick_sweep: if skip_sweep { None } else { bench_sweep(jobs) },
-    };
-    // crates/bench/../.. == repo root.
-    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+/// Repo root: crates/bench/../..
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(Path::parent)
         .expect("crates/bench has a grandparent")
-        .to_path_buf();
+        .to_path_buf()
+}
+
+/// Extract the number at `"key": <number>` inside the `"section"` object
+/// of `json`. Hand-rolled because the vendored `serde_json` shim cannot
+/// deserialize; sufficient for files this binary wrote itself.
+fn extract_number(json: &str, section: &str, key: &str) -> Option<f64> {
+    let sec = json.find(&format!("\"{section}\""))?;
+    let rest = &json[sec..];
+    let k = rest.find(&format!("\"{key}\""))?;
+    let rest = &rest[k..];
+    let colon = rest.find(':')?;
+    let rest = rest[colon + 1..].trim_start();
+    let end = rest
+        .find(|c: char| c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// `--check`: re-measure the dumbbell and gate against the committed
+/// baseline. Returns the process exit code.
+fn check_against_baseline() -> i32 {
+    if std::env::var("SLOWCC_SKIP_BENCH_GATE").is_ok_and(|v| v == "1") {
+        println!("bench gate: SLOWCC_SKIP_BENCH_GATE=1, skipping");
+        return 0;
+    }
+    let path = repo_root().join("BENCH_netsim.json");
+    let baseline = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench gate: cannot read {}: {e}", path.display());
+            return 1;
+        }
+    };
+    let (Some(base_mean), Some(base_eps)) = (
+        extract_number(&baseline, "dumbbell_4tcp_5s", "mean_ms"),
+        extract_number(&baseline, "dumbbell_4tcp_5s", "events_per_sec"),
+    ) else {
+        eprintln!(
+            "bench gate: {} lacks dumbbell_4tcp_5s.mean_ms / events_per_sec — \
+             re-record it with `bench_netsim`",
+            path.display()
+        );
+        return 1;
+    };
+    let fresh = bench_dumbbell();
+    let mean_limit = base_mean * (1.0 + MEAN_MS_TOLERANCE);
+    let eps_limit = base_eps * (1.0 - EVENTS_PER_SEC_TOLERANCE);
+    println!(
+        "bench gate         mean {:.2} ms (limit {:.2}, baseline {:.2})  \
+         {:.2}M events/s (limit {:.2}M, baseline {:.2}M)",
+        fresh.mean_ms,
+        mean_limit,
+        base_mean,
+        fresh.events_per_sec / 1e6,
+        eps_limit / 1e6,
+        base_eps / 1e6,
+    );
+    let mut code = 0;
+    if fresh.mean_ms > mean_limit {
+        eprintln!(
+            "bench gate FAIL: dumbbell mean_ms {:.2} regressed more than {:.0}% over \
+             the committed {:.2}",
+            fresh.mean_ms,
+            MEAN_MS_TOLERANCE * 100.0,
+            base_mean
+        );
+        code = 1;
+    }
+    if fresh.events_per_sec < eps_limit {
+        eprintln!(
+            "bench gate FAIL: events/sec {:.2}M dropped more than {:.0}% below \
+             the committed {:.2}M",
+            fresh.events_per_sec / 1e6,
+            EVENTS_PER_SEC_TOLERANCE * 100.0,
+            base_eps / 1e6
+        );
+        code = 1;
+    }
+    if code == 0 {
+        println!("bench gate         OK");
+    }
+    code
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--check") {
+        std::process::exit(check_against_baseline());
+    }
+    let skip_sweep = args.iter().any(|a| a == "--skip-sweep");
+    let jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut warnings = Vec::new();
+    let single_core = jobs == 1;
+    if single_core {
+        warnings.push(SINGLE_CORE_WARNING);
+    }
+    let report = BenchReport {
+        available_parallelism: jobs,
+        schedulers: bench_schedulers(),
+        dumbbell_4tcp_5s: bench_dumbbell(),
+        packet_bytes: packet_bytes(),
+        // A single-core host cannot demonstrate sweep parallelism:
+        // don't burn two full sweeps producing a meaningless 1.0x.
+        quick_sweep: if skip_sweep || single_core {
+            None
+        } else {
+            bench_sweep(jobs)
+        },
+        warnings,
+    };
+    let root = repo_root();
     slowcc_experiments::report::write_json(&root, "BENCH_netsim", &report)
         .expect("write BENCH_netsim.json");
     println!("wrote {}", root.join("BENCH_netsim.json").display());

@@ -110,7 +110,12 @@ impl TearSink {
             cum_ack: self.expected,
             acked_seq: pkt_template.seq,
             echo_ts: self.last_data_sent_at,
-            echo_delay_ns: now.saturating_since(self.last_data_arrival).as_nanos(),
+            // Bounded by one feedback interval; saturating into the
+            // 32-bit wire field never triggers in practice.
+            echo_delay_ns: now
+                .saturating_since(self.last_data_arrival)
+                .as_nanos()
+                .min(u32::MAX as u64) as u32,
             recv_rate_bps: 0.0,
             loss_event_rate: 0.0,
             recv_count: 0,

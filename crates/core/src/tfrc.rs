@@ -330,9 +330,12 @@ impl TfrcSink {
             cum_ack: self.expected,
             acked_seq: pkt_template.seq,
             echo_ts: self.last_data_sent_at,
+            // Bounded by one feedback interval; saturating into the
+            // 32-bit wire field never triggers in practice.
             echo_delay_ns: now
                 .saturating_since(self.last_data_arrival)
-                .as_nanos(),
+                .as_nanos()
+                .min(u32::MAX as u64) as u32,
             recv_rate_bps: recv_rate,
             loss_event_rate: self.loss_event_rate(),
             recv_count: 0,

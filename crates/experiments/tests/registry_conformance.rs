@@ -2,11 +2,12 @@
 //! fixtures excluded) must complete its Quick sweep cleanly under the
 //! audit, and infrastructure must be invisible in the results — the
 //! per-cell outputs of a multi-threaded pool run must be byte-identical
-//! to a plain serial loop over the same cells, and the choice of event
-//! scheduler (binary heap vs calendar queue) must not change a single
-//! byte either. This replaces the old per-target copies of these
-//! checks, which covered Figure 4/5 only; a new experiment gets the
-//! same coverage just by being registered.
+//! to a plain serial loop over the same cells, and neither the choice
+//! of event scheduler (binary heap vs calendar queue) nor the dispatch
+//! mode (batched vs one event at a time) may change a single byte
+//! either. This replaces the old per-target copies of these checks,
+//! which covered Figure 4/5 only; a new experiment gets the same
+//! coverage just by being registered.
 //!
 //! Everything lives in one `#[test]` in its own integration-test
 //! binary: it pins the process-global worker-pool width, scheduler
@@ -17,6 +18,7 @@ use slowcc_experiments::scale::Scale;
 use slowcc_experiments::{registry, runner};
 use slowcc_netsim::audit::{set_default_audit, take_global_report, AuditMode};
 use slowcc_netsim::event::{set_default_scheduler, SchedulerKind};
+use slowcc_netsim::sim::set_default_batching;
 
 #[test]
 fn every_experiment_is_schedule_invariant_and_audit_clean_at_quick() {
@@ -27,6 +29,7 @@ fn every_experiment_is_schedule_invariant_and_audit_clean_at_quick() {
         fn drop(&mut self) {
             set_default_audit(None);
             set_default_scheduler(None);
+            set_default_batching(None);
         }
     }
     let _restore = Restore;
@@ -69,6 +72,20 @@ fn every_experiment_is_schedule_invariant_and_audit_clean_at_quick() {
             calendar,
             serial,
             "{}: calendar-queue scheduler must reproduce the heap's output byte-for-byte",
+            exp.name()
+        );
+
+        // The same cells dispatched one event at a time: batched
+        // dispatch (the default) is infrastructure too, and DESIGN.md
+        // §5g's ordering contract says turning it off cannot move a
+        // single event — so the figures cannot move a single byte.
+        set_default_batching(Some(false));
+        let unbatched = exp.cell_jsons(Scale::Quick);
+        set_default_batching(None);
+        assert_eq!(
+            unbatched,
+            serial,
+            "{}: unbatched dispatch must reproduce the batched output byte-for-byte",
             exp.name()
         );
     }

@@ -177,17 +177,22 @@ struct CalendarQueue {
     /// in [`Self::locate_min`] so it costs O(1) per pop even when a
     /// rebuild cannot help (all events at one instant).
     pops_since_resize: usize,
+    /// Reusable scratch for [`Self::drain_at`]: `(seq, kind)` pairs of
+    /// the batch being extracted, sorted before they are handed out.
+    /// Kept on the queue so steady-state batch drains never allocate.
+    scratch: Vec<(u64, EventKind)>,
 }
 
 impl CalendarQueue {
     fn new() -> Self {
         CalendarQueue {
-            buckets: vec![Vec::new(); MIN_BUCKETS],
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::with_capacity(8)).collect(),
             shift: INITIAL_SHIFT,
             mask: (MIN_BUCKETS - 1) as u64,
             len: 0,
             cursor_day: 0,
             pops_since_resize: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -292,6 +297,108 @@ impl CalendarQueue {
         entry
     }
 
+    /// Fused minimum-search and batch-drain behind
+    /// [`EventQueue::drain_batch`]: one walk from the cursor both locates
+    /// the `(time, seq)` minimum *and* counts how many entries tie its
+    /// timestamp (ties always share a day, hence a bucket), so the untied
+    /// common case drains with a single O(1) `swap_remove` and no second
+    /// bucket pass. Extracted kinds are appended to `out` in ascending
+    /// `seq` order — exactly the order repeated [`Self::remove`] calls
+    /// would have produced. Returns the batch timestamp, or `None` when
+    /// the queue is empty or the head is past `horizon` (located-but-
+    /// rejected heads still advance the cursor, as `locate_min` would).
+    fn drain_batch(&mut self, horizon: SimTime, out: &mut Vec<EventKind>) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        self.pops_since_resize += 1;
+        loop {
+            let (b, i, ties) = self.scan_min_with_ties();
+            // Same skew guard as `locate_min`.
+            if self.buckets[b].len() > 16
+                && self.pops_since_resize > self.len
+                && self.buckets[b].len() > 8 * self.len / self.buckets.len()
+            {
+                self.resize(self.buckets.len());
+                continue;
+            }
+            let t = self.buckets[b][i].time;
+            if t > horizon {
+                return None;
+            }
+            let bucket = &mut self.buckets[b];
+            if ties == 1 {
+                out.push(bucket.swap_remove(i).kind);
+                self.len -= 1;
+            } else {
+                let mut scratch = std::mem::take(&mut self.scratch);
+                scratch.clear();
+                bucket.retain(|e| {
+                    if e.time == t {
+                        scratch.push((e.seq, e.kind));
+                        false
+                    } else {
+                        true
+                    }
+                });
+                self.len -= scratch.len();
+                scratch.sort_unstable_by_key(|&(seq, _)| seq);
+                out.extend(scratch.iter().map(|&(_, kind)| kind));
+                self.scratch = scratch;
+            }
+            // Same shrink trigger as `remove`, applied once per batch.
+            if self.len < self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
+                self.resize((self.buckets.len() / 2).max(MIN_BUCKETS));
+            }
+            return Some(t);
+        }
+    }
+
+    /// [`Self::scan_min`] variant that additionally counts the entries
+    /// tying the minimum's timestamp. Caller guarantees `len > 0`.
+    fn scan_min_with_ties(&mut self) -> (usize, usize, usize) {
+        let nb = self.buckets.len();
+        let mut day = self.cursor_day;
+        for _ in 0..nb {
+            let b = (day & self.mask) as usize;
+            let mut best: Option<(usize, SimTime, u64)> = None;
+            let mut ties = 0usize;
+            for (i, e) in self.buckets[b].iter().enumerate() {
+                if self.day_of(e.time) != day {
+                    continue;
+                }
+                match best {
+                    None => {
+                        best = Some((i, e.time, e.seq));
+                        ties = 1;
+                    }
+                    Some((_, t, s)) => {
+                        if e.time < t {
+                            best = Some((i, e.time, e.seq));
+                            ties = 1;
+                        } else if e.time == t {
+                            ties += 1;
+                            if e.seq < s {
+                                best = Some((i, e.time, e.seq));
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some((i, _, _)) = best {
+                self.cursor_day = day;
+                return (b, i, ties);
+            }
+            day += 1;
+        }
+        // Far-future fallback, as in `scan_min`; the tie recount of the
+        // found bucket is one extra scan on a path pops almost never take.
+        let (b, i) = self.scan_min();
+        let t = self.buckets[b][i].time;
+        let ties = self.buckets[b].iter().filter(|e| e.time == t).count();
+        (b, i, ties)
+    }
+
     /// Rebuild with `new_nb` buckets, re-picking the bucket width from
     /// the spacing of the events at the *head* of the queue (Brown's
     /// rule). The head gap is what pops will actually see; a global
@@ -300,7 +407,10 @@ impl CalendarQueue {
     /// sparse tail of far-out timers behind it.
     fn resize(&mut self, new_nb: usize) {
         const WIDTH_SAMPLE: usize = 32;
-        let entries: Vec<Entry> = self.buckets.iter_mut().flat_map(std::mem::take).collect();
+        let mut entries: Vec<Entry> = Vec::with_capacity(self.len);
+        for bucket in &mut self.buckets {
+            entries.extend(std::mem::take(bucket));
+        }
         if entries.len() >= 2 {
             // The WIDTH_SAMPLE earliest event times, via an O(n) select
             // (order within the head does not matter, only its span).
@@ -317,7 +427,12 @@ impl CalendarQueue {
             // clamped so day arithmetic stays sane.
             self.shift = (64 - (mean_gap.saturating_mul(2)).leading_zeros()).clamp(4, 40);
         }
-        self.buckets = vec![Vec::new(); new_nb];
+        // Pre-size each bucket past the expected occupancy (≤2 by the
+        // grow trigger): the grow/shrink oscillation otherwise hands out
+        // zero-capacity buckets whose first few pushes realloc, every
+        // resize, forever. Capacity is invisible to pop order.
+        let cap = (2 * entries.len() / new_nb + 2).next_power_of_two();
+        self.buckets = (0..new_nb).map(|_| Vec::with_capacity(cap)).collect();
         self.mask = (new_nb - 1) as u64;
         let mut min_day = u64::MAX;
         for e in &entries {
@@ -436,6 +551,43 @@ impl EventQueue {
                 Some((e.time, e.kind))
             }
         }
+    }
+
+    /// Remove every event sharing the earliest pending timestamp, if that
+    /// timestamp is at or before `horizon`, appending their kinds to `out`
+    /// in exactly the order repeated [`Self::pop`] calls would have
+    /// produced (ascending `seq`). Returns the batch timestamp, or `None`
+    /// when the queue is empty or the head is past the horizon.
+    ///
+    /// Events scheduled *while a batch is being dispatched* — even at the
+    /// batch's own timestamp — get strictly larger sequence numbers than
+    /// everything already extracted, so picking them up in the *next*
+    /// `drain_batch` call reproduces the single-pop order exactly. This is
+    /// the ordering contract `Simulator::run_until` batching relies on;
+    /// see DESIGN.md §5g and `tests/batch_equivalence.rs`.
+    ///
+    /// `out` is a caller-owned arena buffer (cleared here) so steady-state
+    /// batch dispatch performs no allocation.
+    pub fn drain_batch(&mut self, horizon: SimTime, out: &mut Vec<EventKind>) -> Option<SimTime> {
+        out.clear();
+        match &mut self.backend {
+            Backend::Heap(heap) => {
+                let t = heap.peek().map(|e| e.time).filter(|&t| t <= horizon)?;
+                while heap.peek().is_some_and(|e| e.time == t) {
+                    out.push(heap.pop().expect("peeked entry exists").kind);
+                }
+                Some(t)
+            }
+            Backend::Calendar(cal) => cal.drain_batch(horizon, out),
+        }
+    }
+
+    /// Total number of events ever scheduled on this queue (the next
+    /// sequence number). With [`Self::len`] this gives the number of
+    /// events already dispatched — `scheduled() - len()` — without any
+    /// hot-path counter.
+    pub fn scheduled(&self) -> u64 {
+        self.next_seq
     }
 
     /// Time of the earliest scheduled event. `&mut` because the calendar

@@ -9,8 +9,9 @@ use rand::{Rng, SeedableRng};
 use crate::faults::{FaultPlan, FaultState};
 use crate::ids::NodeId;
 use crate::packet::Packet;
+use crate::pool::PacketId;
 use crate::queue::QueueDiscipline;
-use crate::time::{SimDuration, SimTime};
+use crate::time::{transmission_time, SimDuration, SimTime};
 
 /// Decides, per packet, whether the link artificially drops it before the
 /// buffer sees it. Implementations are deterministic state machines so the
@@ -120,8 +121,18 @@ pub struct Link {
     pub(crate) marker: Option<Box<dyn MarkPattern>>,
     /// Optional scripted fault injection (see [`crate::faults`]).
     pub(crate) faults: Option<FaultState>,
-    /// Whether a packet is currently being serialized.
-    pub(crate) busy: bool,
+    /// The packet currently being serialized, if any. Living on the link
+    /// (rather than in a parallel simulator-side vector) keeps the
+    /// transmitter state on the same cache lines as the queue it feeds.
+    pub(crate) in_service: Option<PacketId>,
+    /// Serialization-time memo: the last two distinct packet sizes seen
+    /// and their [`transmission_time`], most recent first. Real traffic
+    /// is bimodal (data segments and ACKs), so in steady state every
+    /// `start_service` is a table hit and the per-packet f64
+    /// divide-and-ceil is paid only when a new size appears. Seeded with
+    /// size 0 → zero duration, which is exactly what
+    /// [`transmission_time`] returns for an empty packet.
+    tx_memo: [(u32, SimDuration); 2],
 }
 
 impl Link {
@@ -142,8 +153,34 @@ impl Link {
             loss: None,
             marker: None,
             faults: None,
-            busy: false,
+            in_service: None,
+            tx_memo: [(0, SimDuration::ZERO); 2],
         }
+    }
+
+    /// Whether a packet is currently being serialized.
+    #[inline]
+    pub(crate) fn busy(&self) -> bool {
+        self.in_service.is_some()
+    }
+
+    /// Serialization time for a packet of `size` bytes on this link,
+    /// via the two-entry memo. Pure memoization of
+    /// [`transmission_time`]: for a given size the returned duration is
+    /// bit-identical to the direct computation, always.
+    #[inline]
+    pub(crate) fn tx_time(&mut self, size: u32) -> SimDuration {
+        if self.tx_memo[0].0 == size {
+            return self.tx_memo[0].1;
+        }
+        if self.tx_memo[1].0 == size {
+            self.tx_memo.swap(0, 1);
+            return self.tx_memo[0].1;
+        }
+        let t = transmission_time(size, self.rate_bps);
+        self.tx_memo[1] = self.tx_memo[0];
+        self.tx_memo[0] = (size, t);
+        t
     }
 
     /// Attach a scripted loss pattern executed before the buffer.
@@ -201,7 +238,7 @@ impl core::fmt::Debug for Link {
             .field("rate_bps", &self.rate_bps)
             .field("delay", &self.delay)
             .field("queue_len", &self.queue.len())
-            .field("busy", &self.busy)
+            .field("busy", &self.busy())
             .finish()
     }
 }
@@ -225,6 +262,26 @@ mod tests {
             dst_agent: AgentId::from_index(1),
             sent_at: SimTime::ZERO,
             ecn: Default::default(),
+        }
+    }
+
+    #[test]
+    fn tx_time_memo_matches_direct_computation() {
+        use crate::queue::DropTail;
+        let mut link = Link::new(
+            NodeId::from_index(1),
+            10e6,
+            SimDuration::ZERO,
+            Box::new(DropTail::new(10)),
+        );
+        // Bimodal steady state, an eviction (1500), a re-fault (1040)
+        // and the degenerate size-0 seed entry.
+        for &size in &[1040u32, 40, 1040, 40, 1500, 40, 1040, 0] {
+            assert_eq!(
+                link.tx_time(size),
+                transmission_time(size, 10e6),
+                "size {size}"
+            );
         }
     }
 

@@ -5,14 +5,19 @@
 //! dumbbell topologies, so tables are filled once at construction time by
 //! [`crate::topology`] helpers (or by hand for custom topologies).
 
-use std::collections::HashMap;
-
 use crate::ids::{LinkId, NodeId};
 
 /// A host or router.
+///
+/// The routing table is a flat sorted vector rather than a `HashMap`:
+/// [`Node::route`] runs for every packet at every hop, tables are tiny
+/// (a handful of entries on the paper's dumbbells) and built once at
+/// topology-construction time, so a cache-resident binary search beats
+/// hashing every destination id through SipHash on the hot path.
 #[derive(Debug, Default)]
 pub struct Node {
-    routes: HashMap<NodeId, LinkId>,
+    /// `(dst, out-link)` pairs, sorted by `dst` (unique).
+    routes: Vec<(NodeId, LinkId)>,
     default_route: Option<LinkId>,
 }
 
@@ -22,9 +27,13 @@ impl Node {
         Node::default()
     }
 
-    /// Install a route: packets for `dst` leave on `link`.
+    /// Install a route: packets for `dst` leave on `link`. Re-adding a
+    /// destination replaces its entry.
     pub fn add_route(&mut self, dst: NodeId, link: LinkId) {
-        self.routes.insert(dst, link);
+        match self.routes.binary_search_by_key(&dst, |&(d, _)| d) {
+            Ok(i) => self.routes[i].1 = link,
+            Err(i) => self.routes.insert(i, (dst, link)),
+        }
     }
 
     /// Install the default route used when no per-destination entry
@@ -34,8 +43,12 @@ impl Node {
     }
 
     /// Outgoing link for `dst`, if the node knows one.
+    #[inline]
     pub fn route(&self, dst: NodeId) -> Option<LinkId> {
-        self.routes.get(&dst).copied().or(self.default_route)
+        match self.routes.binary_search_by_key(&dst, |&(d, _)| d) {
+            Ok(i) => Some(self.routes[i].1),
+            Err(_) => self.default_route,
+        }
     }
 }
 

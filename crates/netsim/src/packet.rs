@@ -75,8 +75,12 @@ pub struct AckInfo {
     pub echo_ts: SimTime,
     /// Time the echoed packet spent held at the receiver before this
     /// report was emitted, so the sender can subtract it from its RTT
-    /// sample (relevant for once-per-RTT TFRC reports).
-    pub echo_delay_ns: u64,
+    /// sample (relevant for once-per-RTT TFRC reports). Held delays are
+    /// bounded by a feedback interval (~1 RTT), so 32 bits (≈4.29 s)
+    /// always suffices; producers saturate on construction. The narrow
+    /// field is what packs [`AckInfo`] into a single cache line — see
+    /// the layout tests at the bottom of this module.
+    pub echo_delay_ns: u32,
     /// Receive rate measured by the receiver over roughly the last RTT,
     /// in bytes per second (TFRC `X_recv`).
     pub recv_rate_bps: f64,
@@ -115,7 +119,11 @@ impl AckInfo {
 }
 
 /// A packet in flight.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Copy`: every field is plain-old-data, so the pool can hand packets
+/// out by bitwise copy instead of `Clone` calls, and the layout tests
+/// below pin the struct to two cache lines (128 bytes).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Packet {
     /// Globally unique packet id, assigned at send time.
     pub uid: u64,
@@ -263,6 +271,29 @@ mod tests {
         assert!(p.is_data());
         assert!(!p.is_ack());
         assert!(p.ack().is_none());
+    }
+
+    /// `static_assert`-style layout pins for the data-plane structs. The
+    /// simulator memcpys these on every send/deliver and scans them in
+    /// the pool slab, so a field type change that silently grows them is
+    /// a perf regression this test turns into a compile-visible failure.
+    /// Shrinking is fine — tighten the constants when it happens.
+    #[test]
+    fn data_plane_struct_layout_is_packed() {
+        use core::mem::size_of;
+        // One cache line: 7 words of report fields + echo_delay_ns(u32)
+        // + two bools + padding.
+        assert_eq!(size_of::<AckInfo>(), 64);
+        assert_eq!(size_of::<DataInfo>(), 8);
+        // Tag-free: the discriminant lives in a niche of AckInfo's bool
+        // padding, so the payload union costs no extra word.
+        assert_eq!(size_of::<Payload>(), 64);
+        // Payload + uid/seq/sent_at + size + 4 ids + ecn — 113 bytes of
+        // fields reordered by the compiler into 120 (down from 136
+        // before `echo_delay_ns` was narrowed).
+        assert_eq!(size_of::<Packet>(), 120);
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<Packet>();
     }
 
     #[test]

@@ -83,6 +83,7 @@ impl DropTail {
 }
 
 impl QueueDiscipline for DropTail {
+    #[inline]
     fn enqueue(
         &mut self,
         pkt: PacketId,
@@ -98,10 +99,12 @@ impl QueueDiscipline for DropTail {
         }
     }
 
+    #[inline]
     fn dequeue(&mut self, _now: SimTime) -> Option<PacketId> {
         self.buf.pop_front()
     }
 
+    #[inline]
     fn len(&self) -> usize {
         self.buf.len()
     }
@@ -264,6 +267,7 @@ impl Red {
 }
 
 impl QueueDiscipline for Red {
+    #[inline]
     fn enqueue(
         &mut self,
         pkt: PacketId,
@@ -284,6 +288,7 @@ impl QueueDiscipline for Red {
         result
     }
 
+    #[inline]
     fn dequeue(&mut self, now: SimTime) -> Option<PacketId> {
         let pkt = self.buf.pop_front();
         if self.buf.is_empty() && self.idle_since.is_none() {
@@ -292,6 +297,7 @@ impl QueueDiscipline for Red {
         pkt
     }
 
+    #[inline]
     fn len(&self) -> usize {
         self.buf.len()
     }

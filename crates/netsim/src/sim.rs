@@ -23,6 +23,9 @@
 //! breaks timestamp ties by scheduling order, all arenas are index-based,
 //! and the only randomness is the seeded RNG exposed via [`Ctx::rng`].
 
+use std::sync::atomic::{AtomicU8, Ordering as AtomicOrdering};
+use std::sync::OnceLock;
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -35,7 +38,7 @@ use crate::packet::{Packet, PacketSpec, Payload};
 use crate::pool::{PacketId, PacketPool};
 use crate::queue::EnqueueResult;
 use crate::stats::Stats;
-use crate::time::{transmission_time, SimDuration, SimTime};
+use crate::time::{SimDuration, SimTime};
 use crate::trace::{DropReason, TraceEvent, TraceKind, TraceSink};
 
 /// A protocol endpoint or traffic source.
@@ -87,8 +90,6 @@ struct World {
     /// All live packets; events and link buffers reference slots by
     /// [`PacketId`], so the hot path moves 4-byte ids, not packet bytes.
     pool: PacketPool,
-    /// The packet currently being serialized by each link, if any.
-    in_flight: Vec<Option<PacketId>>,
     stats: Stats,
     rng: SmallRng,
     next_uid: u64,
@@ -226,7 +227,7 @@ impl World {
                 },
                 pool.get(pkt),
             );
-            pool.remove(pkt);
+            pool.discard(pkt);
             return;
         }
 
@@ -246,7 +247,7 @@ impl World {
                     },
                     pool.get(pkt),
                 );
-                pool.remove(pkt);
+                pool.discard(pkt);
                 return;
             }
         }
@@ -267,7 +268,7 @@ impl World {
         // The buffer. The packet stays pooled whatever the discipline
         // decides, so the drop/mark outcomes trace straight from the pool
         // slot — no per-packet snapshot on either path.
-        let busy = link.busy;
+        let busy = link.busy();
         let result = link.queue.enqueue(pkt, pool, now, rng);
         match result {
             EnqueueResult::Enqueued | EnqueueResult::Marked => {
@@ -300,17 +301,16 @@ impl World {
                     },
                     pool.get(pkt),
                 );
-                pool.remove(pkt);
+                pool.discard(pkt);
             }
         }
     }
 
     fn start_service(&mut self, link_id: LinkId, pkt: PacketId) {
         let link = &mut self.links[link_id.index()];
-        debug_assert!(!link.busy, "start_service on busy link");
-        link.busy = true;
-        let tx = transmission_time(self.pool.get(pkt).size, link.rate_bps);
-        self.in_flight[link_id.index()] = Some(pkt);
+        debug_assert!(!link.busy(), "start_service on busy link");
+        let tx = link.tx_time(self.pool.get(pkt).size);
+        link.in_service = Some(pkt);
         self.queue
             .schedule(self.now + tx, EventKind::LinkTxComplete { link: link_id });
     }
@@ -320,7 +320,6 @@ impl World {
         let World {
             links,
             pool,
-            in_flight,
             queue,
             stats,
             trace,
@@ -328,7 +327,8 @@ impl World {
             ..
         } = self;
         let link = &mut links[link_id.index()];
-        let pkt = in_flight[link_id.index()]
+        let pkt = link
+            .in_service
             .take()
             .expect("TxComplete without a packet in flight");
         stats.record_link_tx(link_id, now, pool.get(pkt).size);
@@ -348,8 +348,7 @@ impl World {
                 packet: pkt,
             },
         );
-        // Pull the next packet, if any.
-        link.busy = false;
+        // Pull the next packet, if any (`in_service` is already vacated).
         if let Some(next) = link.queue.dequeue(now) {
             self.start_service(link_id, next);
         }
@@ -370,11 +369,54 @@ impl World {
     }
 }
 
+/// Process-wide programmatic batching override:
+/// 0 = unset, 1 = force off, 2 = force on.
+static BATCH_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// The `SLOWCC_BATCH` environment knob, read once per process.
+static ENV_BATCH: OnceLock<bool> = OnceLock::new();
+
+/// Force every subsequently created [`Simulator`] to dispatch events
+/// batched (`Some(true)`) or strictly one at a time (`Some(false)`);
+/// `None` restores the default resolution (environment, then batched).
+/// The unbatched path is retained for one release as the reference for
+/// equivalence tests, exactly like the heap scheduler backend.
+pub fn set_default_batching(on: Option<bool>) {
+    let v = match on {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    BATCH_OVERRIDE.store(v, AtomicOrdering::Relaxed);
+}
+
+/// The dispatch mode new simulators get: the [`set_default_batching`]
+/// override if set, else the `SLOWCC_BATCH` environment variable (`on` /
+/// `1` or `off` / `0`), else batched.
+pub fn default_batching() -> bool {
+    match BATCH_OVERRIDE.load(AtomicOrdering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => *ENV_BATCH.get_or_init(|| match std::env::var("SLOWCC_BATCH") {
+            Ok(v) if v == "off" || v == "0" => false,
+            Ok(v) if v == "on" || v == "1" => true,
+            Ok(v) => panic!("SLOWCC_BATCH must be `on`/`1` or `off`/`0`, got `{v}`"),
+            Err(_) => true,
+        }),
+    }
+}
+
 /// The discrete-event network simulator.
 pub struct Simulator {
     world: World,
     agents: Vec<AgentSlot>,
     next_flow: u32,
+    /// Whether [`Self::run_until`] dispatches timestamp batches (the
+    /// default) or single events (see [`set_default_batching`]).
+    batching: bool,
+    /// Reusable arena the event queue drains each timestamp batch into;
+    /// owned here so steady-state batch dispatch never allocates.
+    batch_buf: Vec<EventKind>,
 }
 
 /// Default width of the statistics bins (10 ms: fine enough for the
@@ -397,7 +439,6 @@ impl Simulator {
                 nodes: Vec::new(),
                 links: Vec::new(),
                 pool: PacketPool::new(),
-                in_flight: Vec::new(),
                 stats: Stats::new(bin),
                 rng: SmallRng::seed_from_u64(seed),
                 next_uid: 0,
@@ -406,6 +447,8 @@ impl Simulator {
             },
             agents: Vec::new(),
             next_flow: 0,
+            batching: default_batching(),
+            batch_buf: Vec::new(),
         }
     }
 
@@ -450,8 +493,7 @@ impl Simulator {
         let link_state: Vec<(usize, bool)> = world
             .links
             .iter()
-            .zip(&world.in_flight)
-            .map(|(l, inflight)| (l.queue_len(), inflight.is_some()))
+            .map(|l| (l.queue_len(), l.busy()))
             .collect();
         auditor.finish(pool_live, &link_state, &world.stats)
     }
@@ -459,6 +501,24 @@ impl Simulator {
     /// Which event-scheduler backend this simulator runs on.
     pub fn scheduler_kind(&self) -> SchedulerKind {
         self.world.queue.kind()
+    }
+
+    /// Whether [`Self::run_until`] dispatches timestamp batches.
+    pub fn batching_enabled(&self) -> bool {
+        self.batching
+    }
+
+    /// Number of events dispatched so far: everything ever scheduled
+    /// minus what is still pending. Derived from the queue's sequence
+    /// counter, so it costs nothing on the hot path.
+    pub fn events_processed(&self) -> u64 {
+        self.world.queue.scheduled() - self.world.queue.len() as u64
+    }
+
+    /// Number of packets injected so far (the uid counter): every
+    /// [`Ctx::send`] plus every fault-layer duplicate.
+    pub fn packets_injected(&self) -> u64 {
+        self.world.next_uid
     }
 
     /// High-water mark of simultaneously in-flight packets — the packet
@@ -480,7 +540,6 @@ impl Simulator {
     pub fn add_link(&mut self, src: NodeId, link: Link) -> LinkId {
         let _ = src; // `src` documents intent; links are referenced by id.
         self.world.links.push(link);
-        self.world.in_flight.push(None);
         let id = LinkId::from_index(self.world.links.len() - 1);
         self.world.stats.ensure_link(id);
         id
@@ -570,16 +629,51 @@ impl Simulator {
     /// Run until the event queue drains or `until` is reached, whichever
     /// comes first. The clock is left at `until` when the horizon is hit.
     ///
-    /// Each iteration is a single `pop_if_at_or_before` on the scheduler
-    /// — not a peek followed by a pop, which paid for the earliest-event
-    /// search twice per event.
+    /// The default inner loop is *timestamp-batched*: one
+    /// [`EventQueue::drain_batch`] extracts every event sharing the head
+    /// timestamp into a reusable arena, the clock advances once, and the
+    /// events dispatch back-to-back in `(time, seq)` order — the exact
+    /// order the single-pop loop produces, so output is byte-identical
+    /// either way (pinned by `tests/batch_equivalence.rs` and the
+    /// registry conformance suite). The audit pool cross-check runs once
+    /// per batch instead of once per event; with auditing off the hook is
+    /// a single null check per batch.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some((time, kind)) = self.world.queue.pop_if_at_or_before(until) {
-            self.process(time, kind);
+        self.world.stats.set_reserve_hint(until);
+        if self.batching {
+            self.run_until_batched(until);
+        } else {
+            while let Some((time, kind)) = self.world.queue.pop_if_at_or_before(until) {
+                self.process(time, kind);
+            }
         }
         if self.world.now < until {
             self.world.now = until;
         }
+    }
+
+    fn run_until_batched(&mut self, until: SimTime) {
+        // The arena lives on `self` but is taken out for the loop so
+        // `drain_batch` (which borrows the queue mutably) can fill it.
+        // Handlers dispatched from the batch never see it: events they
+        // schedule — even at the batch's own timestamp — carry larger
+        // sequence numbers and are picked up by a later `drain_batch`.
+        let mut buf = std::mem::take(&mut self.batch_buf);
+        while let Some(time) = self.world.queue.drain_batch(until, &mut buf) {
+            debug_assert!(time >= self.world.now, "event queue went backwards");
+            self.world.now = time;
+            for &kind in &buf {
+                self.dispatch_event(kind);
+            }
+            // O(1) per-batch cross-check: pool live slots vs ledger.
+            // Every handler leaves the two reconciled, so checking at
+            // batch granularity loses no violations (see audit docs).
+            let World { audit, pool, now, .. } = &mut self.world;
+            if let Some(a) = audit.as_deref_mut() {
+                a.check_pool(pool.len(), *now);
+            }
+        }
+        self.batch_buf = buf;
     }
 
     /// Process a single event. Returns `false` when the queue is empty.
@@ -591,10 +685,22 @@ impl Simulator {
         true
     }
 
-    /// Advance the clock to `time` and fire `kind`.
+    /// Advance the clock to `time` and fire `kind`, with the audit
+    /// cross-check at per-event granularity (the unbatched loop and
+    /// [`Self::step`]).
     fn process(&mut self, time: SimTime, kind: EventKind) {
         debug_assert!(time >= self.world.now, "event queue went backwards");
         self.world.now = time;
+        self.dispatch_event(kind);
+        // O(1) per-event cross-check: pool live slots vs packet ledger.
+        let World { audit, pool, now, .. } = &mut self.world;
+        if let Some(a) = audit.as_deref_mut() {
+            a.check_pool(pool.len(), *now);
+        }
+    }
+
+    /// Fire `kind` at the already-advanced clock.
+    fn dispatch_event(&mut self, kind: EventKind) {
         match kind {
             EventKind::LinkTxComplete { link } => self.world.on_tx_complete(link),
             EventKind::Arrive { node, packet } => {
@@ -640,11 +746,6 @@ impl Simulator {
                 }
                 self.world.admit_to_link(link, packet);
             }
-        }
-        // O(1) per-event cross-check: pool live slots vs packet ledger.
-        let World { audit, pool, now, .. } = &mut self.world;
-        if let Some(a) = audit.as_deref_mut() {
-            a.check_pool(pool.len(), *now);
         }
     }
 

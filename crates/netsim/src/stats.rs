@@ -76,6 +76,16 @@ pub struct LinkStats {
 #[derive(Debug)]
 pub struct Stats {
     bin: SimDuration,
+    /// Memo of the last bin resolved by the record path: `[start, end)`
+    /// in nanos and the bin index. Record timestamps are nearly monotone
+    /// and bins are ~10 ms wide, so almost every record hits the memo
+    /// and skips the 64-bit division in [`Self::bin_index`].
+    bin_memo: (u64, u64, usize),
+    /// Bin-count hint for newly created per-flow/per-link series, set
+    /// from the `run_until` horizon: series are allocated at their final
+    /// capacity up front instead of doubling through ~10 reallocs each
+    /// over the run. Capacity only — serialized lengths are untouched.
+    reserve_hint: usize,
     flows: Vec<FlowStats>,
     links: Vec<LinkStats>,
 }
@@ -94,6 +104,8 @@ impl Stats {
         assert!(!bin.is_zero(), "stats bin width must be positive");
         Stats {
             bin,
+            bin_memo: (0, 0, 0),
+            reserve_hint: 0,
             flows: Vec::new(),
             links: Vec::new(),
         }
@@ -108,20 +120,64 @@ impl Stats {
         (t.as_nanos() / self.bin.as_nanos()) as usize
     }
 
+    /// [`Self::bin_index`] for the record path: checks the `[start, end)`
+    /// memo before dividing. Returns the identical index for every input
+    /// (the memo is an exact cache, not an approximation), so recorded
+    /// series are byte-for-byte unaffected.
+    #[inline]
+    fn bin_index_hot(&mut self, t: SimTime) -> usize {
+        let ns = t.as_nanos();
+        let (start, end, ix) = self.bin_memo;
+        if ns >= start && ns < end {
+            return ix;
+        }
+        let width = self.bin.as_nanos();
+        let ix = (ns / width) as usize;
+        let start = ix as u64 * width;
+        self.bin_memo = (start, start.saturating_add(width), ix);
+        ix
+    }
+
+    /// Record the horizon the simulator is about to run to, so series
+    /// created from here on start at their final capacity. Clamped so a
+    /// `run_until(SimTime::MAX)` drain cannot trigger a huge allocation.
+    pub(crate) fn set_reserve_hint(&mut self, until: SimTime) {
+        const MAX_HINT_BINS: usize = 1 << 17;
+        self.reserve_hint = self
+            .reserve_hint
+            .max((self.bin_index(until) + 1).min(MAX_HINT_BINS));
+    }
+
+    fn series(&self) -> Vec<u64> {
+        Vec::with_capacity(self.reserve_hint)
+    }
+
     pub(crate) fn ensure_flow(&mut self, flow: FlowId) {
-        if self.flows.len() <= flow.index() {
-            self.flows.resize_with(flow.index() + 1, FlowStats::default);
+        while self.flows.len() <= flow.index() {
+            self.flows.push(FlowStats {
+                tx_bytes: self.series(),
+                rx_bytes: self.series(),
+                rx_packets: self.series(),
+                ..FlowStats::default()
+            });
         }
     }
 
     pub(crate) fn ensure_link(&mut self, link: LinkId) {
-        if self.links.len() <= link.index() {
-            self.links.resize_with(link.index() + 1, LinkStats::default);
+        while self.links.len() <= link.index() {
+            self.links.push(LinkStats {
+                arrivals: self.series(),
+                drops: self.series(),
+                marks: self.series(),
+                queue_sum: self.series(),
+                tx_bytes: self.series(),
+                ..LinkStats::default()
+            });
         }
     }
 
     pub(crate) fn record_flow_tx(&mut self, flow: FlowId, now: SimTime, bytes: u32) {
-        let ix = self.bin_index(now);
+        let ix = self.bin_index_hot(now);
         self.ensure_flow(flow);
         let f = &mut self.flows[flow.index()];
         bump(&mut f.tx_bytes, ix, bytes as u64);
@@ -129,7 +185,7 @@ impl Stats {
     }
 
     pub(crate) fn record_flow_rx(&mut self, flow: FlowId, now: SimTime, bytes: u32) {
-        let ix = self.bin_index(now);
+        let ix = self.bin_index_hot(now);
         self.ensure_flow(flow);
         let f = &mut self.flows[flow.index()];
         bump(&mut f.rx_bytes, ix, bytes as u64);
@@ -139,7 +195,7 @@ impl Stats {
     }
 
     pub(crate) fn record_link_arrival(&mut self, link: LinkId, now: SimTime, queue_len: usize) {
-        let ix = self.bin_index(now);
+        let ix = self.bin_index_hot(now);
         self.ensure_link(link);
         let l = &mut self.links[link.index()];
         bump(&mut l.arrivals, ix, 1);
@@ -169,7 +225,7 @@ impl Stats {
     }
 
     pub(crate) fn record_link_drop(&mut self, link: LinkId, now: SimTime) {
-        let ix = self.bin_index(now);
+        let ix = self.bin_index_hot(now);
         self.ensure_link(link);
         let l = &mut self.links[link.index()];
         bump(&mut l.drops, ix, 1);
@@ -194,7 +250,7 @@ impl Stats {
     }
 
     pub(crate) fn record_link_mark(&mut self, link: LinkId, now: SimTime) {
-        let ix = self.bin_index(now);
+        let ix = self.bin_index_hot(now);
         self.ensure_link(link);
         let l = &mut self.links[link.index()];
         bump(&mut l.marks, ix, 1);
@@ -202,7 +258,7 @@ impl Stats {
     }
 
     pub(crate) fn record_link_tx(&mut self, link: LinkId, now: SimTime, bytes: u32) {
-        let ix = self.bin_index(now);
+        let ix = self.bin_index_hot(now);
         self.ensure_link(link);
         let l = &mut self.links[link.index()];
         bump(&mut l.tx_bytes, ix, bytes as u64);

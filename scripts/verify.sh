@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full verification: tier-1 (release build + tests) plus smoke runs of
 # the unified `repro` execution path — parallel and resumed sweeps must
-# be byte-identical, schedulers interchangeable, audits clean, and a
-# panicking cell isolated to itself.
+# be byte-identical, schedulers and dispatch modes (batched vs
+# single-event) interchangeable, audits clean, a panicking cell isolated
+# to itself, and the dumbbell hot path no slower than the committed
+# benchmark baseline (see the bench gate at the bottom).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,6 +45,13 @@ SLOWCC_SCHEDULER=heap ./target/release/repro --quick fig45 --out "$tmp/heap" > /
 SLOWCC_SCHEDULER=calendar ./target/release/repro --quick fig45 --out "$tmp/calendar" > /dev/null
 diff -r "$tmp/heap" "$tmp/calendar"
 echo "calendar-queue output byte-identical to binary heap"
+
+echo "== batch dispatch equivalence smoke (SLOWCC_BATCH=off) =="
+# Batched dispatch is the default; the one-event-at-a-time reference
+# path must reproduce it byte-for-byte (DESIGN.md §5g).
+SLOWCC_BATCH=off ./target/release/repro --quick fig45 --out "$tmp/unbatched" > /dev/null
+diff -r "$tmp/heap" "$tmp/unbatched"
+echo "unbatched dispatch output byte-identical to batched"
 
 echo "== audited smoke (SLOWCC_AUDIT=1, both schedulers) =="
 # Strict env-var path: any invariant violation panics the run.
@@ -104,5 +113,16 @@ if [ "$skips" -ne "$fig45_cells" ]; then
 fi
 grep -q "FAILED cell panic-cell/fixture" "$tmp/resume.txt"
 echo "panic isolated per cell, manifest recorded, resume re-ran only the failure"
+
+echo "== bench regression gate (dumbbell events/sec vs committed baseline) =="
+# Re-measures the dumbbell hot path and fails if mean_ms regresses >25%
+# or events/sec drops >20% against the committed BENCH_netsim.json.
+# SLOWCC_SKIP_BENCH_GATE=1 skips (e.g. on shared/noisy CI machines).
+if [ "${SLOWCC_SKIP_BENCH_GATE:-0}" = "1" ]; then
+  echo "SLOWCC_SKIP_BENCH_GATE=1: skipping bench gate"
+else
+  cargo build --release -p slowcc-bench --bin bench_netsim
+  ./target/release/bench_netsim --check
+fi
 
 echo "== verify OK =="
