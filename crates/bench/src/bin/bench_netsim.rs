@@ -14,6 +14,14 @@
 //!   per-run time plus the event-throughput counters the regression
 //!   gate watches: events/sec, events per injected packet, and the raw
 //!   totals they derive from.
+//!   totals they derive from. Also records `peak_rss_bytes` (process
+//!   `VmHWM`) and a steady-state bytes-per-flow probe from a 64-flow
+//!   dumbbell's `VmRSS` growth.
+//! * **shards** — conservative-parallel scaling: 64 TCP flows on a
+//!   3-hop parking lot (4 delay clusters) at 1, 2 and 4 shards, with a
+//!   byte-identity assertion on the flow/link statistics across shard
+//!   counts. On a single-core host the speedup number measures thread
+//!   overhead, not scaling; the report says so in `warnings`.
 //! * **packet_bytes** — `size_of` pins for the data-plane structs, so
 //!   the recorded baseline documents the layout the numbers were
 //!   measured against.
@@ -36,7 +44,11 @@
 //! `bench_netsim --check` re-measures the dumbbell section and compares
 //! it against the committed `BENCH_netsim.json`: the run FAILS (exit 1)
 //! if `mean_ms` regresses by more than 25% or `events_per_sec` drops by
-//! more than 20%. Nothing is written in check mode. Set
+//! more than 20%. It then re-runs the shard workload at 1 and 4 shards:
+//! statistics divergence always fails; the 4-shard speedup assertion is
+//! skipped (with a printed notice) when this host is single-core or the
+//! committed baseline's `warnings` array carries the single-core
+//! `shards` entry. Nothing is written in check mode. Set
 //! `SLOWCC_SKIP_BENCH_GATE=1` to skip the comparison (exit 0), e.g. on
 //! known-noisy CI hosts. The committed baseline is parsed with a small
 //! hand-rolled scanner (the vendored `serde_json` shim serializes
@@ -53,6 +65,7 @@ use serde::Serialize;
 use slowcc_core::tcp::{Tcp, TcpConfig};
 use slowcc_netsim::event::{EventKind, EventQueue, SchedulerKind};
 use slowcc_netsim::prelude::*;
+use slowcc_netsim::sim::set_default_shards;
 
 #[derive(Serialize)]
 struct Warning {
@@ -84,6 +97,44 @@ struct DumbbellBench {
     events_per_packet: f64,
     events_processed: u64,
     packets_injected: u64,
+    /// Peak resident set of the bench process (`VmHWM`), in bytes,
+    /// sampled after the timed runs. A process-wide high-water mark, so
+    /// earlier sections contribute; `null` where `/proc` is unavailable.
+    peak_rss_bytes: Option<u64>,
+    /// Marginal resident bytes per flow at steady state: the `VmRSS`
+    /// growth across building and running a 64-flow paper dumbbell,
+    /// divided by 64. Probed after the timed 4-flow runs, so allocator
+    /// warmup is already paid and the growth is attributable to the
+    /// extra flows (agents, per-flow stats series, queue occupancy).
+    /// `null` where `/proc` is unavailable.
+    steady_state_bytes_per_flow: Option<f64>,
+}
+
+/// One shard count on the sharded parking-lot workload.
+#[derive(Serialize)]
+struct ShardCell {
+    requested_shards: usize,
+    /// Shards the topology actually sealed into (cluster-limited).
+    sealed_shards: usize,
+    runs: u32,
+    mean_ms: f64,
+    events_per_sec: f64,
+}
+
+/// Conservative-parallel scaling on a 64-flow, 3-hop parking lot
+/// (4 delay clusters, so up to 4 shards engage). The `deterministic`
+/// flag records that every shard count produced byte-identical flow and
+/// link statistics — the contract `--check` re-verifies.
+#[derive(Serialize)]
+struct ShardsBench {
+    flows: usize,
+    hops: usize,
+    sim_secs: u64,
+    deterministic: bool,
+    /// events/sec at 4 shards over 1 shard; meaningless (and flagged in
+    /// `warnings`) on a single-core host, where the threads timeshare.
+    speedup_4_shards: f64,
+    cells: Vec<ShardCell>,
 }
 
 /// `size_of` pins for the structs the hot path copies and scans; the
@@ -112,6 +163,7 @@ struct BenchReport {
     warnings: Vec<Warning>,
     schedulers: Vec<SchedulerBench>,
     dumbbell_4tcp_5s: DumbbellBench,
+    shards: ShardsBench,
     packet_bytes: PacketBytes,
     quick_sweep: Option<SweepBench>,
 }
@@ -120,6 +172,15 @@ const SINGLE_CORE_WARNING: Warning = Warning {
     section: "quick_sweep",
     message: "available_parallelism is 1: the serial and parallel sweep \
               runs would coincide, so the sweep was skipped",
+};
+
+/// Recorded when the host cannot demonstrate shard parallelism; its
+/// presence in the committed baseline tells `--check` to skip the
+/// shard-speedup assertion (the determinism check always runs).
+const SINGLE_CORE_SHARDS_WARNING: Warning = Warning {
+    section: "shards",
+    message: "available_parallelism is 1: shard workers timeshare one \
+              core, so speedup_4_shards measures overhead, not scaling",
 };
 
 /// Allowed relative regression of `dumbbell_4tcp_5s.mean_ms` in `--check`.
@@ -182,6 +243,47 @@ fn bench_schedulers() -> Vec<SchedulerBench> {
         .collect()
 }
 
+/// Read a `kB` field (e.g. `VmHWM`, `VmRSS`) from `/proc/self/status`.
+fn proc_status_kb(key: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status
+        .lines()
+        .find(|l| l.starts_with(key) && l.as_bytes().get(key.len()) == Some(&b':'))?;
+    line[key.len() + 1..]
+        .split_whitespace()
+        .next()?
+        .parse()
+        .ok()
+}
+
+/// Memory probe: `VmRSS` growth across a 64-flow dumbbell run, divided
+/// by the flow count. Run after the timed 4-flow measurements so the
+/// allocator and page tables are already warm and the growth is the
+/// flows', not the process startup's.
+fn memory_probe() -> (Option<u64>, Option<f64>) {
+    const FLOWS: u64 = 64;
+    let before = proc_status_kb("VmRSS");
+    let mut sim = Simulator::new(11);
+    let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
+    for i in 0..FLOWS {
+        let pair = db.add_host_pair(&mut sim);
+        Tcp::install(
+            &mut sim,
+            &pair,
+            TcpConfig::standard(1000),
+            SimTime::from_millis(7 * i),
+        );
+    }
+    sim.run_until(SimTime::from_secs(2));
+    let after = proc_status_kb("VmRSS");
+    black_box(&sim);
+    let per_flow = match (before, after) {
+        (Some(b), Some(a)) => Some((a.saturating_sub(b) * 1024) as f64 / FLOWS as f64),
+        _ => None,
+    };
+    (proc_status_kb("VmHWM").map(|kb| kb * 1024), per_flow)
+}
+
 fn dumbbell_run() -> (f64, u64, u64) {
     let mut sim = Simulator::new(3);
     let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
@@ -203,7 +305,7 @@ fn dumbbell_run() -> (f64, u64, u64) {
     (secs, events, packets)
 }
 
-fn bench_dumbbell() -> DumbbellBench {
+fn bench_dumbbell(probe_memory: bool) -> DumbbellBench {
     const RUNS: u32 = 10;
     // One untimed warmup run: first-touch page faults and lazy
     // allocator growth land here instead of skewing the first sample.
@@ -217,6 +319,8 @@ fn bench_dumbbell() -> DumbbellBench {
     let mean = times.iter().sum::<f64>() / times.len() as f64;
     let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
     let events_per_sec = events as f64 / mean;
+    let (peak_rss_bytes, steady_state_bytes_per_flow) =
+        if probe_memory { memory_probe() } else { (None, None) };
     println!(
         "dumbbell_4tcp_5s   mean {:.2} ms  min {:.2} ms  ({RUNS} runs, {:.1}M events/s, {:.2} events/pkt)",
         mean * 1e3,
@@ -224,6 +328,13 @@ fn bench_dumbbell() -> DumbbellBench {
         events_per_sec / 1e6,
         events as f64 / packets as f64,
     );
+    if let (Some(rss), Some(per_flow)) = (peak_rss_bytes, steady_state_bytes_per_flow) {
+        println!(
+            "memory             peak RSS {:.1} MiB  steady-state {:.1} KiB/flow (64-flow probe)",
+            rss as f64 / (1024.0 * 1024.0),
+            per_flow / 1024.0,
+        );
+    }
     DumbbellBench {
         runs: RUNS,
         mean_ms: mean * 1e3,
@@ -232,6 +343,108 @@ fn bench_dumbbell() -> DumbbellBench {
         events_per_packet: events as f64 / packets as f64,
         events_processed: events,
         packets_injected: packets,
+        peak_rss_bytes,
+        steady_state_bytes_per_flow,
+    }
+}
+
+/// Shard-scaling workload: 64 TCP flows end-to-end on a 3-hop parking
+/// lot (4 delay clusters). Returns wall seconds, event/packet counters,
+/// the sealed shard count, and a byte-comparable statistics fingerprint.
+fn shard_lot_run() -> (f64, u64, u64, usize, String) {
+    const FLOWS: usize = 64;
+    const HOPS: usize = 3;
+    let mut sim = Simulator::new(7);
+    let lot = ParkingLot::build(&mut sim, DumbbellConfig::paper(10e6), HOPS);
+    let mut flows = Vec::with_capacity(FLOWS);
+    for i in 0..FLOWS {
+        let pair = lot.add_host_pair(&mut sim, 0, HOPS);
+        let h = Tcp::install(
+            &mut sim,
+            &pair,
+            TcpConfig::standard(1000),
+            SimTime::from_millis(7 * i as u64),
+        );
+        flows.push(h.flow);
+    }
+    let t0 = Instant::now();
+    sim.run_until(SimTime::from_secs(3));
+    let secs = t0.elapsed().as_secs_f64();
+    let mut fp = String::new();
+    for f in flows {
+        fp.push_str(&format!("{f}: {:?}\n", sim.stats().flow(f)));
+    }
+    for &l in lot.forward.iter().chain(lot.reverse.iter()) {
+        fp.push_str(&format!("{l}: {:?}\n", sim.stats().link(l)));
+    }
+    let (events, packets) = (sim.events_processed(), sim.packets_injected());
+    let sealed = sim.shard_count();
+    black_box(&sim);
+    (secs, events, packets, sealed, fp)
+}
+
+/// Measure `shard_lot_run` at the given shard count; asserts the run is
+/// byte-identical to `reference` (when given) and returns the cell plus
+/// the fingerprint.
+fn shard_cell(requested: usize, runs: u32, reference: Option<&str>) -> (ShardCell, String) {
+    set_default_shards(Some(requested));
+    // Warmup (also the determinism sample).
+    let (_, events, packets, sealed, fp) = shard_lot_run();
+    if let Some(want) = reference {
+        assert_eq!(
+            fp, want,
+            "{requested}-shard parking lot diverged from the serial statistics"
+        );
+    }
+    let mut times = Vec::with_capacity(runs as usize);
+    for _ in 0..runs {
+        let (secs, e, p, s, _) = shard_lot_run();
+        assert_eq!(
+            (e, p, s),
+            (events, packets, sealed),
+            "shard bench runs must be deterministic"
+        );
+        times.push(secs);
+    }
+    set_default_shards(None);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!(
+        "shards             {requested} requested / {sealed} sealed  mean {:.2} ms  {:.2}M events/s",
+        mean * 1e3,
+        events as f64 / mean / 1e6,
+    );
+    (
+        ShardCell {
+            requested_shards: requested,
+            sealed_shards: sealed,
+            runs,
+            mean_ms: mean * 1e3,
+            events_per_sec: events as f64 / mean,
+        },
+        fp,
+    )
+}
+
+fn bench_shards(single_core: bool, warnings: &mut Vec<Warning>) -> ShardsBench {
+    const RUNS: u32 = 3;
+    let (serial, reference) = shard_cell(1, RUNS, None);
+    let mut cells = vec![serial];
+    for requested in [2usize, 4] {
+        let (cell, _) = shard_cell(requested, RUNS, Some(&reference));
+        cells.push(cell);
+    }
+    let speedup = cells[2].events_per_sec / cells[0].events_per_sec;
+    if single_core {
+        warnings.push(SINGLE_CORE_SHARDS_WARNING);
+    }
+    ShardsBench {
+        flows: 64,
+        hops: 3,
+        sim_secs: 3,
+        // shard_cell asserted it; reaching this line is the proof.
+        deterministic: true,
+        speedup_4_shards: speedup,
+        cells,
     }
 }
 
@@ -351,7 +564,7 @@ fn check_against_baseline() -> i32 {
         );
         return 1;
     };
-    let fresh = bench_dumbbell();
+    let fresh = bench_dumbbell(false);
     let mean_limit = base_mean * (1.0 + MEAN_MS_TOLERANCE);
     let eps_limit = base_eps * (1.0 - EVENTS_PER_SEC_TOLERANCE);
     println!(
@@ -385,6 +598,31 @@ fn check_against_baseline() -> i32 {
         );
         code = 1;
     }
+    // Shard gate. Determinism is checked unconditionally: 4-shard
+    // statistics must be byte-identical to serial (shard_cell asserts
+    // this, so a divergence aborts loudly). The speedup assertion is
+    // skipped when the committed baseline's machine-readable warnings
+    // array flags the "shards" section — i.e. the baseline host was
+    // single-core, where shard workers timeshare and cannot speed up.
+    let (serial, reference) = shard_cell(1, 2, None);
+    let (sharded, _) = shard_cell(4, 2, Some(&reference));
+    let baseline_single_core = baseline.contains("shard workers timeshare");
+    let speedup = sharded.events_per_sec / serial.events_per_sec;
+    let multi_core = std::thread::available_parallelism().map_or(false, |n| n.get() > 1);
+    if !multi_core || baseline_single_core {
+        println!(
+            "bench gate         shards: determinism OK, speedup {:.2}x not asserted (single-core)",
+            speedup
+        );
+    } else if speedup < 1.0 {
+        eprintln!(
+            "bench gate FAIL: 4 shards ran {:.2}x serial speed on a multi-core host",
+            speedup
+        );
+        code = 1;
+    } else {
+        println!("bench gate         shards: determinism OK, speedup {speedup:.2}x");
+    }
     if code == 0 {
         println!("bench gate         OK");
     }
@@ -405,10 +643,14 @@ fn main() {
     if single_core {
         warnings.push(SINGLE_CORE_WARNING);
     }
+    let schedulers = bench_schedulers();
+    let dumbbell_4tcp_5s = bench_dumbbell(true);
+    let shards = bench_shards(single_core, &mut warnings);
     let report = BenchReport {
         available_parallelism: jobs,
-        schedulers: bench_schedulers(),
-        dumbbell_4tcp_5s: bench_dumbbell(),
+        schedulers,
+        dumbbell_4tcp_5s,
+        shards,
         packet_bytes: packet_bytes(),
         // A single-core host cannot demonstrate sweep parallelism:
         // don't burn two full sweeps producing a meaningless 1.0x.

@@ -286,7 +286,7 @@ impl Agent for Rap {
 mod tests {
     use super::*;
     use slowcc_netsim::link::LossPattern;
-    use slowcc_netsim::topology::{Dumbbell, DumbbellConfig, QueueKind};
+    use slowcc_netsim::topology::{Dumbbell, DumbbellConfig, DumbbellOptions, QueueKind};
 
     #[test]
     fn rap_fills_a_clean_pipe() {
@@ -327,7 +327,7 @@ mod tests {
             queue: QueueKind::DropTail(1000),
             ..DumbbellConfig::paper(10e6)
         };
-        let db = Dumbbell::build_with_loss(&mut sim, cfg, Some(Box::new(Every20(0))));
+        let db = Dumbbell::build_with(&mut sim, cfg, DumbbellOptions::new().forward_loss(Box::new(Every20(0))));
         let pair = db.add_host_pair(&mut sim);
         let h = Rap::install(&mut sim, &pair, RapConfig::standard(1000), SimTime::ZERO);
         sim.run_until(SimTime::from_secs(60));
@@ -360,10 +360,9 @@ mod tests {
             queue: QueueKind::DropTail(1000),
             ..DumbbellConfig::paper(10e6)
         };
-        let db = Dumbbell::build_with_loss(
+        let db = Dumbbell::build_with(
             &mut sim,
-            cfg,
-            Some(Box::new(Blackout {
+            cfg, DumbbellOptions::new().forward_loss(Box::new(Blackout {
                 from: SimTime::from_secs(20),
             })),
         );

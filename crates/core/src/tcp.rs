@@ -614,7 +614,7 @@ impl Agent for TcpSink {
 mod tests {
     use super::*;
     use slowcc_netsim::link::EveryNth;
-    use slowcc_netsim::topology::{Dumbbell, DumbbellConfig, QueueKind};
+    use slowcc_netsim::topology::{Dumbbell, DumbbellConfig, DumbbellOptions, QueueKind};
 
     fn dumbbell(bps: f64) -> DumbbellConfig {
         DumbbellConfig::paper(bps)
@@ -679,10 +679,9 @@ mod tests {
             queue: QueueKind::DropTail(1000),
             ..dumbbell(10e6)
         };
-        let db = Dumbbell::build_with_loss(
+        let db = Dumbbell::build_with(
             &mut sim,
-            cfg,
-            Some(Box::new(EveryNth::data_every(50))),
+            cfg, DumbbellOptions::new().forward_loss(Box::new(EveryNth::data_every(50))),
         );
         let pair = db.add_host_pair(&mut sim);
         let tcp_cfg = TcpConfig::standard(1000).with_max_packets(500);
@@ -734,10 +733,9 @@ mod tests {
                 queue: QueueKind::DropTail(4000),
                 ..dumbbell(100e6) // fat pipe: loss-limited, not bandwidth-limited
             };
-            let db = Dumbbell::build_with_loss(
+            let db = Dumbbell::build_with(
                 &mut sim,
-                cfg,
-                Some(Box::new(EveryNth::data_every(100))),
+                cfg, DumbbellOptions::new().forward_loss(Box::new(EveryNth::data_every(100))),
             );
             let pair = db.add_host_pair(&mut sim);
             let h = Tcp::install(
@@ -786,10 +784,9 @@ mod tests {
             queue: QueueKind::DropTail(1000),
             ..dumbbell(10e6)
         };
-        let db = Dumbbell::build_with_loss(
+        let db = Dumbbell::build_with(
             &mut sim,
-            cfg,
-            Some(Box::new(Blackout {
+            cfg, DumbbellOptions::new().forward_loss(Box::new(Blackout {
                 from: SimTime::from_secs(5),
                 to: SimTime::from_secs(8),
             })),
@@ -828,10 +825,9 @@ mod tests {
             queue: QueueKind::DropTail(4000),
             ..dumbbell(100e6) // fat pipe: only the scripted drops matter
         };
-        let db = Dumbbell::build_with_loss(
+        let db = Dumbbell::build_with(
             &mut sim,
-            cfg,
-            Some(Box::new(DropOrdinals {
+            cfg, DumbbellOptions::new().forward_loss(Box::new(DropOrdinals {
                 ordinals: drops,
                 seen: 0,
             })),
@@ -1005,7 +1001,7 @@ mod tests {
 mod delack_tests {
     use super::*;
     use crate::agent::install_flow;
-    use slowcc_netsim::topology::{Dumbbell, DumbbellConfig};
+    use slowcc_netsim::topology::{Dumbbell, DumbbellConfig, DumbbellOptions};
 
     fn run_transfer(delack: bool, packets: u64) -> (u64, u64, u64, bool) {
         let mut sim = Simulator::new(1);

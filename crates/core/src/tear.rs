@@ -329,7 +329,7 @@ impl Agent for Tear {
 mod tests {
     use super::*;
     use slowcc_netsim::link::LossPattern;
-    use slowcc_netsim::topology::{Dumbbell, DumbbellConfig, QueueKind};
+    use slowcc_netsim::topology::{Dumbbell, DumbbellConfig, DumbbellOptions, QueueKind};
 
     #[test]
     fn tear_reaches_reasonable_utilization_on_clean_pipe() {
@@ -369,7 +369,7 @@ mod tests {
             queue: QueueKind::DropTail(4000),
             ..DumbbellConfig::paper(100e6)
         };
-        let db = Dumbbell::build_with_loss(&mut sim, cfg, Some(Box::new(EveryN(100, 0))));
+        let db = Dumbbell::build_with(&mut sim, cfg, DumbbellOptions::new().forward_loss(Box::new(EveryN(100, 0))));
         let pair = db.add_host_pair(&mut sim);
         let h = Tear::install(&mut sim, &pair, TearConfig::standard(1000), SimTime::ZERO);
         sim.run_until(SimTime::from_secs(120));

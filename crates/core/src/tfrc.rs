@@ -667,7 +667,7 @@ impl Agent for Tfrc {
 mod tests {
     use super::*;
     use slowcc_netsim::link::LossPattern;
-    use slowcc_netsim::topology::{Dumbbell, DumbbellConfig, QueueKind};
+    use slowcc_netsim::topology::{Dumbbell, DumbbellConfig, DumbbellOptions, QueueKind};
 
     #[test]
     fn weights_reduce_to_rfc_schedule_at_k8() {
@@ -786,7 +786,7 @@ mod tests {
             queue: QueueKind::DropTail(4000),
             ..DumbbellConfig::paper(100e6) // loss-limited, not link-limited
         };
-        let db = Dumbbell::build_with_loss(&mut sim, cfg, Some(Box::new(EveryN(100, 0))));
+        let db = Dumbbell::build_with(&mut sim, cfg, DumbbellOptions::new().forward_loss(Box::new(EveryN(100, 0))));
         let pair = db.add_host_pair(&mut sim);
         let h = Tfrc::install(&mut sim, &pair, TfrcConfig::standard(1000), SimTime::ZERO);
         sim.run_until(SimTime::from_secs(120));
@@ -825,7 +825,7 @@ mod tests {
                 queue: QueueKind::DropTail(4000),
                 ..DumbbellConfig::paper(100e6)
             };
-            let db = Dumbbell::build_with_loss(&mut sim, cfg, Some(Box::new(EveryN(100, 0))));
+            let db = Dumbbell::build_with(&mut sim, cfg, DumbbellOptions::new().forward_loss(Box::new(EveryN(100, 0))));
             let pair = db.add_host_pair(&mut sim);
             let h = Tfrc::install(&mut sim, &pair, TfrcConfig::standard(1000), SimTime::ZERO);
             sim.run_until(SimTime::from_secs(60));
@@ -841,7 +841,7 @@ mod tests {
                 queue: QueueKind::DropTail(4000),
                 ..DumbbellConfig::paper(100e6)
             };
-            let db = Dumbbell::build_with_loss(&mut sim, cfg, Some(Box::new(EveryN(100, 0))));
+            let db = Dumbbell::build_with(&mut sim, cfg, DumbbellOptions::new().forward_loss(Box::new(EveryN(100, 0))));
             let pair = db.add_host_pair(&mut sim);
             let h = crate::tcp::Tcp::install(
                 &mut sim,
@@ -887,10 +887,9 @@ mod tests {
             queue: QueueKind::DropTail(1000),
             ..DumbbellConfig::paper(10e6)
         };
-        let db = Dumbbell::build_with_loss(
+        let db = Dumbbell::build_with(
             &mut sim,
-            cfg,
-            Some(Box::new(TotalLoss {
+            cfg, DumbbellOptions::new().forward_loss(Box::new(TotalLoss {
                 from: SimTime::from_secs(20),
             })),
         );
@@ -930,7 +929,7 @@ mod tests {
                 queue: QueueKind::DropTail(4000),
                 ..DumbbellConfig::paper(100e6)
             };
-            let db = Dumbbell::build_with_loss(&mut sim, cfg, Some(Box::new(EveryN(100, 0))));
+            let db = Dumbbell::build_with(&mut sim, cfg, DumbbellOptions::new().forward_loss(Box::new(EveryN(100, 0))));
             let pair = db.add_host_pair(&mut sim);
             let mut tc = TfrcConfig::standard(1000);
             if conservative {
@@ -961,7 +960,7 @@ mod sink_tests {
     use super::*;
     use slowcc_netsim::ids::{AgentId, FlowId, NodeId};
     use slowcc_netsim::sim::Simulator;
-    use slowcc_netsim::topology::{Dumbbell, DumbbellConfig};
+    use slowcc_netsim::topology::{Dumbbell, DumbbellConfig, DumbbellOptions};
 
     /// Scripted sender: emits chosen (seq, time) pairs as TFRC data
     /// packets with a fixed stamped RTT, capturing feedback reports.

@@ -29,7 +29,7 @@ use slowcc_netsim::audit::AuditMode;
 use slowcc_netsim::faults::FaultPlan;
 use slowcc_netsim::sim::Simulator;
 use slowcc_netsim::time::{SimDuration, SimTime};
-use slowcc_netsim::topology::{Dumbbell, DumbbellConfig};
+use slowcc_netsim::topology::{Dumbbell, DumbbellConfig, DumbbellOptions};
 
 use crate::experiment::{CellSpec, Experiment};
 use crate::flavor::Flavor;
@@ -116,11 +116,10 @@ fn run_cell(flavor: Flavor, seed: u64, horizon: SimDuration) -> ChaosCell {
     let rev_summary = rev.summary();
 
     let mut sim = Simulator::with_audit_mode(seed, AuditMode::Strict);
-    let db = Dumbbell::build_with_faults(
+    let db = Dumbbell::build_with(
         &mut sim,
         DumbbellConfig::paper(10e6),
-        Some(fwd),
-        Some(rev),
+        DumbbellOptions::new().forward_faults(fwd).reverse_faults(rev),
     );
     let pair = db.add_host_pair(&mut sim);
     let h = flavor.install(&mut sim, &pair, 1000, SimTime::ZERO, None);

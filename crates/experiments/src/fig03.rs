@@ -201,20 +201,24 @@ mod tests {
 
     /// The headline claim of Figure 3/4: without self-clocking, very
     /// slow TFRC keeps the loss rate elevated far longer than TCP(1/γ)
-    /// after the onset; self-clocking fixes it.
+    /// after the onset; self-clocking fixes it. Measured over the
+    /// transient itself — the first few seconds after the CBR source
+    /// returns — because further out every algorithm has converged back
+    /// to the shared steady-state loss rate and the long tail would
+    /// swamp the difference the figure is about.
     #[test]
     fn slow_tfrc_without_self_clocking_has_the_longest_transient() {
         let fig = run(Scale::Quick);
         let onset_w = (fig.config.timeline.onset.as_secs_f64() / fig.window_secs) as usize;
-        // Total post-onset loss mass per algorithm.
+        let transient_w = (6.0 / fig.window_secs) as usize;
+        // Loss mass in the transient window per algorithm.
         let mass: std::collections::HashMap<&str, f64> = fig
             .series
             .iter()
             .map(|s| {
-                (
-                    s.label.as_str(),
-                    s.loss[onset_w.min(s.loss.len())..].iter().sum::<f64>(),
-                )
+                let lo = onset_w.min(s.loss.len());
+                let hi = (onset_w + transient_w).min(s.loss.len());
+                (s.label.as_str(), s.loss[lo..hi].iter().sum::<f64>())
             })
             .collect();
         let tfrc = mass

@@ -17,7 +17,7 @@ use slowcc_metrics::smooth::{coefficient_of_variation, smoothness_metric};
 use slowcc_netsim::link::LossPattern;
 use slowcc_netsim::sim::Simulator;
 use slowcc_netsim::time::{SimDuration, SimTime};
-use slowcc_netsim::topology::{Dumbbell, DumbbellConfig, QueueKind};
+use slowcc_netsim::topology::{Dumbbell, DumbbellConfig, DumbbellOptions, QueueKind};
 use slowcc_traffic::losspat::{CountPhases, TimePhases};
 
 use crate::experiment::{CellSpec, Experiment};
@@ -207,7 +207,7 @@ fn run_one(
         queue: QueueKind::DropTail(4000),
         ..DumbbellConfig::paper(100e6)
     };
-    let db = Dumbbell::build_with_loss(&mut sim, cfg, Some(pattern.build()));
+    let db = Dumbbell::build_with(&mut sim, cfg, DumbbellOptions::new().forward_loss(pattern.build()));
     let pair = db.add_host_pair(&mut sim);
     let h = flavor.install(&mut sim, &pair, PKT_SIZE, SimTime::ZERO, None);
     sim.run_until(duration);

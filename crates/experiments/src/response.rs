@@ -121,7 +121,7 @@ fn measure_responsiveness(flavor: Flavor, scale: Scale) -> Option<f64> {
         queue: QueueKind::DropTail(40),
         ..DumbbellConfig::paper(10e6)
     };
-    let db = Dumbbell::build_with_loss(&mut sim, cfg, Some(Box::new(OnePerRtt::new(onset, RTT))));
+    let db = Dumbbell::build_with(&mut sim, cfg, DumbbellOptions::new().forward_loss(Box::new(OnePerRtt::new(onset, RTT))));
     let pair = db.add_host_pair(&mut sim);
     let h = flavor.install(&mut sim, &pair, PKT_SIZE, SimTime::ZERO, None);
     sim.run_until(end);

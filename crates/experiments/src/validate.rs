@@ -75,7 +75,7 @@ fn static_point(flavor: Flavor, p: f64, secs: u64) -> StaticPoint {
         queue: QueueKind::DropTail(20_000),
         ..DumbbellConfig::paper(400e6)
     };
-    let db = Dumbbell::build_with_loss(&mut sim, cfg, Some(Box::new(BernoulliLoss::new(p, 7))));
+    let db = Dumbbell::build_with(&mut sim, cfg, DumbbellOptions::new().forward_loss(Box::new(BernoulliLoss::new(p, 7))));
     let pair = db.add_host_pair(&mut sim);
     let h = flavor.install(&mut sim, &pair, PKT_SIZE, SimTime::ZERO, None);
     sim.run_until(SimTime::from_secs(secs));
@@ -258,7 +258,11 @@ fn ecn_convergence_once(gamma: f64, p: f64, scale: Scale) -> (f64, f64) {
         queue: QueueKind::DropTail(20_000),
         ..DumbbellConfig::paper(400e6)
     };
-    let db = Dumbbell::build_with_marker(&mut sim, cfg, Box::new(BernoulliLoss::new(p, 99)));
+    let db = Dumbbell::build_with(
+        &mut sim,
+        cfg,
+        DumbbellOptions::new().forward_marker(Box::new(BernoulliLoss::new(p, 99))),
+    );
 
     let p1 = db.add_host_pair(&mut sim);
     let p2 = db.add_host_pair(&mut sim);
@@ -353,7 +357,7 @@ fn high_loss_point(n: u64, secs: u64) -> HighLossPoint {
         queue: QueueKind::DropTail(1000),
         ..DumbbellConfig::paper(100e6)
     };
-    let db = Dumbbell::build_with_loss(&mut sim, cfg, Some(Box::new(EveryNth::data_every(n))));
+    let db = Dumbbell::build_with(&mut sim, cfg, DumbbellOptions::new().forward_loss(Box::new(EveryNth::data_every(n))));
     let pair = db.add_host_pair(&mut sim);
     // Tighten the RTO floor so the timeout dynamics are visible
     // at a 50 ms RTT (the model counts in RTTs, not wall time).

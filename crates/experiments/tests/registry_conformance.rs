@@ -3,8 +3,8 @@
 //! audit, and infrastructure must be invisible in the results — the
 //! per-cell outputs of a multi-threaded pool run must be byte-identical
 //! to a plain serial loop over the same cells, and neither the choice
-//! of event scheduler (binary heap vs calendar queue) nor the dispatch
-//! mode (batched vs one event at a time) may change a single byte
+//! of event scheduler (binary heap vs calendar queue) nor the shard
+//! count (serial vs conservative-parallel) may change a single byte
 //! either. This replaces the old per-target copies of these checks,
 //! which covered Figure 4/5 only; a new experiment gets the same
 //! coverage just by being registered.
@@ -18,7 +18,7 @@ use slowcc_experiments::scale::Scale;
 use slowcc_experiments::{registry, runner};
 use slowcc_netsim::audit::{set_default_audit, take_global_report, AuditMode};
 use slowcc_netsim::event::{set_default_scheduler, SchedulerKind};
-use slowcc_netsim::sim::set_default_batching;
+use slowcc_netsim::sim::set_default_shards;
 
 #[test]
 fn every_experiment_is_schedule_invariant_and_audit_clean_at_quick() {
@@ -29,7 +29,7 @@ fn every_experiment_is_schedule_invariant_and_audit_clean_at_quick() {
         fn drop(&mut self) {
             set_default_audit(None);
             set_default_scheduler(None);
-            set_default_batching(None);
+            set_default_shards(None);
         }
     }
     let _restore = Restore;
@@ -75,17 +75,18 @@ fn every_experiment_is_schedule_invariant_and_audit_clean_at_quick() {
             exp.name()
         );
 
-        // The same cells dispatched one event at a time: batched
-        // dispatch (the default) is infrastructure too, and DESIGN.md
-        // §5g's ordering contract says turning it off cannot move a
-        // single event — so the figures cannot move a single byte.
-        set_default_batching(Some(false));
-        let unbatched = exp.cell_jsons(Scale::Quick);
-        set_default_batching(None);
+        // The same cells on two conservative-parallel shards: the shard
+        // sync contract (DESIGN.md §5h) promises any shard count
+        // reproduces the serial engine bit-exactly, so the figures
+        // cannot move a single byte.
+        set_default_scheduler(Some(SchedulerKind::Heap));
+        set_default_shards(Some(2));
+        let sharded = exp.cell_jsons(Scale::Quick);
+        set_default_shards(None);
         assert_eq!(
-            unbatched,
+            sharded,
             serial,
-            "{}: unbatched dispatch must reproduce the batched output byte-for-byte",
+            "{}: two-shard run must reproduce the serial output byte-for-byte",
             exp.name()
         );
     }

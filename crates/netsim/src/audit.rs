@@ -9,10 +9,9 @@
 //! * **Packet ledger.** Every packet injected via [`crate::sim::Ctx::send`]
 //!   is tracked from injection to exactly one terminal state (delivered,
 //!   dropped, or still in flight at end of run). After every timestamp
-//!   batch (every event, with `SLOWCC_BATCH=off`) the ledger's live
-//!   count is compared against the slab pool's live-slot count, and at
-//!   teardown the exact uid sets are compared, so the pool can never
-//!   silently leak or double-free.
+//!   batch the ledger's live count is compared against the slab pool's
+//!   live-slot count, and at teardown the exact uid sets are compared,
+//!   so the pool can never silently leak or double-free.
 //! * **Link ledger.** Arrivals, departures, drops and transmitted bytes
 //!   are counted per link independently of [`crate::stats::Stats`]; at
 //!   teardown the conservation law `arrivals == departures + drops +
@@ -32,6 +31,7 @@
 //! [`take_global_report`] drains — the mode the experiments runner's
 //! `--audit` flag uses to audit a whole figure sweep.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU8, Ordering as AtomicOrdering};
 use std::sync::{Mutex, OnceLock};
 
@@ -97,7 +97,16 @@ enum PacketState {
     InFlight,
     Delivered,
     Dropped,
+    /// Handed off to another shard's pool (conservative-parallel
+    /// execution). Terminal *for this shard's books*; the cross-shard
+    /// reconciliation in [`merge_shard_reports`] proves every exported
+    /// packet was imported exactly once somewhere else.
+    Exported,
 }
+
+/// Low 48 bits of a packet uid are the per-shard counter; the high bits
+/// are the minting shard's tag (see `UID_TAG_SHIFT` in `sim.rs`).
+const UID_INDEX_MASK: u64 = (1u64 << 48) - 1;
 
 /// Independent per-link books: what the auditor itself saw happen at the
 /// link, to be reconciled against [`Stats`] and the buffer occupancy.
@@ -224,14 +233,71 @@ pub fn take_global_report() -> Option<AuditReport> {
         .take()
 }
 
+/// Fold the per-shard teardown reports of ONE sharded simulation into a
+/// single report (`sims == 1`, exactly what the serial run would have
+/// produced), reconciling the cross-shard handoff ledgers: the multiset
+/// of uids every shard exported must equal the multiset every shard
+/// imported — a lost or duplicated handoff is an invariant violation
+/// (and a panic when any shard audited strictly).
+pub(crate) fn merge_shard_reports(
+    parts: Vec<AuditReport>,
+    mut exported: Vec<u64>,
+    mut imported: Vec<u64>,
+    strict: bool,
+) -> AuditReport {
+    let mut merged = AuditReport::default();
+    for part in &parts {
+        merged.merge(part);
+    }
+    merged.sims = 1;
+    exported.sort_unstable();
+    imported.sort_unstable();
+    if exported != imported {
+        let msg = format!(
+            "cross-shard handoff mismatch: {} exports vs {} imports \
+             (first divergence at {:?})",
+            exported.len(),
+            imported.len(),
+            exported
+                .iter()
+                .zip(&imported)
+                .find(|(e, i)| e != i)
+                .map(|(e, i)| (*e, *i))
+        );
+        if strict {
+            panic!("audit violation: {msg}");
+        }
+        merged.violations += 1;
+        if merged.violation_messages.len() < MAX_VIOLATION_MESSAGES {
+            merged.violation_messages.push(msg);
+        }
+    }
+    merged
+}
+
 /// The auditor itself: one per audited simulator, owned by the world and
 /// fed by hooks on the simulator's hot paths.
 #[derive(Debug)]
 pub(crate) struct Auditor {
     mode: AuditMode,
-    /// Terminal-state ledger indexed by packet uid (uids are assigned
-    /// densely from zero by `Ctx::send`).
+    /// This shard's uid tag: the high bits every natively minted uid
+    /// carries. Zero on a serial simulator, where every uid is native.
+    uid_tag: u64,
+    /// Terminal-state ledger for natively minted packets, indexed by the
+    /// low (counter) bits of the uid (assigned densely from zero by
+    /// `Ctx::send`).
     ledger: Vec<PacketState>,
+    /// Terminal-state ledger for packets imported from other shards,
+    /// keyed by full (foreign-tagged) uid. Empty on a serial simulator.
+    imported: BTreeMap<u64, PacketState>,
+    /// Every cross-shard handoff, as seen from each side (multisets, so
+    /// a packet bouncing A→B→A is two entries). Reconciled globally at
+    /// teardown by [`merge_shard_reports`].
+    exported_log: Vec<u64>,
+    imported_log: Vec<u64>,
+    /// Maintained live-packet count: `+1` inject/import, `-1` on any
+    /// terminal state. Equals the pool's live-slot count at all times.
+    live: u64,
     delivered: u64,
     dropped: u64,
     links: Vec<LinkLedger>,
@@ -243,9 +309,21 @@ pub(crate) struct Auditor {
 
 impl Auditor {
     pub(crate) fn new(mode: AuditMode) -> Self {
+        Auditor::sharded(mode, 0)
+    }
+
+    /// An auditor for one shard of a sharded simulator: native uids carry
+    /// `uid_tag` in their high bits, anything else must arrive via
+    /// [`Self::on_import`].
+    pub(crate) fn sharded(mode: AuditMode, uid_tag: u64) -> Self {
         Auditor {
             mode,
+            uid_tag,
             ledger: Vec::new(),
+            imported: BTreeMap::new(),
+            exported_log: Vec::new(),
+            imported_log: Vec::new(),
+            live: 0,
             delivered: 0,
             dropped: 0,
             links: Vec::new(),
@@ -256,10 +334,30 @@ impl Auditor {
         }
     }
 
+    /// The mode this auditor runs in (to replicate onto shard auditors).
+    pub(crate) fn mode(&self) -> AuditMode {
+        self.mode
+    }
+
+    /// Whether a violation panics on the spot.
+    pub(crate) fn is_strict(&self) -> bool {
+        self.mode == AuditMode::Strict
+    }
+
     /// Downgrade to Collect, used when teardown runs during an unrelated
     /// panic and must not double-panic.
     pub(crate) fn set_collect(&mut self) {
         self.mode = AuditMode::Collect;
+    }
+
+    /// Drain the export-side handoff log for cross-shard reconciliation.
+    pub(crate) fn take_exported_log(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.exported_log)
+    }
+
+    /// Drain the import-side handoff log for cross-shard reconciliation.
+    pub(crate) fn take_imported_log(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.imported_log)
     }
 
     fn violation(&mut self, msg: String) {
@@ -272,9 +370,29 @@ impl Auditor {
         }
     }
 
-    /// Live packets according to the ledger.
-    fn ledger_live(&self) -> u64 {
-        self.ledger.len() as u64 - self.delivered - self.dropped
+    /// Whether `uid` was minted by this shard (always true serially).
+    fn is_native(&self, uid: u64) -> bool {
+        uid & !UID_INDEX_MASK == self.uid_tag
+    }
+
+    /// Current state of `uid`, wherever its books live.
+    fn state_of(&self, uid: u64) -> Option<PacketState> {
+        if self.is_native(uid) {
+            self.ledger.get((uid & UID_INDEX_MASK) as usize).copied()
+        } else {
+            self.imported.get(&uid).copied()
+        }
+    }
+
+    fn set_state(&mut self, uid: u64, state: PacketState) {
+        if self.is_native(uid) {
+            self.ledger[(uid & UID_INDEX_MASK) as usize] = state;
+        } else {
+            *self
+                .imported
+                .get_mut(&uid)
+                .expect("set_state only after state_of succeeded") = state;
+        }
     }
 
     fn link_mut(&mut self, link: LinkId) -> &mut LinkLedger {
@@ -297,23 +415,61 @@ impl Auditor {
 
     /// A packet entered the pool via `Ctx::send`.
     pub(crate) fn on_inject(&mut self, uid: u64) {
-        if uid != self.ledger.len() as u64 {
+        if uid != self.uid_tag | self.ledger.len() as u64 {
             self.violation(format!(
                 "packet uid {uid} injected out of order (expected {})",
-                self.ledger.len()
+                self.uid_tag | self.ledger.len() as u64
             ));
             return;
         }
         self.ledger.push(PacketState::InFlight);
+        self.live += 1;
+    }
+
+    /// A packet left this shard's pool for another shard's.
+    pub(crate) fn on_export(&mut self, uid: u64) {
+        self.terminate(uid, PacketState::Exported, "exported");
+        self.exported_log.push(uid);
+    }
+
+    /// A packet arrived from another shard's pool. Legitimately
+    /// re-enlivens a uid this shard already exported (a packet whose
+    /// route revisits the shard); anything else live is a double import.
+    pub(crate) fn on_import(&mut self, uid: u64) {
+        self.imported_log.push(uid);
+        let prior = if self.is_native(uid) {
+            self.state_of(uid)
+        } else {
+            Some(
+                *self
+                    .imported
+                    .entry(uid)
+                    .or_insert(PacketState::Exported),
+            )
+        };
+        match prior {
+            Some(PacketState::Exported) => {
+                self.set_state(uid, PacketState::InFlight);
+                self.live += 1;
+            }
+            Some(prior) => self.violation(format!(
+                "packet uid {uid} imported while already {prior:?} in this shard"
+            )),
+            None => self.violation(format!(
+                "packet uid {uid} imported but claims to be native here and was never injected"
+            )),
+        }
     }
 
     fn terminate(&mut self, uid: u64, state: PacketState, what: &str) {
-        match self.ledger.get(uid as usize).copied() {
+        match self.state_of(uid) {
             Some(PacketState::InFlight) => {
-                self.ledger[uid as usize] = state;
+                self.set_state(uid, state);
+                self.live -= 1;
                 match state {
                     PacketState::Delivered => self.delivered += 1,
                     PacketState::Dropped => self.dropped += 1,
+                    PacketState::Exported => {}
                     PacketState::InFlight => unreachable!(),
                 }
             }
@@ -378,7 +534,7 @@ impl Auditor {
     /// and ledger reconciled, so a divergence visible after one event
     /// is still visible at the batch boundary.
     pub(crate) fn check_pool(&mut self, pool_len: usize, now: SimTime) {
-        let live = self.ledger_live();
+        let live = self.live;
         if pool_len as u64 != live {
             self.violation(format!(
                 "pool/ledger divergence at {now}: pool holds {pool_len} live packets, \
@@ -398,15 +554,23 @@ impl Auditor {
         link_state: &[(usize, bool)],
         stats: &Stats,
     ) -> AuditReport {
-        // Exact uid-set equality between the pool and the ledger.
+        // Exact uid-set equality between the pool and the ledger (native
+        // live uids re-tagged, plus imported live uids).
         pool_live_uids.sort_unstable();
-        let ledger_live_uids: Vec<u64> = self
+        let mut ledger_live_uids: Vec<u64> = self
             .ledger
             .iter()
             .enumerate()
             .filter(|(_, s)| **s == PacketState::InFlight)
-            .map(|(uid, _)| uid as u64)
+            .map(|(ix, _)| self.uid_tag | ix as u64)
             .collect();
+        ledger_live_uids.extend(
+            self.imported
+                .iter()
+                .filter(|(_, s)| **s == PacketState::InFlight)
+                .map(|(uid, _)| *uid),
+        );
+        ledger_live_uids.sort_unstable();
         if pool_live_uids != ledger_live_uids {
             let pool_only: Vec<u64> = pool_live_uids
                 .iter()
@@ -464,12 +628,19 @@ impl Auditor {
             }
         }
 
-        // Global packet conservation.
-        let in_flight = self.ledger_live();
-        if self.ledger.len() as u64 != self.delivered + self.dropped + in_flight {
+        // Per-shard packet conservation: everything that entered this
+        // shard's books (native injections plus imports) left through a
+        // terminal state or is still live. Serially the export/import
+        // terms are zero and this is the classic conservation law.
+        let in_flight = self.live;
+        let imported_n = self.imported_log.len() as u64;
+        let exported_n = self.exported_log.len() as u64;
+        if self.ledger.len() as u64 + imported_n
+            != self.delivered + self.dropped + exported_n + in_flight
+        {
             self.violation(format!(
-                "packet conservation broken: {} injected != {} delivered + {} dropped \
-                 + {in_flight} in flight",
+                "packet conservation broken: {} injected + {imported_n} imported != \
+                 {} delivered + {} dropped + {exported_n} exported + {in_flight} in flight",
                 self.ledger.len(),
                 self.delivered,
                 self.dropped

@@ -11,11 +11,19 @@
 //!   O(log n) reference implementation for equivalence tests and the
 //!   `bench_netsim` scheduler microbench.
 //!
-//! Ordering is by `(time, sequence)`, where the sequence number is a
-//! monotone token assigned at scheduling time. Ties in simulated time are
-//! therefore broken by scheduling order — explicitly, not by backend
-//! internals — which is what makes runs bit-for-bit reproducible and the
-//! two backends byte-identical. The property test in
+//! Ordering is by `(time, sched, sequence)`: the instant the event fires,
+//! the instant it was *scheduled at* (the queue's clock when `schedule`
+//! was called), and a monotone token assigned at scheduling time. Ties in
+//! simulated time are therefore broken by scheduling time, then by
+//! scheduling order — explicitly, not by backend internals — which is
+//! what makes runs bit-for-bit reproducible and the two backends
+//! byte-identical. In a single-queue run the scheduling time is
+//! non-decreasing in the sequence number, so the triple orders exactly
+//! like the historical `(time, seq)` pair; the `sched` component only
+//! starts discriminating when events from *different* shards of a
+//! sharded run (see `sim::Simulator`) are merged into one queue via
+//! [`EventQueue::schedule_from`] — there it reproduces the order the
+//! serial run would have used. The property test in
 //! `tests/scheduler_equivalence.rs` and the `verify.sh` smoke step pin
 //! this down.
 
@@ -76,13 +84,25 @@ pub enum EventKind {
 #[derive(Debug, Clone, Copy)]
 struct Entry {
     time: SimTime,
+    /// Queue clock at the moment this entry was scheduled (or the
+    /// source-shard clock, for entries imported across shards).
+    sched: SimTime,
     seq: u64,
     kind: EventKind,
 }
 
+impl Entry {
+    /// The ordering key: fire time, then scheduling time, then
+    /// scheduling order.
+    #[inline]
+    fn key(&self) -> (SimTime, SimTime, u64) {
+        (self.time, self.sched, self.seq)
+    }
+}
+
 impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 impl Eq for Entry {}
@@ -96,10 +116,7 @@ impl PartialOrd for Entry {
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap and we want earliest-first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key().cmp(&self.key())
     }
 }
 
@@ -177,10 +194,11 @@ struct CalendarQueue {
     /// in [`Self::locate_min`] so it costs O(1) per pop even when a
     /// rebuild cannot help (all events at one instant).
     pops_since_resize: usize,
-    /// Reusable scratch for [`Self::drain_at`]: `(seq, kind)` pairs of
-    /// the batch being extracted, sorted before they are handed out.
-    /// Kept on the queue so steady-state batch drains never allocate.
-    scratch: Vec<(u64, EventKind)>,
+    /// Reusable scratch for [`Self::drain_batch`]: `(sched, seq, kind)`
+    /// triples of the batch being extracted, sorted before they are
+    /// handed out. Kept on the queue so steady-state batch drains never
+    /// allocate.
+    scratch: Vec<(SimTime, u64, EventKind)>,
 }
 
 impl CalendarQueue {
@@ -217,8 +235,8 @@ impl CalendarQueue {
         }
     }
 
-    /// Locate the `(time, seq)` minimum: advance the cursor to its day
-    /// and return `(bucket, index_in_bucket)`. `None` when empty.
+    /// Locate the `(time, sched, seq)` minimum: advance the cursor to its
+    /// day and return `(bucket, index_in_bucket)`. `None` when empty.
     ///
     /// Includes the *skew guard*: if the minimum's day bucket holds far
     /// more events than the occupancy target, the bucket width no longer
@@ -256,15 +274,13 @@ impl CalendarQueue {
         let mut day = self.cursor_day;
         for _ in 0..nb {
             let b = (day & self.mask) as usize;
-            let mut best: Option<(usize, SimTime, u64)> = None;
+            let mut best: Option<(usize, (SimTime, SimTime, u64))> = None;
             for (i, e) in self.buckets[b].iter().enumerate() {
-                if self.day_of(e.time) == day
-                    && best.is_none_or(|(_, t, s)| (e.time, e.seq) < (t, s))
-                {
-                    best = Some((i, e.time, e.seq));
+                if self.day_of(e.time) == day && best.is_none_or(|(_, k)| e.key() < k) {
+                    best = Some((i, e.key()));
                 }
             }
-            if let Some((i, _, _)) = best {
+            if let Some((i, _)) = best {
                 self.cursor_day = day;
                 return (b, i);
             }
@@ -274,15 +290,15 @@ impl CalendarQueue {
         // far-future timers behind a drained present): fall back to a
         // direct scan of all buckets for the global minimum, then jump
         // the cursor to it.
-        let mut best: Option<(usize, usize, SimTime, u64)> = None;
+        let mut best: Option<(usize, usize, (SimTime, SimTime, u64))> = None;
         for (b, bucket) in self.buckets.iter().enumerate() {
             for (i, e) in bucket.iter().enumerate() {
-                if best.is_none_or(|(_, _, t, s)| (e.time, e.seq) < (t, s)) {
-                    best = Some((b, i, e.time, e.seq));
+                if best.is_none_or(|(_, _, k)| e.key() < k) {
+                    best = Some((b, i, e.key()));
                 }
             }
         }
-        let (b, i, t, _) = best.expect("len > 0 but no entry found");
+        let (b, i, (t, _, _)) = best.expect("len > 0 but no entry found");
         self.cursor_day = self.day_of(t);
         (b, i)
     }
@@ -299,14 +315,15 @@ impl CalendarQueue {
 
     /// Fused minimum-search and batch-drain behind
     /// [`EventQueue::drain_batch`]: one walk from the cursor both locates
-    /// the `(time, seq)` minimum *and* counts how many entries tie its
-    /// timestamp (ties always share a day, hence a bucket), so the untied
-    /// common case drains with a single O(1) `swap_remove` and no second
-    /// bucket pass. Extracted kinds are appended to `out` in ascending
-    /// `seq` order — exactly the order repeated [`Self::remove`] calls
-    /// would have produced. Returns the batch timestamp, or `None` when
-    /// the queue is empty or the head is past `horizon` (located-but-
-    /// rejected heads still advance the cursor, as `locate_min` would).
+    /// the `(time, sched, seq)` minimum *and* counts how many entries tie
+    /// its timestamp (ties always share a day, hence a bucket), so the
+    /// untied common case drains with a single O(1) `swap_remove` and no
+    /// second bucket pass. Extracted kinds are appended to `out` in
+    /// ascending `(sched, seq)` order — exactly the order repeated
+    /// [`Self::remove`] calls would have produced. Returns the batch
+    /// timestamp, or `None` when the queue is empty or the head is past
+    /// `horizon` (located-but-rejected heads still advance the cursor, as
+    /// `locate_min` would).
     fn drain_batch(&mut self, horizon: SimTime, out: &mut Vec<EventKind>) -> Option<SimTime> {
         if self.len == 0 {
             return None;
@@ -335,15 +352,15 @@ impl CalendarQueue {
                 scratch.clear();
                 bucket.retain(|e| {
                     if e.time == t {
-                        scratch.push((e.seq, e.kind));
+                        scratch.push((e.sched, e.seq, e.kind));
                         false
                     } else {
                         true
                     }
                 });
                 self.len -= scratch.len();
-                scratch.sort_unstable_by_key(|&(seq, _)| seq);
-                out.extend(scratch.iter().map(|&(_, kind)| kind));
+                scratch.sort_unstable_by_key(|&(sched, seq, _)| (sched, seq));
+                out.extend(scratch.iter().map(|&(_, _, kind)| kind));
                 self.scratch = scratch;
             }
             // Same shrink trigger as `remove`, applied once per batch.
@@ -361,7 +378,7 @@ impl CalendarQueue {
         let mut day = self.cursor_day;
         for _ in 0..nb {
             let b = (day & self.mask) as usize;
-            let mut best: Option<(usize, SimTime, u64)> = None;
+            let mut best: Option<(usize, (SimTime, SimTime, u64))> = None;
             let mut ties = 0usize;
             for (i, e) in self.buckets[b].iter().enumerate() {
                 if self.day_of(e.time) != day {
@@ -369,23 +386,23 @@ impl CalendarQueue {
                 }
                 match best {
                     None => {
-                        best = Some((i, e.time, e.seq));
+                        best = Some((i, e.key()));
                         ties = 1;
                     }
-                    Some((_, t, s)) => {
-                        if e.time < t {
-                            best = Some((i, e.time, e.seq));
+                    Some((_, k)) => {
+                        if e.time < k.0 {
+                            best = Some((i, e.key()));
                             ties = 1;
-                        } else if e.time == t {
+                        } else if e.time == k.0 {
                             ties += 1;
-                            if e.seq < s {
-                                best = Some((i, e.time, e.seq));
+                            if e.key() < k {
+                                best = Some((i, e.key()));
                             }
                         }
                     }
                 }
             }
-            if let Some((i, _, _)) = best {
+            if let Some((i, _)) = best {
                 self.cursor_day = day;
                 return (b, i, ties);
             }
@@ -466,6 +483,9 @@ impl std::fmt::Debug for Backend {
 pub struct EventQueue {
     backend: Backend,
     next_seq: u64,
+    /// Time of the most recently popped event — the instant handlers run
+    /// at, recorded as the `sched` component of anything they schedule.
+    clock: SimTime,
 }
 
 impl Default for EventQueue {
@@ -490,6 +510,7 @@ impl EventQueue {
         EventQueue {
             backend,
             next_seq: 0,
+            clock: SimTime::ZERO,
         }
     }
 
@@ -501,15 +522,32 @@ impl EventQueue {
         }
     }
 
-    /// Schedule `kind` to fire at `time`.
+    /// Schedule `kind` to fire at `time`, stamped with the queue's
+    /// current clock as its scheduling time.
     ///
     /// Inlined along with `pop`: every packet hop and timer goes through
     /// these, so they should collapse into their callers.
     #[inline]
     pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        self.schedule_from(self.clock, time, kind);
+    }
+
+    /// Schedule `kind` to fire at `time` with an explicit scheduling
+    /// time. This is the cross-shard import path: an arrival that was
+    /// scheduled on another shard at source-clock `sched` keeps that
+    /// stamp, so events fired at the same instant from different shards
+    /// sort the way the serial run would have sorted them (by scheduling
+    /// time, then sequence).
+    #[inline]
+    pub fn schedule_from(&mut self, sched: SimTime, time: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let entry = Entry { time, seq, kind };
+        let entry = Entry {
+            time,
+            sched,
+            seq,
+            kind,
+        };
         match &mut self.backend {
             Backend::Heap(heap) => heap.push(entry),
             Backend::Calendar(cal) => cal.push(entry),
@@ -519,14 +557,18 @@ impl EventQueue {
     /// Remove and return the earliest event.
     #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, EventKind)> {
-        match &mut self.backend {
+        let popped = match &mut self.backend {
             Backend::Heap(heap) => heap.pop().map(|e| (e.time, e.kind)),
             Backend::Calendar(cal) => {
                 let pos = cal.locate_min()?;
                 let e = cal.remove(pos);
                 Some((e.time, e.kind))
             }
+        };
+        if let Some((t, _)) = popped {
+            self.clock = t;
         }
+        popped
     }
 
     /// Remove and return the earliest event if it fires at or before
@@ -534,7 +576,7 @@ impl EventQueue {
     /// [`crate::sim::Simulator::run_until`] drives the event loop with.
     #[inline]
     pub fn pop_if_at_or_before(&mut self, horizon: SimTime) -> Option<(SimTime, EventKind)> {
-        match &mut self.backend {
+        let popped = match &mut self.backend {
             Backend::Heap(heap) => {
                 if heap.peek().is_some_and(|e| e.time <= horizon) {
                     heap.pop().map(|e| (e.time, e.kind))
@@ -545,19 +587,24 @@ impl EventQueue {
             Backend::Calendar(cal) => {
                 let pos = cal.locate_min()?;
                 if cal.buckets[pos.0][pos.1].time > horizon {
-                    return None;
+                    None
+                } else {
+                    let e = cal.remove(pos);
+                    Some((e.time, e.kind))
                 }
-                let e = cal.remove(pos);
-                Some((e.time, e.kind))
             }
+        };
+        if let Some((t, _)) = popped {
+            self.clock = t;
         }
+        popped
     }
 
     /// Remove every event sharing the earliest pending timestamp, if that
     /// timestamp is at or before `horizon`, appending their kinds to `out`
     /// in exactly the order repeated [`Self::pop`] calls would have
-    /// produced (ascending `seq`). Returns the batch timestamp, or `None`
-    /// when the queue is empty or the head is past the horizon.
+    /// produced (ascending `(sched, seq)`). Returns the batch timestamp,
+    /// or `None` when the queue is empty or the head is past the horizon.
     ///
     /// Events scheduled *while a batch is being dispatched* — even at the
     /// batch's own timestamp — get strictly larger sequence numbers than
@@ -570,7 +617,7 @@ impl EventQueue {
     /// batch dispatch performs no allocation.
     pub fn drain_batch(&mut self, horizon: SimTime, out: &mut Vec<EventKind>) -> Option<SimTime> {
         out.clear();
-        match &mut self.backend {
+        let t = match &mut self.backend {
             Backend::Heap(heap) => {
                 let t = heap.peek().map(|e| e.time).filter(|&t| t <= horizon)?;
                 while heap.peek().is_some_and(|e| e.time == t) {
@@ -579,7 +626,11 @@ impl EventQueue {
                 Some(t)
             }
             Backend::Calendar(cal) => cal.drain_batch(horizon, out),
+        };
+        if let Some(t) = t {
+            self.clock = t;
         }
+        t
     }
 
     /// Total number of events ever scheduled on this queue (the next
@@ -588,6 +639,15 @@ impl EventQueue {
     /// hot-path counter.
     pub fn scheduled(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Advance the scheduling clock to `t` (never backwards). The
+    /// simulator calls this when a run reaches its horizon with events
+    /// still pending, so anything scheduled *between* runs is stamped
+    /// with the horizon — the same scheduling time on every shard —
+    /// rather than with whichever event each queue happened to pop last.
+    pub(crate) fn set_clock(&mut self, t: SimTime) {
+        self.clock = self.clock.max(t);
     }
 
     /// Time of the earliest scheduled event. `&mut` because the calendar
@@ -693,6 +753,64 @@ mod tests {
             let (t, _) = q.pop_if_at_or_before(SimTime::from_secs(1)).unwrap();
             assert_eq!(t, SimTime::from_millis(20));
             assert!(q.pop_if_at_or_before(SimTime::from_secs(9)).is_none());
+        }
+    }
+
+    #[test]
+    fn same_instant_ties_break_by_scheduling_time_then_order() {
+        // Cross-shard imports carry a foreign scheduling time; at an
+        // equal fire time the earlier-scheduled event must pop first even
+        // when it was inserted later (higher seq).
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            let fire = SimTime::from_millis(20);
+            q.schedule_from(SimTime::from_millis(10), fire, timer(0, 0));
+            q.schedule_from(SimTime::from_millis(5), fire, timer(0, 1));
+            q.schedule_from(SimTime::from_millis(5), fire, timer(0, 2));
+            let tokens: Vec<u64> = std::iter::from_fn(|| q.pop())
+                .map(|(_, k)| match k {
+                    EventKind::AgentTimer { token, .. } => token,
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(tokens, vec![1, 2, 0], "{kind:?}");
+
+            let mut q = EventQueue::with_kind(kind);
+            q.schedule_from(SimTime::from_millis(10), fire, timer(0, 0));
+            q.schedule_from(SimTime::from_millis(5), fire, timer(0, 1));
+            q.schedule_from(SimTime::from_millis(5), fire, timer(0, 2));
+            let mut out = Vec::new();
+            assert_eq!(q.drain_batch(fire, &mut out), Some(fire), "{kind:?}");
+            let tokens: Vec<u64> = out
+                .iter()
+                .map(|k| match k {
+                    EventKind::AgentTimer { token, .. } => *token,
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(tokens, vec![1, 2, 0], "{kind:?} drain_batch");
+        }
+    }
+
+    #[test]
+    fn popping_advances_the_scheduling_clock() {
+        // An event scheduled from a handler (i.e. after a pop at time T)
+        // is stamped sched=T and therefore beats a same-fire-time entry
+        // imported with a later sched stamp.
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            q.schedule(SimTime::from_millis(1), timer(0, 9));
+            q.pop();
+            let fire = SimTime::from_millis(7);
+            q.schedule_from(SimTime::from_millis(2), fire, timer(0, 0));
+            q.schedule(fire, timer(0, 1)); // sched = 1 ms (the pop time)
+            let tokens: Vec<u64> = std::iter::from_fn(|| q.pop())
+                .map(|(_, k)| match k {
+                    EventKind::AgentTimer { token, .. } => token,
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(tokens, vec![1, 0], "{kind:?}");
         }
     }
 

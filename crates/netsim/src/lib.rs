@@ -77,6 +77,6 @@ pub mod prelude {
     pub use crate::sim::{Agent, Ctx, Simulator};
     pub use crate::stats::Stats;
     pub use crate::time::{SimDuration, SimTime};
-    pub use crate::topology::{Dumbbell, DumbbellConfig, HostPair, ParkingLot, QueueKind};
+    pub use crate::topology::{Dumbbell, DumbbellConfig, DumbbellOptions, HostPair, ParkingLot, QueueKind};
     pub use crate::trace::{NsTextTrace, TraceEvent, TraceKind, TraceSink, VecTrace};
 }

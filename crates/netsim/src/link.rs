@@ -121,6 +121,13 @@ pub struct Link {
     pub(crate) marker: Option<Box<dyn MarkPattern>>,
     /// Optional scripted fault injection (see [`crate::faults`]).
     pub(crate) faults: Option<FaultState>,
+    /// Private RNG stream consumed by the queue discipline (RED's drop
+    /// draws). Seeded by the simulator from `(sim seed, link index)`, so
+    /// each link's draw sequence depends only on the packets *it* sees —
+    /// not on interleaving with other links — which is what makes sharded
+    /// execution bit-identical to serial. Placeholder-seeded here;
+    /// [`crate::sim::Simulator::add_link`] installs the real stream.
+    pub(crate) rng: SmallRng,
     /// The packet currently being serialized, if any. Living on the link
     /// (rather than in a parallel simulator-side vector) keeps the
     /// transmitter state on the same cache lines as the queue it feeds.
@@ -153,6 +160,7 @@ impl Link {
             loss: None,
             marker: None,
             faults: None,
+            rng: SmallRng::seed_from_u64(0),
             in_service: None,
             tx_memo: [(0, SimDuration::ZERO); 2],
         }

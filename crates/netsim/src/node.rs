@@ -14,7 +14,7 @@ use crate::ids::{LinkId, NodeId};
 /// (a handful of entries on the paper's dumbbells) and built once at
 /// topology-construction time, so a cache-resident binary search beats
 /// hashing every destination id through SipHash on the hot path.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Node {
     /// `(dst, out-link)` pairs, sorted by `dst` (unique).
     routes: Vec<(NodeId, LinkId)>,

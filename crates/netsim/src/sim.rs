@@ -21,10 +21,16 @@
 //!
 //! Runs are bit-for-bit reproducible for a given seed: the event queue
 //! breaks timestamp ties by scheduling order, all arenas are index-based,
-//! and the only randomness is the seeded RNG exposed via [`Ctx::rng`].
+//! and all randomness comes from *per-entity* RNG streams — one per link
+//! (consumed by its queue discipline) and one per agent (exposed via
+//! [`Ctx::rng`]) — each derived from `(simulation seed, entity index)`
+//! with a splitmix64 finalizer. Because an entity's draw sequence depends
+//! only on the events *it* observes, the same seed reproduces the same
+//! run regardless of how the simulation is partitioned into shards.
 
-use std::sync::atomic::{AtomicU8, Ordering as AtomicOrdering};
-use std::sync::OnceLock;
+use std::cell::OnceCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Barrier, Mutex, OnceLock};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -78,6 +84,58 @@ struct AgentSlot {
     node: NodeId,
     /// Taken out while the agent runs so `Ctx` can borrow the world.
     agent: Option<Box<dyn Agent>>,
+    /// The agent's private RNG stream (see [`Ctx::rng`]), seeded from
+    /// `(simulation seed, agent index)`.
+    rng: SmallRng,
+}
+
+/// Domain-separation tag for per-link RNG streams.
+const LINK_RNG_TAG: u64 = 1;
+/// Domain-separation tag for per-agent RNG streams.
+const AGENT_RNG_TAG: u64 = 2;
+
+/// Derive an entity seed from the simulation seed, a domain tag and the
+/// entity's arena index (splitmix64 finalizer — cheap, well-mixed, and
+/// stable across platforms).
+fn mix_seed(seed: u64, tag: u64, index: usize) -> u64 {
+    let mut z = seed
+        ^ tag
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(index as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A packet crossing a shard boundary: everything the destination shard
+/// needs to schedule the arrival exactly as the serial engine would have.
+struct Transit {
+    /// Arrival time at the destination node (serialization end + link
+    /// propagation delay + fault jitter).
+    time: SimTime,
+    /// Source-shard clock when serialization completed — the timestamp
+    /// the arrival would have carried as its scheduling time in a serial
+    /// run, preserved so same-instant events sort identically.
+    sched: SimTime,
+    /// Destination node (the link's `dst`).
+    node: NodeId,
+    /// The packet itself, removed from the source shard's pool.
+    pkt: Packet,
+}
+
+/// Cross-shard routing table and outboxes, present only on sharded
+/// worlds (`None` costs the serial hot path one null check).
+struct Xport {
+    /// This world's shard index.
+    my_shard: u32,
+    /// Shard owning each link's *destination* node, index-aligned with
+    /// the link arena. A serialization completing on a link whose
+    /// destination lives elsewhere exports the packet instead of
+    /// scheduling a local arrival.
+    link_dst_shard: Vec<u32>,
+    /// Per-destination-shard outboxes, drained into the global mailbox
+    /// matrix at the end of each conservative window.
+    outboxes: Vec<Vec<Transit>>,
 }
 
 /// Everything except the agents; borrowed mutably by [`Ctx`] while an
@@ -91,8 +149,13 @@ struct World {
     /// [`PacketId`], so the hot path moves 4-byte ids, not packet bytes.
     pool: PacketPool,
     stats: Stats,
-    rng: SmallRng,
     next_uid: u64,
+    /// High bits OR-ed into every uid this world mints (`shard << 48`),
+    /// so uids stay globally unique across shards without coordination.
+    /// Zero in serial mode, so single-shard uids are unchanged.
+    uid_tag: u64,
+    /// Cross-shard export state; `None` in serial mode.
+    xport: Option<Box<Xport>>,
     trace: Option<Box<dyn TraceSink>>,
     /// Invariant auditor, when enabled (see [`crate::audit`]). Boxed so
     /// the disabled case costs one null check per hook.
@@ -141,6 +204,7 @@ impl World {
                 trace,
                 audit,
                 next_uid,
+                uid_tag,
                 ..
             } = self;
             let link = &mut links[link_id.index()];
@@ -151,7 +215,7 @@ impl World {
                 // pool slot. It joins the link behind the original via
                 // the event queue's tie-break.
                 let mut dup = pool.get(pkt).clone();
-                dup.uid = *next_uid;
+                dup.uid = *uid_tag | *next_uid;
                 *next_uid += 1;
                 stats.record_link_duplicate(link_id);
                 if let Some(a) = audit.as_deref_mut() {
@@ -200,7 +264,6 @@ impl World {
             links,
             pool,
             stats,
-            rng,
             trace,
             audit,
             ..
@@ -269,7 +332,7 @@ impl World {
         // decides, so the drop/mark outcomes trace straight from the pool
         // slot — no per-packet snapshot on either path.
         let busy = link.busy();
-        let result = link.queue.enqueue(pkt, pool, now, rng);
+        let result = link.queue.enqueue(pkt, pool, now, &mut link.rng);
         match result {
             EnqueueResult::Enqueued | EnqueueResult::Marked => {
                 if result == EnqueueResult::Marked {
@@ -324,6 +387,7 @@ impl World {
             stats,
             trace,
             audit,
+            xport,
             ..
         } = self;
         let link = &mut links[link_id.index()];
@@ -341,13 +405,40 @@ impl World {
             .faults
             .as_mut()
             .map_or(SimDuration::ZERO, |f| f.jitter());
-        queue.schedule(
-            now + link.delay + jitter,
-            EventKind::Arrive {
-                node: link.dst,
-                packet: pkt,
-            },
-        );
+        let arrive_at = now + link.delay + jitter;
+        let dst = link.dst;
+        // Cross-shard hop: the packet leaves this shard's pool and rides
+        // a transit record to the destination shard, which schedules the
+        // arrival with the same (time, sched) stamp a serial run would
+        // have used. The conservative window bound guarantees `arrive_at`
+        // is beyond every shard's current window, so the import can never
+        // violate causality.
+        let mut exported = false;
+        if let Some(x) = xport.as_deref_mut() {
+            let to = x.link_dst_shard[link_id.index()];
+            if to != x.my_shard {
+                let p = pool.remove(pkt);
+                if let Some(a) = audit.as_deref_mut() {
+                    a.on_export(p.uid);
+                }
+                x.outboxes[to as usize].push(Transit {
+                    time: arrive_at,
+                    sched: now,
+                    node: dst,
+                    pkt: p,
+                });
+                exported = true;
+            }
+        }
+        if !exported {
+            queue.schedule(
+                arrive_at,
+                EventKind::Arrive {
+                    node: dst,
+                    packet: pkt,
+                },
+            );
+        }
         // Pull the next packet, if any (`in_service` is already vacated).
         if let Some(next) = link.queue.dequeue(now) {
             self.start_service(link_id, next);
@@ -369,54 +460,106 @@ impl World {
     }
 }
 
-/// Process-wide programmatic batching override:
-/// 0 = unset, 1 = force off, 2 = force on.
-static BATCH_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+/// Process-wide programmatic shard-count override (0 = unset).
+static SHARDS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
-/// The `SLOWCC_BATCH` environment knob, read once per process.
-static ENV_BATCH: OnceLock<bool> = OnceLock::new();
+/// The `SLOWCC_SHARDS` environment knob, read once per process.
+static ENV_SHARDS: OnceLock<Option<usize>> = OnceLock::new();
 
-/// Force every subsequently created [`Simulator`] to dispatch events
-/// batched (`Some(true)`) or strictly one at a time (`Some(false)`);
-/// `None` restores the default resolution (environment, then batched).
-/// The unbatched path is retained for one release as the reference for
-/// equivalence tests, exactly like the heap scheduler backend.
-pub fn set_default_batching(on: Option<bool>) {
-    let v = match on {
-        None => 0,
-        Some(false) => 1,
-        Some(true) => 2,
-    };
-    BATCH_OVERRIDE.store(v, AtomicOrdering::Relaxed);
+/// Largest accepted shard count. Far above any sane host; the clamp just
+/// bounds thread spawn on a typo'd `SLOWCC_SHARDS`.
+const MAX_SHARDS: usize = 64;
+
+/// Force every subsequently created [`Simulator`] to target `n` shards
+/// (`None` restores the default resolution: environment, then 1).
+/// Sharding is conservative-parallel and byte-deterministic: any shard
+/// count reproduces the single-shard run bit-exactly, so this knob is a
+/// pure performance lever. The *effective* shard count may be lower than
+/// requested when the topology has fewer independent node clusters.
+pub fn set_default_shards(n: Option<usize>) {
+    let v = n.map_or(0, |n| n.clamp(1, MAX_SHARDS));
+    SHARDS_OVERRIDE.store(v, AtomicOrdering::Relaxed);
 }
 
-/// The dispatch mode new simulators get: the [`set_default_batching`]
-/// override if set, else the `SLOWCC_BATCH` environment variable (`on` /
-/// `1` or `off` / `0`), else batched.
-pub fn default_batching() -> bool {
-    match BATCH_OVERRIDE.load(AtomicOrdering::Relaxed) {
-        1 => false,
-        2 => true,
-        _ => *ENV_BATCH.get_or_init(|| match std::env::var("SLOWCC_BATCH") {
-            Ok(v) if v == "off" || v == "0" => false,
-            Ok(v) if v == "on" || v == "1" => true,
-            Ok(v) => panic!("SLOWCC_BATCH must be `on`/`1` or `off`/`0`, got `{v}`"),
-            Err(_) => true,
-        }),
+/// The shard count new simulators target: the [`set_default_shards`]
+/// override if set, else the `SLOWCC_SHARDS` environment variable, else 1
+/// (serial).
+pub fn default_shards() -> usize {
+    match SHARDS_OVERRIDE.load(AtomicOrdering::Relaxed) {
+        0 => ENV_SHARDS
+            .get_or_init(|| match std::env::var("SLOWCC_SHARDS") {
+                Ok(v) => match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => Some(n.min(MAX_SHARDS)),
+                    _ => panic!("SLOWCC_SHARDS must be a positive integer, got `{v}`"),
+                },
+                Err(_) => None,
+            })
+            .unwrap_or(1),
+        n => n,
     }
 }
 
-/// The discrete-event network simulator.
-pub struct Simulator {
+/// Bit position of the shard tag inside packet uids. The low 48 bits
+/// are a per-shard counter (2^48 packets per shard per run is far beyond
+/// any workload here); the high bits carry the minting shard.
+const UID_TAG_SHIFT: u32 = 48;
+
+/// One conservative-parallel shard: a full [`World`] (its own event
+/// queue, packet pool, clock, statistics and auditor) plus the agents
+/// whose nodes it owns. In serial mode the simulator is exactly one
+/// shard and none of the cross-shard machinery engages.
+struct Shard {
     world: World,
     agents: Vec<AgentSlot>,
-    next_flow: u32,
-    /// Whether [`Self::run_until`] dispatches timestamp batches (the
-    /// default) or single events (see [`set_default_batching`]).
-    batching: bool,
     /// Reusable arena the event queue drains each timestamp batch into;
     /// owned here so steady-state batch dispatch never allocates.
     batch_buf: Vec<EventKind>,
+}
+
+/// The discrete-event network simulator.
+///
+/// # Sharded execution
+///
+/// When [`default_shards`] resolves above 1 (the `SLOWCC_SHARDS`
+/// environment variable or [`set_default_shards`]), the first
+/// [`Self::run_until`] *seals* the topology and partitions the nodes
+/// into shard clusters: links with the maximum propagation delay are cut
+/// edges, connected components become clusters, and clusters are packed
+/// into at most the requested number of shards. Each shard then runs its
+/// own event loop on its own thread, synchronized conservatively with
+/// lookahead equal to the minimum cross-shard link delay. The partition,
+/// the per-entity RNG streams and the `(time, sched, seq)` event order
+/// make the sharded run byte-identical to the serial one — see DESIGN.md
+/// §5h for the full contract.
+pub struct Simulator {
+    /// The shard arenas. Exactly one before sealing and in serial mode.
+    shards: Vec<Shard>,
+    /// Node index → owning shard; empty until sealed with >1 shard.
+    node_shard: Vec<u32>,
+    /// Link index → owning shard (the shard of the link's source node,
+    /// which runs its queue and transmitter); empty until sealed with
+    /// >1 shard.
+    link_shard: Vec<u32>,
+    /// Conservative lookahead: minimum propagation delay over cross-shard
+    /// links. `None` until sealed with >1 shard (or when the partition
+    /// has no cross-shard links at all, in which case windows run
+    /// straight to the horizon).
+    lookahead: Option<SimDuration>,
+    /// Whether the topology has been sealed (first `run_until`).
+    sealed: bool,
+    /// Shard count requested at construction (resolved once, so a run is
+    /// not affected by later knob changes).
+    requested_shards: usize,
+    /// The simulation seed: root of every per-entity RNG stream.
+    seed: u64,
+    next_flow: u32,
+    /// Source node of each link, index-aligned with the link arena. The
+    /// links themselves only store their destination; the sharding layer
+    /// needs both endpoints to derive the topology partition.
+    link_src: Vec<NodeId>,
+    /// Lazily merged per-shard statistics (see [`Self::stats`]);
+    /// invalidated by every `run_until`. Unused in serial mode.
+    merged_stats: OnceCell<Stats>,
 }
 
 /// Default width of the statistics bins (10 ms: fine enough for the
@@ -433,22 +576,32 @@ impl Simulator {
     /// A fresh simulator with an explicit statistics bin width.
     pub fn with_stats_bin(seed: u64, bin: SimDuration) -> Self {
         Simulator {
-            world: World {
-                now: SimTime::ZERO,
-                queue: EventQueue::new(),
-                nodes: Vec::new(),
-                links: Vec::new(),
-                pool: PacketPool::new(),
-                stats: Stats::new(bin),
-                rng: SmallRng::seed_from_u64(seed),
-                next_uid: 0,
-                trace: None,
-                audit: audit::default_mode().map(|mode| Box::new(Auditor::new(mode))),
-            },
-            agents: Vec::new(),
+            shards: vec![Shard {
+                world: World {
+                    now: SimTime::ZERO,
+                    queue: EventQueue::new(),
+                    nodes: Vec::new(),
+                    links: Vec::new(),
+                    pool: PacketPool::new(),
+                    stats: Stats::new(bin),
+                    next_uid: 0,
+                    uid_tag: 0,
+                    xport: None,
+                    trace: None,
+                    audit: audit::default_mode().map(|mode| Box::new(Auditor::new(mode))),
+                },
+                agents: Vec::new(),
+                batch_buf: Vec::new(),
+            }],
+            node_shard: Vec::new(),
+            link_shard: Vec::new(),
+            lookahead: None,
+            sealed: false,
+            requested_shards: default_shards(),
+            seed,
             next_flow: 0,
-            batching: default_batching(),
-            batch_buf: Vec::new(),
+            link_src: Vec::new(),
+            merged_stats: OnceCell::new(),
         }
     }
 
@@ -463,13 +616,13 @@ impl Simulator {
     /// A fresh simulator with the invariant auditor enabled in `mode`.
     pub fn with_audit_mode(seed: u64, mode: AuditMode) -> Self {
         let mut sim = Simulator::new(seed);
-        sim.world.audit = Some(Box::new(Auditor::new(mode)));
+        sim.shards[0].world.audit = Some(Box::new(Auditor::new(mode)));
         sim
     }
 
     /// Whether this simulator is running under the invariant auditor.
     pub fn audit_enabled(&self) -> bool {
-        self.world.audit.is_some()
+        self.shards[0].world.audit.is_some()
     }
 
     /// Run the teardown audit (pool/ledger uid-set reconciliation, link
@@ -477,15 +630,48 @@ impl Simulator {
     /// report is also merged into the process-global accumulator read by
     /// [`audit::take_global_report`].
     ///
+    /// On a sharded simulator every shard runs its own teardown and the
+    /// per-shard reports fold into one (`sims == 1`, exactly like the
+    /// serial report), with a final cross-shard reconciliation of the
+    /// export/import ledgers — every packet handed off between shards
+    /// must have been received exactly once.
+    ///
     /// Returns `None` when auditing is off, and on the second call (the
     /// auditor is consumed). In [`AuditMode::Strict`] the teardown checks
     /// panic on the first violation. If never called, [`Drop`] runs the
     /// same teardown.
     pub fn finish_audit(&mut self) -> Option<AuditReport> {
-        let mut auditor = self.world.audit.take()?;
-        let report = Self::audit_teardown(&mut auditor, &self.world);
+        let mut auditors: Vec<Box<Auditor>> = self
+            .shards
+            .iter_mut()
+            .filter_map(|s| s.world.audit.take())
+            .collect();
+        if auditors.is_empty() {
+            return None;
+        }
+        let report = Self::audit_teardown_all(&mut auditors, &self.shards);
         audit::merge_global(&report);
         Some(report)
+    }
+
+    /// Tear down every shard's auditor and fold the reports: the single
+    /// report of a serial run, or [`audit::merge_shard_reports`] (with
+    /// the cross-shard handoff reconciliation) of a sharded one.
+    fn audit_teardown_all(auditors: &mut [Box<Auditor>], shards: &[Shard]) -> AuditReport {
+        let strict = auditors.iter().any(|a| a.is_strict());
+        let mut parts = Vec::with_capacity(auditors.len());
+        let mut exported = Vec::new();
+        let mut imported = Vec::new();
+        for (auditor, shard) in auditors.iter_mut().zip(shards) {
+            parts.push(Self::audit_teardown(auditor, &shard.world));
+            exported.extend(auditor.take_exported_log());
+            imported.extend(auditor.take_imported_log());
+        }
+        if parts.len() == 1 {
+            parts.pop().expect("one report")
+        } else {
+            audit::merge_shard_reports(parts, exported, imported, strict)
+        }
     }
 
     fn audit_teardown(auditor: &mut Auditor, world: &World) -> AuditReport {
@@ -500,66 +686,104 @@ impl Simulator {
 
     /// Which event-scheduler backend this simulator runs on.
     pub fn scheduler_kind(&self) -> SchedulerKind {
-        self.world.queue.kind()
-    }
-
-    /// Whether [`Self::run_until`] dispatches timestamp batches.
-    pub fn batching_enabled(&self) -> bool {
-        self.batching
+        self.shards[0].world.queue.kind()
     }
 
     /// Number of events dispatched so far: everything ever scheduled
     /// minus what is still pending. Derived from the queue's sequence
-    /// counter, so it costs nothing on the hot path.
+    /// counter, so it costs nothing on the hot path. Summed over shards.
     pub fn events_processed(&self) -> u64 {
-        self.world.queue.scheduled() - self.world.queue.len() as u64
+        self.shards
+            .iter()
+            .map(|s| s.world.queue.scheduled() - s.world.queue.len() as u64)
+            .sum()
     }
 
-    /// Number of packets injected so far (the uid counter): every
-    /// [`Ctx::send`] plus every fault-layer duplicate.
+    /// Number of packets injected so far (the uid counters summed over
+    /// shards): every [`Ctx::send`] plus every fault-layer duplicate.
     pub fn packets_injected(&self) -> u64 {
-        self.world.next_uid
+        self.shards.iter().map(|s| s.world.next_uid).sum()
     }
 
     /// High-water mark of simultaneously in-flight packets — the packet
-    /// pool's slab size. Exposed so tests can assert the pool recycles
-    /// instead of growing per packet.
+    /// pool slab sizes summed over shards. Exposed so tests can assert
+    /// the pool recycles instead of growing per packet.
     pub fn packet_pool_capacity(&self) -> usize {
-        self.world.pool.capacity()
+        self.shards.iter().map(|s| s.world.pool.capacity()).sum()
+    }
+
+    /// How many shards the topology sealed into: 1 before the first
+    /// `run_until` and whenever sharding degraded to serial execution
+    /// (single cluster, tracing enabled, …); otherwise the resolved
+    /// partition size, at most [`set_default_shards`]' request.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Owning shard of `node`: 0 until sealed with more than one shard.
+    fn shard_of_node(&self, node: NodeId) -> usize {
+        if self.node_shard.is_empty() {
+            0
+        } else {
+            self.node_shard[node.index()] as usize
+        }
+    }
+
+    /// Panic guard for topology mutators: the node/link arenas are
+    /// replicated per shard at seal time, so they cannot change after a
+    /// sharded run has started. (Serial simulators stay mutable forever,
+    /// exactly as before.)
+    fn assert_unsharded(&self, what: &str) {
+        assert!(
+            self.shards.len() == 1,
+            "cannot {what}: topology was sealed into {} shards by the first run_until",
+            self.shards.len()
+        );
     }
 
     /// Add a node (host or router).
     pub fn add_node(&mut self) -> NodeId {
-        self.world.nodes.push(Node::new());
-        NodeId::from_index(self.world.nodes.len() - 1)
+        self.assert_unsharded("add a node");
+        let world = &mut self.shards[0].world;
+        world.nodes.push(Node::new());
+        NodeId::from_index(world.nodes.len() - 1)
     }
 
     /// Add a unidirectional link from `src` and return its handle.
     /// Routing entries are installed separately via [`Self::add_route`]
-    /// or [`Self::set_default_route`].
+    /// or [`Self::set_default_route`]. `src` also determines which shard
+    /// owns the link (its queue and transmitter) under sharded execution.
     pub fn add_link(&mut self, src: NodeId, link: Link) -> LinkId {
-        let _ = src; // `src` documents intent; links are referenced by id.
-        self.world.links.push(link);
-        let id = LinkId::from_index(self.world.links.len() - 1);
-        self.world.stats.ensure_link(id);
+        self.assert_unsharded("add a link");
+        let mut link = link;
+        let world = &mut self.shards[0].world;
+        let id = LinkId::from_index(world.links.len());
+        link.rng = SmallRng::seed_from_u64(mix_seed(self.seed, LINK_RNG_TAG, id.index()));
+        world.links.push(link);
+        self.link_src.push(src);
+        world.stats.ensure_link(id);
         id
     }
 
     /// Install a per-destination route at `node`.
     pub fn add_route(&mut self, node: NodeId, dst: NodeId, link: LinkId) {
-        self.world.nodes[node.index()].add_route(dst, link);
+        self.assert_unsharded("add a route");
+        self.shards[0].world.nodes[node.index()].add_route(dst, link);
     }
 
     /// Install the default route at `node`.
     pub fn set_default_route(&mut self, node: NodeId, link: LinkId) {
-        self.world.nodes[node.index()].set_default_route(link);
+        self.assert_unsharded("set a default route");
+        self.shards[0].world.nodes[node.index()].set_default_route(link);
     }
 
     /// Allocate a flow identifier for statistics accounting.
     pub fn new_flow(&mut self) -> FlowId {
         let id = FlowId::from_index(self.next_flow as usize);
         self.next_flow += 1;
-        self.world.stats.ensure_flow(id);
+        for shard in &mut self.shards {
+            shard.world.stats.ensure_flow(id);
+        }
         id
     }
 
@@ -568,16 +792,30 @@ impl Simulator {
     /// each agent with its peer's id and install with
     /// [`Self::install_agent`].
     pub fn reserve_agent(&mut self, node: NodeId) -> AgentId {
-        self.agents.push(AgentSlot { node, agent: None });
-        AgentId::from_index(self.agents.len() - 1)
+        let index = self.shards[0].agents.len();
+        // Every shard records the slot (so node lookups work anywhere);
+        // only the owning shard will ever hold the agent itself. The rng
+        // is seeded identically everywhere — it is part of the slot, and
+        // only the owner's copy is ever advanced.
+        for shard in &mut self.shards {
+            shard.agents.push(AgentSlot {
+                node,
+                agent: None,
+                rng: SmallRng::seed_from_u64(mix_seed(self.seed, AGENT_RNG_TAG, index)),
+            });
+        }
+        AgentId::from_index(index)
     }
 
     /// Install a previously reserved agent, to be started at `start`.
     pub fn install_agent(&mut self, id: AgentId, agent: Box<dyn Agent>, start: SimTime) {
-        let slot = &mut self.agents[id.index()];
+        let owner = self.shard_of_node(self.shards[0].agents[id.index()].node);
+        let shard = &mut self.shards[owner];
+        let slot = &mut shard.agents[id.index()];
         assert!(slot.agent.is_none(), "agent {id} installed twice");
         slot.agent = Some(agent);
-        self.world
+        shard
+            .world
             .queue
             .schedule(start, EventKind::AgentStart { agent: id });
     }
@@ -597,62 +835,467 @@ impl Simulator {
     /// Install a trace sink receiving every packet event from now on.
     /// Tracing is off by default (full runs generate millions of
     /// events); install a filtered/capped sink for targeted debugging.
+    ///
+    /// A sink installed *before* the first run forces serial execution
+    /// (traces are inherently a global event order); installing one
+    /// after the topology already sealed into multiple shards panics.
     pub fn set_trace(&mut self, sink: Box<dyn TraceSink>) {
-        self.world.trace = Some(sink);
+        self.assert_unsharded("install a trace sink");
+        self.shards[0].world.trace = Some(sink);
     }
 
     /// Remove and return the current trace sink (e.g. to read a
-    /// [`crate::trace::VecTrace`] back after a run).
+    /// [`crate::trace::VecTrace`] back after a run). Always `None` on a
+    /// sharded simulator, which never traces.
     pub fn take_trace(&mut self) -> Option<Box<dyn TraceSink>> {
-        self.world.trace.take()
+        self.shards[0].world.trace.take()
     }
 
-    /// Current simulated time.
+    /// Current simulated time: the furthest shard clock (all equal at
+    /// every `run_until` horizon).
     pub fn now(&self) -> SimTime {
-        self.world.now
+        self.shards
+            .iter()
+            .map(|s| s.world.now)
+            .max()
+            .expect("at least one shard")
     }
 
-    /// Collected statistics.
+    /// Collected statistics. On a sharded simulator the per-shard
+    /// statistics merge lazily (every counter is an exact `u64` sum, so
+    /// the merge reproduces the serial run bit-for-bit); the merge is
+    /// cached until the next `run_until`.
     pub fn stats(&self) -> &Stats {
-        &self.stats_ref().stats
-    }
-
-    fn stats_ref(&self) -> &World {
-        &self.world
+        if self.shards.len() == 1 {
+            return &self.shards[0].world.stats;
+        }
+        self.merged_stats.get_or_init(|| {
+            let mut merged = Stats::new(self.shards[0].world.stats.bin_width());
+            for shard in &self.shards {
+                merged.absorb(&shard.world.stats);
+            }
+            merged
+        })
     }
 
     /// Current buffer occupancy of `link` in packets.
     pub fn link_queue_len(&self, link: LinkId) -> usize {
-        self.world.links[link.index()].queue_len()
+        let shard = if self.link_shard.is_empty() {
+            0
+        } else {
+            self.link_shard[link.index()] as usize
+        };
+        self.shards[shard].world.links[link.index()].queue_len()
     }
 
     /// Run until the event queue drains or `until` is reached, whichever
     /// comes first. The clock is left at `until` when the horizon is hit.
     ///
-    /// The default inner loop is *timestamp-batched*: one
+    /// The inner loop is *timestamp-batched*: one
     /// [`EventQueue::drain_batch`] extracts every event sharing the head
     /// timestamp into a reusable arena, the clock advances once, and the
-    /// events dispatch back-to-back in `(time, seq)` order — the exact
-    /// order the single-pop loop produces, so output is byte-identical
-    /// either way (pinned by `tests/batch_equivalence.rs` and the
-    /// registry conformance suite). The audit pool cross-check runs once
-    /// per batch instead of once per event; with auditing off the hook is
-    /// a single null check per batch.
+    /// events dispatch back-to-back in `(time, sched, seq)` order — the
+    /// exact order repeated single pops produce, so batching is a pure
+    /// optimization (pinned by `tests/batch_equivalence.rs` at the queue
+    /// level). The audit pool cross-check runs once per batch instead of
+    /// once per event; with auditing off the hook is a single null check
+    /// per batch.
     pub fn run_until(&mut self, until: SimTime) {
-        self.world.stats.set_reserve_hint(until);
-        if self.batching {
-            self.run_until_batched(until);
-        } else {
-            while let Some((time, kind)) = self.world.queue.pop_if_at_or_before(until) {
-                self.process(time, kind);
-            }
+        self.seal();
+        self.merged_stats = OnceCell::new();
+        for shard in &mut self.shards {
+            shard.world.stats.set_reserve_hint(until);
         }
-        if self.world.now < until {
-            self.world.now = until;
+        if self.shards.len() == 1 {
+            self.shards[0].run_window(until);
+        } else {
+            self.run_windows_threaded(until);
+        }
+        for shard in &mut self.shards {
+            if shard.world.now < until {
+                shard.world.now = until;
+            }
+            // Pin the scheduling clock to the horizon so events scheduled
+            // *between* runs carry the same `sched` stamp at every shard
+            // count (each shard's clock otherwise stops at its own last
+            // dispatched event).
+            shard.world.queue.set_clock(until);
         }
     }
 
-    fn run_until_batched(&mut self, until: SimTime) {
+    /// First-`run_until` hook: resolve the shard partition. Every guard
+    /// below degrades silently to serial execution — sharding is a pure
+    /// optimization, never a behavior change, so a topology it cannot
+    /// handle simply runs on the proven serial engine.
+    fn seal(&mut self) {
+        if self.sealed {
+            return;
+        }
+        self.sealed = true;
+        if self.requested_shards <= 1 {
+            return;
+        }
+        {
+            let world = &self.shards[0].world;
+            if world.trace.is_some()           // traces need a global event order
+                || world.links.is_empty()      // degenerate topology
+                || world.now != SimTime::ZERO  // already stepped manually
+                || !world.pool.is_empty()      // packets already in flight
+                || world.next_uid != 0
+            {
+                return;
+            }
+        }
+
+        // Partition: links carrying the maximum propagation delay are the
+        // cut edges; union-find over all faster links yields clusters
+        // that only communicate across max-delay links, so the
+        // conservative lookahead equals that delay.
+        let (nodes_len, links_len, dmax) = {
+            let world = &self.shards[0].world;
+            let dmax = world
+                .links
+                .iter()
+                .map(Link::delay)
+                .max()
+                .expect("links checked non-empty");
+            (world.nodes.len(), world.links.len(), dmax)
+        };
+        if dmax.is_zero() {
+            return;
+        }
+        fn find(parent: &mut [u32], mut i: u32) -> u32 {
+            while parent[i as usize] != i {
+                parent[i as usize] = parent[parent[i as usize] as usize];
+                i = parent[i as usize];
+            }
+            i
+        }
+        let mut parent: Vec<u32> = (0..nodes_len as u32).collect();
+        let link_dst: Vec<NodeId> = self.shards[0].world.links.iter().map(Link::dst).collect();
+        for i in 0..links_len {
+            if self.shards[0].world.links[i].delay() < dmax {
+                let a = find(&mut parent, self.link_src[i].index() as u32);
+                let b = find(&mut parent, link_dst[i].index() as u32);
+                if a != b {
+                    parent[a as usize] = b;
+                }
+            }
+        }
+        // Dense cluster ids in first-seen (= min-node-id ascending) order.
+        let mut cluster_id: Vec<u32> = vec![u32::MAX; nodes_len];
+        let mut clusters: Vec<Vec<u32>> = Vec::new();
+        let mut cluster_of_node: Vec<u32> = vec![0; nodes_len];
+        for node in 0..nodes_len {
+            let root = find(&mut parent, node as u32) as usize;
+            let c = if cluster_id[root] == u32::MAX {
+                cluster_id[root] = clusters.len() as u32;
+                clusters.push(Vec::new());
+                cluster_id[root]
+            } else {
+                cluster_id[root]
+            };
+            clusters[c as usize].push(node as u32);
+            cluster_of_node[node] = c;
+        }
+        if clusters.len() < 2 {
+            return;
+        }
+
+        // Pack clusters into at most the requested number of shards:
+        // biggest first (ties by min node id, i.e. cluster id) onto the
+        // least-loaded bin (ties to the lowest bin) — fully determined by
+        // the topology, never by the host.
+        let nbins = self.requested_shards.min(clusters.len());
+        let mut order: Vec<usize> = (0..clusters.len()).collect();
+        order.sort_by_key(|&c| (std::cmp::Reverse(clusters[c].len()), c));
+        let mut bin_load = vec![0usize; nbins];
+        let mut bin_of_cluster = vec![0u32; clusters.len()];
+        for c in order {
+            let bin = (0..nbins).min_by_key(|&b| (bin_load[b], b)).expect("nbins > 0");
+            bin_of_cluster[c] = bin as u32;
+            bin_load[bin] += clusters[c].len();
+        }
+        self.node_shard = cluster_of_node
+            .iter()
+            .map(|&c| bin_of_cluster[c as usize])
+            .collect();
+        self.link_shard = self
+            .link_src
+            .iter()
+            .map(|src| self.node_shard[src.index()])
+            .collect();
+        self.lookahead = (0..links_len)
+            .filter(|&i| self.link_shard[i] != self.node_shard[link_dst[i].index()])
+            .map(|i| self.shards[0].world.links[i].delay())
+            .min();
+
+        // Split the build world into per-shard worlds. Real links and
+        // agents move to their owner; other shards get inert
+        // placeholders so every arena keeps global indexing.
+        let build = self.shards.pop().expect("exactly one shard before seal");
+        let Shard {
+            world: mut build_world,
+            agents: build_agents,
+            batch_buf,
+        } = build;
+        let mut link_slots: Vec<Option<Link>> = std::mem::take(&mut build_world.links)
+            .into_iter()
+            .map(Some)
+            .collect();
+        let mut agent_slots = build_agents;
+        let audit_mode = build_world.audit.as_deref().map(Auditor::mode);
+        let bin_width = build_world.stats.bin_width();
+        let queue_kind = build_world.queue.kind();
+        let link_dst_shard: Vec<u32> = link_dst
+            .iter()
+            .map(|dst| self.node_shard[dst.index()])
+            .collect();
+        let mut shards: Vec<Shard> = (0..nbins as u32)
+            .map(|bin| {
+                let links: Vec<Link> = (0..links_len)
+                    .map(|i| {
+                        if self.link_shard[i] == bin {
+                            link_slots[i].take().expect("each link has one owner")
+                        } else {
+                            // Never transmits: nothing routes to a link the
+                            // shard does not own.
+                            Link::new(
+                                NodeId::from_index(0),
+                                f64::INFINITY,
+                                SimDuration::ZERO,
+                                Box::new(crate::queue::DropTail::new(0)),
+                            )
+                        }
+                    })
+                    .collect();
+                let mut stats = Stats::new(bin_width);
+                for i in 0..links_len {
+                    stats.ensure_link(LinkId::from_index(i));
+                }
+                for f in 0..self.next_flow {
+                    stats.ensure_flow(FlowId::from_index(f as usize));
+                }
+                let uid_tag = u64::from(bin) << UID_TAG_SHIFT;
+                let agents: Vec<AgentSlot> = agent_slots
+                    .iter_mut()
+                    .map(|slot| AgentSlot {
+                        node: slot.node,
+                        rng: slot.rng.clone(),
+                        agent: if self.node_shard[slot.node.index()] == bin {
+                            slot.agent.take()
+                        } else {
+                            None
+                        },
+                    })
+                    .collect();
+                Shard {
+                    world: World {
+                        now: SimTime::ZERO,
+                        queue: EventQueue::with_kind(queue_kind),
+                        nodes: build_world.nodes.clone(),
+                        links,
+                        pool: PacketPool::new(),
+                        stats,
+                        next_uid: 0,
+                        uid_tag,
+                        xport: Some(Box::new(Xport {
+                            my_shard: bin,
+                            link_dst_shard: link_dst_shard.clone(),
+                            outboxes: (0..nbins).map(|_| Vec::new()).collect(),
+                        })),
+                        trace: None,
+                        audit: audit_mode.map(|mode| Box::new(Auditor::sharded(mode, uid_tag))),
+                    },
+                    agents,
+                    batch_buf: Vec::new(),
+                }
+            })
+            .collect();
+        shards[0].batch_buf = batch_buf;
+
+        // Re-route the events scheduled during construction (agent
+        // starts, typically) to their owning shards, in global queue
+        // order so per-shard relative order matches the serial queue.
+        // All were scheduled at clock zero, so `schedule_from` zero
+        // reproduces their `sched` stamps exactly.
+        while let Some((time, kind)) = build_world.queue.pop() {
+            let bin = match kind {
+                EventKind::AgentStart { agent } | EventKind::AgentTimer { agent, .. } => {
+                    self.node_shard[agent_slots[agent.index()].node.index()]
+                }
+                EventKind::LinkTxComplete { link } | EventKind::FaultRelease { link, .. } => {
+                    self.link_shard[link.index()]
+                }
+                EventKind::Arrive { .. } => {
+                    unreachable!("no packets exist before the first run_until")
+                }
+            };
+            shards[bin as usize]
+                .world
+                .queue
+                .schedule_from(SimTime::ZERO, time, kind);
+        }
+        self.shards = shards;
+    }
+
+    /// The conservative-parallel engine: one thread per shard, running
+    /// barrier-synchronized windows until every queue drains or the
+    /// horizon is reached.
+    ///
+    /// Each round: every shard publishes its next event time; the global
+    /// minimum `t0` plus the lookahead bounds the window (exclusive — an
+    /// import can land exactly at `t0 + lookahead`, so shards may only
+    /// dispatch strictly earlier events); shards drain their windows and
+    /// deposit cross-shard packets into per-(src, dst) mailboxes; after
+    /// the barrier each shard folds its inbound mailboxes in ascending
+    /// source-shard order, which fixes the merge order deterministically.
+    ///
+    /// A panicking shard (e.g. a strict-audit violation) poisons the
+    /// round instead of deadlocking its siblings at the barrier: every
+    /// thread re-checks the poison flag after every barrier crossing and
+    /// unwinds, and the first panic payload is re-thrown on the caller's
+    /// thread.
+    fn run_windows_threaded(&mut self, until: SimTime) {
+        let nshards = self.shards.len();
+        let lookahead = self.lookahead;
+        let barrier = Barrier::new(nshards);
+        let next_times: Vec<AtomicU64> = (0..nshards).map(|_| AtomicU64::new(u64::MAX)).collect();
+        // mailboxes[dst][src]: deposited under lock before the barrier,
+        // drained by `dst` after it.
+        let mailboxes: Vec<Vec<Mutex<Vec<Transit>>>> = (0..nshards)
+            .map(|_| (0..nshards).map(|_| Mutex::new(Vec::new())).collect())
+            .collect();
+        let poisoned = AtomicBool::new(false);
+        let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+        std::thread::scope(|scope| {
+            for (idx, shard) in self.shards.iter_mut().enumerate() {
+                let (barrier, next_times, mailboxes, poisoned, panic_payload) =
+                    (&barrier, &next_times, &mailboxes, &poisoned, &panic_payload);
+                scope.spawn(move || loop {
+                    let next = shard
+                        .world
+                        .queue
+                        .peek_time()
+                        .map_or(u64::MAX, SimTime::as_nanos);
+                    next_times[idx].store(next, AtomicOrdering::Relaxed);
+                    barrier.wait();
+                    if poisoned.load(AtomicOrdering::Relaxed) {
+                        break;
+                    }
+                    // Every thread computes the same t0 from the same
+                    // published slots, so they agree on termination.
+                    let t0 = next_times
+                        .iter()
+                        .map(|t| t.load(AtomicOrdering::Relaxed))
+                        .min()
+                        .expect("at least one shard");
+                    if t0 == u64::MAX || t0 > until.as_nanos() {
+                        break;
+                    }
+                    let bound = match lookahead {
+                        Some(l) => {
+                            SimTime::from_nanos(until.as_nanos().min(t0 + l.as_nanos() - 1))
+                        }
+                        None => until,
+                    };
+                    // Mailbox locks tolerate std poisoning (a sibling
+                    // panicked mid-append): the round is already marked
+                    // poisoned and about to unwind everywhere, so the
+                    // contents are never read.
+                    fn lock<'m>(
+                        m: &'m Mutex<Vec<Transit>>,
+                    ) -> std::sync::MutexGuard<'m, Vec<Transit>> {
+                        m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+                    }
+                    let round = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        shard.run_window(bound);
+                        let xport = shard
+                            .world
+                            .xport
+                            .as_deref_mut()
+                            .expect("sharded worlds always have an export table");
+                        for (dst, outbox) in xport.outboxes.iter_mut().enumerate() {
+                            if !outbox.is_empty() {
+                                lock(&mailboxes[dst][idx]).append(outbox);
+                            }
+                        }
+                    }));
+                    if let Err(payload) = round {
+                        poisoned.store(true, AtomicOrdering::Relaxed);
+                        let mut slot = panic_payload.lock().expect("panic payload lock");
+                        slot.get_or_insert(payload);
+                    }
+                    barrier.wait();
+                    if poisoned.load(AtomicOrdering::Relaxed) {
+                        break;
+                    }
+                    // Deterministic merge: ascending source shard, each
+                    // mailbox already in that source's send order. Also
+                    // wrapped so a strict-audit panic here unwinds every
+                    // shard at the next barrier instead of deadlocking.
+                    let merged = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        for src in 0..nshards {
+                            let mut inbox = lock(&mailboxes[idx][src]);
+                            shard.import(&mut inbox);
+                        }
+                    }));
+                    if let Err(payload) = merged {
+                        poisoned.store(true, AtomicOrdering::Relaxed);
+                        let mut slot = panic_payload.lock().expect("panic payload lock");
+                        slot.get_or_insert(payload);
+                    }
+                });
+            }
+        });
+        if let Some(payload) = panic_payload.into_inner().expect("panic payload lock").take() {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Process a single event on the serial engine. Returns `false` when
+    /// the queue is empty. Panics on a sharded simulator (single-stepping
+    /// has no meaning across concurrent shard clocks).
+    pub fn step(&mut self) -> bool {
+        self.assert_unsharded("single-step");
+        let shard = &mut self.shards[0];
+        let Some((time, kind)) = shard.world.queue.pop() else {
+            return false;
+        };
+        shard.process(time, kind);
+        true
+    }
+
+    /// Immutable access to an installed agent, for post-run inspection.
+    /// Panics while that agent is being dispatched.
+    pub fn agent(&self, id: AgentId) -> &dyn Agent {
+        let owner = self.shard_of_node(self.shards[0].agents[id.index()].node);
+        self.shards[owner].agents[id.index()]
+            .agent
+            .as_deref()
+            .expect("agent not installed or currently running")
+    }
+
+    /// Inspect an installed agent as a concrete type, if it opted into
+    /// [`Agent::as_any`].
+    pub fn agent_downcast<T: 'static>(&self, id: AgentId) -> Option<&T> {
+        self.agent(id).as_any().and_then(|a| a.downcast_ref::<T>())
+    }
+}
+
+impl Shard {
+    /// Drain every event with `time <= until` in `(time, sched, seq)`
+    /// order, leaving the clock at the last dispatched event. The inner
+    /// loop is *timestamp-batched*: one [`EventQueue::drain_batch`]
+    /// extracts every event sharing the head timestamp into a reusable
+    /// arena, the clock advances once, and the events dispatch
+    /// back-to-back — the exact order repeated single pops produce, so
+    /// batching is a pure optimization (pinned by
+    /// `tests/batch_equivalence.rs` at the queue level). The audit pool
+    /// cross-check runs once per batch instead of once per event; with
+    /// auditing off the hook is a single null check per batch.
+    fn run_window(&mut self, until: SimTime) {
         // The arena lives on `self` but is taken out for the loop so
         // `drain_batch` (which borrows the queue mutably) can fill it.
         // Handlers dispatched from the batch never see it: events they
@@ -676,18 +1319,30 @@ impl Simulator {
         self.batch_buf = buf;
     }
 
-    /// Process a single event. Returns `false` when the queue is empty.
-    pub fn step(&mut self) -> bool {
-        let Some((time, kind)) = self.world.queue.pop() else {
-            return false;
-        };
-        self.process(time, kind);
-        true
+    /// Receive one source shard's cross-shard packets: re-pool each and
+    /// schedule its arrival with the sender's original `sched` stamp, so
+    /// the `(time, sched, seq)` order is exactly what the serial engine
+    /// would have produced scheduling the same arrival locally.
+    fn import(&mut self, inbound: &mut Vec<Transit>) {
+        for transit in inbound.drain(..) {
+            let uid = transit.pkt.uid;
+            let packet = self.world.pool.insert(transit.pkt);
+            if let Some(a) = self.world.audit.as_deref_mut() {
+                a.on_import(uid);
+            }
+            self.world.queue.schedule_from(
+                transit.sched,
+                transit.time,
+                EventKind::Arrive {
+                    node: transit.node,
+                    packet,
+                },
+            );
+        }
     }
 
     /// Advance the clock to `time` and fire `kind`, with the audit
-    /// cross-check at per-event granularity (the unbatched loop and
-    /// [`Self::step`]).
+    /// cross-check at per-event granularity ([`Simulator::step`]).
     fn process(&mut self, time: SimTime, kind: EventKind) {
         debug_assert!(time >= self.world.now, "event queue went backwards");
         self.world.now = time;
@@ -789,41 +1444,35 @@ impl Simulator {
             world: &mut self.world,
             agent_id: id,
             node,
+            rng: &mut slot.rng,
         };
         f(agent.as_mut(), &mut ctx);
         self.agents[id.index()].agent = Some(agent);
-    }
-
-    /// Immutable access to an installed agent, for post-run inspection.
-    /// Panics while that agent is being dispatched.
-    pub fn agent(&self, id: AgentId) -> &dyn Agent {
-        self.agents[id.index()]
-            .agent
-            .as_deref()
-            .expect("agent not installed or currently running")
-    }
-
-    /// Inspect an installed agent as a concrete type, if it opted into
-    /// [`Agent::as_any`].
-    pub fn agent_downcast<T: 'static>(&self, id: AgentId) -> Option<&T> {
-        self.agent(id).as_any().and_then(|a| a.downcast_ref::<T>())
     }
 }
 
 impl Drop for Simulator {
     /// Audited simulators that were never [`Self::finish_audit`]ed still
     /// run the teardown checks and contribute to the global report. When
-    /// the thread is already panicking the auditor is downgraded to
+    /// the thread is already panicking the auditors are downgraded to
     /// [`AuditMode::Collect`] so a strict-mode teardown never
     /// double-panics.
     fn drop(&mut self) {
-        if let Some(mut auditor) = self.world.audit.take() {
-            if std::thread::panicking() {
+        let mut auditors: Vec<Box<Auditor>> = self
+            .shards
+            .iter_mut()
+            .filter_map(|s| s.world.audit.take())
+            .collect();
+        if auditors.is_empty() {
+            return;
+        }
+        if std::thread::panicking() {
+            for auditor in &mut auditors {
                 auditor.set_collect();
             }
-            let report = Self::audit_teardown(&mut auditor, &self.world);
-            audit::merge_global(&report);
         }
+        let report = Self::audit_teardown_all(&mut auditors, &self.shards);
+        audit::merge_global(&report);
     }
 }
 
@@ -832,6 +1481,7 @@ pub struct Ctx<'a> {
     world: &'a mut World,
     agent_id: AgentId,
     node: NodeId,
+    rng: &'a mut SmallRng,
 }
 
 impl Ctx<'_> {
@@ -850,15 +1500,17 @@ impl Ctx<'_> {
         self.node
     }
 
-    /// Seeded RNG shared by the whole simulation.
+    /// This agent's private RNG stream, seeded from `(simulation seed,
+    /// agent index)`. Draws depend only on this agent's own callback
+    /// sequence, never on other agents' activity.
     pub fn rng(&mut self) -> &mut SmallRng {
-        &mut self.world.rng
+        self.rng
     }
 
     /// Transmit a packet from this agent's node. Data payloads are
     /// accounted to the flow's sending-rate statistics; ACKs are not.
     pub fn send(&mut self, spec: PacketSpec) {
-        let uid = self.world.next_uid;
+        let uid = self.world.uid_tag | self.world.next_uid;
         self.world.next_uid += 1;
         let pkt = Packet {
             uid,
@@ -1117,10 +1769,11 @@ mod tests {
 
     #[test]
     fn identical_seeds_reproduce_identical_runs() {
-        // RED draws from the simulator RNG on every enqueue, so the run's
-        // outcome genuinely depends on the seed (with DropTail any two
-        // seeds would agree trivially and the test would check nothing).
-        let run = |seed: u64| -> (u64, u64) {
+        // RED draws from the link's RNG stream (derived from the
+        // simulation seed) on every enqueue, so the run's outcome
+        // genuinely depends on the seed (with DropTail any two seeds
+        // would agree trivially and the test would check nothing).
+        let run = |seed: u64| -> (u64, u64, Vec<u64>) {
             use crate::queue::{Red, RedConfig};
             let red = || -> Box<dyn crate::queue::QueueDiscipline> {
                 Box::new(Red::new(RedConfig {
@@ -1144,19 +1797,28 @@ mod tests {
                 }),
             );
             let flow = sim.new_flow();
-            sim.add_agent(
-                a,
-                Box::new(Blaster {
-                    flow,
-                    dst_node: b,
-                    dst_agent: sink,
-                    count: 50,
-                    size: 500,
-                }),
-            );
+            // Staggered bursts keep RED's average queue inside the
+            // probabilistic band repeatedly, so the drop pattern is
+            // genuinely a function of the RNG stream (one instantaneous
+            // burst would saturate into forced drops identically under
+            // any seed).
+            for burst in 0..10 {
+                sim.add_agent_at(
+                    a,
+                    Box::new(Blaster {
+                        flow,
+                        dst_node: b,
+                        dst_agent: sink,
+                        count: 8,
+                        size: 500,
+                    }),
+                    SimTime::from_millis(100 * burst),
+                );
+            }
             sim.run_until(SimTime::from_secs(2));
             let f = sim.stats().flow(flow).unwrap();
-            (f.total_rx_packets, f.total_rx_bytes)
+            let drops = sim.stats().link(LinkId::from_index(0)).unwrap().drops.clone();
+            (f.total_rx_packets, f.total_rx_bytes, drops)
         };
         assert_eq!(run(7), run(7), "same seed must reproduce bit-identically");
         assert_ne!(

@@ -87,6 +87,86 @@ impl DumbbellConfig {
     }
 }
 
+/// Optional attachments for a bottleneck link pair: scripted loss, ECN
+/// marking and fault-injection plans, in either direction. One builder
+/// serves both topologies — [`Dumbbell::build_with`] applies it to the
+/// shared link pair, [`ParkingLot::build_with`] to the first hop.
+#[derive(Default)]
+pub struct DumbbellOptions {
+    forward_loss: Option<Box<dyn LossPattern>>,
+    forward_marker: Option<Box<dyn MarkPattern>>,
+    reverse_loss: Option<Box<dyn LossPattern>>,
+    forward_faults: Option<FaultPlan>,
+    reverse_faults: Option<FaultPlan>,
+}
+
+impl DumbbellOptions {
+    /// No attachments: plain congested links.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scripted loss on the forward (congested-direction) link — the
+    /// smoothness experiments' knob.
+    pub fn forward_loss(mut self, loss: Box<dyn LossPattern>) -> Self {
+        self.forward_loss = Some(loss);
+        self
+    }
+
+    /// ECN marking pattern on the forward link — the marking-model
+    /// validations' knob.
+    pub fn forward_marker(mut self, marker: Box<dyn MarkPattern>) -> Self {
+        self.forward_marker = Some(marker);
+        self
+    }
+
+    /// Scripted loss on the *reverse* link: the congested-ACK-path
+    /// scenario, where data flows unmolested while acknowledgments and
+    /// feedback reports are thinned on the way back.
+    pub fn reverse_loss(mut self, loss: Box<dyn LossPattern>) -> Self {
+        self.reverse_loss = Some(loss);
+        self
+    }
+
+    /// Deterministic fault plan (see [`crate::faults`]) on the forward
+    /// link — the chaos-sweep topology.
+    pub fn forward_faults(mut self, plan: FaultPlan) -> Self {
+        self.forward_faults = Some(plan);
+        self
+    }
+
+    /// Deterministic fault plan on the reverse link.
+    pub fn reverse_faults(mut self, plan: FaultPlan) -> Self {
+        self.reverse_faults = Some(plan);
+        self
+    }
+
+    /// Apply the forward-direction attachments to a built link.
+    fn decorate_forward(&mut self, mut link: Link) -> Link {
+        if let Some(loss) = self.forward_loss.take() {
+            link = link.with_loss(loss);
+        }
+        if let Some(marker) = self.forward_marker.take() {
+            link = link.with_marker(marker);
+        }
+        if let Some(plan) = self.forward_faults.take() {
+            link = link.with_faults(plan);
+        }
+        link
+    }
+
+    /// Apply the reverse-direction attachments to a built link.
+    fn decorate_reverse(&mut self, mut link: Link) -> Link {
+        if let Some(loss) = self.reverse_loss.take() {
+            link = link.with_loss(loss);
+        }
+        if let Some(plan) = self.reverse_faults.take() {
+            link = link.with_faults(plan);
+        }
+        link
+    }
+}
+
 /// A built dumbbell: the two routers and the shared links.
 #[derive(Debug)]
 pub struct Dumbbell {
@@ -114,92 +194,27 @@ pub struct HostPair {
 impl Dumbbell {
     /// Build the routers and bottleneck links inside `sim`.
     pub fn build(sim: &mut Simulator, cfg: DumbbellConfig) -> Self {
-        Self::build_with_loss(sim, cfg, None)
+        Self::build_with(sim, cfg, DumbbellOptions::new())
     }
 
-    /// Build with a scripted loss pattern attached to the forward
-    /// bottleneck link (used by the smoothness experiments).
-    pub fn build_with_loss(
-        sim: &mut Simulator,
-        cfg: DumbbellConfig,
-        forward_loss: Option<Box<dyn LossPattern>>,
-    ) -> Self {
-        Self::build_full(sim, cfg, forward_loss, None, None, None, None)
-    }
-
-    /// Build with an ECN marking pattern attached to the forward
-    /// bottleneck link (used by the marking-model validations).
-    pub fn build_with_marker(
-        sim: &mut Simulator,
-        cfg: DumbbellConfig,
-        forward_marker: Box<dyn MarkPattern>,
-    ) -> Self {
-        Self::build_full(sim, cfg, None, Some(forward_marker), None, None, None)
-    }
-
-    /// Build with a scripted loss pattern on the *reverse* bottleneck
-    /// link, the congested-ACK-path scenario of the failure-injection
-    /// tests: data flows left -> right unmolested while acknowledgments
-    /// and feedback reports are thinned on the way back.
-    pub fn build_with_reverse_loss(
-        sim: &mut Simulator,
-        cfg: DumbbellConfig,
-        reverse_loss: Box<dyn LossPattern>,
-    ) -> Self {
-        Self::build_full(sim, cfg, None, None, Some(reverse_loss), None, None)
-    }
-
-    /// Build with deterministic fault plans (see [`crate::faults`])
-    /// attached to the forward and/or reverse bottleneck links — the
-    /// chaos-sweep topology.
-    pub fn build_with_faults(
-        sim: &mut Simulator,
-        cfg: DumbbellConfig,
-        forward_faults: Option<FaultPlan>,
-        reverse_faults: Option<FaultPlan>,
-    ) -> Self {
-        Self::build_full(sim, cfg, None, None, None, forward_faults, reverse_faults)
-    }
-
-    fn build_full(
-        sim: &mut Simulator,
-        cfg: DumbbellConfig,
-        forward_loss: Option<Box<dyn LossPattern>>,
-        forward_marker: Option<Box<dyn MarkPattern>>,
-        reverse_loss: Option<Box<dyn LossPattern>>,
-        forward_faults: Option<FaultPlan>,
-        reverse_faults: Option<FaultPlan>,
-    ) -> Self {
+    /// Build with optional scripted loss, ECN marking and fault plans
+    /// attached to the bottleneck links — see [`DumbbellOptions`].
+    pub fn build_with(sim: &mut Simulator, cfg: DumbbellConfig, mut opts: DumbbellOptions) -> Self {
         let left_router = sim.add_node();
         let right_router = sim.add_node();
-        let mut fwd_link = Link::new(
+        let fwd_link = opts.decorate_forward(Link::new(
             right_router,
             cfg.bottleneck_bps,
             cfg.bottleneck_delay,
             cfg.make_bottleneck_queue(),
-        );
-        if let Some(loss) = forward_loss {
-            fwd_link = fwd_link.with_loss(loss);
-        }
-        if let Some(marker) = forward_marker {
-            fwd_link = fwd_link.with_marker(marker);
-        }
-        if let Some(plan) = forward_faults {
-            fwd_link = fwd_link.with_faults(plan);
-        }
+        ));
         let forward = sim.add_link(left_router, fwd_link);
-        let mut rev_link = Link::new(
+        let rev_link = opts.decorate_reverse(Link::new(
             left_router,
             cfg.bottleneck_bps,
             cfg.bottleneck_delay,
             cfg.make_bottleneck_queue(),
-        );
-        if let Some(loss) = reverse_loss {
-            rev_link = rev_link.with_loss(loss);
-        }
-        if let Some(plan) = reverse_faults {
-            rev_link = rev_link.with_faults(plan);
-        }
+        ));
         let reverse = sim.add_link(right_router, rev_link);
         // Routers default-route across the bottleneck; host-specific
         // routes are added as host pairs are created.
@@ -463,29 +478,42 @@ impl ParkingLot {
     /// Build a chain with `hops` congested links (so `hops + 1` routers),
     /// each hop configured like the dumbbell bottleneck in `cfg`.
     pub fn build(sim: &mut Simulator, cfg: DumbbellConfig, hops: usize) -> Self {
+        Self::build_with(sim, cfg, hops, DumbbellOptions::new())
+    }
+
+    /// Build with optional scripted loss, ECN marking and fault plans —
+    /// the same [`DumbbellOptions`] the dumbbell takes — attached to the
+    /// *first* hop's link pair (forward options on `forward[0]`, reverse
+    /// options on `reverse[0]`); the remaining hops stay plain.
+    pub fn build_with(
+        sim: &mut Simulator,
+        cfg: DumbbellConfig,
+        hops: usize,
+        mut opts: DumbbellOptions,
+    ) -> Self {
         assert!(hops >= 1, "a parking lot needs at least one hop");
         let routers: Vec<NodeId> = (0..=hops).map(|_| sim.add_node()).collect();
         let mut forward = Vec::with_capacity(hops);
         let mut reverse = Vec::with_capacity(hops);
         for i in 0..hops {
-            let f = sim.add_link(
-                routers[i],
-                Link::new(
-                    routers[i + 1],
-                    cfg.bottleneck_bps,
-                    cfg.bottleneck_delay,
-                    cfg.make_bottleneck_queue(),
-                ),
-            );
-            let r = sim.add_link(
+            let mut fwd_link = Link::new(
                 routers[i + 1],
-                Link::new(
-                    routers[i],
-                    cfg.bottleneck_bps,
-                    cfg.bottleneck_delay,
-                    cfg.make_bottleneck_queue(),
-                ),
+                cfg.bottleneck_bps,
+                cfg.bottleneck_delay,
+                cfg.make_bottleneck_queue(),
             );
+            let mut rev_link = Link::new(
+                routers[i],
+                cfg.bottleneck_bps,
+                cfg.bottleneck_delay,
+                cfg.make_bottleneck_queue(),
+            );
+            if i == 0 {
+                fwd_link = opts.decorate_forward(fwd_link);
+                rev_link = opts.decorate_reverse(rev_link);
+            }
+            let f = sim.add_link(routers[i], fwd_link);
+            let r = sim.add_link(routers[i + 1], rev_link);
             forward.push(f);
             reverse.push(r);
         }

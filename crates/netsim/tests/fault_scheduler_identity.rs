@@ -1,31 +1,37 @@
-//! Faulted runs must be byte-identical across scheduler backends.
+//! Faulted runs must be byte-identical across scheduler backends AND
+//! shard counts.
 //!
 //! The fault layer re-enters packets through the event queue
 //! (`FaultRelease` for holds and duplicates), so its determinism contract
-//! leans directly on the `(time, seq)` tie-break both backends share.
-//! This lives in its own test binary because `set_default_scheduler` is
-//! process-global: integration tests in other binaries run concurrently
-//! and must not see the override flip underneath them.
+//! leans directly on the `(time, sched, seq)` tie-break both backends
+//! share — and, under conservative-parallel execution, on the cross-shard
+//! merge order (DESIGN.md §5h). This lives in its own test binary because
+//! `set_default_scheduler` and `set_default_shards` are process-global:
+//! integration tests in other binaries run concurrently and must not see
+//! the overrides flip underneath them.
 
 use std::sync::{Arc, Mutex};
 
 use slowcc_netsim::event::{set_default_scheduler, SchedulerKind};
 use slowcc_netsim::faults::FaultPlan;
-use slowcc_netsim::ids::{AgentId, FlowId, NodeId};
+use slowcc_netsim::ids::{AgentId, FlowId, LinkId, NodeId};
 use slowcc_netsim::link::Link;
 use slowcc_netsim::packet::{AckInfo, Packet, PacketSpec};
 use slowcc_netsim::queue::DropTail;
-use slowcc_netsim::sim::{Agent, Ctx, Simulator};
+use slowcc_netsim::sim::{set_default_shards, Agent, Ctx, Simulator};
+use slowcc_netsim::stats::Stats;
 use slowcc_netsim::time::{SimDuration, SimTime};
+use slowcc_netsim::topology::{DumbbellConfig, DumbbellOptions, ParkingLot};
 use slowcc_netsim::trace::VecTrace;
 
-/// Restore the process default on drop, so a failing assertion can't
-/// leak the override into nothing (this binary has one test, but the
-/// discipline is cheap).
+/// Restore the process defaults on drop, so a failing assertion can't
+/// leak the overrides into other binaries (this binary has one test, but
+/// the discipline is cheap).
 struct Restore;
 impl Drop for Restore {
     fn drop(&mut self) {
         set_default_scheduler(None);
+        set_default_shards(None);
     }
 }
 
@@ -73,9 +79,25 @@ impl Agent for AckingSink {
     }
 }
 
+/// Byte-comparable fingerprint of everything the run's statistics
+/// recorded for the given flows and links (via public accessors, so the
+/// lazily merged sharded store compares equal to the serial one).
+fn stats_fingerprint(stats: &Stats, flows: &[FlowId], links: &[LinkId]) -> String {
+    let mut out = String::new();
+    for &f in flows {
+        out.push_str(&format!("{f}: {:?}\n", stats.flow(f)));
+    }
+    for &l in links {
+        out.push_str(&format!("{l}: {:?}\n", stats.link(l)));
+    }
+    out
+}
+
 /// Run the full fault menu (reorder + duplication + jitter + flap) on the
-/// current default scheduler and return a byte-comparable transcript.
-fn run_chaotic(seed: u64) -> (String, Vec<u64>) {
+/// current default scheduler/shard settings and return a byte-comparable
+/// transcript. `traced` additionally captures the full packet trace
+/// (which forces serial execution, so it is only used at shards=1).
+fn run_chaotic(seed: u64, traced: bool) -> (Option<String>, Vec<u64>, String) {
     let plan = FaultPlan::seeded(seed ^ 0xC0FFEE)
         .with_reorder(9, SimDuration::from_millis(20), 6)
         .with_duplication(0.03)
@@ -105,7 +127,9 @@ fn run_chaotic(seed: u64) -> (String, Vec<u64>) {
     );
     sim.set_default_route(a, ab);
     sim.set_default_route(b, ba);
-    sim.set_trace(Box::new(VecTrace::new(250_000)));
+    if traced {
+        sim.set_trace(Box::new(VecTrace::new(250_000)));
+    }
 
     let seqs = Arc::new(Mutex::new(Vec::new()));
     let sink = sim.add_agent(b, Box::new(AckingSink { seqs: seqs.clone() }));
@@ -122,26 +146,119 @@ fn run_chaotic(seed: u64) -> (String, Vec<u64>) {
     );
     sim.run_until(SimTime::from_secs(2));
 
-    let trace_sink = sim.take_trace().expect("trace installed");
-    let trace: &VecTrace = trace_sink
-        .as_any()
-        .and_then(|s| s.downcast_ref())
-        .expect("VecTrace downcasts");
+    let trace = sim.take_trace().map(|sink| {
+        let trace: &VecTrace = sink
+            .as_any()
+            .and_then(|s| s.downcast_ref())
+            .expect("VecTrace downcasts");
+        format!("{:?}", trace.events())
+    });
     let order = seqs.lock().unwrap().clone();
-    (format!("{:?}", trace.events()), order)
+    let fp = stats_fingerprint(sim.stats(), &[flow], &[ab, ba]);
+    (trace, order, fp)
+}
+
+/// A three-hop parking lot under a fault plan: packets traverse several
+/// shard boundaries per trip (and, when four clusters pack into two
+/// shards, revisit a shard they already left — the re-import path).
+fn run_parking_lot(seed: u64) -> (Vec<u64>, String, usize) {
+    let mut cfg = DumbbellConfig::paper(8e6);
+    cfg.queue = slowcc_netsim::topology::QueueKind::DropTail(64);
+    let mut sim = Simulator::new(seed);
+    // Fault plans on the first hop (both directions), so cross-shard
+    // handoffs carry reordered/duplicated/jittered packets too.
+    let opts = DumbbellOptions::new()
+        .forward_faults(
+            FaultPlan::seeded(seed ^ 0xBEEF)
+                .with_reorder(11, SimDuration::from_millis(15), 4)
+                .with_duplication(0.02)
+                .with_jitter(SimDuration::from_millis(3)),
+        )
+        .reverse_faults(FaultPlan::seeded(seed ^ 0xFACE).with_jitter(SimDuration::from_millis(2)));
+    let lot = ParkingLot::build_with(&mut sim, cfg, 3, opts);
+    let pair = lot.add_host_pair(&mut sim, 0, 3);
+    let seqs = Arc::new(Mutex::new(Vec::new()));
+    let sink = sim.add_agent(pair.right, Box::new(AckingSink { seqs: seqs.clone() }));
+    let flow = sim.new_flow();
+    sim.add_agent(
+        pair.left,
+        Box::new(Paced {
+            flow,
+            dst_node: pair.right,
+            dst_agent: sink,
+            count: 300,
+            sent: 0,
+        }),
+    );
+    sim.run_until(SimTime::from_secs(2));
+    let order = seqs.lock().unwrap().clone();
+    let mut links: Vec<LinkId> = lot.forward.clone();
+    links.extend(lot.reverse.iter().copied());
+    let fp = stats_fingerprint(sim.stats(), &[flow], &links);
+    (order, fp, sim.shard_count())
 }
 
 #[test]
-fn faulted_runs_are_identical_across_scheduler_backends() {
+fn faulted_runs_are_identical_across_schedulers_and_shards() {
     let _restore = Restore;
+
+    // Traced serial reference across scheduler backends (tracing needs a
+    // global event order, so this leg always runs at one shard).
     for seed in [1u64, 17, 99] {
         set_default_scheduler(Some(SchedulerKind::Heap));
-        let heap = run_chaotic(seed);
+        let heap = run_chaotic(seed, true);
         set_default_scheduler(Some(SchedulerKind::Calendar));
-        let calendar = run_chaotic(seed);
+        let calendar = run_chaotic(seed, true);
         assert_eq!(
             heap, calendar,
             "seed {seed}: fault-layer transcript diverged between schedulers"
         );
     }
+
+    // The full scheduler x shard-count matrix: delivery order and the
+    // complete statistics must be byte-identical in every cell.
+    for seed in [1u64, 17, 99] {
+        set_default_scheduler(Some(SchedulerKind::Heap));
+        set_default_shards(Some(1));
+        let reference = run_chaotic(seed, false);
+        for sched in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+            for shards in [1usize, 2, 4] {
+                set_default_scheduler(Some(sched));
+                set_default_shards(Some(shards));
+                let got = run_chaotic(seed, false);
+                assert_eq!(
+                    got, reference,
+                    "seed {seed}: {sched:?} x {shards} shards diverged from serial"
+                );
+            }
+        }
+    }
+
+    // Multi-shard routes: a three-hop parking lot splits into up to four
+    // clusters, so packets cross several shard boundaries per trip.
+    for seed in [5u64, 23] {
+        set_default_scheduler(Some(SchedulerKind::Heap));
+        set_default_shards(Some(1));
+        let (ref_order, ref_fp, ref_shards) = run_parking_lot(seed);
+        assert_eq!(ref_shards, 1, "serial run must stay one shard");
+        for sched in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+            for shards in [2usize, 4] {
+                set_default_scheduler(Some(sched));
+                set_default_shards(Some(shards));
+                let (order, fp, sealed) = run_parking_lot(seed);
+                assert_eq!(
+                    sealed, shards,
+                    "parking lot must actually seal into {shards} shards"
+                );
+                assert_eq!(
+                    (order, fp),
+                    (ref_order.clone(), ref_fp.clone()),
+                    "seed {seed}: {sched:?} x {shards} shards diverged on the parking lot"
+                );
+            }
+        }
+    }
+
+    set_default_scheduler(None);
+    set_default_shards(None);
 }

@@ -39,10 +39,10 @@ fn main() {
             queue: QueueKind::DropTail(4000),
             ..DumbbellConfig::paper(100e6)
         };
-        let db = Dumbbell::build_with_loss(
+        let db = Dumbbell::build_with(
             &mut sim,
             cfg,
-            Some(Box::new(CountPhases::mild_bursty())),
+            DumbbellOptions::new().forward_loss(Box::new(CountPhases::mild_bursty())),
         );
         let pair = db.add_host_pair(&mut sim);
         let h = flavor.install(&mut sim, &pair, 1000, SimTime::ZERO, None);

@@ -109,10 +109,11 @@ fn tfrc_buys_smoothness_without_losing_throughput_in_steady_state() {
             queue: QueueKind::DropTail(4000),
             ..DumbbellConfig::paper(100e6)
         };
-        let db = Dumbbell::build_with_loss(
+        let db = Dumbbell::build_with(
             &mut sim,
             cfg,
-            Some(Box::new(CountPhases::new(vec![(100, 1)]))), // steady 1% loss
+            // steady 1% loss
+            DumbbellOptions::new().forward_loss(Box::new(CountPhases::new(vec![(100, 1)]))),
         );
         let pair = db.add_host_pair(&mut sim);
         let h = flavor.install(&mut sim, &pair, 1000, SimTime::ZERO, None);

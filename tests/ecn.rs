@@ -74,11 +74,12 @@ fn ecn_reaction_tracks_the_loss_equivalent_rate() {
             queue: QueueKind::DropTail(20_000),
             ..DumbbellConfig::paper(400e6)
         };
-        let db = if ecn {
-            Dumbbell::build_with_marker(&mut sim, cfg, Box::new(BernoulliLoss::new(p, 5)))
+        let opts = if ecn {
+            DumbbellOptions::new().forward_marker(Box::new(BernoulliLoss::new(p, 5)))
         } else {
-            Dumbbell::build_with_loss(&mut sim, cfg, Some(Box::new(BernoulliLoss::new(p, 5))))
+            DumbbellOptions::new().forward_loss(Box::new(BernoulliLoss::new(p, 5)))
         };
+        let db = Dumbbell::build_with(&mut sim, cfg, opts);
         let pair = db.add_host_pair(&mut sim);
         let mut tc = TcpConfig::standard(1000);
         if ecn {

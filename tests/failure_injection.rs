@@ -28,12 +28,16 @@ impl LossPattern for AckLoss {
 }
 
 /// The paper dumbbell with an ACK-dropping reverse bottleneck, via
-/// [`Dumbbell::build_with_reverse_loss`]. DropTail rather than RED so
+/// [`DumbbellOptions::reverse_loss`]. DropTail rather than RED so
 /// the only loss process in the experiment is the scripted one.
 fn build_ack_lossy(sim: &mut Simulator, n: u64) -> HostPair {
     let mut cfg = DumbbellConfig::paper(10e6);
     cfg.queue = QueueKind::DropTail(200);
-    let db = Dumbbell::build_with_reverse_loss(sim, cfg, Box::new(AckLoss { n, seen: 0 }));
+    let db = Dumbbell::build_with(
+        sim,
+        cfg,
+        DumbbellOptions::new().reverse_loss(Box::new(AckLoss { n, seen: 0 })),
+    );
     db.add_host_pair(sim)
 }
 
