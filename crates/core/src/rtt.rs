@@ -4,26 +4,54 @@
 //! smoothed RTT plus four times the RTT variance, clamped to a minimum
 //! (1 s in the RFC; ns-2-era simulations commonly use smaller values so
 //! that 50 ms-RTT dynamics are not dominated by the clamp — the minimum is
-//! a parameter here).
+//! a parameter here; see `specs/rfc6298/2.toml` for the recorded
+//! deviation).
+//!
+//! The estimator also owns the RFC 6298 §5 timer-backoff state: each
+//! expiry doubles the effective RTO (§5.5/§5.6), the configured maximum
+//! caps the *backed-off* value (§2.5 allows a cap of at least 60 s — it
+//! bounds the timer actually armed, not just the pre-backoff base), and
+//! the next valid RTT sample recomputes the RTO from scratch, collapsing
+//! the backoff (§5, "Note that ... once a new RTT measurement is
+//! obtained ... the computation of RTO ... may result in 'collapsing'
+//! RTO back down after it has been subject to exponential back off").
+//!
+//! Karn's algorithm (RFC 6298 §3) requires that RTT samples never be
+//! taken from ambiguous retransmitted segments — *unless* a timestamp
+//! echo disambiguates which copy triggered the acknowledgment. Every
+//! sink in this crate echoes the arriving copy's own transmit timestamp
+//! (`Packet::sent_at`), so all samples fed to [`RttEstimator::on_sample`]
+//! are unambiguous per the RFC's timestamp carve-out; the conformance
+//! test linked from `specs/rfc6298/3.toml` pins this down.
 
 use slowcc_netsim::time::SimDuration;
 
-/// RFC 6298 RTT/RTO estimator.
+/// RFC 6298 RTT/RTO estimator with §5 exponential timer backoff.
 #[derive(Debug, Clone)]
 pub struct RttEstimator {
     srtt: Option<f64>,
     rttvar: f64,
     min_rto: f64,
     max_rto: f64,
+    /// Backoff exponent: the armed timeout is `rto << backoff`, clamped
+    /// to `max_rto`. Doubles per expiry, collapses on a valid sample.
+    backoff: u32,
 }
 
 /// Default lower clamp on the RTO. The RFC says 1 s; simulations of 50 ms
 /// paths conventionally relax this (ns-2 `minrto_`), and 200 ms matches
-/// widely deployed stacks.
+/// widely deployed stacks. Recorded as a `deviates` entry in
+/// `specs/rfc6298/2.toml`.
 pub const DEFAULT_MIN_RTO: SimDuration = SimDuration::from_millis(200);
 
-/// Default upper clamp on the RTO (RFC 6298 allows >= 60 s).
+/// Default upper clamp on the RTO (RFC 6298 allows a maximum provided it
+/// is at least 60 s). The clamp applies to the backed-off timeout, not
+/// just the computed base value.
 pub const DEFAULT_MAX_RTO: SimDuration = SimDuration::from_secs(60);
+
+/// Hard ceiling on the backoff exponent (2^6 = 64x). The `max_rto`
+/// clamp is the operative bound; this only keeps the shift well-defined.
+const MAX_BACKOFF: u32 = 6;
 
 impl RttEstimator {
     /// An estimator with the given RTO clamps.
@@ -34,22 +62,32 @@ impl RttEstimator {
             rttvar: 0.0,
             min_rto: min_rto.as_secs_f64(),
             max_rto: max_rto.as_secs_f64(),
+            backoff: 0,
         }
     }
 
-    /// Feed one RTT measurement.
+    /// Feed one RTT measurement. Samples must be unambiguous in the
+    /// Karn sense (RFC 6298 §3): callers in this crate guarantee that
+    /// by echoing the arriving segment copy's own transmit timestamp.
+    ///
+    /// A valid measurement recomputes the RTO from the smoothed state,
+    /// collapsing any exponential backoff (RFC 6298 §5).
     pub fn on_sample(&mut self, sample: SimDuration) {
         let s = sample.as_secs_f64();
         match self.srtt {
             None => {
+                // RFC 6298 (2.2): SRTT <- R, RTTVAR <- R/2.
                 self.srtt = Some(s);
                 self.rttvar = s / 2.0;
             }
             Some(srtt) => {
+                // RFC 6298 (2.3): RTTVAR first, using the *old* SRTT;
+                // beta = 1/4, alpha = 1/8.
                 self.rttvar = 0.75 * self.rttvar + 0.25 * (srtt - s).abs();
                 self.srtt = Some(0.875 * srtt + 0.125 * s);
             }
         }
+        self.backoff = 0;
     }
 
     /// Smoothed RTT, if at least one sample has been taken.
@@ -63,14 +101,35 @@ impl RttEstimator {
         self.srtt().unwrap_or(default)
     }
 
-    /// Retransmission timeout: `srtt + 4*rttvar`, clamped. Before the
-    /// first sample this is the RFC's initial 1 s (still clamped).
+    /// Base retransmission timeout: `srtt + 4*rttvar`, clamped. Before
+    /// the first sample this is the RFC's initial 1 s (still clamped).
+    /// Backoff is not applied here; see
+    /// [`RttEstimator::backed_off_rto`].
     pub fn rto(&self) -> SimDuration {
         let raw = match self.srtt {
             None => 1.0,
             Some(srtt) => srtt + 4.0 * self.rttvar,
         };
         SimDuration::from_secs_f64(raw.clamp(self.min_rto, self.max_rto))
+    }
+
+    /// The timeout to actually arm: the base RTO doubled once per
+    /// unresolved expiry (RFC 6298 §5.5/§5.6), clamped so the backed-off
+    /// value never exceeds the configured maximum (§2.5).
+    pub fn backed_off_rto(&self) -> SimDuration {
+        let raw = self.rto().as_secs_f64() * f64::from(1u32 << self.backoff);
+        SimDuration::from_secs_f64(raw.clamp(self.min_rto, self.max_rto))
+    }
+
+    /// Record a retransmission-timer expiry: double the effective RTO
+    /// (RFC 6298 §5.5, "back off the timer").
+    pub fn on_timeout(&mut self) {
+        self.backoff = (self.backoff + 1).min(MAX_BACKOFF);
+    }
+
+    /// Current backoff exponent (observability).
+    pub fn backoff(&self) -> u32 {
+        self.backoff
     }
 }
 
@@ -139,5 +198,65 @@ mod tests {
     fn srtt_or_falls_back_before_first_sample() {
         let e = RttEstimator::default();
         assert_eq!(e.srtt_or(ms(50)), ms(50));
+    }
+
+    /// RFC 6298 §5.5/§5.6: each expiry doubles the armed timeout.
+    #[test]
+    fn timeouts_double_the_backed_off_rto() {
+        let mut e = RttEstimator::new(ms(100), DEFAULT_MAX_RTO);
+        e.on_sample(ms(100)); // rto = 0.1 + 4*0.05 = 0.3 s
+        assert_eq!(e.backed_off_rto(), ms(300));
+        e.on_timeout();
+        assert_eq!(e.backed_off_rto(), ms(600));
+        e.on_timeout();
+        assert_eq!(e.backed_off_rto(), ms(1200));
+        assert_eq!(e.backoff(), 2);
+    }
+
+    /// RFC 6298 §2.5: the configured maximum bounds the timeout that is
+    /// actually armed. The pre-fix sender multiplied the backoff in
+    /// *after* clamping, so six expiries could arm a 64x-over-max timer
+    /// (e.g. 60 s clamp, backoff 6 -> 3840 s); this test fails on that
+    /// arithmetic.
+    #[test]
+    fn backed_off_rto_never_exceeds_the_configured_max() {
+        let mut e = RttEstimator::new(ms(200), SimDuration::from_secs(2));
+        e.on_sample(SimDuration::from_secs(10)); // base rto clamps to 2 s
+        for _ in 0..6 {
+            e.on_timeout();
+        }
+        assert_eq!(
+            e.backed_off_rto(),
+            SimDuration::from_secs(2),
+            "backoff must not escape the max_rto clamp"
+        );
+    }
+
+    /// RFC 6298 §5: once a new valid RTT measurement is obtained, the
+    /// RTO is recomputed from the smoothed state — the exponential
+    /// backoff collapses.
+    #[test]
+    fn valid_sample_collapses_the_backoff() {
+        let mut e = RttEstimator::new(ms(100), DEFAULT_MAX_RTO);
+        e.on_sample(ms(100));
+        e.on_timeout();
+        e.on_timeout();
+        assert!(e.backed_off_rto() > e.rto());
+        e.on_sample(ms(100));
+        assert_eq!(e.backoff(), 0);
+        assert_eq!(e.backed_off_rto(), e.rto());
+    }
+
+    /// The backoff exponent saturates (the shift stays well-defined even
+    /// under an endless blackout); the max_rto clamp is the operative
+    /// bound long before that.
+    #[test]
+    fn backoff_exponent_saturates() {
+        let mut e = RttEstimator::default();
+        for _ in 0..100 {
+            e.on_timeout();
+        }
+        assert_eq!(e.backoff(), 6);
+        assert_eq!(e.backed_off_rto(), DEFAULT_MAX_RTO);
     }
 }

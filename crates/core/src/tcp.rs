@@ -154,8 +154,6 @@ pub struct Tcp {
     dup_count: u32,
     phase: Phase,
     rtt: RttEstimator,
-    /// Exponential backoff exponent for the RTO (doubles per timeout).
-    backoff: u32,
     /// Timer generation; stale timer tokens are ignored.
     rto_gen: u64,
     /// One ECN-triggered reduction per window: echoes for data below
@@ -190,7 +188,6 @@ impl Tcp {
             high_ack: 0,
             dup_count: 0,
             phase: Phase::Open,
-            backoff: 0,
             rto_gen: 0,
             ecn_guard: 0,
             timeouts: 0,
@@ -244,12 +241,31 @@ impl Tcp {
         self.fast_retransmits
     }
 
+    /// Current slow-start threshold in packets. RFC 5681 §3.1 floors
+    /// every multiplicative decrease at 2*SMSS; the conformance test
+    /// linked from `specs/rfc5681/3.1.toml` observes it through here.
+    pub fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    /// The sender's RTT estimator (RFC 6298 state, for instrumentation
+    /// and conformance tests).
+    pub fn rtt_estimator(&self) -> &RttEstimator {
+        &self.rtt
+    }
+
     /// Debug snapshot of the sender state (phase, ssthresh, sequence
     /// pointers), for instrumentation and tests.
     pub fn debug_state(&self) -> String {
         format!(
             "cwnd={:.2} ssthresh={:.2} next_seq={} high_ack={} dup={} phase={:?} backoff={}",
-            self.cwnd, self.ssthresh, self.next_seq, self.high_ack, self.dup_count, self.phase, self.backoff
+            self.cwnd,
+            self.ssthresh,
+            self.next_seq,
+            self.high_ack,
+            self.dup_count,
+            self.phase,
+            self.rtt.backoff()
         )
     }
 
@@ -307,7 +323,10 @@ impl Tcp {
 
     fn arm_rto(&mut self, ctx: &mut Ctx<'_>) {
         self.rto_gen += 1;
-        let delay = self.rtt.rto().saturating_mul(1 << self.backoff.min(6));
+        // RFC 6298 §5.5: the armed timer carries the exponential
+        // backoff; §2.5's maximum bounds the backed-off value (the old
+        // shift-after-clamp here could arm a 64x-over-max timer).
+        let delay = self.rtt.backed_off_rto();
         ctx.set_timer(delay, self.rto_gen);
     }
 
@@ -328,7 +347,11 @@ impl Tcp {
         // A cumulative ACK can overtake a rewound go-back-N pointer:
         // everything below it needs no (re)transmission.
         self.next_seq = self.next_seq.max(self.high_ack);
-        self.backoff = 0;
+        // Karn's algorithm (RFC 6298 §3): this sample is unambiguous
+        // because the sink echoes the arriving copy's own transmit
+        // timestamp. Feeding it also collapses any RTO backoff
+        // (RFC 6298 §5) — collapse is tied to the valid measurement,
+        // not to the bare arrival of a new ACK.
         let sample = ctx.now().saturating_since(info.echo_ts);
         if !sample.is_zero() {
             self.rtt.on_sample(sample);
@@ -466,7 +489,7 @@ impl Agent for Tcp {
         self.phase = Phase::Open;
         self.dup_count = 0;
         self.timeouts += 1;
-        self.backoff = (self.backoff + 1).min(6);
+        self.rtt.on_timeout();
         self.fr_guard = self.next_seq;
         self.next_seq = self.high_ack;
         self.try_send(ctx);
@@ -803,6 +826,55 @@ mod tests {
         assert!(after > 5e6, "did not recover after blackout: {after:.2e}");
     }
 
+    /// Karn's algorithm (RFC 6298 §3) via the timestamp carve-out: RTT
+    /// samples are computed from the echoed per-copy transmit timestamp,
+    /// so a retransmitted segment can never conflate the original send
+    /// time with the retransmission's ACK. After a 3 s blackout full of
+    /// retransmissions the smoothed RTT must still reflect the ~50 ms
+    /// path, not the blackout, and the §5 backoff must have collapsed on
+    /// the first valid sample. (Linked from specs/rfc6298/3.toml and
+    /// specs/rfc6298/5.toml.)
+    #[test]
+    fn karn_retransmissions_do_not_corrupt_the_rtt_estimate() {
+        struct Blackout {
+            from: SimTime,
+            to: SimTime,
+        }
+        impl slowcc_netsim::link::LossPattern for Blackout {
+            fn should_drop(&mut self, pkt: &Packet, now: SimTime) -> bool {
+                pkt.is_data() && now >= self.from && now < self.to
+            }
+        }
+        let mut sim = Simulator::new(1);
+        let cfg = DumbbellConfig {
+            queue: QueueKind::DropTail(1000),
+            ..dumbbell(10e6)
+        };
+        let db = Dumbbell::build_with(
+            &mut sim,
+            cfg,
+            DumbbellOptions::new().forward_loss(Box::new(Blackout {
+                from: SimTime::from_secs(5),
+                to: SimTime::from_secs(8),
+            })),
+        );
+        let pair = db.add_host_pair(&mut sim);
+        let h = Tcp::install(&mut sim, &pair, TcpConfig::standard(1000), SimTime::ZERO);
+        sim.run_until(SimTime::from_secs(30));
+        let sender: &Tcp = sim.agent_downcast(h.sender).unwrap();
+        assert!(sender.timeouts() >= 1, "blackout must have forced an RTO");
+        let srtt = sender.rtt_estimator().srtt().unwrap().as_secs_f64();
+        assert!(
+            srtt < 0.5,
+            "srtt {srtt:.3} s: an ambiguous sample pulled in the blackout duration"
+        );
+        assert_eq!(
+            sender.rtt_estimator().backoff(),
+            0,
+            "backoff must collapse once valid samples resume (RFC 6298 §5)"
+        );
+    }
+
     /// A loss pattern that drops an exact set of data-packet ordinals
     /// (1-based arrival counts), once each.
     struct DropOrdinals {
@@ -941,6 +1013,269 @@ mod tests {
         assert_eq!(sink.expected(), 50);
     }
 
+    /// RFC 5681 §3.1: after a timeout, ssthresh = max(FlightSize/2,
+    /// 2*SMSS) — the floor is two segments. Dropping the very first data
+    /// packet forces an RTO while only two packets are in flight, so the
+    /// halved value (1) must be pulled up to exactly 2. (Linked from
+    /// specs/rfc5681/3.1.toml.)
+    #[test]
+    fn ssthresh_floors_at_two_segments_on_timeout() {
+        let (mut sim, db) = recovery_world(vec![1]);
+        let pair = db.add_host_pair(&mut sim);
+        let cfg = TcpConfig::standard(1000).with_max_packets(10);
+        let h = Tcp::install(&mut sim, &pair, cfg, SimTime::ZERO);
+        sim.run_until(SimTime::from_secs(10));
+        let sender: &Tcp = sim.agent_downcast(h.sender).unwrap();
+        assert!(sender.is_done());
+        assert_eq!(sender.timeouts(), 1, "one dup ACK cannot trigger fast rtx");
+        assert_eq!(sender.fast_retransmits(), 0);
+        assert_eq!(
+            sender.ssthresh(),
+            2.0,
+            "ssthresh must floor at 2 segments (RFC 5681 §3.1)"
+        );
+    }
+
+    /// RFC 5681 §3.1: after a timeout, cwnd MUST be set to no more than
+    /// the loss window, LW = 1 full-sized segment. Observed by stepping
+    /// the simulation finely and inspecting the window right when the
+    /// timeout fires, before any ACK restarts growth. (Linked from
+    /// specs/rfc5681/3.1.toml.)
+    #[test]
+    fn timeout_closes_the_window_to_one_segment() {
+        let (mut sim, db) = recovery_world(vec![1]);
+        let pair = db.add_host_pair(&mut sim);
+        let cfg = TcpConfig::standard(1000).with_max_packets(10);
+        let h = Tcp::install(&mut sim, &pair, cfg, SimTime::ZERO);
+        let mut seen = false;
+        for step in 1..=3000u64 {
+            sim.run_until(SimTime::from_millis(step));
+            let sender: &Tcp = sim.agent_downcast(h.sender).unwrap();
+            if sender.timeouts() == 1 {
+                assert_eq!(
+                    sender.cwnd(),
+                    1.0,
+                    "cwnd right after the RTO must be LW = 1 (RFC 5681 §3.1)"
+                );
+                seen = true;
+                break;
+            }
+        }
+        assert!(seen, "the scripted first-packet drop must force an RTO");
+    }
+
+    /// RFC 5681 §3.1: during congestion avoidance, cwnd grows by at
+    /// most one SMSS per round-trip time. With a low initial ssthresh
+    /// the flow enters congestion avoidance immediately; over 20 RTTs
+    /// of a clean 50 ms path the window must grow by no more than ~20
+    /// packets (and must actually grow). (Linked from
+    /// specs/rfc5681/3.1.toml.)
+    #[test]
+    fn congestion_avoidance_adds_at_most_one_segment_per_rtt() {
+        let mut sim = Simulator::new(1);
+        let db = Dumbbell::build(&mut sim, dumbbell(10e6));
+        let pair = db.add_host_pair(&mut sim);
+        let mut cfg = TcpConfig::standard(1000);
+        cfg.init_ssthresh = 4.0;
+        let h = Tcp::install(&mut sim, &pair, cfg, SimTime::ZERO);
+        sim.run_until(SimTime::from_secs(2));
+        let c1 = {
+            let s: &Tcp = sim.agent_downcast(h.sender).unwrap();
+            s.cwnd()
+        };
+        sim.run_until(SimTime::from_secs(3)); // 20 more 50 ms RTTs
+        let c2 = {
+            let s: &Tcp = sim.agent_downcast(h.sender).unwrap();
+            s.cwnd()
+        };
+        let grown = c2 - c1;
+        assert!(
+            grown <= 21.0,
+            "congestion avoidance grew {grown:.1} packets in 20 RTTs (limit ~20)"
+        );
+        assert!(grown >= 5.0, "window should still be growing: {grown:.1}");
+    }
+
+    /// RFC 2481 §6.1.2: the sender reacts to an ECN-Echo like a loss —
+    /// halving cwnd/ssthresh — but retransmits nothing, and reduces at
+    /// most once per window of data even when several marked ACKs
+    /// arrive back to back. (Linked from specs/rfc2481/6.1.2.toml.)
+    #[test]
+    fn ecn_echo_halves_once_per_window_without_retransmit() {
+        /// Truthful cumulative receiver that sets the ECN-Echo flag on
+        /// arrivals 21..=23 and counts retransmitted segments.
+        struct EcnScript {
+            expected: u64,
+            arrivals: u64,
+            retransmissions: u64,
+        }
+        impl Agent for EcnScript {
+            fn as_any(&self) -> Option<&dyn std::any::Any> {
+                Some(self)
+            }
+            fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+                if !pkt.is_data() {
+                    return;
+                }
+                self.arrivals += 1;
+                if pkt.seq < self.expected {
+                    self.retransmissions += 1;
+                }
+                if pkt.seq == self.expected {
+                    self.expected += 1;
+                }
+                let mut info = AckInfo::cumulative(self.expected, pkt.seq, pkt.sent_at);
+                info.ecn_echo = (21..=23).contains(&self.arrivals);
+                ctx.send(PacketSpec::ack_to(&pkt, ACK_SIZE, info));
+            }
+        }
+
+        let mut sim = Simulator::new(1);
+        let db = Dumbbell::build(&mut sim, dumbbell(10e6));
+        let pair = db.add_host_pair(&mut sim);
+        let cfg = TcpConfig::standard(1000).with_ecn().with_max_packets(100);
+        let script = EcnScript {
+            expected: 0,
+            arrivals: 0,
+            retransmissions: 0,
+        };
+        let h = install_flow(&mut sim, &pair, SimTime::ZERO, Box::new(script), |w| {
+            Box::new(Tcp::new(cfg, w))
+        });
+        sim.run_until(SimTime::from_secs(10));
+        let sender: &Tcp = sim.agent_downcast(h.sender).unwrap();
+        assert!(sender.is_done());
+        assert_eq!(sender.timeouts(), 0);
+        assert_eq!(sender.fast_retransmits(), 0);
+        // Slow start delivered 20 unmarked ACKs first, so cwnd was
+        // 2 + 20 = 22 when the first echo landed: exactly one halving.
+        assert_eq!(
+            sender.ssthresh(),
+            11.0,
+            "three marked ACKs in one window must reduce exactly once"
+        );
+        let sink: &EcnScript = sim.agent_downcast(h.sink).unwrap();
+        assert_eq!(
+            sink.retransmissions, 0,
+            "an ECN echo signals congestion, not loss: nothing to retransmit"
+        );
+    }
+
+    /// RFC 6582 §4 ("careful variant"): after a retransmission timeout,
+    /// duplicate ACKs generated by segments the timeout already
+    /// retransmitted must NOT trigger fast retransmit until the
+    /// cumulative ACK passes `send_high` (our `fr_guard`). A scripted
+    /// receiver drives a real sender through: normal ramp, silence (to
+    /// force an RTO), three forged duplicate ACKs below the guard
+    /// (suppressed), then three above it (honored). (Linked from
+    /// specs/rfc6582/4.toml.)
+    #[test]
+    fn careful_variant_gates_fast_retransmit_on_the_rto_guard() {
+        enum Ph {
+            /// ACK every arrival until 10 segments are in.
+            Ramp,
+            /// Consume silently until the sender's RTO retransmits.
+            Silent,
+            /// ACK truthfully for `left` more arrivals.
+            Resume { left: u32 },
+            /// Send `left` more duplicate ACKs frozen at `cum`.
+            Freeze { cum: u64, left: u32 },
+            /// ACK truthfully until the transfer drains.
+            Drain,
+        }
+        struct GuardScript {
+            expected: u64,
+            ooo: BTreeSet<u64>,
+            ph: Ph,
+        }
+        impl GuardScript {
+            fn ack(&self, pkt: &Packet, cum: u64, ctx: &mut Ctx<'_>) {
+                let info = AckInfo::cumulative(cum, pkt.seq, pkt.sent_at);
+                ctx.send(PacketSpec::ack_to(pkt, ACK_SIZE, info));
+            }
+        }
+        impl Agent for GuardScript {
+            fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+                if !pkt.is_data() {
+                    return;
+                }
+                let retransmitted = pkt.seq < self.expected;
+                if pkt.seq == self.expected {
+                    self.expected += 1;
+                    while self.ooo.remove(&self.expected) {
+                        self.expected += 1;
+                    }
+                } else if pkt.seq > self.expected {
+                    self.ooo.insert(pkt.seq);
+                }
+                match self.ph {
+                    Ph::Ramp => {
+                        self.ack(&pkt, self.expected, ctx);
+                        if self.expected >= 10 {
+                            self.ph = Ph::Silent;
+                        }
+                    }
+                    Ph::Silent => {
+                        // The first re-seen segment is the RTO
+                        // retransmission: answer with three duplicate
+                        // ACKs below the sender's fr_guard. The careful
+                        // variant must swallow them.
+                        if retransmitted {
+                            for _ in 0..3 {
+                                self.ack(&pkt, 10, ctx);
+                            }
+                            self.ph = Ph::Resume { left: 8 };
+                        }
+                    }
+                    Ph::Resume { left } => {
+                        self.ack(&pkt, self.expected, ctx);
+                        self.ph = if left > 1 {
+                            Ph::Resume { left: left - 1 }
+                        } else {
+                            // Past the guard now; forge a loss event.
+                            Ph::Freeze { cum: self.expected, left: 3 }
+                        };
+                    }
+                    Ph::Freeze { cum, left } => {
+                        self.ack(&pkt, cum, ctx);
+                        self.ph = if left > 1 {
+                            Ph::Freeze { cum, left: left - 1 }
+                        } else {
+                            Ph::Drain
+                        };
+                    }
+                    Ph::Drain => self.ack(&pkt, self.expected, ctx),
+                }
+            }
+        }
+
+        let mut sim = Simulator::new(1);
+        let db = Dumbbell::build(&mut sim, dumbbell(10e6));
+        let pair = db.add_host_pair(&mut sim);
+        let cfg = TcpConfig::standard(1000).with_max_packets(60);
+        let script = GuardScript {
+            expected: 0,
+            ooo: BTreeSet::new(),
+            ph: Ph::Ramp,
+        };
+        let h = install_flow(&mut sim, &pair, SimTime::ZERO, Box::new(script), |w| {
+            Box::new(Tcp::new(cfg, w))
+        });
+        sim.run_until(SimTime::from_secs(30));
+        let sender: &Tcp = sim.agent_downcast(h.sender).unwrap();
+        assert!(sender.is_done(), "state: {}", sender.debug_state());
+        assert_eq!(
+            sender.timeouts(),
+            2,
+            "silence then the suppressed episode: exactly two RTOs"
+        );
+        assert_eq!(
+            sender.fast_retransmits(),
+            1,
+            "dups below fr_guard suppressed, dups above honored (RFC 6582 §4)"
+        );
+    }
+
     /// The sink ACKs every data packet cumulatively, emitting duplicate
     /// ACKs while a hole exists and jumping once it fills.
     #[test]
@@ -1001,7 +1336,7 @@ mod tests {
 mod delack_tests {
     use super::*;
     use crate::agent::install_flow;
-    use slowcc_netsim::topology::{Dumbbell, DumbbellConfig, DumbbellOptions};
+    use slowcc_netsim::topology::{Dumbbell, DumbbellConfig};
 
     fn run_transfer(delack: bool, packets: u64) -> (u64, u64, u64, bool) {
         let mut sim = Simulator::new(1);
@@ -1085,6 +1420,105 @@ mod delack_tests {
         assert!(
             slow > plain,
             "delack transfer ({slow:.2} s) should be slower than plain ({plain:.2} s)"
+        );
+    }
+
+    /// Scripted sender that emits a fixed sequence of data segments at
+    /// start and records every (cum_ack, arrival time) it gets back.
+    struct AckRecorder {
+        flow: slowcc_netsim::ids::FlowId,
+        dst_node: slowcc_netsim::ids::NodeId,
+        dst_agent: slowcc_netsim::ids::AgentId,
+        sends: Vec<u64>,
+        acks: Vec<(u64, SimTime)>,
+    }
+    impl Agent for AckRecorder {
+        fn as_any(&self) -> Option<&dyn std::any::Any> {
+            Some(self)
+        }
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for &seq in &self.sends {
+                ctx.send(PacketSpec::data(
+                    self.flow,
+                    seq,
+                    1000,
+                    self.dst_node,
+                    self.dst_agent,
+                ));
+            }
+        }
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+            if let Some(ai) = pkt.ack() {
+                self.acks.push((ai.cum_ack, ctx.now()));
+            }
+        }
+    }
+
+    fn run_script(sends: Vec<u64>, until: SimTime) -> Vec<(u64, SimTime)> {
+        let mut sim = Simulator::new(1);
+        let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
+        let pair = db.add_host_pair(&mut sim);
+        let flow = sim.new_flow();
+        let sink = sim.reserve_agent(pair.right);
+        sim.install_agent(
+            sink,
+            Box::new(TcpSink::new().with_delayed_acks()),
+            SimTime::ZERO,
+        );
+        let script = sim.add_agent(
+            pair.left,
+            Box::new(AckRecorder {
+                flow,
+                dst_node: pair.right,
+                dst_agent: sink,
+                sends,
+                acks: vec![],
+            }),
+        );
+        sim.run_until(until);
+        let s: &AckRecorder = sim.agent_downcast(script).unwrap();
+        s.acks.clone()
+    }
+
+    /// RFC 1122 §4.2.3.2 under loss, reordering, and duplication — not
+    /// just in-order delivery: an out-of-order segment elicits an
+    /// immediate (duplicate) ACK, a hole-filling segment an immediate
+    /// cumulative ACK, an old duplicate an immediate ACK, and no ACK is
+    /// ever withheld past the second full-sized segment. (Linked from
+    /// specs/rfc1122/4.2.3.2.toml.)
+    #[test]
+    fn delayed_acks_stay_conformant_under_reordering_and_duplicates() {
+        // 0 held; 1 -> ack 2; 2 held; 4 (out of order) -> ack 2's
+        // coverage at cum 3; 3 fills the hole -> ack 5; 5 held; 6 ->
+        // ack 7; 7 held; duplicate 3 -> immediate ack 8 (covers 7).
+        let acks = run_script(vec![0, 1, 2, 4, 3, 5, 6, 7, 3], SimTime::from_secs(2));
+        let cums: Vec<u64> = acks.iter().map(|(c, _)| *c).collect();
+        assert_eq!(cums, vec![2, 3, 5, 7, 8], "ack stream {cums:?}");
+        // "At least every second full-sized segment": no cumulative ACK
+        // jump may exceed 2 in-order segments.
+        let mut prev = 0;
+        for &c in &cums {
+            assert!(
+                c.saturating_sub(prev) <= 2,
+                "ACK withheld past the second segment: {prev} -> {c}"
+            );
+            prev = prev.max(c);
+        }
+    }
+
+    /// RFC 1122 §4.2.3.2: the delayed-ACK timer MUST be less than
+    /// 0.5 seconds. A lone segment (nothing to coalesce with) must
+    /// still be acknowledged within the bound.
+    #[test]
+    fn delayed_ack_fires_well_inside_half_a_second() {
+        let acks = run_script(vec![0], SimTime::from_secs(2));
+        assert_eq!(acks.len(), 1, "the lone segment must be acknowledged");
+        let (cum, at) = acks[0];
+        assert_eq!(cum, 1);
+        assert!(
+            at.as_secs_f64() < 0.5,
+            "ACK for a lone segment arrived at {:.3} s; the delay bound is < 0.5 s",
+            at.as_secs_f64()
         );
     }
 }

@@ -55,12 +55,22 @@ pub fn tfrc_weights(k: usize) -> Vec<f64> {
         .collect()
 }
 
+/// Lower clamp on the RFC 3448 §5.5 discount factor: history is never
+/// faded below a quarter of its weight in one step.
+const DISCOUNT_THRESHOLD: f64 = 0.25;
+
 /// Receiver-side loss interval history (RFC 3448 §5.4-5.5).
 #[derive(Debug, Clone)]
 pub struct LossHistory {
     weights: Vec<f64>,
     /// Closed intervals, newest first, in packets.
     closed: Vec<u64>,
+    /// RFC 3448 §5.5 per-interval cumulative discount factors `DF_i`,
+    /// parallel to `closed`. Each starts at 1 and is multiplied by the
+    /// prevailing `DF` every time a later loss event closes an interval,
+    /// so an interval's discount compounds as it ages past long
+    /// loss-free stretches. All 1 when `discounting` is off.
+    discounts: Vec<f64>,
     discounting: bool,
 }
 
@@ -70,15 +80,30 @@ impl LossHistory {
         LossHistory {
             weights: tfrc_weights(k),
             closed: Vec::with_capacity(k + 1),
+            discounts: Vec::with_capacity(k + 1),
             discounting,
         }
     }
 
     /// Record a newly closed interval of `packets` packets.
+    ///
+    /// RFC 3448 §5.5: at each new loss event the current discount factor
+    /// is folded into every older interval (`DF_i *= DF`) before the
+    /// history shifts; the interval that just closed enters with
+    /// `DF_0 = 1`.
     pub fn record_interval(&mut self, packets: u64) {
-        self.closed.insert(0, packets.max(1));
+        let packets = packets.max(1);
+        if self.discounting && !self.closed.is_empty() {
+            let df = self.discount_factor(packets);
+            for d in &mut self.discounts {
+                *d *= df;
+            }
+        }
+        self.closed.insert(0, packets);
+        self.discounts.insert(0, 1.0);
         if self.closed.len() > self.weights.len() {
             self.closed.truncate(self.weights.len());
+            self.discounts.truncate(self.weights.len());
         }
     }
 
@@ -94,25 +119,22 @@ impl LossHistory {
 
     /// Average loss interval including the still-open interval when that
     /// increases the average, in packets. `None` before the first loss.
+    ///
+    /// With history discounting on, this is the full RFC 3448 §5.5
+    /// calculation: the history-only average weighs each closed interval
+    /// by `w_i * DF_i`; the with-open average gives the open interval
+    /// its full weight and each closed interval `w_(i+1) * DF_i * DF`,
+    /// where `DF = 2*I_mean/I_0` (clamped at `THRESHOLD = 0.25`) when
+    /// the open interval `I_0` exceeds twice the history mean. The
+    /// larger of the two averages wins, so discounting only ever speeds
+    /// up good news.
     pub fn mean_interval(&self, open_packets: u64) -> Option<f64> {
         if self.closed.is_empty() {
             return None;
         }
-        let avg_closed = self.weighted_avg(&self.closed, 1.0);
-        // History discounting: when the open interval is much longer than
-        // the closed average, fade the old history so good news arrives
-        // faster (simplified RFC 3448 §5.5: a single discount factor).
-        let df = if self.discounting && open_packets as f64 > 2.0 * avg_closed {
-            (2.0 * avg_closed / open_packets as f64).max(0.5)
-        } else {
-            1.0
-        };
-        // Include the open interval as the newest sample (shifting the
-        // closed ones one slot) and keep whichever average is larger.
-        let mut with_open = Vec::with_capacity(self.closed.len() + 1);
-        with_open.push(open_packets.max(1));
-        with_open.extend_from_slice(&self.closed);
-        let avg_open = self.weighted_avg_discounted(&with_open, df);
+        let avg_closed = self.avg_closed();
+        let df = self.discount_factor(open_packets);
+        let avg_open = self.avg_with_open(open_packets.max(1), df);
         Some(avg_closed.max(avg_open))
     }
 
@@ -124,23 +146,33 @@ impl LossHistory {
         }
     }
 
-    fn weighted_avg(&self, xs: &[u64], df: f64) -> f64 {
-        self.weighted_avg_inner(xs, df, 0)
+    /// RFC 3448 §5.5 discount factor for an open interval of
+    /// `open_packets` against the current (already-discounted) history
+    /// mean. 1 unless discounting is on and the open interval exceeds
+    /// twice the mean; never below [`DISCOUNT_THRESHOLD`].
+    fn discount_factor(&self, open_packets: u64) -> f64 {
+        if !self.discounting || self.closed.is_empty() {
+            return 1.0;
+        }
+        let avg = self.avg_closed();
+        let open = open_packets.max(1) as f64;
+        if open > 2.0 * avg {
+            (2.0 * avg / open).max(DISCOUNT_THRESHOLD)
+        } else {
+            1.0
+        }
     }
 
-    /// Average where element 0 (the open interval) keeps full weight and
-    /// the older, closed elements are discounted by `df`.
-    fn weighted_avg_discounted(&self, xs: &[u64], df: f64) -> f64 {
-        self.weighted_avg_inner(xs, df, 1)
-    }
-
-    fn weighted_avg_inner(&self, xs: &[u64], df: f64, discount_from: usize) -> f64 {
-        let n = xs.len().min(self.weights.len());
+    /// History-only weighted average: interval `i` weighs
+    /// `w_i * DF_i` (RFC 3448 §5.4, with the §5.5 per-interval
+    /// discounts).
+    fn avg_closed(&self) -> f64 {
+        let n = self.closed.len().min(self.weights.len());
         let mut num = 0.0;
         let mut den = 0.0;
-        for (i, (&x, &weight)) in xs.iter().zip(&self.weights).enumerate().take(n) {
-            let w = weight * if i >= discount_from { df } else { 1.0 };
-            num += w * x as f64;
+        for i in 0..n {
+            let w = self.weights[i] * self.discounts[i];
+            num += w * self.closed[i] as f64;
             den += w;
         }
         if den == 0.0 {
@@ -148,6 +180,22 @@ impl LossHistory {
         } else {
             num / den
         }
+    }
+
+    /// Weighted average with the open interval as the newest sample: the
+    /// open interval keeps full weight `w_0`, and each closed interval
+    /// shifts one slot to weight `w_(i+1) * DF_i * DF` (RFC 3448 §5.5 —
+    /// the open interval itself is never discounted).
+    fn avg_with_open(&self, open_packets: u64, df: f64) -> f64 {
+        let mut num = self.weights[0] * open_packets as f64;
+        let mut den = self.weights[0];
+        let n = self.closed.len().min(self.weights.len() - 1);
+        for i in 0..n {
+            let w = self.weights[i + 1] * self.discounts[i] * df;
+            num += w * self.closed[i] as f64;
+            den += w;
+        }
+        num / den
     }
 }
 
@@ -749,6 +797,70 @@ mod tests {
         );
     }
 
+    /// RFC 3448 §5.5 regression (exact values): eight closed intervals
+    /// of 10 packets, then a 200-packet open interval. The history mean
+    /// is 10, so DF = 2*10/200 = 0.1, clamped at THRESHOLD = 0.25. The
+    /// with-open average is then
+    ///   (1*200 + 0.25*(10*(1+1+1+0.8+0.6+0.4+0.2))) / (1 + 0.25*5.0)
+    ///   = 212.5 / 2.25 = 94.44...
+    /// The pre-fix "single discount factor" code clamped DF at 0.5 and
+    /// produced 225/3.5 = 64.29, so this test fails on it.
+    #[test]
+    fn discount_factor_clamps_at_a_quarter() {
+        let mut h = LossHistory::new(8, true);
+        for _ in 0..8 {
+            h.record_interval(10);
+        }
+        let mean = h.mean_interval(200).unwrap();
+        let expected = 212.5 / 2.25;
+        assert!(
+            (mean - expected).abs() < 1e-9,
+            "mean {mean}, expected {expected}"
+        );
+    }
+
+    /// RFC 3448 §5.5 regression: when the long open interval closes, the
+    /// prevailing DF is folded into every older interval (DF_i *= DF),
+    /// so the history-only average stays discounted afterwards:
+    ///   (1*200 + 0.25*(10*(1+1+1+0.8+0.6+0.4+0.2))) / (1 + 0.25*5.0)
+    ///   = 212.5 / 2.25 = 94.44...
+    /// The pre-fix code kept no per-interval state — once the interval
+    /// closed, the full weight of the bad history snapped back
+    /// (250/6 = 41.67), so this test fails on it.
+    #[test]
+    fn discounts_compound_when_the_interval_closes() {
+        let mut h = LossHistory::new(8, true);
+        for _ in 0..8 {
+            h.record_interval(10);
+        }
+        h.record_interval(200);
+        // Closed-only average (a short open interval cannot beat it).
+        let mean = h.mean_interval(1).unwrap();
+        let expected = 212.5 / 2.25;
+        assert!(
+            (mean - expected).abs() < 1e-9,
+            "mean {mean}, expected {expected}"
+        );
+    }
+
+    /// The §5.5 machinery must be inert when discounting is off: the
+    /// open interval still enters the shifted average at full weight,
+    /// but no DF is ever applied. Guards the paper-mode (Figure 13,
+    /// discounting off) calibration.
+    #[test]
+    fn no_discounting_means_unit_factors() {
+        let mut h = LossHistory::new(8, false);
+        for _ in 0..8 {
+            h.record_interval(10);
+        }
+        // with-open: 250/6, closed-only: 10 -> max is 41.67.
+        let mean = h.mean_interval(200).unwrap();
+        assert!((mean - 250.0 / 6.0).abs() < 1e-9, "mean {mean}");
+        h.record_interval(200);
+        let mean = h.mean_interval(1).unwrap();
+        assert!((mean - 250.0 / 6.0).abs() < 1e-9, "mean {mean}");
+    }
+
     #[test]
     fn tfrc_fills_a_clean_pipe() {
         let mut sim = Simulator::new(3);
@@ -960,7 +1072,7 @@ mod sink_tests {
     use super::*;
     use slowcc_netsim::ids::{AgentId, FlowId, NodeId};
     use slowcc_netsim::sim::Simulator;
-    use slowcc_netsim::topology::{Dumbbell, DumbbellConfig, DumbbellOptions};
+    use slowcc_netsim::topology::{Dumbbell, DumbbellConfig};
 
     /// Scripted sender: emits chosen (seq, time) pairs as TFRC data
     /// packets with a fixed stamped RTT, capturing feedback reports.

@@ -1,0 +1,864 @@
+//! RFC conformance coverage over the `specs/` tree.
+//!
+//! Each TOML file under `specs/<rfc>/<section>.toml` transcribes the
+//! MUST/SHOULD/MAY lines of one RFC section this codebase implements
+//! and tags every requirement with its verification status:
+//!
+//! * `tested` — linked to one or more regression tests, each written
+//!   as `<path>.rs::<module>::<fn>` relative to the repo root;
+//! * `untested` — transcribed but not yet pinned by a test (allowed
+//!   only below MUST level);
+//! * `deviates` — the implementation intentionally departs from the
+//!   quoted text, with a written rationale.
+//!
+//! The harness (`repro conformance`) parses the tree, cross-checks it
+//! — unique requirement IDs, every `tested` link resolving to a real
+//! test function, every `deviates` carrying a rationale, no MUST left
+//! merely `untested` — and renders a per-RFC coverage report. Each
+//! spec file is one cell, so a violation pinpoints its file in the
+//! `FAILED cell` line and `--resume` re-checks only that file; a final
+//! `tree` cell enforces the cross-file invariants. The file format
+//! follows the per-section requirement-quoting idiom of s2n-quic's
+//! compliance tooling, reduced to the TOML subset parsed here (see
+//! `DESIGN.md` §5i).
+
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::experiment::{CellSpec, Experiment};
+use crate::report::Table;
+use crate::scale::Scale;
+
+/// Requirement strength, parsed from the spec file's `level` key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// RFC 2119 MUST / MUST NOT / REQUIRED / SHALL.
+    Must,
+    /// RFC 2119 SHOULD / SHOULD NOT / RECOMMENDED.
+    Should,
+    /// RFC 2119 MAY / OPTIONAL.
+    May,
+}
+
+impl Level {
+    fn parse(s: &str) -> Option<Level> {
+        match s {
+            "MUST" => Some(Level::Must),
+            "SHOULD" => Some(Level::Should),
+            "MAY" => Some(Level::May),
+            _ => None,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Must => "MUST",
+            Level::Should => "SHOULD",
+            Level::May => "MAY",
+        }
+    }
+}
+
+/// Verification status, parsed from the spec file's `status` key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Pinned by the linked regression test(s).
+    Tested,
+    /// Transcribed but not yet pinned (below MUST level only).
+    Untested,
+    /// Intentional divergence, with rationale.
+    Deviates,
+}
+
+impl Status {
+    fn parse(s: &str) -> Option<Status> {
+        match s {
+            "tested" => Some(Status::Tested),
+            "untested" => Some(Status::Untested),
+            "deviates" => Some(Status::Deviates),
+            _ => None,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            Status::Tested => "tested",
+            Status::Untested => "untested",
+            Status::Deviates => "deviates",
+        }
+    }
+}
+
+/// One transcribed requirement.
+#[derive(Debug, Clone)]
+pub struct Requirement {
+    /// Unique id, e.g. `rfc6298-s5-backoff`.
+    pub id: String,
+    /// RFC 2119 strength.
+    pub level: Level,
+    /// Verification status.
+    pub status: Status,
+    /// The requirement text, quoted verbatim from the RFC.
+    pub quote: String,
+    /// `tested` links: `<path>.rs::<module>::<fn>` from the repo root.
+    pub tests: Vec<String>,
+    /// Why the implementation deviates (required iff `deviates`).
+    pub rationale: String,
+    /// 1-based line of the `[[spec]]` header (for error messages).
+    pub line: usize,
+}
+
+/// One parsed spec file.
+#[derive(Debug, Clone)]
+pub struct SpecFile {
+    /// Path relative to the specs root, e.g. `rfc6298/5.toml`.
+    pub rel_path: String,
+    /// RFC directory name, e.g. `rfc6298`.
+    pub rfc: String,
+    /// Section stem, e.g. `5` or `4.2.3.2`.
+    pub section: String,
+    /// Canonical URL of the quoted section.
+    pub target: String,
+    /// The transcribed requirements, in file order.
+    pub requirements: Vec<Requirement>,
+}
+
+/// The `specs/` directory (compile-time anchored to this repo).
+pub fn specs_root() -> PathBuf {
+    repo_root().join("specs")
+}
+
+/// The repository root (test links are resolved relative to it).
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+// ---------------------------------------------------------------------
+// TOML-subset parser
+// ---------------------------------------------------------------------
+
+/// Parse one spec file. The accepted grammar is the TOML subset the
+/// committed tree uses: `key = "value"` single-line strings,
+/// `key = '''…'''` multi-line literal strings, `key = [ "…", … ]`
+/// string arrays (inline or one element per line), `[[spec]]` array
+/// headers, and full-line `#` comments. Anything else is an error —
+/// a conformance ledger should fail loudly, not guess.
+pub fn parse_spec_file(text: &str, rel_path: &str) -> Result<SpecFile, String> {
+    let err = |line: usize, msg: &str| format!("{rel_path}:{line}: {msg}");
+    let (rfc, section) = split_rel_path(rel_path)
+        .ok_or_else(|| format!("{rel_path}: expected <rfc>/<section>.toml"))?;
+
+    let mut target = String::new();
+    let mut requirements: Vec<Requirement> = Vec::new();
+    // Fields of the `[[spec]]` block being assembled, if any.
+    let mut current: Option<(usize, Vec<(String, ParsedValue, usize)>)> = None;
+
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[spec]]" {
+            if let Some(block) = current.take() {
+                requirements.push(finish_requirement(block, rel_path)?);
+            }
+            current = Some((lineno, Vec::new()));
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(err(lineno, "only [[spec]] tables are supported"));
+        }
+        let (key, rest) = line
+            .split_once('=')
+            .ok_or_else(|| err(lineno, "expected `key = value`"))?;
+        let key = key.trim().to_string();
+        let rest = rest.trim();
+        let value = if rest == "'''" {
+            // Multi-line literal string: verbatim until the closing
+            // delimiter on its own line.
+            let mut body = String::new();
+            let mut closed = false;
+            for (_, body_raw) in lines.by_ref() {
+                if body_raw.trim() == "'''" {
+                    closed = true;
+                    break;
+                }
+                body.push_str(body_raw);
+                body.push('\n');
+            }
+            if !closed {
+                return Err(err(lineno, "unterminated ''' string"));
+            }
+            ParsedValue::Str(body.trim().to_string())
+        } else if let Some(stripped) = rest.strip_prefix('[') {
+            // String array: inline `["a", "b"]` or one element per
+            // line until the closing bracket.
+            let mut items = Vec::new();
+            let mut acc = stripped.to_string();
+            loop {
+                if let Some(body) = acc.trim_end().strip_suffix(']') {
+                    parse_array_items(body, &mut items).map_err(|m| err(lineno, &m))?;
+                    break;
+                }
+                parse_array_items(&acc, &mut items).map_err(|m| err(lineno, &m))?;
+                match lines.next() {
+                    Some((_, more)) => acc = more.trim().to_string(),
+                    None => return Err(err(lineno, "unterminated array")),
+                }
+            }
+            ParsedValue::List(items)
+        } else {
+            ParsedValue::Str(parse_basic_string(rest).map_err(|m| err(lineno, &m))?)
+        };
+
+        match &mut current {
+            Some((_, fields)) => fields.push((key, value, lineno)),
+            None => match (key.as_str(), value) {
+                ("target", ParsedValue::Str(s)) => target = s,
+                ("target", ParsedValue::List(_)) => {
+                    return Err(err(lineno, "`target` must be a string"));
+                }
+                (other, _) => {
+                    return Err(err(lineno, &format!("unknown top-level key `{other}`")));
+                }
+            },
+        }
+    }
+    if let Some(block) = current.take() {
+        requirements.push(finish_requirement(block, rel_path)?);
+    }
+
+    if target.is_empty() {
+        return Err(format!("{rel_path}: missing `target = \"<url>\"` header"));
+    }
+    if requirements.is_empty() {
+        return Err(format!("{rel_path}: no [[spec]] blocks"));
+    }
+    Ok(SpecFile {
+        rel_path: rel_path.to_string(),
+        rfc,
+        section,
+        target,
+        requirements,
+    })
+}
+
+enum ParsedValue {
+    Str(String),
+    List(Vec<String>),
+}
+
+fn split_rel_path(rel_path: &str) -> Option<(String, String)> {
+    let (rfc, file) = rel_path.split_once('/')?;
+    let section = file.strip_suffix(".toml")?;
+    Some((rfc.to_string(), section.to_string()))
+}
+
+/// Parse a double-quoted basic string (no escapes — the tree quotes
+/// RFC text in `'''` blocks where escaping never arises).
+fn parse_basic_string(s: &str) -> Result<String, String> {
+    let inner = s
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a \"quoted\" string, found `{s}`"))?;
+    if inner.contains('"') || inner.contains('\\') {
+        return Err(format!("escapes are not supported in `{s}`"));
+    }
+    Ok(inner.to_string())
+}
+
+/// Parse zero or more comma-separated quoted strings into `items`.
+fn parse_array_items(body: &str, items: &mut Vec<String>) -> Result<(), String> {
+    for piece in body.split(',') {
+        let piece = piece.trim();
+        if piece.is_empty() || piece.starts_with('#') {
+            continue;
+        }
+        items.push(parse_basic_string(piece)?);
+    }
+    Ok(())
+}
+
+fn finish_requirement(
+    block: (usize, Vec<(String, ParsedValue, usize)>),
+    rel_path: &str,
+) -> Result<Requirement, String> {
+    let (header_line, fields) = block;
+    let err = |line: usize, msg: &str| format!("{rel_path}:{line}: {msg}");
+    let mut id = None;
+    let mut level = None;
+    let mut status = None;
+    let mut quote = None;
+    let mut tests = Vec::new();
+    let mut rationale = String::new();
+    for (key, value, line) in fields {
+        match (key.as_str(), value) {
+            ("id", ParsedValue::Str(s)) => id = Some(s),
+            ("level", ParsedValue::Str(s)) => match Level::parse(&s) {
+                Some(l) => level = Some(l),
+                None => return Err(err(line, &format!("unknown level `{s}` (MUST/SHOULD/MAY)"))),
+            },
+            ("status", ParsedValue::Str(s)) => match Status::parse(&s) {
+                Some(st) => status = Some(st),
+                None => {
+                    return Err(err(
+                        line,
+                        &format!("unknown status `{s}` (tested/untested/deviates)"),
+                    ));
+                }
+            },
+            ("quote", ParsedValue::Str(s)) => quote = Some(s),
+            ("tests", ParsedValue::List(l)) => tests = l,
+            ("rationale", ParsedValue::Str(s)) => rationale = s,
+            (other, _) => {
+                return Err(err(line, &format!("unknown [[spec]] key `{other}`")));
+            }
+        }
+    }
+    let id = id.ok_or_else(|| err(header_line, "[[spec]] missing `id`"))?;
+    let level = level.ok_or_else(|| err(header_line, "[[spec]] missing `level`"))?;
+    let status = status.ok_or_else(|| err(header_line, "[[spec]] missing `status`"))?;
+    let quote = quote.ok_or_else(|| err(header_line, "[[spec]] missing `quote`"))?;
+    if quote.is_empty() {
+        return Err(err(header_line, "`quote` must not be empty"));
+    }
+    Ok(Requirement {
+        id,
+        level,
+        status,
+        quote,
+        tests,
+        rationale,
+        line: header_line,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Tree loading and validation
+// ---------------------------------------------------------------------
+
+/// The spec files under `root`, as paths relative to it, sorted — the
+/// deterministic cell order.
+pub fn spec_rel_paths(root: &Path) -> Result<Vec<String>, String> {
+    let mut rels = Vec::new();
+    let rfc_dirs =
+        std::fs::read_dir(root).map_err(|e| format!("cannot read {}: {e}", root.display()))?;
+    for entry in rfc_dirs {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let dir = entry.path();
+        if !dir.is_dir() {
+            continue;
+        }
+        let rfc = entry.file_name().to_string_lossy().into_owned();
+        let files =
+            std::fs::read_dir(&dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        for file in files {
+            let file = file.map_err(|e| e.to_string())?;
+            let name = file.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".toml") {
+                rels.push(format!("{rfc}/{name}"));
+            }
+        }
+    }
+    rels.sort();
+    if rels.is_empty() {
+        return Err(format!("no spec files under {}", root.display()));
+    }
+    Ok(rels)
+}
+
+/// Load one spec file by its root-relative path.
+pub fn load_spec_file(root: &Path, rel_path: &str) -> Result<SpecFile, String> {
+    let text = std::fs::read_to_string(root.join(rel_path))
+        .map_err(|e| format!("cannot read {rel_path}: {e}"))?;
+    parse_spec_file(&text, rel_path)
+}
+
+/// Load every spec file under `root`, in sorted order.
+pub fn load_tree(root: &Path) -> Result<Vec<SpecFile>, String> {
+    spec_rel_paths(root)?
+        .iter()
+        .map(|rel| load_spec_file(root, rel))
+        .collect()
+}
+
+/// Per-file (local) conformance checks. Returns violations, empty if
+/// clean. `repo_root` anchors test-link resolution.
+pub fn validate_file(spec: &SpecFile, repo_root: &Path) -> Vec<String> {
+    let mut violations = Vec::new();
+    for req in &spec.requirements {
+        let at = format!("{}:{} [{}]", spec.rel_path, req.line, req.id);
+        match req.status {
+            Status::Tested => {
+                if req.tests.is_empty() {
+                    violations.push(format!("{at}: status `tested` but no `tests` links"));
+                }
+                for link in &req.tests {
+                    if let Err(msg) = resolve_test_link(link, repo_root) {
+                        violations.push(format!("{at}: dangling test link: {msg}"));
+                    }
+                }
+            }
+            Status::Untested => {
+                if req.level == Level::Must {
+                    violations.push(format!(
+                        "{at}: MUST-level requirement left `untested` (test it or record a \
+                         `deviates` rationale)"
+                    ));
+                }
+                if !req.tests.is_empty() {
+                    violations.push(format!("{at}: status `untested` must not list `tests`"));
+                }
+            }
+            Status::Deviates => {
+                if req.rationale.is_empty() {
+                    violations.push(format!("{at}: status `deviates` requires a `rationale`"));
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Cross-file checks: requirement IDs must be unique tree-wide.
+pub fn validate_tree(files: &[SpecFile], repo_root: &Path) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut seen: Vec<(&str, &str)> = Vec::new();
+    for spec in files {
+        violations.extend(validate_file(spec, repo_root));
+        for req in &spec.requirements {
+            match seen.iter().find(|(id, _)| *id == req.id) {
+                Some((_, first)) => violations.push(format!(
+                    "{}:{} [{}]: duplicate requirement id (first in {first})",
+                    spec.rel_path, req.line, req.id
+                )),
+                None => seen.push((&req.id, &spec.rel_path)),
+            }
+        }
+    }
+    violations
+}
+
+/// Resolve a `tested` link of the form `<path>.rs::<module>::<fn>`:
+/// the file must exist under `repo_root` and define `fn <name>`.
+pub fn resolve_test_link(link: &str, repo_root: &Path) -> Result<(), String> {
+    let (file, path_in_file) = link
+        .split_once(".rs::")
+        .ok_or_else(|| format!("`{link}` is not `<path>.rs::<module>::<fn>`"))?;
+    let file = format!("{file}.rs");
+    let fn_name = path_in_file.rsplit("::").next().unwrap_or(path_in_file);
+    if fn_name.is_empty() {
+        return Err(format!("`{link}` names no function"));
+    }
+    let full = repo_root.join(&file);
+    let text = std::fs::read_to_string(&full).map_err(|_| format!("no such file `{file}`"))?;
+    if !text.contains(&format!("fn {fn_name}(")) {
+        return Err(format!("`{file}` has no `fn {fn_name}`"));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// The experiment
+// ---------------------------------------------------------------------
+
+/// Cell payload: one spec file, or the final tree-wide cross-check.
+#[derive(Debug, Clone)]
+pub enum ConformanceCell {
+    /// Parse and locally validate one spec file (root-relative path).
+    File(String),
+    /// Re-validate the whole tree: cross-file invariants.
+    Tree,
+}
+
+/// Summary of one requirement (serialized into the artifact).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReqSummary {
+    /// Requirement id.
+    pub id: String,
+    /// `MUST` / `SHOULD` / `MAY`.
+    pub level: String,
+    /// `tested` / `untested` / `deviates`.
+    pub status: String,
+    /// Linked regression tests.
+    pub tests: Vec<String>,
+    /// Deviation rationale (empty unless `deviates`).
+    pub rationale: String,
+    /// The quoted requirement text.
+    pub quote: String,
+}
+
+/// Per-spec-file cell output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FileSummary {
+    /// Path relative to `specs/`.
+    pub rel_path: String,
+    /// RFC directory name.
+    pub rfc: String,
+    /// Section stem.
+    pub section: String,
+    /// Canonical section URL.
+    pub target: String,
+    /// The file's requirements.
+    pub requirements: Vec<ReqSummary>,
+}
+
+/// Tree-cell output: what the cross-check saw.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeSummary {
+    /// Spec files checked.
+    pub files: u64,
+    /// Distinct RFCs covered.
+    pub rfcs: u64,
+    /// Total requirements tree-wide.
+    pub requirements: u64,
+}
+
+/// Cell output: one of the two cell kinds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ConformanceOut {
+    /// A parsed, locally-valid spec file.
+    File(FileSummary),
+    /// The tree cross-check's totals.
+    Tree(TreeSummary),
+}
+
+/// Coverage counts for one RFC.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RfcCoverage {
+    /// RFC directory name, e.g. `rfc6298`.
+    pub rfc: String,
+    /// Sections transcribed.
+    pub sections: u64,
+    /// Requirements transcribed.
+    pub requirements: u64,
+    /// MUST-level requirements.
+    pub must: u64,
+    /// Requirements with status `tested`.
+    pub tested: u64,
+    /// Requirements with status `deviates`.
+    pub deviates: u64,
+    /// Requirements with status `untested`.
+    pub untested: u64,
+}
+
+/// The assembled conformance report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConformanceReport {
+    /// Per-RFC coverage, in specs-tree order.
+    pub coverage: Vec<RfcCoverage>,
+    /// Every `deviates` entry: (requirement id, rationale).
+    pub deviations: Vec<(String, String)>,
+    /// The tree cross-check totals.
+    pub tree: TreeSummary,
+    /// Full per-file detail.
+    pub files: Vec<FileSummary>,
+}
+
+/// `repro conformance`: parse, cross-check, and report the specs tree.
+pub struct ConformanceExperiment;
+
+impl Experiment for ConformanceExperiment {
+    type Cell = ConformanceCell;
+    type CellOut = ConformanceOut;
+    type Output = ConformanceReport;
+
+    fn name(&self) -> &'static str {
+        "conformance"
+    }
+
+    fn description(&self) -> &'static str {
+        "RFC conformance coverage report over the specs/ tree"
+    }
+
+    fn artifact(&self) -> &'static str {
+        "conformance"
+    }
+
+    fn cells(&self, _scale: Scale) -> Vec<CellSpec<ConformanceCell>> {
+        let rels = spec_rel_paths(&specs_root()).expect("specs/ tree is readable");
+        let mut cells: Vec<CellSpec<ConformanceCell>> = rels
+            .into_iter()
+            .map(|rel| {
+                let id = rel.trim_end_matches(".toml").replace('/', "-");
+                CellSpec::new(id, 0, ConformanceCell::File(rel))
+            })
+            .collect();
+        cells.push(CellSpec::new("tree", 0, ConformanceCell::Tree));
+        cells
+    }
+
+    fn run_cell(&self, _scale: Scale, cell: ConformanceCell) -> ConformanceOut {
+        let root = specs_root();
+        let repo = repo_root();
+        match cell {
+            ConformanceCell::File(rel) => {
+                let spec = match load_spec_file(&root, &rel) {
+                    Ok(spec) => spec,
+                    Err(e) => panic!("spec parse error: {e}"),
+                };
+                let violations = validate_file(&spec, &repo);
+                assert!(
+                    violations.is_empty(),
+                    "conformance violations:\n  {}",
+                    violations.join("\n  ")
+                );
+                ConformanceOut::File(summarize(&spec))
+            }
+            ConformanceCell::Tree => {
+                let files = match load_tree(&root) {
+                    Ok(files) => files,
+                    Err(e) => panic!("spec parse error: {e}"),
+                };
+                let violations = validate_tree(&files, &repo);
+                assert!(
+                    violations.is_empty(),
+                    "conformance violations:\n  {}",
+                    violations.join("\n  ")
+                );
+                let mut rfcs: Vec<&str> = files.iter().map(|f| f.rfc.as_str()).collect();
+                rfcs.dedup();
+                ConformanceOut::Tree(TreeSummary {
+                    files: files.len() as u64,
+                    rfcs: rfcs.len() as u64,
+                    requirements: files.iter().map(|f| f.requirements.len() as u64).sum(),
+                })
+            }
+        }
+    }
+
+    fn assemble(&self, _scale: Scale, outs: Vec<ConformanceOut>) -> ConformanceReport {
+        let mut files = Vec::new();
+        let mut tree = TreeSummary {
+            files: 0,
+            rfcs: 0,
+            requirements: 0,
+        };
+        for out in outs {
+            match out {
+                ConformanceOut::File(f) => files.push(f),
+                ConformanceOut::Tree(t) => tree = t,
+            }
+        }
+        let mut coverage: Vec<RfcCoverage> = Vec::new();
+        let mut deviations = Vec::new();
+        for file in &files {
+            if coverage.last().map(|c| c.rfc.as_str()) != Some(file.rfc.as_str()) {
+                coverage.push(RfcCoverage {
+                    rfc: file.rfc.clone(),
+                    sections: 0,
+                    requirements: 0,
+                    must: 0,
+                    tested: 0,
+                    deviates: 0,
+                    untested: 0,
+                });
+            }
+            let cov = coverage.last_mut().expect("just pushed");
+            cov.sections += 1;
+            for req in &file.requirements {
+                cov.requirements += 1;
+                match req.level.as_str() {
+                    "MUST" => cov.must += 1,
+                    _ => {}
+                }
+                match req.status.as_str() {
+                    "tested" => cov.tested += 1,
+                    "deviates" => {
+                        cov.deviates += 1;
+                        deviations.push((req.id.clone(), req.rationale.clone()));
+                    }
+                    _ => cov.untested += 1,
+                }
+            }
+        }
+        ConformanceReport {
+            coverage,
+            deviations,
+            tree,
+            files,
+        }
+    }
+
+    fn render(&self, output: &ConformanceReport) {
+        println!("RFC conformance coverage (specs/ tree)");
+        println!(
+            "{} files, {} RFCs, {} requirements; all links resolve, ids unique, every MUST \
+             tested or deviates\n",
+            output.tree.files, output.tree.rfcs, output.tree.requirements
+        );
+        let mut table = Table::new([
+            "rfc", "sections", "reqs", "MUST", "tested", "deviates", "untested",
+        ]);
+        for cov in &output.coverage {
+            table.row([
+                cov.rfc.clone(),
+                cov.sections.to_string(),
+                cov.requirements.to_string(),
+                cov.must.to_string(),
+                cov.tested.to_string(),
+                cov.deviates.to_string(),
+                cov.untested.to_string(),
+            ]);
+        }
+        print!("{}", table.render());
+        if !output.deviations.is_empty() {
+            println!("\nrecorded deviations:");
+            for (id, rationale) in &output.deviations {
+                let first = rationale.lines().next().unwrap_or("");
+                println!("  {id}: {first}");
+            }
+        }
+    }
+}
+
+fn summarize(spec: &SpecFile) -> FileSummary {
+    FileSummary {
+        rel_path: spec.rel_path.clone(),
+        rfc: spec.rfc.clone(),
+        section: spec.section.clone(),
+        target: spec.target.clone(),
+        requirements: spec
+            .requirements
+            .iter()
+            .map(|r| ReqSummary {
+                id: r.id.clone(),
+                level: r.level.as_str().to_string(),
+                status: r.status.as_str().to_string(),
+                tests: r.tests.clone(),
+                rationale: r.rationale.clone(),
+                quote: r.quote.clone(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# A sample section.
+target = "https://www.rfc-editor.org/rfc/rfc9999#section-1"
+
+[[spec]]
+id = "rfc9999-s1-a"
+level = "MUST"
+status = "tested"
+quote = '''
+The sender MUST do the thing.
+'''
+tests = [
+    "crates/core/src/rtt.rs::tests::initial_rto_is_one_second",
+]
+
+[[spec]]
+id = "rfc9999-s1-b"
+level = "SHOULD"
+status = "deviates"
+quote = '''
+The sender SHOULD wait one second.
+'''
+rationale = '''
+Simulated paths are 50 ms; waiting a full second would dominate.
+'''
+"#;
+
+    #[test]
+    fn parses_the_sample_section() {
+        let spec = parse_spec_file(SAMPLE, "rfc9999/1.toml").unwrap();
+        assert_eq!(spec.rfc, "rfc9999");
+        assert_eq!(spec.section, "1");
+        assert_eq!(spec.target, "https://www.rfc-editor.org/rfc/rfc9999#section-1");
+        assert_eq!(spec.requirements.len(), 2);
+        let a = &spec.requirements[0];
+        assert_eq!(a.id, "rfc9999-s1-a");
+        assert_eq!(a.level, Level::Must);
+        assert_eq!(a.status, Status::Tested);
+        assert_eq!(a.quote, "The sender MUST do the thing.");
+        assert_eq!(a.tests.len(), 1);
+        let b = &spec.requirements[1];
+        assert_eq!(b.status, Status::Deviates);
+        assert!(b.rationale.starts_with("Simulated paths"));
+    }
+
+    #[test]
+    fn inline_arrays_and_comments_parse() {
+        let text = "target = \"u\"\n\n[[spec]]\nid = \"x\"\nlevel = \"MAY\"\n\
+                    status = \"tested\"\nquote = '''\nq\n'''\n\
+                    tests = [\"crates/core/src/rtt.rs::tests::initial_rto_is_one_second\"]\n";
+        let spec = parse_spec_file(text, "rfcx/1.toml").unwrap();
+        assert_eq!(spec.requirements[0].tests.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_file_and_line() {
+        let bad = "target = \"u\"\n[[spec]]\nid = \"x\"\nlevel = \"MUSTY\"\n";
+        let err = parse_spec_file(bad, "rfcx/1.toml").unwrap_err();
+        assert!(err.starts_with("rfcx/1.toml:4:"), "got: {err}");
+        assert!(err.contains("unknown level"), "got: {err}");
+
+        let unterminated = "target = \"u\"\n[[spec]]\nquote = '''\nnever closed";
+        let err = parse_spec_file(unterminated, "rfcx/1.toml").unwrap_err();
+        assert!(err.contains("unterminated"), "got: {err}");
+
+        let missing = "target = \"u\"\n[[spec]]\nid = \"x\"\n";
+        let err = parse_spec_file(missing, "rfcx/1.toml").unwrap_err();
+        assert!(err.contains("missing `level`"), "got: {err}");
+    }
+
+    #[test]
+    fn validation_flags_each_contract_breach() {
+        let repo = repo_root();
+        let mut spec = parse_spec_file(SAMPLE, "rfc9999/1.toml").unwrap();
+
+        // Clean as committed.
+        assert!(validate_file(&spec, &repo).is_empty());
+
+        // Dangling link.
+        spec.requirements[0].tests = vec!["crates/core/src/rtt.rs::tests::no_such_test".into()];
+        let v = validate_file(&spec, &repo);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("dangling test link"), "got: {}", v[0]);
+
+        // MUST left untested.
+        spec.requirements[0].status = Status::Untested;
+        spec.requirements[0].tests.clear();
+        let v = validate_file(&spec, &repo);
+        assert!(v.iter().any(|m| m.contains("MUST-level")), "got: {v:?}");
+
+        // Deviates without rationale.
+        spec.requirements[0].status = Status::Deviates;
+        let v = validate_file(&spec, &repo);
+        assert!(v.iter().any(|m| m.contains("requires a `rationale`")), "got: {v:?}");
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected_tree_wide() {
+        let repo = repo_root();
+        let a = parse_spec_file(SAMPLE, "rfc9999/1.toml").unwrap();
+        let mut b = parse_spec_file(SAMPLE, "rfc9999/2.toml").unwrap();
+        b.requirements.truncate(1);
+        let v = validate_tree(&[a, b], &repo);
+        assert_eq!(v.len(), 1, "got: {v:?}");
+        assert!(v[0].contains("duplicate requirement id"), "got: {}", v[0]);
+    }
+
+    #[test]
+    fn test_links_resolve_against_real_functions() {
+        let repo = repo_root();
+        assert!(resolve_test_link(
+            "crates/core/src/rtt.rs::tests::valid_sample_collapses_the_backoff",
+            &repo
+        )
+        .is_ok());
+        assert!(resolve_test_link("not-a-link", &repo).is_err());
+        assert!(resolve_test_link("crates/nope/src/x.rs::tests::f", &repo).is_err());
+        assert!(
+            resolve_test_link("crates/core/src/rtt.rs::tests::fabricated_name", &repo).is_err()
+        );
+    }
+}

@@ -24,6 +24,7 @@
 //! | [`queuedyn`] | queue dynamics under SlowCC (Section 2 extension) |
 //! | [`hetero`] | RTT bias and multi-hop equity (Section 1 caveats) |
 //! | [`chaos`] | randomized fault plans over every flavor (robustness) |
+//! | [`conformance`] | RFC conformance coverage over the `specs/` tree |
 //!
 //! Every module implements the [`experiment::Experiment`] trait — a
 //! declarative list of seeded cells plus a pure per-cell body — and is
@@ -37,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod conformance;
 pub mod exec;
 pub mod experiment;
 pub mod extras;

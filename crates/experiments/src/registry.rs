@@ -18,7 +18,10 @@ use crate::fig1416::{Osc2Config, Osc2Experiment};
 use crate::fig171819::{Pattern, SmoothnessExperiment};
 use crate::flavor::Flavor;
 use crate::scale::Scale;
-use crate::{chaos, extras, fig03, fig06, fig11, fig13, fig20, fig45, hetero, queuedyn, response, validate};
+use crate::{
+    chaos, conformance, extras, fig03, fig06, fig11, fig13, fig20, fig45, hetero, queuedyn,
+    response, validate,
+};
 
 /// Hidden fixture: a single cell that panics on purpose, so the
 /// crash-isolation path — sibling survival, manifest record, nonzero
@@ -164,6 +167,7 @@ fn build() -> Vec<Box<dyn AnyExperiment>> {
         Box::new(hetero::RttBiasExperiment),
         Box::new(hetero::MultiHopExperiment),
         Box::new(chaos::ChaosExperiment),
+        Box::new(conformance::ConformanceExperiment),
         Box::new(PanicCellExperiment),
     ]
 }
@@ -306,7 +310,7 @@ mod tests {
     fn all_keeps_the_report_order() {
         let names: Vec<&str> = visible().map(|e| e.name()).collect();
         assert_eq!(names[0], "fig3");
-        assert_eq!(*names.last().unwrap(), "chaos");
-        assert_eq!(names.len(), 27);
+        assert_eq!(*names.last().unwrap(), "conformance");
+        assert_eq!(names.len(), 28);
     }
 }

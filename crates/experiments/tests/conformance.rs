@@ -1,0 +1,125 @@
+//! The committed `specs/` tree is itself under test: it must parse,
+//! cover the RFC sections the acceptance gate promises, and pass every
+//! cross-check with zero violations — and the checker must actually
+//! catch each class of breach when handed a synthetically broken tree.
+
+use std::path::Path;
+
+use slowcc_experiments::conformance::{
+    load_tree, parse_spec_file, repo_root, specs_root, validate_tree, Level, Status,
+};
+
+#[test]
+fn committed_tree_is_clean_and_covers_the_promised_rfcs() {
+    let files = load_tree(&specs_root()).expect("specs/ tree parses");
+    let violations = validate_tree(&files, &repo_root());
+    assert!(
+        violations.is_empty(),
+        "committed specs/ tree has violations:\n  {}",
+        violations.join("\n  ")
+    );
+
+    // The acceptance gate: coverage over at least 6 RFC sections — in
+    // fact at least 6 distinct RFCs, each with at least one section.
+    let mut rfcs: Vec<&str> = files.iter().map(|f| f.rfc.as_str()).collect();
+    rfcs.sort();
+    rfcs.dedup();
+    assert!(
+        rfcs.len() >= 6,
+        "expected >= 6 RFCs covered, got {}: {rfcs:?}",
+        rfcs.len()
+    );
+    assert!(files.len() >= 6, "expected >= 6 RFC sections");
+    for expected in ["rfc1122", "rfc2481", "rfc3448", "rfc5681", "rfc6298", "rfc6582"] {
+        assert!(rfcs.contains(&expected), "missing {expected} coverage");
+    }
+
+    // Every MUST is either tested or deviates-with-rationale, and the
+    // tree exercises all three statuses (a ledger with no `untested`
+    // rows and no recorded deviations would suggest rubber-stamping).
+    let reqs: Vec<_> = files.iter().flat_map(|f| &f.requirements).collect();
+    assert!(reqs.len() >= 20, "expected a substantive ledger");
+    assert!(reqs
+        .iter()
+        .filter(|r| r.level == Level::Must)
+        .all(|r| r.status != Status::Untested));
+    for status in [Status::Tested, Status::Untested, Status::Deviates] {
+        assert!(
+            reqs.iter().any(|r| r.status == status),
+            "no requirement with status {status:?}"
+        );
+    }
+}
+
+#[test]
+fn checker_catches_each_class_of_breach() {
+    let repo = repo_root();
+    let clean = |rel: &str| -> String {
+        std::fs::read_to_string(specs_root().join(rel)).expect("committed spec file reads")
+    };
+
+    // Baseline: a committed file re-parsed from text is clean.
+    let base = parse_spec_file(&clean("rfc6298/5.toml"), "rfc6298/5.toml").unwrap();
+    assert!(validate_tree(&[base.clone()], &repo).is_empty());
+
+    // Dangling test link.
+    let mut broken = base.clone();
+    broken.requirements[0].tests =
+        vec!["crates/core/src/rtt.rs::tests::this_test_does_not_exist".into()];
+    let v = validate_tree(&[broken], &repo);
+    assert!(
+        v.iter().any(|m| m.contains("dangling test link")),
+        "got: {v:?}"
+    );
+
+    // Duplicate requirement id across files.
+    let mut twin = base.clone();
+    twin.rel_path = "rfc6298/5bis.toml".into();
+    let v = validate_tree(&[base.clone(), twin], &repo);
+    assert!(
+        v.iter().any(|m| m.contains("duplicate requirement id")),
+        "got: {v:?}"
+    );
+
+    // MUST left untested.
+    let mut lazy = base.clone();
+    lazy.requirements[1].status = Status::Untested;
+    lazy.requirements[1].tests.clear();
+    let v = validate_tree(&[lazy], &repo);
+    assert!(v.iter().any(|m| m.contains("MUST-level")), "got: {v:?}");
+
+    // Deviates without a rationale.
+    let mut silent = base;
+    silent.requirements[0].status = Status::Deviates;
+    silent.requirements[0].tests.clear();
+    silent.requirements[0].rationale.clear();
+    let v = validate_tree(&[silent], &repo);
+    assert!(
+        v.iter().any(|m| m.contains("requires a `rationale`")),
+        "got: {v:?}"
+    );
+}
+
+#[test]
+fn every_committed_test_link_points_into_the_workspace() {
+    // Links must resolve via the checker *and* stay inside the repo
+    // (no absolute paths, no `..` escapes) so the harness is hermetic.
+    let files = load_tree(&specs_root()).expect("specs/ tree parses");
+    for file in &files {
+        for req in &file.requirements {
+            for link in &req.tests {
+                assert!(
+                    !link.starts_with('/') && !link.contains(".."),
+                    "{}: non-hermetic link {link}",
+                    file.rel_path
+                );
+                let (path, _) = link.split_once(".rs::").expect("link shape");
+                assert!(
+                    Path::new(path).starts_with("crates"),
+                    "{}: link outside crates/: {link}",
+                    file.rel_path
+                );
+            }
+        }
+    }
+}

@@ -40,6 +40,19 @@ diff -r "$tmp/j1" "$tmp/j8"
 diff "$tmp/stdout_j1.txt" "$tmp/stdout_j8.txt"
 echo "parallel output byte-identical to serial"
 
+echo "== RFC conformance gate (repro conformance) =="
+# The specs/ tree must parse with unique requirement ids, zero
+# dangling test links, and no MUST-level requirement left `untested`
+# without a recorded `deviates` rationale. Any violation panics its
+# cell (FAILED cell conformance/<file>), which makes this command —
+# and therefore verify — exit nonzero.
+./target/release/repro --quick conformance > "$tmp/conformance.txt"
+grep -q "every MUST tested or deviates" "$tmp/conformance.txt"
+for rfc in rfc1122 rfc2481 rfc3448 rfc5681 rfc6298 rfc6582; do
+  grep -q "$rfc" "$tmp/conformance.txt"
+done
+echo "conformance ledger clean over all six RFCs"
+
 echo "== scheduler equivalence smoke (heap vs calendar) =="
 SLOWCC_SCHEDULER=heap ./target/release/repro --quick fig45 --out "$tmp/heap" > /dev/null
 SLOWCC_SCHEDULER=calendar ./target/release/repro --quick fig45 --out "$tmp/calendar" > /dev/null
