@@ -22,6 +22,11 @@
 //!   byte-identity assertion on the flow/link statistics across shard
 //!   counts. On a single-core host the speedup number measures thread
 //!   overhead, not scaling; the report says so in `warnings`.
+//! * **supervisor_overhead** — the dumbbell again, interleaved A/B with
+//!   and without a fully-armed (never tripping) cooperative budget —
+//!   the wall-clock deadline, livelock bound and cancel flag every
+//!   supervised sweep cell runs under. Reports both means and the
+//!   fractional events/sec cost of arming.
 //! * **packet_bytes** — `size_of` pins for the data-plane structs, so
 //!   the recorded baseline documents the layout the numbers were
 //!   measured against.
@@ -48,7 +53,10 @@
 //! statistics divergence always fails; the 4-shard speedup assertion is
 //! skipped (with a printed notice) when this host is single-core or the
 //! committed baseline's `warnings` array carries the single-core
-//! `shards` entry. Nothing is written in check mode. Set
+//! `shards` entry. Finally it re-runs the armed-vs-unarmed supervisor
+//! A/B and fails if the armed budget costs more than 2% events/sec —
+//! the budget check must stay cheap enough to sit inside the
+//! simulator's batch loop. Nothing is written in check mode. Set
 //! `SLOWCC_SKIP_BENCH_GATE=1` to skip the comparison (exit 0), e.g. on
 //! known-noisy CI hosts. The committed baseline is parsed with a small
 //! hand-rolled scanner (the vendored `serde_json` shim serializes
@@ -58,11 +66,12 @@
 use std::hint::black_box;
 use std::path::{Path, PathBuf};
 use std::process::Command;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use serde::Serialize;
 
 use slowcc_core::tcp::{Tcp, TcpConfig};
+use slowcc_netsim::budget::Budget;
 use slowcc_netsim::event::{EventKind, EventQueue, SchedulerKind};
 use slowcc_netsim::prelude::*;
 use slowcc_netsim::sim::set_default_shards;
@@ -149,6 +158,29 @@ struct PacketBytes {
     event_kind: usize,
 }
 
+/// Cost of running the dumbbell under a fully-armed cooperative budget
+/// (wall-clock deadline, livelock bound, cancel flag — the exact
+/// configuration `exec` arms for every sweep cell) versus no budget at
+/// all. Armed and unarmed runs are interleaved so host-speed drift
+/// cancels out of the ratio.
+#[derive(Serialize)]
+struct SupervisorBench {
+    runs: u32,
+    unarmed_mean_ms: f64,
+    armed_mean_ms: f64,
+    unarmed_min_ms: f64,
+    armed_min_ms: f64,
+    unarmed_events_per_sec: f64,
+    armed_events_per_sec: f64,
+    /// Fractional time lost to the armed budget: the **median of the
+    /// per-rep ratios** `armed_i/unarmed_i - 1`. Each rep's two runs
+    /// are back to back, so host-speed drift divides out of every
+    /// ratio, and the median discards reps a scheduler interruption
+    /// landed in. Negative means noise still favored the armed runs.
+    /// The `--check` gate fails above [`SUPERVISOR_OVERHEAD_TOLERANCE`].
+    overhead_frac: f64,
+}
+
 #[derive(Serialize)]
 struct SweepBench {
     serial_secs: f64,
@@ -164,6 +196,7 @@ struct BenchReport {
     schedulers: Vec<SchedulerBench>,
     dumbbell_4tcp_5s: DumbbellBench,
     shards: ShardsBench,
+    supervisor_overhead: SupervisorBench,
     packet_bytes: PacketBytes,
     quick_sweep: Option<SweepBench>,
 }
@@ -187,6 +220,11 @@ const SINGLE_CORE_SHARDS_WARNING: Warning = Warning {
 const MEAN_MS_TOLERANCE: f64 = 0.25;
 /// Allowed relative drop of `dumbbell_4tcp_5s.events_per_sec` in `--check`.
 const EVENTS_PER_SEC_TOLERANCE: f64 = 0.20;
+/// Allowed events/sec cost of an armed (untripped) cooperative budget
+/// in `--check`: the per-batch bookkeeping plus the amortized
+/// wall-clock probe must stay under 2%, or supervision is too hot for
+/// the sweep's inner loop.
+const SUPERVISOR_OVERHEAD_TOLERANCE: f64 = 0.02;
 
 /// Classic hold model: keep `pending` events in the queue and repeatedly
 /// pop the earliest and schedule a replacement a random increment later.
@@ -284,8 +322,14 @@ fn memory_probe() -> (Option<u64>, Option<f64>) {
     (proc_status_kb("VmHWM").map(|kb| kb * 1024), per_flow)
 }
 
-fn dumbbell_run() -> (f64, u64, u64) {
+/// One 4-flow dumbbell run, optionally under an armed (but never
+/// tripping) cooperative budget — the configuration every supervised
+/// sweep cell runs with, measured by the `supervisor_overhead` section.
+fn dumbbell_run(budget: Option<Budget>) -> (f64, u64, u64) {
     let mut sim = Simulator::new(3);
+    if let Some(b) = budget {
+        sim.set_budget(b);
+    }
     let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(10e6));
     for i in 0..4 {
         let pair = db.add_host_pair(&mut sim);
@@ -309,10 +353,10 @@ fn bench_dumbbell(probe_memory: bool) -> DumbbellBench {
     const RUNS: u32 = 10;
     // One untimed warmup run: first-touch page faults and lazy
     // allocator growth land here instead of skewing the first sample.
-    let (_, events, packets) = dumbbell_run();
+    let (_, events, packets) = dumbbell_run(None);
     let mut times = Vec::with_capacity(RUNS as usize);
     for _ in 0..RUNS {
-        let (secs, e, p) = dumbbell_run();
+        let (secs, e, p) = dumbbell_run(None);
         assert_eq!((e, p), (events, packets), "dumbbell runs must be deterministic");
         times.push(secs);
     }
@@ -345,6 +389,70 @@ fn bench_dumbbell(probe_memory: bool) -> DumbbellBench {
         packets_injected: packets,
         peak_rss_bytes,
         steady_state_bytes_per_flow,
+    }
+}
+
+/// The budget every supervised sweep cell runs under, minus tripping:
+/// a far-future deadline, the default livelock bound, and the cancel
+/// flag. Arming all three exercises the full per-batch check.
+fn armed_untripped_budget() -> Budget {
+    Budget::none()
+        .with_wall_clock(Duration::from_secs(3600))
+        .with_livelock_batches(Budget::DEFAULT_LIVELOCK_BATCHES)
+        .with_cancel()
+}
+
+fn bench_supervisor(runs: u32) -> SupervisorBench {
+    let armed = armed_untripped_budget();
+    // Warmups, which double as the armed-changes-nothing assertion:
+    // an untripped budget must dispatch the exact same event stream.
+    let (_, unarmed_events, _) = dumbbell_run(None);
+    let (_, armed_events, _) = dumbbell_run(Some(armed));
+    assert_eq!(
+        armed_events, unarmed_events,
+        "an armed, untripped budget must not change the simulation"
+    );
+    let mut unarmed_times = Vec::with_capacity(runs as usize);
+    let mut armed_times = Vec::with_capacity(runs as usize);
+    // Interleaved A/B reps: slow thermal or scheduler drift hits both
+    // sides equally instead of biasing whichever ran second.
+    for _ in 0..runs {
+        unarmed_times.push(dumbbell_run(None).0);
+        armed_times.push(dumbbell_run(Some(armed)).0);
+    }
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let min = |xs: &[f64]| xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let unarmed_mean = mean(&unarmed_times);
+    let armed_mean = mean(&armed_times);
+    let unarmed_min = min(&unarmed_times);
+    let armed_min = min(&armed_times);
+    let unarmed_eps = unarmed_events as f64 / unarmed_mean;
+    let armed_eps = armed_events as f64 / armed_mean;
+    // Median of the per-rep ratios: drift divides out within each
+    // back-to-back pair, the median drops reps that caught a scheduler
+    // interruption on either side.
+    let mut ratios: Vec<f64> = armed_times
+        .iter()
+        .zip(&unarmed_times)
+        .map(|(a, u)| a / u)
+        .collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("run times are finite"));
+    let overhead_frac = ratios[ratios.len() / 2] - 1.0;
+    println!(
+        "supervisor         unarmed {:.2} ms  armed {:.2} ms  overhead {:+.2}% (median of {runs} paired runs)",
+        unarmed_min * 1e3,
+        armed_min * 1e3,
+        overhead_frac * 100.0,
+    );
+    SupervisorBench {
+        runs,
+        unarmed_mean_ms: unarmed_mean * 1e3,
+        armed_mean_ms: armed_mean * 1e3,
+        unarmed_min_ms: unarmed_min * 1e3,
+        armed_min_ms: armed_min * 1e3,
+        unarmed_events_per_sec: unarmed_eps,
+        armed_events_per_sec: armed_eps,
+        overhead_frac,
     }
 }
 
@@ -608,7 +716,7 @@ fn check_against_baseline() -> i32 {
     let (sharded, _) = shard_cell(4, 2, Some(&reference));
     let baseline_single_core = baseline.contains("shard workers timeshare");
     let speedup = sharded.events_per_sec / serial.events_per_sec;
-    let multi_core = std::thread::available_parallelism().map_or(false, |n| n.get() > 1);
+    let multi_core = std::thread::available_parallelism().is_ok_and(|n| n.get() > 1);
     if !multi_core || baseline_single_core {
         println!(
             "bench gate         shards: determinism OK, speedup {:.2}x not asserted (single-core)",
@@ -622,6 +730,34 @@ fn check_against_baseline() -> i32 {
         code = 1;
     } else {
         println!("bench gate         shards: determinism OK, speedup {speedup:.2}x");
+    }
+    // Supervisor gate: fresh armed-vs-unarmed A/B on this host (the
+    // ratio is host-speed-independent, so no baseline field is needed).
+    // An over-limit first measurement is confirmed with one re-measure
+    // before failing: the paired-median estimator still jitters ±1-2%
+    // on busy hosts, and requiring two independent exceedances squares
+    // the false-FAIL rate while a real regression trips both.
+    let mut sup = bench_supervisor(10);
+    if sup.overhead_frac > SUPERVISOR_OVERHEAD_TOLERANCE {
+        println!("bench gate         supervisor overhead over limit; re-measuring to confirm");
+        let confirm = bench_supervisor(10);
+        if confirm.overhead_frac < sup.overhead_frac {
+            sup = confirm;
+        }
+    }
+    if sup.overhead_frac > SUPERVISOR_OVERHEAD_TOLERANCE {
+        eprintln!(
+            "bench gate FAIL: armed budget costs {:.2}% events/sec (limit {:.0}%)",
+            sup.overhead_frac * 100.0,
+            SUPERVISOR_OVERHEAD_TOLERANCE * 100.0,
+        );
+        code = 1;
+    } else {
+        println!(
+            "bench gate         supervisor: armed-budget overhead {:+.2}% (limit {:.0}%)",
+            sup.overhead_frac * 100.0,
+            SUPERVISOR_OVERHEAD_TOLERANCE * 100.0,
+        );
     }
     if code == 0 {
         println!("bench gate         OK");
@@ -646,11 +782,13 @@ fn main() {
     let schedulers = bench_schedulers();
     let dumbbell_4tcp_5s = bench_dumbbell(true);
     let shards = bench_shards(single_core, &mut warnings);
+    let supervisor_overhead = bench_supervisor(6);
     let report = BenchReport {
         available_parallelism: jobs,
         schedulers,
         dumbbell_4tcp_5s,
         shards,
+        supervisor_overhead,
         packet_bytes: packet_bytes(),
         // A single-core host cannot demonstrate sweep parallelism:
         // don't burn two full sweeps producing a meaningless 1.0x.

@@ -17,16 +17,25 @@
 //! so tables, JSON and CSV are byte-identical across `--jobs`
 //! settings, scheduler backends, and resumed runs.
 //!
-//! # Crash isolation and resumption
+//! # Supervision, crash isolation, and resumption
 //!
-//! Each cell runs under `catch_unwind` (plus a wall-clock watchdog
-//! when `--cell-timeout` is set): a panicking simulation fails its own
-//! cell, its siblings complete, and the sweep exits nonzero. As cells
+//! Each cell runs under `catch_unwind` with a cooperative budget armed
+//! (the `--cell-timeout` wall clock, a zero-clock-advance livelock
+//! bound, and the SIGINT/SIGTERM cancel flag — all checked at the
+//! simulator's batch boundaries): a panicking, over-budget, livelocked
+//! or cancelled simulation unwinds cleanly on its own worker thread
+//! (joined, never abandoned), fails its own cell, and its siblings
+//! complete. Failed cells are retried up to `--retries` times with the
+//! same seed; two identical outcomes quarantine the cell. As cells
 //! finish, their fate is recorded in `<results dir>/manifest.json`
-//! (`ok` / `panicked` / `timeout`, no timestamps) and their output is
-//! cached under `<results dir>/cells/`, so `--resume` replays
-//! everything already `ok` at the same scale and re-runs only the
-//! failures and the never-attempted.
+//! (no timestamps) and their output is cached under
+//! `<results dir>/cells/`, so `--resume` replays everything already
+//! `ok` at the same scale and re-runs only the failures and the
+//! never-attempted; `<results dir>/failures.json` carries the attempt
+//! dossier.
+//!
+//! Exit codes: 0 success, 1 cells failed or audit violations, 130
+//! interrupted by SIGINT/SIGTERM (manifest flushed, resumable).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -35,6 +44,49 @@ use std::time::Duration;
 use slowcc_experiments::scale::Scale;
 use slowcc_experiments::{exec, registry, runner};
 use slowcc_netsim::audit::{self, AuditMode};
+use slowcc_netsim::budget;
+
+/// Exit code for an interrupted, resumable sweep (128 + SIGINT, the
+/// shell convention).
+const EXIT_INTERRUPTED: u8 = 130;
+
+/// Graceful preemption: SIGINT/SIGTERM raise the process-global cancel
+/// flag; every in-flight cell observes it at its next budget check and
+/// unwinds as `interrupted` with the manifest flushed. A second signal
+/// exits immediately (the escape hatch when a cell is stuck outside
+/// the simulator, where cooperative cancellation cannot reach).
+///
+/// This is the only unsafe code in the workspace (every library crate
+/// is `#![forbid(unsafe_code)]`): two raw `signal(2)` registrations,
+/// hand-declared because no libc binding crate is vendored. The
+/// handler body is async-signal-safe — a relaxed atomic load/store and
+/// `_exit`.
+mod signals {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn _exit(code: i32) -> !;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        if slowcc_netsim::budget::cancel_requested() {
+            // Second signal: the user insists. `_exit` skips atexit
+            // machinery, which is all that is async-signal-safe here.
+            unsafe { _exit(i32::from(super::EXIT_INTERRUPTED)) }
+        }
+        slowcc_netsim::budget::request_cancel();
+    }
+
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let mut scale = Scale::Full;
@@ -42,6 +94,7 @@ fn main() -> ExitCode {
     let mut audit_run = false;
     let mut resume = false;
     let mut cell_timeout: Option<Duration> = None;
+    let mut retries = 0usize;
     let mut names: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -67,6 +120,13 @@ fn main() -> ExitCode {
                 Some(secs) if secs > 0.0 => cell_timeout = Some(Duration::from_secs_f64(secs)),
                 _ => {
                     eprintln!("--cell-timeout requires a positive number of seconds");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--retries" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) => retries = n,
+                None => {
+                    eprintln!("--retries requires a count");
                     return ExitCode::FAILURE;
                 }
             },
@@ -104,6 +164,9 @@ fn main() -> ExitCode {
         let _ = audit::take_global_report(); // start from a clean slate
     }
 
+    signals::install();
+    budget::reset_cancel();
+
     // The manifest ledger lives next to the other outputs; without
     // `--out` it still goes to `results/` so a bare sweep is resumable.
     let manifest_dir = out.clone().unwrap_or_else(|| PathBuf::from("results"));
@@ -113,8 +176,19 @@ fn main() -> ExitCode {
         manifest_dir,
         resume,
         cell_timeout,
+        retries,
     };
     let summary = exec::run(&targets, &opts);
+
+    if summary.interrupted {
+        // Interrupted cells may have been torn down mid-simulation, so
+        // the audit accumulator holds spurious in-flight state: skip
+        // the gate. The sweep is resumable; 130 = 128 + SIGINT.
+        if audit_run {
+            eprintln!("audit: run interrupted; audit gate skipped (resume to complete it)");
+        }
+        return ExitCode::from(EXIT_INTERRUPTED);
+    }
 
     let mut code = ExitCode::SUCCESS;
     if !summary.is_ok() {
@@ -148,7 +222,7 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!(
         "usage: repro [--quick] [--audit] [--jobs N] [--out DIR] [--resume] \
-         [--cell-timeout SECS] <experiment>... | all | list"
+         [--cell-timeout SECS] [--retries N] <experiment>... | all | list"
     );
     eprintln!("experiments: {}", registry::names_line());
     eprintln!("aliases: {}", registry::aliases_line());
@@ -157,6 +231,10 @@ fn usage() {
     eprintln!("        and fails (nonzero exit) on any conservation violation or timer leak");
     eprintln!("--resume replays cells marked ok in <results dir>/manifest.json (same scale)");
     eprintln!("         from the cell cache and re-runs only failed or never-attempted cells");
-    eprintln!("--cell-timeout SECS fails any cell that exceeds the wall-clock budget");
-    eprintln!("         (its thread is abandoned, not killed; see DESIGN.md section 5e)");
+    eprintln!("--cell-timeout SECS arms a cooperative wall-clock budget per cell; an");
+    eprintln!("         over-budget simulation unwinds cleanly and fails only its own cell");
+    eprintln!("--retries N re-runs each failed cell up to N times (same seed, exponential");
+    eprintln!("         backoff); two identical outcomes quarantine the cell as deterministic");
+    eprintln!("exit codes: 0 ok; 1 cells failed or audit violations; 130 interrupted");
+    eprintln!("         (SIGINT/SIGTERM: manifest flushed, rerun with --resume to continue)");
 }

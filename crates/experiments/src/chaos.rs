@@ -109,7 +109,7 @@ fn reverse_plan(rng: &mut SmallRng) -> FaultPlan {
 /// dumbbell under the strict auditor. Panics (caught by the isolated
 /// runner) on any invariant violation; otherwise reports what happened.
 fn run_cell(flavor: Flavor, seed: u64, horizon: SimDuration) -> ChaosCell {
-    let mut draw = SmallRng::seed_from_u64(seed ^ 0x51_0C_C0DE);
+    let mut draw = SmallRng::seed_from_u64(seed ^ 0x510C_C0DE);
     let fwd = forward_plan(&mut draw, horizon);
     let rev = reverse_plan(&mut draw);
     let fwd_summary = fwd.summary();
@@ -244,15 +244,25 @@ pub fn run(scale: Scale) -> Chaos {
         .map(|(f, s)| (f.label(), *s))
         .collect();
 
-    let outcomes = runner::run_cells_isolated(cells, None, move |(flavor, seed)| {
-        run_cell(flavor, seed, horizon)
-    });
+    // Inherit whatever budget the surrounding supervisor armed for this
+    // cell, so the nested sweep's workers are policed like their parent
+    // (thread-locals do not propagate to helper threads on their own).
+    let outcomes = runner::run_cells_isolated(
+        cells,
+        slowcc_netsim::budget::thread_budget(),
+        move |(flavor, seed)| run_cell(flavor, seed, horizon),
+    );
 
     let mut done = Vec::with_capacity(outcomes.len());
     let mut failures: Vec<CellFailure> = Vec::new();
     for (outcome, (label, seed)) in outcomes.into_iter().zip(labels) {
         match outcome {
             Ok(cell) => done.push(cell),
+            // A cancelled inner cell is not a chaos failure: re-throw so
+            // the supervisor classifies this whole cell as interrupted.
+            Err(crate::runner::CellError::Interrupted) => {
+                std::panic::panic_any(slowcc_netsim::budget::SimAbort::Cancelled)
+            }
             Err(e) => failures.push(CellFailure {
                 cell_id: format!("chaos/{label}/seed{seed}"),
                 seed,
@@ -289,8 +299,8 @@ impl Chaos {
             self.horizon_secs
         );
         println!(
-            "{:<12} {:>6} {:>10} {:>9} {:>6} {:>6} {:>6}  {:<12} {}",
-            "flavor", "seed", "tput Mb/s", "rx pkts", "flap", "dup", "held", "status", "forward plan"
+            "{:<12} {:>6} {:>10} {:>9} {:>6} {:>6} {:>6}  {:<12} forward plan",
+            "flavor", "seed", "tput Mb/s", "rx pkts", "flap", "dup", "held", "status"
         );
         for c in &self.cells {
             println!(

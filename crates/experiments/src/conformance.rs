@@ -152,7 +152,7 @@ pub fn parse_spec_file(text: &str, rel_path: &str) -> Result<SpecFile, String> {
     let mut target = String::new();
     let mut requirements: Vec<Requirement> = Vec::new();
     // Fields of the `[[spec]]` block being assembled, if any.
-    let mut current: Option<(usize, Vec<(String, ParsedValue, usize)>)> = None;
+    let mut current: Option<OpenBlock> = None;
 
     let mut lines = text.lines().enumerate().peekable();
     while let Some((idx, raw)) = lines.next() {
@@ -250,6 +250,11 @@ enum ParsedValue {
     Str(String),
     List(Vec<String>),
 }
+
+/// A `[[spec]]` block mid-parse: the header's line number plus each
+/// `key = value` seen so far (with the line it appeared on, for
+/// error reporting).
+type OpenBlock = (usize, Vec<(String, ParsedValue, usize)>);
 
 fn split_rel_path(rel_path: &str) -> Option<(String, String)> {
     let (rfc, file) = rel_path.split_once('/')?;
@@ -661,10 +666,7 @@ impl Experiment for ConformanceExperiment {
             cov.sections += 1;
             for req in &file.requirements {
                 cov.requirements += 1;
-                match req.level.as_str() {
-                    "MUST" => cov.must += 1,
-                    _ => {}
-                }
+                if req.level.as_str() == "MUST" { cov.must += 1 }
                 match req.status.as_str() {
                     "tested" => cov.tested += 1,
                     "deviates" => {

@@ -1,5 +1,5 @@
 //! The unified execution path behind `repro`: one flat, crash-isolated,
-//! resumable sweep over every requested experiment's cells.
+//! resumable, supervised sweep over every requested experiment's cells.
 //!
 //! [`run`] takes the resolved targets and:
 //!
@@ -10,29 +10,47 @@
 //!    from the on-disk cell cache (`<dir>/cells/...`) instead of
 //!    re-running them — an unreadable cache entry just re-runs;
 //! 3. fans the remaining cells of *all* targets out together through
-//!    [`crate::runner::run_cells_isolated`], so `--jobs`, the
-//!    `--cell-timeout` watchdog, and panic isolation apply per cell
-//!    and a wide target cannot serialize behind a narrow one;
-//! 4. records every cell's fate in `manifest.json` as it lands (cache
+//!    [`crate::runner::run_cells_isolated`] with a cooperative
+//!    [`Budget`] armed (wall-clock `--cell-timeout`, the zero-advance
+//!    livelock bound, and the SIGINT/SIGTERM cancel flag), so `--jobs`,
+//!    budget enforcement, and panic isolation apply per cell and a wide
+//!    target cannot serialize behind a narrow one;
+//! 4. retries failed cells up to `--retries` times with exponential
+//!    backoff, re-running deterministically (same seed): two identical
+//!    consecutive outcomes quarantine the cell as deterministic, while
+//!    an environment flake passes on retry;
+//! 5. records every cell's fate in `manifest.json` as it lands (cache
 //!    write first, then the `ok` record, so a ledger `ok` implies a
-//!    replayable cache or a re-run);
-//! 5. assembles, renders and saves each fully-ok target serially in
+//!    replayable cache or a re-run), and writes the full failure
+//!    dossier — per-cell attempts, durations, classifications — to
+//!    `failures.json` (an empty, byte-stable file on a clean sweep);
+//! 6. assembles, renders and saves each fully-ok target serially in
 //!    command-line order — cells print nothing, so stdout is
 //!    byte-identical across `--jobs`, scheduler backends, and resumed
-//!    runs — and reports failed cells on stderr with a nonzero-exit
-//!    summary.
+//!    runs — and reports failed cells on stderr with a classification
+//!    summary table.
 //!
-//! Progress chatter (`resume: ...`) goes to stderr for the same
-//! reason: stdout carries only the report.
+//! On SIGINT/SIGTERM the cancel flag rises, in-flight cells unwind at
+//! their next budget check as `interrupted`, pending cells fail fast
+//! without running, the manifest is flushed, and
+//! [`ExecSummary::interrupted`] tells the caller to exit with the
+//! "interrupted, resumable" code — `--resume` then continues the sweep
+//! byte-identically.
+//!
+//! Progress chatter (`resume: ...`, `retry: ...`) goes to stderr for
+//! the same reason as failures: stdout carries only the report.
 
 use std::collections::HashMap;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use slowcc_netsim::budget::{self, Budget};
 
 use crate::experiment::AnyExperiment;
-use crate::manifest::{CellRecord, Manifest};
-use crate::runner::{self, CellError, CellFailure};
+use crate::manifest::{escape, CellRecord, Manifest};
+use crate::runner::{self, CellError};
 use crate::scale::Scale;
 
 /// Options of one `repro` invocation, minus the target list.
@@ -42,13 +60,18 @@ pub struct ExecOptions {
     pub scale: Scale,
     /// Artifact directory (`--out`); `None` prints tables only.
     pub out: Option<PathBuf>,
-    /// Where `manifest.json` and the cell cache live (the `--out` dir,
-    /// or `results/` for a bare sweep).
+    /// Where `manifest.json`, `failures.json` and the cell cache live
+    /// (the `--out` dir, or `results/` for a bare sweep).
     pub manifest_dir: PathBuf,
     /// Replay cells already `ok` in the manifest at this scale.
     pub resume: bool,
-    /// Per-cell wall-clock watchdog.
+    /// Per-cell wall-clock budget (`--cell-timeout`): sugar for
+    /// [`Budget::wall_clock`] on the per-cell budget.
     pub cell_timeout: Option<Duration>,
+    /// Re-run a failed cell up to this many extra times (`--retries`),
+    /// with exponential backoff; quarantine after two identical
+    /// consecutive outcomes.
+    pub retries: usize,
 }
 
 /// What [`run`] did, for exit-code and audit-gating decisions.
@@ -58,14 +81,18 @@ pub struct ExecSummary {
     pub total_cells: usize,
     /// Cells actually executed this run (not replayed from the cache).
     pub executed_cells: usize,
-    /// Cells that panicked or timed out this run.
+    /// Cells that exhausted their attempts this run (interrupted cells
+    /// are counted separately — they are unfinished, not failed).
     pub failed_cells: usize,
+    /// The sweep was cancelled (SIGINT/SIGTERM): in-flight cells
+    /// unwound cleanly, the manifest is flushed, `--resume` continues.
+    pub interrupted: bool,
 }
 
 impl ExecSummary {
     /// Whether the sweep completed without cell failures.
     pub fn is_ok(&self) -> bool {
-        self.failed_cells == 0
+        self.failed_cells == 0 && !self.interrupted
     }
 }
 
@@ -102,6 +129,7 @@ fn write_cell_cache(path: &Path, json: &str) -> std::io::Result<()> {
 }
 
 /// One cell scheduled for execution.
+#[derive(Clone)]
 struct WorkItem {
     exp: &'static dyn AnyExperiment,
     /// Position in the target's cell list.
@@ -114,11 +142,138 @@ struct WorkItem {
     cache: PathBuf,
 }
 
-/// Execute `targets` under one isolated, resumable cell sweep. See the
-/// module docs for the exact pipeline.
+/// One failed attempt at a cell: its classification and how long the
+/// attempt ran. Durations appear only here — never in the manifest or
+/// any artifact a determinism check diffs.
+struct Attempt {
+    error: CellError,
+    duration_ms: u64,
+}
+
+/// A cell that failed its first attempt, with the full attempt history
+/// the supervisor accumulates while retrying.
+struct FailureEntry {
+    item: WorkItem,
+    attempts: Vec<Attempt>,
+    /// Two identical consecutive outcomes: deterministic failure,
+    /// retrying further cannot help.
+    quarantined: bool,
+}
+
+impl FailureEntry {
+    fn last_error(&self) -> &CellError {
+        &self.attempts.last().expect("at least one attempt").error
+    }
+
+    /// The table's outcome word.
+    fn outcome(&self) -> &'static str {
+        if self.quarantined {
+            "quarantined"
+        } else if matches!(self.last_error(), CellError::Interrupted) {
+            "interrupted"
+        } else {
+            "failed"
+        }
+    }
+}
+
+/// Exponential backoff before retry attempt `n` (the first retry is
+/// `n == 2`): 100 ms doubling per attempt, capped at 5 s.
+fn backoff_before_attempt(n: usize) -> Duration {
+    let exp = (n.saturating_sub(2)).min(6) as u32;
+    Duration::from_millis(100 << exp).min(Duration::from_secs(5))
+}
+
+/// Render `failures.json`: the per-cell attempt dossier. A clean sweep
+/// writes a byte-stable empty report, so determinism checks can diff
+/// output directories wholesale.
+fn render_failures(entries: &[FailureEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"version\": 1,\n  \"failures\": [");
+    let last = entries.len().saturating_sub(1);
+    for (i, entry) in entries.iter().enumerate() {
+        out.push_str("\n    {\n");
+        out.push_str(&format!("      \"cell\": \"{}\",\n", escape(&entry.item.key)));
+        out.push_str(&format!("      \"seed\": {},\n", entry.item.seed));
+        out.push_str(&format!("      \"class\": \"{}\",\n", entry.last_error().class()));
+        out.push_str(&format!("      \"quarantined\": {},\n", entry.quarantined));
+        out.push_str("      \"attempts\": [");
+        let alast = entry.attempts.len().saturating_sub(1);
+        for (j, attempt) in entry.attempts.iter().enumerate() {
+            out.push_str(&format!(
+                "\n        {{\"class\": \"{}\", \"message\": \"{}\", \"duration_ms\": {}}}",
+                attempt.error.class(),
+                escape(&attempt.error.message()),
+                attempt.duration_ms
+            ));
+            if j != alast {
+                out.push(',');
+            }
+        }
+        if !entry.attempts.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n    }");
+        if i != last {
+            out.push(',');
+        }
+    }
+    if !entries.is_empty() {
+        out.push('\n');
+        out.push_str("  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn write_failures(dir: &Path, entries: &[FailureEntry]) {
+    if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
+        let tmp = dir.join("failures.json.tmp");
+        let path = dir.join("failures.json");
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(render_failures(entries).as_bytes())?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    }) {
+        eprintln!("warning: failed to write failures.json: {e}");
+    }
+}
+
+/// The stderr classification table printed after a sweep with failures.
+fn print_failure_table(entries: &[FailureEntry]) {
+    let width = entries
+        .iter()
+        .map(|e| e.item.key.len())
+        .max()
+        .unwrap_or(0)
+        .max("cell".len());
+    eprintln!("{:width$}  {:15}  {:8}  outcome", "cell", "class", "attempts");
+    for entry in entries {
+        eprintln!(
+            "{:width$}  {:15}  {:8}  {}",
+            entry.item.key,
+            entry.last_error().class(),
+            entry.attempts.len(),
+            entry.outcome()
+        );
+    }
+}
+
+/// Execute `targets` under one isolated, resumable, supervised cell
+/// sweep. See the module docs for the exact pipeline.
 pub fn run(targets: &[&'static dyn AnyExperiment], opts: &ExecOptions) -> ExecSummary {
     let scale = opts.scale;
     let scale_tag = scale.pick("full", "quick");
+    // The per-cell budget: `--cell-timeout` arms the wall clock; the
+    // livelock bound and the cancel flag are always on. Untripped
+    // checks have no side effects, so arming this cannot change any
+    // byte of any artifact.
+    let cell_budget = Budget {
+        wall_clock: opts.cell_timeout,
+        max_events: None,
+        livelock_batches: Some(Budget::DEFAULT_LIVELOCK_BATCHES),
+        observe_cancel: true,
+    };
 
     // Ledger: inherit the prior manifest wholesale under --resume (at
     // the same scale), so records of cells outside this run survive.
@@ -190,7 +345,8 @@ pub fn run(targets: &[&'static dyn AnyExperiment], opts: &ExecOptions) -> ExecSu
     }
 
     // As cells finish, their fate lands in the manifest on disk, so a
-    // killed sweep still leaves an accurate ledger for --resume.
+    // killed or interrupted sweep still leaves an accurate ledger for
+    // --resume.
     let ledger = Arc::new(Mutex::new(ledger));
     let recorder = {
         let ledger = Arc::clone(&ledger);
@@ -204,40 +360,106 @@ pub fn run(targets: &[&'static dyn AnyExperiment], opts: &ExecOptions) -> ExecSu
         }
     };
 
-    let keys: Vec<(String, u64)> = work.iter().map(|w| (w.key.clone(), w.seed)).collect();
-    let on_ok = recorder.clone();
-    let outcomes = runner::run_cells_isolated(work, opts.cell_timeout, move |item: WorkItem| {
-        let (out, json) = item.exp.run_cell_dyn(scale, item.cell_idx);
-        // Cache before the ok record: a ledger `ok` must imply a
-        // replayable cache (or, if this write failed, a re-run).
-        if let Err(e) = write_cell_cache(&item.cache, &json) {
-            eprintln!("warning: failed to write cell cache {}: {e}", item.cache.display());
+    // One successful cell execution: run, cache, record `ok`. Shared
+    // by the sweep pass and the retry loop so a retried success takes
+    // the identical path (cache before the ok record, as always).
+    let run_item = {
+        let on_ok = recorder.clone();
+        move |item: &WorkItem| {
+            let (out, json) = item.exp.run_cell_dyn(scale, item.cell_idx);
+            if let Err(e) = write_cell_cache(&item.cache, &json) {
+                eprintln!("warning: failed to write cell cache {}: {e}", item.cache.display());
+            }
+            on_ok(&item.key, CellRecord::ok());
+            out
         }
-        on_ok(&item.key, CellRecord::ok());
-        (item.key, out)
+    };
+
+    let items: Vec<WorkItem> = work.clone();
+    let outcomes = runner::run_cells(work, |item: WorkItem| {
+        // A cell claimed after the cancel flag rose fails fast without
+        // running, so shutdown latency is one in-flight cell, not the
+        // whole queue.
+        if budget::cancel_requested() {
+            return (Err(CellError::Interrupted), 0u64);
+        }
+        let start = Instant::now();
+        let result = runner::run_one_isolated(cell_budget, || run_item(&item));
+        (result, start.elapsed().as_millis() as u64)
     });
 
-    let mut failures: Vec<CellFailure> = Vec::new();
+    // Collect first-attempt failures, then retry them serially (the
+    // exception path: contention is not worth extra machinery), in
+    // input order, deterministically re-running with the same seed.
+    let mut failures: Vec<FailureEntry> = Vec::new();
     let mut fresh: HashMap<String, Box<dyn std::any::Any + Send>> = HashMap::new();
-    for (outcome, (key, seed)) in outcomes.into_iter().zip(keys) {
-        match outcome {
-            Ok((key, out)) => {
-                fresh.insert(key, out);
+    for ((result, duration_ms), item) in outcomes.into_iter().zip(items) {
+        match result {
+            Ok(out) => {
+                fresh.insert(item.key.clone(), out);
             }
-            Err(err) => {
-                let status = match &err {
-                    CellError::Panic(_) => "panicked",
-                    CellError::Timeout(_) => "timeout",
-                };
-                recorder(&key, CellRecord::failed(status, err.message()));
-                failures.push(CellFailure {
-                    cell_id: key,
-                    seed,
-                    panic_msg: err.message(),
+            Err(error) => {
+                recorder(&item.key, CellRecord::failed(error.status(), error.message()));
+                failures.push(FailureEntry {
+                    item,
+                    attempts: vec![Attempt { error, duration_ms }],
+                    quarantined: false,
                 });
             }
         }
     }
+
+    let max_attempts = opts.retries + 1;
+    let mut unresolved: Vec<FailureEntry> = Vec::new();
+    for mut entry in failures {
+        loop {
+            let made = entry.attempts.len();
+            if made >= 2 && entry.attempts[made - 1].error == entry.attempts[made - 2].error {
+                entry.quarantined = true;
+                eprintln!(
+                    "retry: quarantining {} ({} twice, deterministic)",
+                    entry.item.key,
+                    entry.last_error().class()
+                );
+                break;
+            }
+            if made >= max_attempts
+                || !entry.last_error().is_retryable()
+                || budget::cancel_requested()
+            {
+                break;
+            }
+            let attempt_no = made + 1;
+            std::thread::sleep(backoff_before_attempt(attempt_no));
+            eprintln!(
+                "retry: {} attempt {attempt_no}/{max_attempts} (last: {})",
+                entry.item.key,
+                entry.last_error().class()
+            );
+            let start = Instant::now();
+            let result = runner::run_one_isolated(cell_budget, || run_item(&entry.item));
+            let duration_ms = start.elapsed().as_millis() as u64;
+            match result {
+                Ok(out) => {
+                    eprintln!("retry: {} succeeded on attempt {attempt_no} (flake)", entry.item.key);
+                    fresh.insert(entry.item.key.clone(), out);
+                    entry.attempts.clear();
+                    break;
+                }
+                Err(error) => {
+                    recorder(&entry.item.key, CellRecord::failed(error.status(), error.message()));
+                    entry.attempts.push(Attempt { error, duration_ms });
+                }
+            }
+        }
+        if !entry.attempts.is_empty() {
+            unresolved.push(entry);
+        }
+    }
+
+    // The dossier is written unconditionally: byte-stable and empty on
+    // a clean sweep, so diff -r over output directories keeps working.
+    write_failures(&opts.manifest_dir, &unresolved);
 
     // Render complete targets serially in command-line order; a target
     // with any failed cell is withheld (partial figures mislead).
@@ -258,14 +480,35 @@ pub fn run(targets: &[&'static dyn AnyExperiment], opts: &ExecOptions) -> ExecSu
         }
     }
 
-    if !failures.is_empty() {
-        for f in &failures {
-            eprintln!("FAILED cell {}: {}", f.cell_id, f.panic_msg);
+    let interrupted = budget::cancel_requested()
+        || unresolved
+            .iter()
+            .any(|e| matches!(e.last_error(), CellError::Interrupted));
+    let failed: Vec<&FailureEntry> = unresolved
+        .iter()
+        .filter(|e| !matches!(e.last_error(), CellError::Interrupted))
+        .collect();
+    if !unresolved.is_empty() {
+        for entry in &unresolved {
+            match entry.last_error() {
+                CellError::Interrupted => eprintln!("interrupted cell {}", entry.item.key),
+                err => eprintln!("FAILED cell {}: {}", entry.item.key, err.message()),
+            }
         }
+        print_failure_table(&unresolved);
+        if !failed.is_empty() {
+            eprintln!(
+                "{} of {} cells failed; see {} and {}",
+                failed.len(),
+                total_cells,
+                opts.manifest_dir.join("manifest.json").display(),
+                opts.manifest_dir.join("failures.json").display()
+            );
+        }
+    }
+    if interrupted {
         eprintln!(
-            "{} of {} cells failed; see {}",
-            failures.len(),
-            total_cells,
+            "interrupted: manifest flushed to {}; rerun with --resume to continue",
             opts.manifest_dir.join("manifest.json").display()
         );
     }
@@ -273,6 +516,7 @@ pub fn run(targets: &[&'static dyn AnyExperiment], opts: &ExecOptions) -> ExecSu
     ExecSummary {
         total_cells,
         executed_cells,
-        failed_cells: failures.len(),
+        failed_cells: failed.len(),
+        interrupted,
     }
 }

@@ -26,9 +26,10 @@ use std::path::Path;
 /// Fate of one sweep cell.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CellRecord {
-    /// `"ok"`, `"panicked"`, or `"timeout"`.
+    /// `"ok"`, `"panicked"`, `"timeout"`, `"livelock"`,
+    /// `"audit-violation"`, or `"interrupted"`.
     pub status: String,
-    /// The panic or watchdog message for failed cells.
+    /// The panic or `SimAbort` message for failed cells.
     pub message: Option<String>,
 }
 
@@ -159,8 +160,9 @@ impl Manifest {
     }
 }
 
-/// Escape a string for the manifest's JSON strings.
-fn escape(s: &str) -> String {
+/// Escape a string for the manifest's JSON strings (also used by the
+/// `failures.json` writer in [`crate::exec`]).
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

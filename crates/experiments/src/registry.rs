@@ -65,6 +65,143 @@ impl Experiment for PanicCellExperiment {
     fn save(&self, _output: &(), _dir: &std::path::Path) {}
 }
 
+/// An agent whose timer loop never advances the simulated clock — the
+/// livelock signature the supervisor's zero-advance bound detects.
+struct SpinnerAgent;
+
+impl slowcc_netsim::sim::Agent for SpinnerAgent {
+    fn on_start(&mut self, ctx: &mut slowcc_netsim::sim::Ctx<'_>) {
+        ctx.set_timer(slowcc_netsim::prelude::SimDuration::ZERO, 0);
+    }
+    fn on_packet(
+        &mut self,
+        _pkt: slowcc_netsim::prelude::Packet,
+        _ctx: &mut slowcc_netsim::sim::Ctx<'_>,
+    ) {
+    }
+    fn on_timer(&mut self, _token: u64, ctx: &mut slowcc_netsim::sim::Ctx<'_>) {
+        ctx.set_timer(slowcc_netsim::prelude::SimDuration::ZERO, 0);
+    }
+}
+
+/// Hidden fixture: a single cell that livelocks on purpose (a
+/// zero-clock-advance timer loop), so the supervisor's livelock
+/// detection — thread joined, `Livelock` classification in
+/// `failures.json`, quarantine under `--retries`, sibling survival —
+/// can be exercised end to end by `verify.sh`.
+pub struct HangCellExperiment;
+
+impl Experiment for HangCellExperiment {
+    type Cell = ();
+    type CellOut = ();
+    type Output = ();
+
+    fn name(&self) -> &'static str {
+        "hang-cell"
+    }
+
+    fn description(&self) -> &'static str {
+        "hidden fixture - deliberately livelocked cell (zero-advance timer loop)"
+    }
+
+    fn artifact(&self) -> &'static str {
+        "hang_cell"
+    }
+
+    fn hidden(&self) -> bool {
+        true
+    }
+
+    fn cells(&self, _scale: Scale) -> Vec<CellSpec<()>> {
+        vec![CellSpec::new("fixture", 0, ())]
+    }
+
+    fn run_cell(&self, _scale: Scale, _cell: ()) {
+        use slowcc_netsim::prelude::*;
+        let mut sim = Simulator::new(0);
+        let n = sim.add_node();
+        sim.add_agent(n, Box::new(SpinnerAgent));
+        // Never returns normally: the clock cannot reach the horizon.
+        // Only the armed budget's zero-advance bound unwinds this.
+        sim.run_until(SimTime::from_secs(1));
+    }
+
+    fn assemble(&self, _scale: Scale, _outs: Vec<()>) {}
+
+    fn render(&self, _output: &()) {}
+
+    fn save(&self, _output: &(), _dir: &std::path::Path) {}
+}
+
+/// An agent that advances the clock by one nanosecond per wakeup:
+/// endless honest-looking progress, so only a wall-clock deadline or
+/// the cancel flag can end it.
+struct CrawlerAgent;
+
+impl slowcc_netsim::sim::Agent for CrawlerAgent {
+    fn on_start(&mut self, ctx: &mut slowcc_netsim::sim::Ctx<'_>) {
+        ctx.set_timer(slowcc_netsim::prelude::SimDuration::from_nanos(1), 0);
+    }
+    fn on_packet(
+        &mut self,
+        _pkt: slowcc_netsim::prelude::Packet,
+        _ctx: &mut slowcc_netsim::sim::Ctx<'_>,
+    ) {
+    }
+    fn on_timer(&mut self, _token: u64, ctx: &mut slowcc_netsim::sim::Ctx<'_>) {
+        ctx.set_timer(slowcc_netsim::prelude::SimDuration::from_nanos(1), 0);
+    }
+}
+
+/// Hidden fixture: a single cell that advances simulated time so
+/// slowly it is effectively unbounded, while never tripping the
+/// livelock bound. Exercises the `Deadline` classification under
+/// `--cell-timeout` and gives the SIGINT smoke in `verify.sh` a cell
+/// that is reliably still running when the signal lands.
+pub struct SlowCellExperiment;
+
+impl Experiment for SlowCellExperiment {
+    type Cell = ();
+    type CellOut = ();
+    type Output = ();
+
+    fn name(&self) -> &'static str {
+        "slow-cell"
+    }
+
+    fn description(&self) -> &'static str {
+        "hidden fixture - unbounded clock-advancing cell (deadline/cancel fodder)"
+    }
+
+    fn artifact(&self) -> &'static str {
+        "slow_cell"
+    }
+
+    fn hidden(&self) -> bool {
+        true
+    }
+
+    fn cells(&self, _scale: Scale) -> Vec<CellSpec<()>> {
+        vec![CellSpec::new("fixture", 0, ())]
+    }
+
+    fn run_cell(&self, _scale: Scale, _cell: ()) {
+        use slowcc_netsim::prelude::*;
+        let mut sim = Simulator::new(0);
+        let n = sim.add_node();
+        sim.add_agent(n, Box::new(CrawlerAgent));
+        // One batch per simulated nanosecond: reaching this horizon
+        // would take years of wall clock. Ends only via the budget.
+        sim.run_until(SimTime::from_secs(1_000_000));
+    }
+
+    fn assemble(&self, _scale: Scale, _outs: Vec<()>) {}
+
+    fn render(&self, _output: &()) {}
+
+    fn save(&self, _output: &(), _dir: &std::path::Path) {}
+}
+
 /// All registered experiments, in `all`/report order, hidden fixtures
 /// last.
 pub fn all() -> &'static [Box<dyn AnyExperiment>] {
@@ -169,6 +306,8 @@ fn build() -> Vec<Box<dyn AnyExperiment>> {
         Box::new(chaos::ChaosExperiment),
         Box::new(conformance::ConformanceExperiment),
         Box::new(PanicCellExperiment),
+        Box::new(HangCellExperiment),
+        Box::new(SlowCellExperiment),
     ]
 }
 
@@ -271,11 +410,15 @@ mod tests {
 
     #[test]
     fn hidden_fixtures_resolve_but_stay_out_of_all_and_list() {
-        assert_eq!(find("panic-cell").unwrap().name(), "panic-cell");
-        assert!(visible().all(|e| e.name() != "panic-cell"));
-        assert!(!list_text().contains("panic-cell"));
+        for fixture in ["panic-cell", "hang-cell", "slow-cell"] {
+            assert_eq!(find(fixture).unwrap().name(), fixture);
+            assert!(visible().all(|e| e.name() != fixture));
+            assert!(!list_text().contains(fixture));
+        }
         let expanded = resolve_targets(&["all".to_string()]).unwrap();
-        assert!(expanded.iter().all(|e| e.name() != "panic-cell"));
+        assert!(expanded
+            .iter()
+            .all(|e| !["panic-cell", "hang-cell", "slow-cell"].contains(&e.name())));
         assert_eq!(expanded.len(), visible().count());
     }
 

@@ -32,10 +32,10 @@
 
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex, MutexGuard, OnceLock};
-use std::time::Duration;
+use std::sync::{Mutex, MutexGuard, Once, OnceLock};
 
 use serde::Serialize;
+use slowcc_netsim::budget::{self, Budget, SimAbort};
 
 /// Lock a mutex, tolerating poison: a worker that panicked while holding
 /// (or before releasing) a slot must never wedge the cells other workers
@@ -169,21 +169,91 @@ where
         .collect()
 }
 
-/// Why an isolated cell failed.
-#[derive(Debug, Clone, Serialize)]
+/// Why an isolated cell failed: the supervision taxonomy. Every
+/// variant's message is deterministic for a deterministic failure, so
+/// a same-seed re-run of a truly broken cell reproduces the *identical*
+/// `CellError` — which is how the retry policy tells deterministic
+/// failures (quarantine) from environment flakes (retry succeeds).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub enum CellError {
     /// The cell's closure panicked; the payload is the panic message.
     Panic(String),
-    /// The cell ran past the watchdog deadline (seconds).
-    Timeout(f64),
+    /// A strict-mode invariant auditor violation panicked the cell
+    /// (see `slowcc_netsim::audit`).
+    AuditViolation(String),
+    /// The cell's wall-clock or event budget ran out
+    /// ([`SimAbort::Deadline`] / [`SimAbort::MaxEvents`]).
+    Deadline(String),
+    /// The simulated clock stopped advancing ([`SimAbort::Livelock`]).
+    Livelock(String),
+    /// The process-global cancel flag was raised (SIGINT/SIGTERM); the
+    /// cell unwound cleanly and can be resumed.
+    Interrupted,
 }
 
 impl CellError {
     /// The failure as a one-line human message.
     pub fn message(&self) -> String {
         match self {
-            CellError::Panic(msg) => msg.clone(),
-            CellError::Timeout(secs) => format!("cell exceeded the {secs}s watchdog deadline"),
+            CellError::Panic(msg)
+            | CellError::AuditViolation(msg)
+            | CellError::Deadline(msg)
+            | CellError::Livelock(msg) => msg.clone(),
+            CellError::Interrupted => SimAbort::Cancelled.to_string(),
+        }
+    }
+
+    /// The taxonomy tag, as it appears in `failures.json`.
+    pub fn class(&self) -> &'static str {
+        match self {
+            CellError::Panic(_) => "panic",
+            CellError::AuditViolation(_) => "audit-violation",
+            CellError::Deadline(_) => "deadline",
+            CellError::Livelock(_) => "livelock",
+            CellError::Interrupted => "interrupted",
+        }
+    }
+
+    /// The manifest status tag. `Deadline` keeps the historical
+    /// `"timeout"` status so pre-supervisor manifests stay comparable.
+    pub fn status(&self) -> &'static str {
+        match self {
+            CellError::Panic(_) => "panicked",
+            CellError::AuditViolation(_) => "audit-violation",
+            CellError::Deadline(_) => "timeout",
+            CellError::Livelock(_) => "livelock",
+            CellError::Interrupted => "interrupted",
+        }
+    }
+
+    /// Whether a retry could plausibly change the outcome. An
+    /// interrupted cell is not failed — re-running it during shutdown
+    /// would fight the user's Ctrl-C.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, CellError::Interrupted)
+    }
+}
+
+/// Classify a caught panic payload into the taxonomy: a [`SimAbort`]
+/// maps to its budget variant, a strict-audit panic (message prefix
+/// `"audit violation"`) to [`CellError::AuditViolation`], anything else
+/// to [`CellError::Panic`].
+pub fn classify_panic(payload: Box<dyn std::any::Any + Send>) -> CellError {
+    match payload.downcast::<SimAbort>() {
+        Ok(abort) => match *abort {
+            SimAbort::Deadline { .. } | SimAbort::MaxEvents { .. } => {
+                CellError::Deadline(abort.to_string())
+            }
+            SimAbort::Livelock { .. } => CellError::Livelock(abort.to_string()),
+            SimAbort::Cancelled => CellError::Interrupted,
+        },
+        Err(payload) => {
+            let msg = panic_message(payload.as_ref());
+            if msg.starts_with("audit violation") {
+                CellError::AuditViolation(msg)
+            } else {
+                CellError::Panic(msg)
+            }
         }
     }
 }
@@ -197,7 +267,7 @@ pub struct CellFailure {
     /// The cell's simulation seed (0 when the cell has no single seed,
     /// e.g. a whole multi-seed experiment target).
     pub seed: u64,
-    /// The panic payload, or the watchdog message for timeouts.
+    /// The panic payload, or the `SimAbort` message for budget trips.
     pub panic_msg: String,
 }
 
@@ -212,64 +282,68 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Keep a tripped budget's unwind quiet: [`SimAbort`] is control flow
+/// (the supervisor catches, classifies, and records it), so the default
+/// "thread panicked at ..." print would be pure noise — and, for a
+/// non-string payload, a misleading `Box<dyn Any>` one. Installed once,
+/// wrapping whatever hook was already set; every other payload still
+/// reaches the previous hook unchanged.
+fn install_quiet_abort_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<SimAbort>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Run one cell under crash isolation with `budget` armed as the
+/// thread-default (captured by every `Simulator` the cell builds), and
+/// classify any unwind into the [`CellError`] taxonomy.
+///
+/// This runs `f` **on the calling thread** — nothing is spawned and
+/// nothing can be abandoned. An over-budget, livelocked, or cancelled
+/// simulation unwinds via [`SimAbort`] (destructors run, the packet
+/// pool is freed, a strict auditor downgrades itself mid-unwind), the
+/// unwind is caught here, and the thread moves on to its next cell.
+pub fn run_one_isolated<O>(budget: Budget, f: impl FnOnce() -> O) -> Result<O, CellError> {
+    install_quiet_abort_hook();
+    let prev = budget::thread_budget();
+    budget::set_thread_budget(budget);
+    let result = std::panic::catch_unwind(AssertUnwindSafe(f));
+    budget::set_thread_budget(prev);
+    result.map_err(classify_panic)
+}
+
 /// Crash-isolated variant of [`run_cells`]: each cell runs under
-/// `catch_unwind` (and, when `timeout` is set, a wall-clock watchdog),
-/// so one panicking or runaway simulation yields an `Err` in its own
-/// slot instead of tearing down the sweep.
+/// `catch_unwind` with `budget` armed ([`run_one_isolated`]), so one
+/// panicking, over-budget, livelocked, or cancelled simulation yields
+/// an `Err` in its own slot instead of tearing down the sweep.
 ///
-/// Caveats, by design:
-///
-/// * A timed-out cell's thread is **abandoned**, not killed (Rust has no
-///   safe thread cancellation): it keeps burning its CPU until it
-///   finishes or the process exits, and anything it writes to global
-///   state afterwards (e.g. the process-global audit report) still
-///   lands. The watchdog bounds the *sweep's* wall clock, not the
-///   process's total work — use it to survive pathological cells, not
-///   as routine scheduling.
-/// * With `timeout` set, every cell runs on its own transient thread
-///   (the only way to keep waiting bounded), which is why the bounds
-///   tighten to `'static`.
+/// Cancellation is **cooperative**: the budget is checked at the
+/// simulator's batch boundaries, so a cell that blocks outside the
+/// simulator (e.g. on I/O) is beyond its reach — but every simulation,
+/// including a zero-clock-advance livelock, unwinds within one check
+/// interval. Cells claimed after the cancel flag rises fail fast as
+/// [`CellError::Interrupted`] without running.
 pub fn run_cells_isolated<I, O, F>(
     cells: Vec<I>,
-    timeout: Option<Duration>,
+    budget: Budget,
     f: F,
 ) -> Vec<Result<O, CellError>>
 where
-    I: Send + 'static,
-    O: Send + 'static,
-    F: Fn(I) -> O + Send + Sync + 'static,
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
 {
-    let f = Arc::new(f);
-    run_cells(cells, move |cell| match timeout {
-        None => std::panic::catch_unwind(AssertUnwindSafe(|| f(cell)))
-            .map_err(|p| CellError::Panic(panic_message(p.as_ref()))),
-        Some(deadline) => {
-            let f = Arc::clone(&f);
-            let (tx, rx) = mpsc::channel();
-            let spawned = std::thread::Builder::new()
-                .name("sweep-cell".into())
-                .spawn(move || {
-                    let result = std::panic::catch_unwind(AssertUnwindSafe(|| f(cell)));
-                    // The receiver may have given up; a dead channel is
-                    // the abandoned-cell case and not an error here.
-                    let _ = tx.send(result);
-                });
-            let handle = match spawned {
-                Ok(h) => h,
-                Err(e) => return Err(CellError::Panic(format!("failed to spawn cell: {e}"))),
-            };
-            match rx.recv_timeout(deadline) {
-                Ok(Ok(out)) => {
-                    let _ = handle.join();
-                    Ok(out)
-                }
-                Ok(Err(p)) => {
-                    let _ = handle.join();
-                    Err(CellError::Panic(panic_message(p.as_ref())))
-                }
-                Err(_) => Err(CellError::Timeout(deadline.as_secs_f64())),
-            }
+    run_cells(cells, move |cell| {
+        if budget.observe_cancel && budget::cancel_requested() {
+            return Err(CellError::Interrupted);
         }
+        run_one_isolated(budget, || f(cell))
     })
 }
 
@@ -298,9 +372,30 @@ mod tests {
         assert_eq!(run_cells(vec![41], |x| x + 1), vec![42]);
     }
 
+    /// Drive a deliberately livelocked simulation: an agent whose timer
+    /// loop never advances the clock. Only returns by unwinding through
+    /// a tripped budget.
+    fn spin_forever(seed: u64) {
+        use slowcc_netsim::prelude::*;
+        struct Spinner;
+        impl slowcc_netsim::sim::Agent for Spinner {
+            fn on_start(&mut self, ctx: &mut slowcc_netsim::sim::Ctx<'_>) {
+                ctx.set_timer(SimDuration::ZERO, 0);
+            }
+            fn on_packet(&mut self, _pkt: Packet, _ctx: &mut slowcc_netsim::sim::Ctx<'_>) {}
+            fn on_timer(&mut self, _token: u64, ctx: &mut slowcc_netsim::sim::Ctx<'_>) {
+                ctx.set_timer(SimDuration::ZERO, 0);
+            }
+        }
+        let mut sim = Simulator::new(seed);
+        let n = sim.add_node();
+        sim.add_agent(n, Box::new(Spinner));
+        sim.run_until(SimTime::from_secs(1));
+    }
+
     #[test]
     fn isolated_panic_fails_one_cell_without_wedging_siblings() {
-        let out = run_cells_isolated(vec![1u64, 2, 3, 4], None, |i| {
+        let out = run_cells_isolated(vec![1u64, 2, 3, 4], Budget::none(), |i| {
             if i == 3 {
                 panic!("cell {i} exploded");
             }
@@ -317,24 +412,70 @@ mod tests {
     }
 
     #[test]
-    fn watchdog_times_out_runaway_cells_and_passes_fast_ones() {
-        let out = run_cells_isolated(
-            vec![0u64, 1],
-            Some(Duration::from_millis(200)),
-            |i| {
-                if i == 1 {
-                    // Runaway cell: far past the deadline.
-                    std::thread::sleep(Duration::from_secs(30));
-                }
-                i
-            },
-        );
+    fn budget_fails_runaway_cells_and_passes_fast_ones() {
+        // The livelocked cell unwinds on this worker's own thread (it is
+        // joined by construction), and its siblings still complete.
+        let budget = Budget::none().with_livelock_batches(10_000);
+        let out = run_cells_isolated(vec![0u64, 1, 2], budget, |i| {
+            if i == 1 {
+                spin_forever(i);
+            }
+            i
+        });
         assert_eq!(out[0].as_ref().unwrap(), &0);
-        assert!(
-            matches!(out[1], Err(CellError::Timeout(_))),
-            "runaway cell should have hit the watchdog: {:?}",
-            out[1]
-        );
+        match &out[1] {
+            Err(CellError::Livelock(msg)) => {
+                assert!(msg.contains("zero-advance"), "{msg}");
+            }
+            other => panic!("runaway cell should have tripped the livelock bound: {other:?}"),
+        }
+        assert_eq!(out[2].as_ref().unwrap(), &2);
+    }
+
+    #[test]
+    fn deadline_budget_fails_a_livelocked_cell_as_deadline() {
+        let budget = Budget::none().with_wall_clock(std::time::Duration::ZERO);
+        let out = run_cells_isolated(vec![0u64], budget, spin_forever);
+        match &out[0] {
+            Err(CellError::Deadline(msg)) => assert!(msg.contains("wall-clock"), "{msg}"),
+            other => panic!("expected a deadline failure: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_flag_interrupts_running_and_pending_cells() {
+        budget::request_cancel();
+        let budget = Budget::none()
+            .with_livelock_batches(u64::MAX)
+            .with_cancel();
+        let out = run_cells_isolated(vec![0u64, 1], budget, spin_forever);
+        budget::reset_cancel();
+        // Cell 0 was already running when it observed the flag; cell 1
+        // (claimed by the same serial worker afterwards) never started.
+        assert_eq!(out[0], Err(CellError::Interrupted));
+        assert_eq!(out[1], Err(CellError::Interrupted));
+    }
+
+    #[test]
+    fn classification_covers_the_taxonomy() {
+        let caught =
+            std::panic::catch_unwind(|| panic!("audit violation: pool diverged")).unwrap_err();
+        match classify_panic(caught) {
+            CellError::AuditViolation(msg) => assert!(msg.contains("pool diverged")),
+            other => panic!("expected an audit violation: {other:?}"),
+        }
+        let caught = std::panic::catch_unwind(|| panic!("plain boom")).unwrap_err();
+        assert_eq!(classify_panic(caught), CellError::Panic("plain boom".into()));
+        let abort: Box<dyn std::any::Any + Send> = Box::new(SimAbort::Cancelled);
+        assert_eq!(classify_panic(abort), CellError::Interrupted);
+        let abort: Box<dyn std::any::Any + Send> = Box::new(SimAbort::MaxEvents { limit: 5 });
+        assert!(matches!(classify_panic(abort), CellError::Deadline(_)));
+        // Tags are stable: failures.json and the manifest depend on them.
+        assert_eq!(CellError::Interrupted.class(), "interrupted");
+        assert_eq!(CellError::Interrupted.status(), "interrupted");
+        assert!(!CellError::Interrupted.is_retryable());
+        assert_eq!(CellError::Deadline(String::new()).status(), "timeout");
+        assert!(CellError::Livelock(String::new()).is_retryable());
     }
 
     #[test]

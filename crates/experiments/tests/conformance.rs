@@ -60,7 +60,7 @@ fn checker_catches_each_class_of_breach() {
 
     // Baseline: a committed file re-parsed from text is clean.
     let base = parse_spec_file(&clean("rfc6298/5.toml"), "rfc6298/5.toml").unwrap();
-    assert!(validate_tree(&[base.clone()], &repo).is_empty());
+    assert!(validate_tree(std::slice::from_ref(&base), &repo).is_empty());
 
     // Dangling test link.
     let mut broken = base.clone();

@@ -270,9 +270,8 @@ impl CalendarQueue {
     fn scan_min(&mut self) -> (usize, usize) {
         // Walk at most one "year" (full cycle of the bucket array) from
         // the cursor; each day's events live in exactly one bucket.
-        let nb = self.buckets.len();
-        let mut day = self.cursor_day;
-        for _ in 0..nb {
+        let nb = self.buckets.len() as u64;
+        for day in self.cursor_day..self.cursor_day + nb {
             let b = (day & self.mask) as usize;
             let mut best: Option<(usize, (SimTime, SimTime, u64))> = None;
             for (i, e) in self.buckets[b].iter().enumerate() {
@@ -284,7 +283,6 @@ impl CalendarQueue {
                 self.cursor_day = day;
                 return (b, i);
             }
-            day += 1;
         }
         // Every pending event is more than a year past the cursor (e.g.
         // far-future timers behind a drained present): fall back to a

@@ -229,7 +229,7 @@ impl FaultState {
             return None;
         }
         self.seen += 1;
-        if self.seen % r.every_nth == 0 && self.held < r.max_held {
+        if self.seen.is_multiple_of(r.every_nth) && self.held < r.max_held {
             self.held += 1;
             Some(r.hold)
         } else {

@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod budget;
 pub mod event;
 pub mod faults;
 pub mod ids;
@@ -68,6 +69,7 @@ pub mod trace;
 /// The handful of names almost every user needs.
 pub mod prelude {
     pub use crate::audit::{AuditMode, AuditReport};
+    pub use crate::budget::{Budget, SimAbort};
     pub use crate::faults::{FaultPlan, FlapWindow};
     pub use crate::ids::{AgentId, FlowId, LinkId, NodeId};
     pub use crate::link::{BernoulliLoss, Link, LossPattern, MarkPattern};

@@ -36,6 +36,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::audit::{self, AuditMode, AuditReport, Auditor};
+use crate::budget::{self, Budget, BudgetState};
 use crate::event::{EventKind, EventQueue, SchedulerKind};
 use crate::ids::{AgentId, FlowId, LinkId, NodeId};
 use crate::link::Link;
@@ -160,6 +161,9 @@ struct World {
     /// Invariant auditor, when enabled (see [`crate::audit`]). Boxed so
     /// the disabled case costs one null check per hook.
     audit: Option<Box<Auditor>>,
+    /// Cooperative execution budget, checked at batch boundaries (see
+    /// [`crate::budget`]). Unarmed by default: one branch per batch.
+    budget: BudgetState,
 }
 
 /// Record a trace event if a sink is installed. Free function (rather
@@ -214,7 +218,7 @@ impl World {
                 // concerned: fresh uid, injected into the ledger, its own
                 // pool slot. It joins the link behind the original via
                 // the event queue's tie-break.
-                let mut dup = pool.get(pkt).clone();
+                let mut dup = *pool.get(pkt);
                 dup.uid = *uid_tag | *next_uid;
                 *next_uid += 1;
                 stats.record_link_duplicate(link_id);
@@ -589,6 +593,7 @@ impl Simulator {
                     xport: None,
                     trace: None,
                     audit: audit::default_mode().map(|mode| Box::new(Auditor::new(mode))),
+                    budget: BudgetState::new(budget::thread_budget()),
                 },
                 agents: Vec::new(),
                 batch_buf: Vec::new(),
@@ -623,6 +628,22 @@ impl Simulator {
     /// Whether this simulator is running under the invariant auditor.
     pub fn audit_enabled(&self) -> bool {
         self.shards[0].world.audit.is_some()
+    }
+
+    /// Arm (or replace) this simulator's cooperative execution budget.
+    /// The wall clock starts now. Call before the first `run_until`:
+    /// a sealed (sharded) simulator keeps each shard's existing state.
+    /// Overrides the thread default captured at construction
+    /// ([`budget::set_thread_budget`]).
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.assert_unsharded("set_budget");
+        self.shards[0].world.budget = BudgetState::new(budget);
+    }
+
+    /// The armed budget (the thread default at construction unless
+    /// [`Self::set_budget`] replaced it).
+    pub fn budget(&self) -> Budget {
+        self.shards[0].world.budget.budget()
     }
 
     /// Run the teardown audit (pool/ledger uid-set reconciliation, link
@@ -973,10 +994,10 @@ impl Simulator {
         }
         let mut parent: Vec<u32> = (0..nodes_len as u32).collect();
         let link_dst: Vec<NodeId> = self.shards[0].world.links.iter().map(Link::dst).collect();
-        for i in 0..links_len {
+        for (i, dst) in link_dst.iter().enumerate().take(links_len) {
             if self.shards[0].world.links[i].delay() < dmax {
                 let a = find(&mut parent, self.link_src[i].index() as u32);
-                let b = find(&mut parent, link_dst[i].index() as u32);
+                let b = find(&mut parent, dst.index() as u32);
                 if a != b {
                     parent[a as usize] = b;
                 }
@@ -986,7 +1007,7 @@ impl Simulator {
         let mut cluster_id: Vec<u32> = vec![u32::MAX; nodes_len];
         let mut clusters: Vec<Vec<u32>> = Vec::new();
         let mut cluster_of_node: Vec<u32> = vec![0; nodes_len];
-        for node in 0..nodes_len {
+        for (node, slot) in cluster_of_node.iter_mut().enumerate() {
             let root = find(&mut parent, node as u32) as usize;
             let c = if cluster_id[root] == u32::MAX {
                 cluster_id[root] = clusters.len() as u32;
@@ -996,7 +1017,7 @@ impl Simulator {
                 cluster_id[root]
             };
             clusters[c as usize].push(node as u32);
-            cluster_of_node[node] = c;
+            *slot = c;
         }
         if clusters.len() < 2 {
             return;
@@ -1106,6 +1127,7 @@ impl Simulator {
                         })),
                         trace: None,
                         audit: audit_mode.map(|mode| Box::new(Auditor::sharded(mode, uid_tag))),
+                        budget: build_world.budget.replicate(),
                     },
                     agents,
                     batch_buf: Vec::new(),
@@ -1236,8 +1258,8 @@ impl Simulator {
                     // wrapped so a strict-audit panic here unwinds every
                     // shard at the next barrier instead of deadlocking.
                     let merged = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        for src in 0..nshards {
-                            let mut inbox = lock(&mailboxes[idx][src]);
+                        for mailbox in &mailboxes[idx] {
+                            let mut inbox = lock(mailbox);
                             shard.import(&mut inbox);
                         }
                     }));
@@ -1249,7 +1271,7 @@ impl Simulator {
                 });
             }
         });
-        if let Some(payload) = panic_payload.into_inner().expect("panic payload lock").take() {
+        if let Some(payload) = panic_payload.into_inner().expect("panic payload lock") {
             std::panic::resume_unwind(payload);
         }
     }
@@ -1305,6 +1327,10 @@ impl Shard {
         while let Some(time) = self.world.queue.drain_batch(until, &mut buf) {
             debug_assert!(time >= self.world.now, "event queue went backwards");
             self.world.now = time;
+            // Cooperative budget check: integer counters per batch, the
+            // wall clock and cancel flag at amortized cadence. A trip
+            // unwinds with a `SimAbort` payload (see `crate::budget`).
+            self.world.budget.on_batch(time, buf.len());
             for &kind in &buf {
                 self.dispatch_event(kind);
             }
@@ -1915,6 +1941,113 @@ mod tests {
         let mut sim = Simulator::new(0);
         sim.run_until(SimTime::from_secs(5));
         assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    /// An agent whose timer loop never advances the clock: the livelock
+    /// signature the budget's zero-advance bound exists to catch.
+    struct ZeroAdvanceSpinner;
+
+    impl Agent for ZeroAdvanceSpinner {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimDuration::ZERO, 0);
+        }
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+        fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimDuration::ZERO, 0);
+        }
+    }
+
+    fn catch_sim_abort(f: impl FnOnce()) -> crate::budget::SimAbort {
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+            .expect_err("budget should have tripped");
+        *payload
+            .downcast::<crate::budget::SimAbort>()
+            .expect("payload should be a SimAbort")
+    }
+
+    #[test]
+    fn livelock_budget_trips_a_zero_advance_timer_loop() {
+        let mut sim = Simulator::new(0);
+        let n = sim.add_node();
+        sim.add_agent(n, Box::new(ZeroAdvanceSpinner));
+        sim.set_budget(crate::budget::Budget::none().with_livelock_batches(10_000));
+        let abort = catch_sim_abort(move || sim.run_until(SimTime::from_secs(1)));
+        match abort {
+            crate::budget::SimAbort::Livelock { at, batches } => {
+                assert_eq!(at, SimTime::ZERO, "spinner never advanced the clock");
+                assert_eq!(batches, 10_000);
+            }
+            other => panic!("expected a livelock abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_budget_trips_and_unwinds_through_run_until() {
+        let (mut sim, a, b) = two_node_world(7, 8e6, SimDuration::from_millis(1), 100);
+        let received = Arc::new(AtomicU64::new(0));
+        let sink = sim.add_agent(b, Box::new(CountingSink { received, acks: true }));
+        let flow = sim.new_flow();
+        sim.add_agent(
+            a,
+            Box::new(Blaster {
+                flow,
+                dst_node: b,
+                dst_agent: sink,
+                count: 50,
+                size: 1000,
+            }),
+        );
+        sim.set_budget(crate::budget::Budget::none().with_max_events(20));
+        let abort = catch_sim_abort(move || sim.run_until(SimTime::from_secs(10)));
+        assert_eq!(abort, crate::budget::SimAbort::MaxEvents { limit: 20 });
+    }
+
+    #[test]
+    fn armed_but_untripped_budget_changes_nothing() {
+        let run = |arm: bool| {
+            let (mut sim, a, b) = two_node_world(3, 8e6, SimDuration::from_millis(2), 20);
+            let received = Arc::new(AtomicU64::new(0));
+            let sink = sim.add_agent(
+                b,
+                Box::new(CountingSink {
+                    received: received.clone(),
+                    acks: true,
+                }),
+            );
+            let flow = sim.new_flow();
+            sim.add_agent(
+                a,
+                Box::new(Blaster {
+                    flow,
+                    dst_node: b,
+                    dst_agent: sink,
+                    count: 30,
+                    size: 1000,
+                }),
+            );
+            if arm {
+                sim.set_budget(
+                    crate::budget::Budget::none()
+                        .with_wall_clock(std::time::Duration::from_secs(3600))
+                        .with_max_events(u64::MAX)
+                        .with_livelock_batches(crate::budget::Budget::DEFAULT_LIVELOCK_BATCHES)
+                        .with_cancel(),
+                );
+            }
+            sim.run_until(SimTime::from_secs(2));
+            let f = sim.stats().flow(flow).unwrap();
+            (f.total_rx_packets, f.total_rx_bytes, received.load(Ordering::Relaxed))
+        };
+        assert_eq!(run(false), run(true), "armed budget altered the simulation");
+    }
+
+    #[test]
+    fn thread_default_budget_is_captured_at_construction() {
+        crate::budget::set_thread_budget(crate::budget::Budget::none().with_max_events(20));
+        let sim = Simulator::new(0);
+        crate::budget::set_thread_budget(crate::budget::Budget::none());
+        assert_eq!(sim.budget().max_events, Some(20));
+        assert!(Simulator::new(0).budget().is_unlimited());
     }
 
     #[test]

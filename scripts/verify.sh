@@ -14,6 +14,9 @@ cargo build --release
 echo "== tier-1: tests =="
 cargo test -q
 
+echo "== clippy (workspace, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "== workspace tests =="
 cargo test -q --workspace
 
@@ -131,9 +134,66 @@ fi
 grep -q "FAILED cell panic-cell/fixture" "$tmp/resume.txt"
 echo "panic isolated per cell, manifest recorded, resume re-ran only the failure"
 
+echo "== supervisor: hung and slow cells classified, quarantined, siblings survive =="
+# hang-cell livelocks (zero-clock-advance loop) and slow-cell runs
+# effectively forever; the budget unwinds both — threads joined, not
+# abandoned — classifies them (livelock / deadline), the --retries
+# re-run hits the same deterministic outcome and quarantines, and every
+# fig45 sibling still completes.
+if ./target/release/repro --quick --out "$tmp/sup" --retries 1 --cell-timeout 2 \
+    fig45 hang-cell slow-cell > "$tmp/sup.txt" 2>&1; then
+  echo "ERROR: hang-cell/slow-cell should have produced a nonzero exit"; exit 1
+fi
+grep -q '"hang-cell/fixture": {"status": "livelock"' "$tmp/sup/manifest.json"
+grep -q '"slow-cell/fixture": {"status": "timeout"' "$tmp/sup/manifest.json"
+grep -A3 '"cell": "hang-cell/fixture"' "$tmp/sup/failures.json" | grep -q '"class": "livelock"'
+grep -A3 '"cell": "hang-cell/fixture"' "$tmp/sup/failures.json" | grep -q '"quarantined": true'
+grep -A3 '"cell": "slow-cell/fixture"' "$tmp/sup/failures.json" | grep -q '"class": "deadline"'
+grep -A3 '"cell": "slow-cell/fixture"' "$tmp/sup/failures.json" | grep -q '"quarantined": true'
+sup_cells="$(grep -c '"fig45/' "$tmp/sup/manifest.json")"
+sup_ok="$(grep '"fig45/' "$tmp/sup/manifest.json" | grep -c '"status": "ok"')"
+if [ "$sup_cells" -lt 2 ] || [ "$sup_cells" -ne "$sup_ok" ]; then
+  echo "ERROR: expected all $sup_cells fig45 cells ok beside the hung cells, got $sup_ok"; exit 1
+fi
+echo "livelock and deadline classified, quarantined after identical retries, siblings ok"
+
+echo "== supervisor: SIGINT preemption is resumable byte-identically =="
+# Baseline fig3 sweep, then the same sweep plus a never-finishing cell:
+# once every fig3 cell has landed in the manifest, SIGINT the process.
+# It must exit 130 (interrupted, resumable), record the in-flight cell
+# as interrupted, and a --resume of fig3 must replay to a byte-identical
+# result as if the interruption never happened.
+./target/release/repro --quick fig3 --out "$tmp/sig_base" > "$tmp/sig_base.txt"
+fig3_cells="$(grep -c '"fig3/' "$tmp/sig_base/manifest.json")"
+./target/release/repro --quick fig3 slow-cell --jobs 2 --out "$tmp/sig" \
+  > "$tmp/sig.txt" 2> "$tmp/sig_err.txt" &
+sig_pid=$!
+for _ in $(seq 240); do
+  done_cells="$(grep '"fig3/' "$tmp/sig/manifest.json" 2>/dev/null | grep -c '"status": "ok"' || true)"
+  [ "$done_cells" = "$fig3_cells" ] && break
+  sleep 0.25
+done
+if [ "${done_cells:-0}" != "$fig3_cells" ]; then
+  kill "$sig_pid" 2>/dev/null || true
+  echo "ERROR: fig3 cells did not complete before the SIGINT window"; exit 1
+fi
+kill -INT "$sig_pid"
+rc=0; wait "$sig_pid" || rc=$?
+if [ "$rc" -ne 130 ]; then
+  echo "ERROR: interrupted sweep exited $rc, expected 130"; exit 1
+fi
+grep -q '"slow-cell/fixture": {"status": "interrupted"' "$tmp/sig/manifest.json"
+./target/release/repro --quick fig3 --out "$tmp/sig" --resume > "$tmp/sig_resume.txt" 2>/dev/null
+diff "$tmp/sig_resume.txt" "$tmp/sig_base.txt"
+for f in "$tmp/sig_base"/fig3*; do
+  diff "$f" "$tmp/sig/$(basename "$f")"
+done
+echo "SIGINT exited 130, in-flight cell recorded interrupted, resume byte-identical"
+
 echo "== bench regression gate (dumbbell events/sec vs committed baseline) =="
 # Re-measures the dumbbell hot path and fails if mean_ms regresses >25%
-# or events/sec drops >20% against the committed BENCH_netsim.json.
+# or events/sec drops >20% against the committed BENCH_netsim.json, or
+# if an armed (untripped) cell budget costs >2% events/sec.
 # SLOWCC_SKIP_BENCH_GATE=1 skips (e.g. on shared/noisy CI machines).
 if [ "${SLOWCC_SKIP_BENCH_GATE:-0}" = "1" ]; then
   echo "SLOWCC_SKIP_BENCH_GATE=1: skipping bench gate"
