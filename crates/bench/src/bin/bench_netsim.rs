@@ -27,6 +27,12 @@
 //!   the wall-clock deadline, livelock bound and cancel flag every
 //!   supervised sweep cell runs under. Reports both means and the
 //!   fractional events/sec cost of arming.
+//! * **streaming_trace** — 16 TCP flows on a 100 Mb/s dumbbell for 60
+//!   simulated seconds (>1M packets), untraced vs with a JSONL
+//!   `StreamTrace` attached: the fractional wall-clock overhead of the
+//!   per-event observer and the `VmRSS` growth across the traced run,
+//!   which must stay O(1) in packet count (the sink holds one open bin,
+//!   never the event stream).
 //! * **packet_bytes** — `size_of` pins for the data-plane structs, so
 //!   the recorded baseline documents the layout the numbers were
 //!   measured against.
@@ -56,7 +62,10 @@
 //! `shards` entry. Finally it re-runs the armed-vs-unarmed supervisor
 //! A/B and fails if the armed budget costs more than 2% events/sec —
 //! the budget check must stay cheap enough to sit inside the
-//! simulator's batch loop. Nothing is written in check mode. Set
+//! simulator's batch loop. It then re-runs the streaming-trace A/B and
+//! fails if the attached sink costs more than 35% wall clock or grows
+//! RSS by more than 64 MiB over the >1M-packet run (the O(1)-memory
+//! contract). Nothing is written in check mode. Set
 //! `SLOWCC_SKIP_BENCH_GATE=1` to skip the comparison (exit 0), e.g. on
 //! known-noisy CI hosts. The committed baseline is parsed with a small
 //! hand-rolled scanner (the vendored `serde_json` shim serializes
@@ -181,6 +190,31 @@ struct SupervisorBench {
     overhead_frac: f64,
 }
 
+/// Cost and memory bound of the streaming trace sink on a long run: the
+/// same many-flow dumbbell simulated untraced and with a
+/// [`slowcc_netsim::trace::StreamTrace`] writing JSONL bins to a
+/// byte-counting sink. `rss_growth_bytes` is the `VmRSS` delta across
+/// the traced run — the O(1)-in-packet-count claim the `--check` gate
+/// enforces (the sink holds one open bin, never the event stream).
+#[derive(Serialize)]
+struct StreamingTraceBench {
+    sim_secs: u64,
+    flows: usize,
+    /// Packets injected by the traced run (well above 1M by design, so
+    /// the memory bound is measured against a long event stream).
+    packets_injected: u64,
+    events_processed: u64,
+    bin_ms: u64,
+    bins_streamed: u64,
+    bytes_streamed: u64,
+    untraced_mean_ms: f64,
+    traced_mean_ms: f64,
+    /// Fractional slowdown of tracing: `traced/untraced - 1`.
+    overhead_frac: f64,
+    /// `VmRSS` growth across the traced run, bytes; `null` without /proc.
+    rss_growth_bytes: Option<u64>,
+}
+
 #[derive(Serialize)]
 struct SweepBench {
     serial_secs: f64,
@@ -197,6 +231,7 @@ struct BenchReport {
     dumbbell_4tcp_5s: DumbbellBench,
     shards: ShardsBench,
     supervisor_overhead: SupervisorBench,
+    streaming_trace: StreamingTraceBench,
     packet_bytes: PacketBytes,
     quick_sweep: Option<SweepBench>,
 }
@@ -453,6 +488,129 @@ fn bench_supervisor(runs: u32) -> SupervisorBench {
         unarmed_events_per_sec: unarmed_eps,
         armed_events_per_sec: armed_eps,
         overhead_frac,
+    }
+}
+
+/// Allowed fractional slowdown from an attached streaming trace sink in
+/// `--check`: the per-event observer hook plus bin bookkeeping must stay
+/// well under the cost of the simulation itself.
+const STREAMING_OVERHEAD_TOLERANCE: f64 = 0.35;
+/// Allowed `VmRSS` growth across the traced long run in `--check`. The
+/// sink keeps one open bin and a write buffer — O(1) in packet count —
+/// so growth anywhere near an event-buffering sink's footprint
+/// (hundreds of MB at ~1.5M packets) fails loudly. 64 MiB leaves room
+/// for allocator slack without masking an O(n) regression.
+const STREAMING_RSS_BOUND_BYTES: u64 = 64 * 1024 * 1024;
+
+/// Byte- and line-counting `io::Write` sink: the streaming bench wants
+/// the volume of trace output without paying for a filesystem.
+struct CountingSink {
+    bytes: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    lines: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl std::io::Write for CountingSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        use std::sync::atomic::Ordering;
+        self.bytes.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        let nl = buf.iter().filter(|&&b| b == b'\n').count() as u64;
+        self.lines.fetch_add(nl, Ordering::Relaxed);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The streaming-trace workload: 16 TCP flows saturating a 100 Mb/s
+/// paper dumbbell for 60 simulated seconds — comfortably over 1M
+/// injected packets. With `bin` set, a JSONL [`StreamTrace`] observes
+/// the run through a counting sink. Returns wall seconds, counters, and
+/// the streamed byte/line volume.
+fn streaming_trace_run(bin: Option<SimDuration>) -> (f64, u64, u64, u64, u64) {
+    use slowcc_netsim::trace::{StreamFormat, StreamTrace};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    const FLOWS: u64 = 16;
+    const SIM_SECS: u64 = 60;
+    let bytes = Arc::new(AtomicU64::new(0));
+    let lines = Arc::new(AtomicU64::new(0));
+    let mut sim = Simulator::new(21);
+    if let Some(width) = bin {
+        let sink = CountingSink { bytes: Arc::clone(&bytes), lines: Arc::clone(&lines) };
+        sim.set_trace(Box::new(StreamTrace::new(sink, StreamFormat::Jsonl, width)));
+    }
+    let db = Dumbbell::build(&mut sim, DumbbellConfig::paper(100e6));
+    for i in 0..FLOWS {
+        let pair = db.add_host_pair(&mut sim);
+        Tcp::install(&mut sim, &pair, TcpConfig::standard(1000), SimTime::from_millis(7 * i));
+    }
+    let t0 = Instant::now();
+    sim.run_until(SimTime::from_secs(SIM_SECS));
+    let secs = t0.elapsed().as_secs_f64();
+    let (events, packets) = (sim.events_processed(), sim.packets_injected());
+    black_box(&sim);
+    drop(sim); // flush the sink before reading the counters
+    (secs, events, packets, bytes.load(Ordering::Relaxed), lines.load(Ordering::Relaxed))
+}
+
+fn bench_streaming_trace() -> StreamingTraceBench {
+    const RUNS: u32 = 2;
+    const BIN_MS: u64 = 100;
+    let bin = SimDuration::from_millis(BIN_MS);
+    // Warmup (untraced) run pays first-touch costs for the bigger
+    // dumbbell, then interleaved untraced/traced timed pairs.
+    let (_, events, packets, _, _) = streaming_trace_run(None);
+    assert!(packets >= 1_000_000, "streaming bench must cover >= 1M packets, got {packets}");
+    let rss_before = proc_status_kb("VmRSS");
+    let mut untraced = Vec::new();
+    let mut traced = Vec::new();
+    let (mut bytes_streamed, mut bins_streamed) = (0, 0);
+    for _ in 0..RUNS {
+        let (secs, e, p, _, _) = streaming_trace_run(None);
+        assert_eq!((e, p), (events, packets), "untraced runs must be deterministic");
+        untraced.push(secs);
+        let (secs, e, p, by, ln) = streaming_trace_run(Some(bin));
+        assert_eq!(
+            (e, p),
+            (events, packets),
+            "the streaming sink must be a passive observer"
+        );
+        traced.push(secs);
+        (bytes_streamed, bins_streamed) = (by, ln);
+    }
+    let rss_after = proc_status_kb("VmRSS");
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let untraced_mean = mean(&untraced);
+    let traced_mean = mean(&traced);
+    let overhead = traced_mean / untraced_mean - 1.0;
+    let rss_growth = match (rss_before, rss_after) {
+        (Some(b), Some(a)) => Some(a.saturating_sub(b) * 1024),
+        _ => None,
+    };
+    println!(
+        "streaming_trace    untraced {:.0} ms  traced {:.0} ms  overhead {:+.1}%  \
+         ({:.2}M pkts, {bins_streamed} bins, {:.0} KiB streamed, RSS +{} KiB)",
+        untraced_mean * 1e3,
+        traced_mean * 1e3,
+        overhead * 100.0,
+        packets as f64 / 1e6,
+        bytes_streamed as f64 / 1024.0,
+        rss_growth.map(|b| b / 1024).unwrap_or(0),
+    );
+    StreamingTraceBench {
+        sim_secs: 60,
+        flows: 16,
+        packets_injected: packets,
+        events_processed: events,
+        bin_ms: BIN_MS,
+        bins_streamed,
+        bytes_streamed,
+        untraced_mean_ms: untraced_mean * 1e3,
+        traced_mean_ms: traced_mean * 1e3,
+        overhead_frac: overhead,
+        rss_growth_bytes: rss_growth,
     }
 }
 
@@ -759,6 +917,42 @@ fn check_against_baseline() -> i32 {
             SUPERVISOR_OVERHEAD_TOLERANCE * 100.0,
         );
     }
+    // Streaming-trace gate: the sink must stay a cheap, O(1)-memory
+    // observer. Both numbers are host-speed-independent (a ratio and an
+    // RSS delta), so no baseline field is consulted.
+    let stream = bench_streaming_trace();
+    if stream.overhead_frac > STREAMING_OVERHEAD_TOLERANCE {
+        eprintln!(
+            "bench gate FAIL: streaming trace costs {:.1}% wall clock (limit {:.0}%)",
+            stream.overhead_frac * 100.0,
+            STREAMING_OVERHEAD_TOLERANCE * 100.0,
+        );
+        code = 1;
+    }
+    match stream.rss_growth_bytes {
+        Some(growth) if growth > STREAMING_RSS_BOUND_BYTES => {
+            eprintln!(
+                "bench gate FAIL: traced {:.1}M-packet run grew RSS by {:.1} MiB \
+                 (limit {} MiB) — the sink must be O(1) in packet count",
+                stream.packets_injected as f64 / 1e6,
+                growth as f64 / (1024.0 * 1024.0),
+                STREAMING_RSS_BOUND_BYTES / (1024 * 1024),
+            );
+            code = 1;
+        }
+        Some(growth) => println!(
+            "bench gate         streaming trace: overhead {:+.1}%, RSS +{} KiB over \
+             {:.1}M packets (O(1) bound OK)",
+            stream.overhead_frac * 100.0,
+            growth / 1024,
+            stream.packets_injected as f64 / 1e6,
+        ),
+        None => println!(
+            "bench gate         streaming trace: overhead {:+.1}%, RSS bound not \
+             measurable (/proc unavailable)",
+            stream.overhead_frac * 100.0,
+        ),
+    }
     if code == 0 {
         println!("bench gate         OK");
     }
@@ -783,12 +977,14 @@ fn main() {
     let dumbbell_4tcp_5s = bench_dumbbell(true);
     let shards = bench_shards(single_core, &mut warnings);
     let supervisor_overhead = bench_supervisor(6);
+    let streaming_trace = bench_streaming_trace();
     let report = BenchReport {
         available_parallelism: jobs,
         schedulers,
         dumbbell_4tcp_5s,
         shards,
         supervisor_overhead,
+        streaming_trace,
         packet_bytes: packet_bytes(),
         // A single-core host cannot demonstrate sweep parallelism:
         // don't burn two full sweeps producing a meaningless 1.0x.

@@ -3,6 +3,7 @@
 //! ```text
 //! repro [--quick] [--audit] [--jobs N] [--out DIR]
 //!       [--resume] [--cell-timeout SECS] <experiment>... | all | list
+//! repro run <scenario.toml>...
 //! ```
 //!
 //! The binary is a thin shell: targets (and figure aliases like
@@ -42,7 +43,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use slowcc_experiments::scale::Scale;
-use slowcc_experiments::{exec, registry, runner};
+use slowcc_experiments::{dsl, exec, registry, runner};
 use slowcc_netsim::audit::{self, AuditMode};
 use slowcc_netsim::budget;
 
@@ -148,12 +149,33 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let targets = match registry::resolve_targets(&names) {
-        Ok(targets) => targets,
-        Err(unknown) => {
-            eprintln!("unknown experiment: {unknown}");
-            usage();
+    // `run <scenario.toml>...` compiles declarative scenario files into
+    // experiments on the fly; everything downstream (manifest, --resume,
+    // --jobs, --audit, budgets) is the same exec::run path.
+    let targets = if names[0] == "run" {
+        if names.len() == 1 {
+            eprintln!("run requires at least one scenario file (repro run <scenario.toml>...)");
             return ExitCode::FAILURE;
+        }
+        let mut targets = Vec::new();
+        for path in &names[1..] {
+            match dsl::load_experiment(std::path::Path::new(path)) {
+                Ok(exp) => targets.push(exp),
+                Err(err) => {
+                    eprintln!("{err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        targets
+    } else {
+        match registry::resolve_targets(&names) {
+            Ok(targets) => targets,
+            Err(unknown) => {
+                eprintln!("unknown experiment: {unknown}");
+                usage();
+                return ExitCode::FAILURE;
+            }
         }
     };
 
@@ -222,9 +244,11 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!(
         "usage: repro [--quick] [--audit] [--jobs N] [--out DIR] [--resume] \
-         [--cell-timeout SECS] [--retries N] <experiment>... | all | list"
+         [--cell-timeout SECS] [--retries N] <experiment>... | all | list | run <scenario.toml>..."
     );
     eprintln!("experiments: {}", registry::names_line());
+    eprintln!("run <scenario.toml>... compiles declarative scenario files (see examples/scenarios/)");
+    eprintln!("         into experiments and sweeps them through the same execution path");
     eprintln!("aliases: {}", registry::aliases_line());
     eprintln!("--jobs N caps the process at N threads (default: available parallelism)");
     eprintln!("--audit runs every simulation under the packet/timer invariant auditor");

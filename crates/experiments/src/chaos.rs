@@ -105,13 +105,21 @@ fn reverse_plan(rng: &mut SmallRng) -> FaultPlan {
         .with_jitter(SimDuration::from_millis(rng.gen_range_u64(1, 4)))
 }
 
+/// The exact `(forward, reverse)` fault plans a chaos cell with this
+/// `seed` and `horizon` draws — public so the scenario DSL's twin can
+/// embed the same plans declaratively and byte-match this sweep.
+pub fn drawn_plans(seed: u64, horizon: SimDuration) -> (FaultPlan, FaultPlan) {
+    let mut draw = SmallRng::seed_from_u64(seed ^ 0x510C_C0DE);
+    let fwd = forward_plan(&mut draw, horizon);
+    let rev = reverse_plan(&mut draw);
+    (fwd, rev)
+}
+
 /// Run one cell: a single `flavor` flow through the faulted paper
 /// dumbbell under the strict auditor. Panics (caught by the isolated
 /// runner) on any invariant violation; otherwise reports what happened.
 fn run_cell(flavor: Flavor, seed: u64, horizon: SimDuration) -> ChaosCell {
-    let mut draw = SmallRng::seed_from_u64(seed ^ 0x510C_C0DE);
-    let fwd = forward_plan(&mut draw, horizon);
-    let rev = reverse_plan(&mut draw);
+    let (fwd, rev) = drawn_plans(seed, horizon);
     let fwd_summary = fwd.summary();
     let rev_summary = rev.summary();
 

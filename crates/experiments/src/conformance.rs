@@ -135,100 +135,46 @@ pub fn repo_root() -> PathBuf {
 }
 
 // ---------------------------------------------------------------------
-// TOML-subset parser
+// Spec-file parsing (on the shared TOML-subset parser)
 // ---------------------------------------------------------------------
 
-/// Parse one spec file. The accepted grammar is the TOML subset the
-/// committed tree uses: `key = "value"` single-line strings,
-/// `key = '''…'''` multi-line literal strings, `key = [ "…", … ]`
-/// string arrays (inline or one element per line), `[[spec]]` array
-/// headers, and full-line `#` comments. Anything else is an error —
-/// a conformance ledger should fail loudly, not guess.
+/// Parse one spec file. The syntax is the shared [`crate::toml`]
+/// subset; this layer enforces the ledger's schema on top — only
+/// `[[spec]]` tables, only string values, the fixed key set — so a
+/// conformance ledger fails loudly instead of guessing.
 pub fn parse_spec_file(text: &str, rel_path: &str) -> Result<SpecFile, String> {
     let err = |line: usize, msg: &str| format!("{rel_path}:{line}: {msg}");
     let (rfc, section) = split_rel_path(rel_path)
         .ok_or_else(|| format!("{rel_path}: expected <rfc>/<section>.toml"))?;
 
+    let doc = crate::toml::parse_document(text, rel_path)?;
+
     let mut target = String::new();
-    let mut requirements: Vec<Requirement> = Vec::new();
-    // Fields of the `[[spec]]` block being assembled, if any.
-    let mut current: Option<OpenBlock> = None;
-
-    let mut lines = text.lines().enumerate().peekable();
-    while let Some((idx, raw)) = lines.next() {
-        let lineno = idx + 1;
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        if line == "[[spec]]" {
-            if let Some(block) = current.take() {
-                requirements.push(finish_requirement(block, rel_path)?);
-            }
-            current = Some((lineno, Vec::new()));
-            continue;
-        }
-        if line.starts_with('[') {
-            return Err(err(lineno, "only [[spec]] tables are supported"));
-        }
-        let (key, rest) = line
-            .split_once('=')
-            .ok_or_else(|| err(lineno, "expected `key = value`"))?;
-        let key = key.trim().to_string();
-        let rest = rest.trim();
-        let value = if rest == "'''" {
-            // Multi-line literal string: verbatim until the closing
-            // delimiter on its own line.
-            let mut body = String::new();
-            let mut closed = false;
-            for (_, body_raw) in lines.by_ref() {
-                if body_raw.trim() == "'''" {
-                    closed = true;
-                    break;
-                }
-                body.push_str(body_raw);
-                body.push('\n');
-            }
-            if !closed {
-                return Err(err(lineno, "unterminated ''' string"));
-            }
-            ParsedValue::Str(body.trim().to_string())
-        } else if let Some(stripped) = rest.strip_prefix('[') {
-            // String array: inline `["a", "b"]` or one element per
-            // line until the closing bracket.
-            let mut items = Vec::new();
-            let mut acc = stripped.to_string();
-            loop {
-                if let Some(body) = acc.trim_end().strip_suffix(']') {
-                    parse_array_items(body, &mut items).map_err(|m| err(lineno, &m))?;
-                    break;
-                }
-                parse_array_items(&acc, &mut items).map_err(|m| err(lineno, &m))?;
-                match lines.next() {
-                    Some((_, more)) => acc = more.trim().to_string(),
-                    None => return Err(err(lineno, "unterminated array")),
-                }
-            }
-            ParsedValue::List(items)
-        } else {
-            ParsedValue::Str(parse_basic_string(rest).map_err(|m| err(lineno, &m))?)
-        };
-
-        match &mut current {
-            Some((_, fields)) => fields.push((key, value, lineno)),
-            None => match (key.as_str(), value) {
-                ("target", ParsedValue::Str(s)) => target = s,
-                ("target", ParsedValue::List(_)) => {
-                    return Err(err(lineno, "`target` must be a string"));
-                }
-                (other, _) => {
-                    return Err(err(lineno, &format!("unknown top-level key `{other}`")));
+    for entry in &doc.root.entries {
+        match entry.key.as_str() {
+            "target" => match coerce_string_value(&entry.value, entry.line, rel_path)? {
+                ParsedValue::Str(s) => target = s,
+                ParsedValue::List(_) => {
+                    return Err(err(entry.line, "`target` must be a string"));
                 }
             },
+            other => {
+                return Err(err(entry.line, &format!("unknown top-level key `{other}`")));
+            }
         }
     }
-    if let Some(block) = current.take() {
-        requirements.push(finish_requirement(block, rel_path)?);
+
+    let mut requirements: Vec<Requirement> = Vec::new();
+    for sec in &doc.sections {
+        if !sec.is_array || sec.name != "spec" {
+            return Err(err(sec.line, "only [[spec]] tables are supported"));
+        }
+        let mut fields = Vec::new();
+        for entry in &sec.table.entries {
+            let value = coerce_string_value(&entry.value, entry.line, rel_path)?;
+            fields.push((entry.key.clone(), value, entry.line));
+        }
+        requirements.push(finish_requirement((sec.line, fields), rel_path)?);
     }
 
     if target.is_empty() {
@@ -251,40 +197,36 @@ enum ParsedValue {
     List(Vec<String>),
 }
 
-/// A `[[spec]]` block mid-parse: the header's line number plus each
-/// `key = value` seen so far (with the line it appeared on, for
-/// error reporting).
-type OpenBlock = (usize, Vec<(String, ParsedValue, usize)>);
+/// The ledger's values are strings and string arrays only; numbers and
+/// booleans the generic parser accepts are schema errors here.
+fn coerce_string_value(
+    value: &crate::toml::Value,
+    line: usize,
+    rel_path: &str,
+) -> Result<ParsedValue, String> {
+    use crate::toml::Value;
+    let reject =
+        |v: &Value| format!("{rel_path}:{line}: expected a \"quoted\" string, found `{v}`");
+    match value {
+        Value::Str(s) => Ok(ParsedValue::Str(s.clone())),
+        Value::List(items) => {
+            let mut strings = Vec::with_capacity(items.len());
+            for item in items {
+                match item {
+                    Value::Str(s) => strings.push(s.clone()),
+                    other => return Err(reject(other)),
+                }
+            }
+            Ok(ParsedValue::List(strings))
+        }
+        other => Err(reject(other)),
+    }
+}
 
 fn split_rel_path(rel_path: &str) -> Option<(String, String)> {
     let (rfc, file) = rel_path.split_once('/')?;
     let section = file.strip_suffix(".toml")?;
     Some((rfc.to_string(), section.to_string()))
-}
-
-/// Parse a double-quoted basic string (no escapes — the tree quotes
-/// RFC text in `'''` blocks where escaping never arises).
-fn parse_basic_string(s: &str) -> Result<String, String> {
-    let inner = s
-        .strip_prefix('"')
-        .and_then(|r| r.strip_suffix('"'))
-        .ok_or_else(|| format!("expected a \"quoted\" string, found `{s}`"))?;
-    if inner.contains('"') || inner.contains('\\') {
-        return Err(format!("escapes are not supported in `{s}`"));
-    }
-    Ok(inner.to_string())
-}
-
-/// Parse zero or more comma-separated quoted strings into `items`.
-fn parse_array_items(body: &str, items: &mut Vec<String>) -> Result<(), String> {
-    for piece in body.split(',') {
-        let piece = piece.trim();
-        if piece.is_empty() || piece.starts_with('#') {
-            continue;
-        }
-        items.push(parse_basic_string(piece)?);
-    }
-    Ok(())
 }
 
 fn finish_requirement(

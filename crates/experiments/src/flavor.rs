@@ -80,6 +80,61 @@ impl Flavor {
         }
     }
 
+    /// Parse the paper notation [`Flavor::label`] renders: `TCP(1/8)`,
+    /// `SQRT(1/2)`, `IIAD(1/2)`, `RAP(1/4)`, `TFRC(6)`, `TFRC(6)+sc`,
+    /// `TEAR`. For every flavor whose γ prints exactly (the integers
+    /// the paper sweeps), `parse(label())` round-trips.
+    pub fn parse(s: &str) -> Result<Flavor, String> {
+        fn gamma_of(body: &str) -> Option<f64> {
+            let g = body.strip_prefix("1/")?;
+            let gamma: f64 = g.parse().ok()?;
+            (gamma.is_finite() && gamma >= 1.0).then_some(gamma)
+        }
+        let fail = || {
+            Err(format!(
+                "unknown flavor `{s}` (expected `TCP(1/g)`, `SQRT(1/g)`, `IIAD(1/g)`, \
+                 `RAP(1/g)`, `TFRC(k)`, `TFRC(k)+sc`, or `TEAR`)"
+            ))
+        };
+        if s == "TEAR" {
+            return Ok(Flavor::Tear);
+        }
+        if let Some(rest) = s.strip_prefix("TFRC(") {
+            let (k_str, tail) = match rest.split_once(')') {
+                Some(x) => x,
+                None => return fail(),
+            };
+            let self_clocking = match tail {
+                "" => false,
+                "+sc" => true,
+                _ => return fail(),
+            };
+            return match k_str.parse::<usize>() {
+                Ok(k) if k >= 1 => Ok(Flavor::Tfrc { k, self_clocking }),
+                _ => fail(),
+            };
+        }
+        let (name, body) = match s.split_once('(') {
+            Some(x) => x,
+            None => return fail(),
+        };
+        let body = match body.strip_suffix(')') {
+            Some(b) => b,
+            None => return fail(),
+        };
+        let gamma = match gamma_of(body) {
+            Some(g) => g,
+            None => return fail(),
+        };
+        match name {
+            "TCP" => Ok(Flavor::Tcp { gamma }),
+            "SQRT" => Ok(Flavor::Sqrt { gamma }),
+            "IIAD" => Ok(Flavor::Iiad { gamma }),
+            "RAP" => Ok(Flavor::Rap { gamma }),
+            _ => fail(),
+        }
+    }
+
     /// Install one flow of this flavor across `pair`.
     pub fn install(
         &self,
@@ -143,6 +198,34 @@ mod tests {
         );
         assert_eq!(Flavor::standard_tfrc().label(), "TFRC(6)");
         assert_eq!(Flavor::Tear.label(), "TEAR");
+    }
+
+    #[test]
+    fn parse_round_trips_with_label() {
+        let flavors = [
+            Flavor::standard_tcp(),
+            Flavor::Tcp { gamma: 8.0 },
+            Flavor::Sqrt { gamma: 2.0 },
+            Flavor::Iiad { gamma: 3.0 },
+            Flavor::Rap { gamma: 4.0 },
+            Flavor::standard_tfrc(),
+            Flavor::Tfrc { k: 256, self_clocking: true },
+            Flavor::Tear,
+        ];
+        for f in flavors {
+            assert_eq!(Flavor::parse(&f.label()), Ok(f), "{}", f.label());
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_flavors() {
+        for bad in [
+            "", "tcp(1/2)", "TCP", "TCP(2)", "TCP(1/0)", "TCP(1/x)", "TCP(1/2", "TFRC(0)",
+            "TFRC(6)+SC", "TFRC(x)", "TEAR(1)", "CUBIC(1/2)",
+        ] {
+            let err = Flavor::parse(bad).unwrap_err();
+            assert!(err.contains("unknown flavor"), "{bad}: {err}");
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::experiment::{CellSpec, Experiment};
 use crate::flavor::Flavor;
 use crate::report::{num, Table};
 use crate::scale::Scale;
-use crate::scenario::{self, PKT_SIZE};
+use crate::scenario::PKT_SIZE;
 
 /// One RTT-bias measurement.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -257,7 +257,6 @@ fn run_lot(flavor: Flavor, hops: usize, warmup: SimTime, duration: SimTime) -> M
         .map(|h| stats.flow_throughput_bps(h.flow, warmup, duration))
         .sum::<f64>()
         / cross.len() as f64;
-    let _ = scenario::RTT;
     MultiHopPoint {
         label: flavor.label(),
         hops,

@@ -39,6 +39,7 @@
 
 pub mod chaos;
 pub mod conformance;
+pub mod dsl;
 pub mod exec;
 pub mod experiment;
 pub mod extras;
@@ -63,4 +64,5 @@ pub mod response;
 pub mod runner;
 pub mod scale;
 pub mod scenario;
+pub mod toml;
 pub mod validate;

@@ -19,7 +19,7 @@ use crate::fig171819::{Pattern, SmoothnessExperiment};
 use crate::flavor::Flavor;
 use crate::scale::Scale;
 use crate::{
-    chaos, conformance, extras, fig03, fig06, fig11, fig13, fig20, fig45, hetero, queuedyn,
+    chaos, conformance, dsl, extras, fig03, fig06, fig11, fig13, fig20, fig45, hetero, queuedyn,
     response, validate,
 };
 
@@ -305,6 +305,12 @@ fn build() -> Vec<Box<dyn AnyExperiment>> {
         Box::new(hetero::MultiHopExperiment),
         Box::new(chaos::ChaosExperiment),
         Box::new(conformance::ConformanceExperiment),
+        // Hidden twins of the chaos and multi-hop environments, compiled
+        // from the builtin scenario specs: the conformance suite holds
+        // their outputs byte-equal to the shipped TOML files and to the
+        // hand-coded experiments they mirror.
+        Box::new(dsl::ScenarioExperiment::new(dsl::builtin::chaos_twin_spec()).into_hidden()),
+        Box::new(dsl::ScenarioExperiment::new(dsl::builtin::multihop_twin_spec()).into_hidden()),
         Box::new(PanicCellExperiment),
         Box::new(HangCellExperiment),
         Box::new(SlowCellExperiment),

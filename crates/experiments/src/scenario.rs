@@ -14,14 +14,14 @@ use slowcc_traffic::bulk::add_reverse_tcp;
 use crate::flavor::Flavor;
 
 /// Packet size used throughout (Section 3 era convention).
-pub const PKT_SIZE: u32 = 1000;
+pub const PKT_SIZE: u32 = slowcc_netsim::topology::PAPER_PKT_SIZE;
 
 /// The nominal RTT of the standard topology.
-pub const RTT: SimDuration = SimDuration::from_millis(50);
+pub const RTT: SimDuration = slowcc_netsim::topology::PAPER_RTT;
 
 /// Number of reverse-direction background TCP flows added to every
 /// scenario ("data traffic flowing in both directions").
-pub const REVERSE_FLOWS: usize = 2;
+pub const REVERSE_FLOWS: usize = crate::dsl::PAPER_REVERSE_FLOWS;
 
 /// A built standard scenario.
 pub struct Scenario {

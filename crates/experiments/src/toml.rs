@@ -1,0 +1,366 @@
+//! A shared hand-rolled TOML-subset parser.
+//!
+//! The repo is offline — no `toml` crate — so the conformance ledger
+//! grew a small line-oriented parser, and the scenario DSL needs the
+//! same grammar plus numbers and booleans. This module is that parser,
+//! hoisted: it produces a [`Document`] of keyed [`Value`]s with the
+//! 1-based source line of every entry preserved, so callers can report
+//! semantic errors as `<file>:<line>: <message>` — the same shape the
+//! parse errors here use.
+//!
+//! Accepted grammar (everything else is a loud error):
+//!
+//! * full-line `#` comments and blank lines;
+//! * `[name]` table headers and `[[name]]` array-of-table headers;
+//! * `key = "value"` basic strings (no escapes);
+//! * `key = '''…'''` multi-line literal strings (body trimmed);
+//! * `key = 123`, `key = 1.5`, `key = true` scalars;
+//! * `key = [ … ]` arrays of scalars, inline or one element per line.
+//!
+//! No nested tables-in-values, no escapes, no trailing comments after a
+//! value: a config format for experiment ledgers should fail loudly,
+//! not guess.
+
+use std::fmt;
+
+/// A parsed scalar or array value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `"…"` or `'''…'''`.
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `[ … ]` of scalars.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload: floats as-is, integers promoted.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Render the value back as TOML source. Floats use `{:?}` — the
+    /// shortest representation that round-trips — so rendering and
+    /// re-parsing is bit-exact.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x:?}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+/// One `key = value` assignment, with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// The key, trimmed.
+    pub key: String,
+    /// The parsed value.
+    pub value: Value,
+    /// 1-based source line of the assignment.
+    pub line: usize,
+}
+
+/// The entries of one table, in file order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table {
+    /// `key = value` entries, in file order (duplicates kept).
+    pub entries: Vec<Entry>,
+}
+
+impl Table {
+    /// The first entry with `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+}
+
+/// One `[name]` or `[[name]]` section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Section {
+    /// The header name (dotted names kept verbatim, e.g. `faults.forward`).
+    pub name: String,
+    /// Whether the header was `[[name]]` (array of tables).
+    pub is_array: bool,
+    /// 1-based source line of the header.
+    pub line: usize,
+    /// The section's entries.
+    pub table: Table,
+}
+
+/// A parsed file: top-level entries plus sections, in file order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Document {
+    /// Entries before the first section header.
+    pub root: Table,
+    /// Sections, in file order.
+    pub sections: Vec<Section>,
+}
+
+impl Document {
+    /// All sections named `name` (matching `[name]` and `[[name]]`).
+    pub fn sections_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Section> {
+        self.sections.iter().filter(move |s| s.name == name)
+    }
+}
+
+/// Parse `text` into a [`Document`]. `path` is used verbatim in error
+/// messages, which are always formatted `{path}:{line}: {message}`.
+pub fn parse_document(text: &str, path: &str) -> Result<Document, String> {
+    let err = |line: usize, msg: &str| format!("{path}:{line}: {msg}");
+    let mut doc = Document::default();
+
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let (name, is_array) = if let Some(inner) = header.strip_prefix('[') {
+                let name = inner
+                    .strip_suffix("]]")
+                    .ok_or_else(|| err(lineno, &format!("malformed table header `{line}`")))?;
+                (name, true)
+            } else {
+                let name = header
+                    .strip_suffix(']')
+                    .ok_or_else(|| err(lineno, &format!("malformed table header `{line}`")))?;
+                (name, false)
+            };
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(err(lineno, "empty table name"));
+            }
+            doc.sections.push(Section {
+                name: name.to_string(),
+                is_array,
+                line: lineno,
+                table: Table::default(),
+            });
+            continue;
+        }
+        let (key, rest) = line
+            .split_once('=')
+            .ok_or_else(|| err(lineno, "expected `key = value`"))?;
+        let key = key.trim().to_string();
+        let rest = rest.trim();
+        let value = if rest == "'''" {
+            // Multi-line literal string: verbatim until the closing
+            // delimiter on its own line.
+            let mut body = String::new();
+            let mut closed = false;
+            for (_, body_raw) in lines.by_ref() {
+                if body_raw.trim() == "'''" {
+                    closed = true;
+                    break;
+                }
+                body.push_str(body_raw);
+                body.push('\n');
+            }
+            if !closed {
+                return Err(err(lineno, "unterminated ''' string"));
+            }
+            Value::Str(body.trim().to_string())
+        } else if let Some(stripped) = rest.strip_prefix('[') {
+            // Array of scalars: inline `[1, 2]` or one element per
+            // line until the closing bracket.
+            let mut items = Vec::new();
+            let mut acc = stripped.to_string();
+            loop {
+                if let Some(body) = acc.trim_end().strip_suffix(']') {
+                    parse_array_items(body, &mut items).map_err(|m| err(lineno, &m))?;
+                    break;
+                }
+                parse_array_items(&acc, &mut items).map_err(|m| err(lineno, &m))?;
+                match lines.next() {
+                    Some((_, more)) => acc = more.trim().to_string(),
+                    None => return Err(err(lineno, "unterminated array")),
+                }
+            }
+            Value::List(items)
+        } else {
+            parse_scalar(rest).map_err(|m| err(lineno, &m))?
+        };
+        let entry = Entry { key, value, line: lineno };
+        match doc.sections.last_mut() {
+            Some(section) => section.table.entries.push(entry),
+            None => doc.root.entries.push(entry),
+        }
+    }
+    Ok(doc)
+}
+
+/// Parse one scalar: a `"quoted"` string (no escapes), `true`/`false`,
+/// an integer, or a float.
+fn parse_scalar(s: &str) -> Result<Value, String> {
+    if s.starts_with('"') {
+        let inner = s
+            .strip_prefix('"')
+            .and_then(|r| r.strip_suffix('"'))
+            .ok_or_else(|| format!("expected a \"quoted\" string, found `{s}`"))?;
+        if inner.contains('"') || inner.contains('\\') {
+            return Err(format!("escapes are not supported in `{s}`"));
+        }
+        return Ok(Value::Str(inner.to_string()));
+    }
+    match s {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    // Reject the permissive spellings `str::parse::<f64>` allows but
+    // TOML does not (inf/nan/hex); digits must lead.
+    if s.starts_with(|c: char| c.is_ascii_digit() || c == '-' || c == '+') {
+        if let Ok(f) = s.parse::<f64>() {
+            if f.is_finite() {
+                return Ok(Value::Float(f));
+            }
+        }
+    }
+    Err(format!("expected a \"quoted\" string, found `{s}`"))
+}
+
+/// Parse zero or more comma-separated scalars into `items`.
+fn parse_array_items(body: &str, items: &mut Vec<Value>) -> Result<(), String> {
+    for piece in body.split(',') {
+        let piece = piece.trim();
+        if piece.is_empty() || piece.starts_with('#') {
+            continue;
+        }
+        items.push(parse_scalar(piece)?);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_scalars_and_arrays() {
+        let text = "name = \"demo\"\nseeds = [1, 2, 3]\n\n[topology]\nbottleneck_mbps = 10.0\n\
+                    hops = 3\n\n[[flow]]\nflavor = \"TCP(1/2)\"\nstart_ms = 0\nsc = true\n";
+        let doc = parse_document(text, "demo.toml").unwrap();
+        assert_eq!(doc.root.get("name").unwrap().value, Value::Str("demo".into()));
+        assert_eq!(
+            doc.root.get("seeds").unwrap().value,
+            Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
+        assert_eq!(doc.sections.len(), 2);
+        let topo = &doc.sections[0];
+        assert_eq!((topo.name.as_str(), topo.is_array, topo.line), ("topology", false, 4));
+        assert_eq!(topo.table.get("bottleneck_mbps").unwrap().value.as_float(), Some(10.0));
+        assert_eq!(topo.table.get("hops").unwrap().value.as_int(), Some(3));
+        let flow = &doc.sections[1];
+        assert!(flow.is_array);
+        assert_eq!(flow.table.get("sc").unwrap().value.as_bool(), Some(true));
+    }
+
+    #[test]
+    fn errors_carry_path_and_line() {
+        let err = parse_document("x = \"a\"\ny zz\n", "f.toml").unwrap_err();
+        assert!(err.starts_with("f.toml:2:"), "got: {err}");
+        assert!(err.contains("expected `key = value`"), "got: {err}");
+
+        let err = parse_document("q = '''\nnever closed\n", "f.toml").unwrap_err();
+        assert!(err.contains("unterminated ''' string"), "got: {err}");
+
+        let err = parse_document("a = [1, 2\n", "f.toml").unwrap_err();
+        assert!(err.contains("unterminated array"), "got: {err}");
+
+        let err = parse_document("[broken\n", "f.toml").unwrap_err();
+        assert!(err.contains("malformed table header"), "got: {err}");
+
+        let err = parse_document("v = nope\n", "f.toml").unwrap_err();
+        assert!(err.contains("expected a \"quoted\" string"), "got: {err}");
+
+        let err = parse_document("v = inf\n", "f.toml").unwrap_err();
+        assert!(err.contains("expected a \"quoted\" string"), "got: {err}");
+    }
+
+    #[test]
+    fn floats_render_and_reparse_bit_exactly() {
+        for x in [0.001, 0.1 + 0.2, 1.0 / 3.0, 6.02e23, -0.0042] {
+            let rendered = Value::Float(x).to_string();
+            let doc = parse_document(&format!("x = {rendered}"), "f.toml").unwrap();
+            match doc.root.get("x").unwrap().value {
+                Value::Float(y) => assert_eq!(y.to_bits(), x.to_bits(), "{rendered}"),
+                ref other => panic!("expected float, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn multiline_strings_and_arrays_match_the_conformance_idiom() {
+        let text = "q = '''\n  line one\nline two\n'''\nt = [\n  \"a\",\n  # gap\n  \"b\",\n]\n";
+        let doc = parse_document(text, "f.toml").unwrap();
+        assert_eq!(
+            doc.root.get("q").unwrap().value.as_str(),
+            Some("line one\nline two")
+        );
+        assert_eq!(
+            doc.root.get("t").unwrap().value,
+            Value::List(vec![Value::Str("a".into()), Value::Str("b".into())])
+        );
+    }
+}

@@ -111,7 +111,7 @@ impl QueueDiscipline for DropTail {
 }
 
 /// Configuration for a [`Red`] queue.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RedConfig {
     /// Hard buffer limit in packets; arrivals beyond this are always
     /// dropped regardless of the average queue.

@@ -18,8 +18,19 @@ use crate::queue::{DropTail, QueueDiscipline, Red, RedConfig};
 use crate::sim::Simulator;
 use crate::time::{transmission_time, SimDuration};
 
+/// The paper's standard packet size in bytes (Section 3).
+pub const PAPER_PKT_SIZE: u32 = 1000;
+/// One-way bottleneck propagation delay of the standard scenario.
+pub const PAPER_BOTTLENECK_DELAY: SimDuration = SimDuration::from_millis(23);
+/// Access link rate, both sides, of the standard scenario (b/s).
+pub const PAPER_ACCESS_BPS: f64 = 1e9;
+/// One-way access link propagation delay of the standard scenario.
+pub const PAPER_ACCESS_DELAY: SimDuration = SimDuration::from_millis(1);
+/// Base RTT of the standard path: `2 * (1 + 23 + 1) ms`.
+pub const PAPER_RTT: SimDuration = SimDuration::from_millis(50);
+
 /// Buffer discipline to install at the bottleneck.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum QueueKind {
     /// RED with the paper's Section 3 sizing: capacity 2.5x BDP,
     /// thresholds 0.25x / 1.25x BDP, ns-2 default weight and max_p.
@@ -31,7 +42,7 @@ pub enum QueueKind {
 }
 
 /// Parameters of a dumbbell topology.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DumbbellConfig {
     /// Bottleneck rate in bits per second.
     pub bottleneck_bps: f64,
@@ -54,10 +65,10 @@ impl DumbbellConfig {
     pub fn paper(bottleneck_bps: f64) -> Self {
         DumbbellConfig {
             bottleneck_bps,
-            bottleneck_delay: SimDuration::from_millis(23),
-            access_bps: 1e9,
-            access_delay: SimDuration::from_millis(1),
-            pkt_size: 1000,
+            bottleneck_delay: PAPER_BOTTLENECK_DELAY,
+            access_bps: PAPER_ACCESS_BPS,
+            access_delay: PAPER_ACCESS_DELAY,
+            pkt_size: PAPER_PKT_SIZE,
             queue: QueueKind::PaperRed,
         }
     }
@@ -579,6 +590,217 @@ impl ParkingLot {
         }
         sim.add_route(self.routers[from], left, l_down);
         HostPair { left, right }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spec-driven construction
+// ---------------------------------------------------------------------
+
+/// Which topology family a [`TopologySpec`] builds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TopologyKind {
+    /// Single shared bottleneck ([`Dumbbell`]).
+    Dumbbell,
+    /// Chain of `hops` congested links ([`ParkingLot`]).
+    ParkingLot {
+        /// Number of congested hops (>= 1).
+        hops: usize,
+    },
+}
+
+/// A declarative topology description: one struct, one build path, for
+/// both the Rust builders and the scenario DSL. Building a spec
+/// delegates to exactly the same [`Dumbbell::build_with`] /
+/// [`ParkingLot::build_with`] calls hand-written experiments make, so a
+/// spec-built simulation is event-for-event identical to its hard-coded
+/// twin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopologySpec {
+    /// Topology family (and hop count, for parking lots).
+    pub kind: TopologyKind,
+    /// Link/queue parameters, shared by every congested hop.
+    pub config: DumbbellConfig,
+}
+
+impl TopologySpec {
+    /// A dumbbell with the given link/queue parameters.
+    pub fn dumbbell(config: DumbbellConfig) -> Self {
+        TopologySpec {
+            kind: TopologyKind::Dumbbell,
+            config,
+        }
+    }
+
+    /// A parking lot with `hops` congested links.
+    pub fn parking_lot(config: DumbbellConfig, hops: usize) -> Self {
+        TopologySpec {
+            kind: TopologyKind::ParkingLot { hops },
+            config,
+        }
+    }
+
+    /// Build the routers and congested links inside `sim`.
+    pub fn build(&self, sim: &mut Simulator) -> BuiltTopology {
+        self.build_with(sim, DumbbellOptions::new())
+    }
+
+    /// Build with [`DumbbellOptions`] attachments (scripted loss, ECN
+    /// marking, fault plans). On a parking lot they attach to the first
+    /// hop, exactly as [`ParkingLot::build_with`] does.
+    pub fn build_with(&self, sim: &mut Simulator, opts: DumbbellOptions) -> BuiltTopology {
+        match self.kind {
+            TopologyKind::Dumbbell => {
+                BuiltTopology::Dumbbell(Dumbbell::build_with(sim, self.config, opts))
+            }
+            TopologyKind::ParkingLot { hops } => {
+                BuiltTopology::ParkingLot(ParkingLot::build_with(sim, self.config, hops, opts))
+            }
+        }
+    }
+}
+
+/// The result of building a [`TopologySpec`]: whichever family it
+/// named, behind one host-attachment interface.
+#[derive(Debug)]
+pub enum BuiltTopology {
+    /// A built dumbbell.
+    Dumbbell(Dumbbell),
+    /// A built parking lot.
+    ParkingLot(ParkingLot),
+}
+
+impl BuiltTopology {
+    /// Link/queue parameters the topology was built with.
+    pub fn config(&self) -> &DumbbellConfig {
+        match self {
+            BuiltTopology::Dumbbell(db) => db.config(),
+            BuiltTopology::ParkingLot(lot) => lot.config(),
+        }
+    }
+
+    /// Number of congested hops (1 for a dumbbell).
+    pub fn hops(&self) -> usize {
+        match self {
+            BuiltTopology::Dumbbell(_) => 1,
+            BuiltTopology::ParkingLot(lot) => lot.hops(),
+        }
+    }
+
+    /// The first congested link in the forward direction — the
+    /// dumbbell bottleneck, or a parking lot's hop 0 (where
+    /// [`DumbbellOptions`] attachments land).
+    pub fn forward_bottleneck(&self) -> LinkId {
+        match self {
+            BuiltTopology::Dumbbell(db) => db.forward,
+            BuiltTopology::ParkingLot(lot) => lot.forward[0],
+        }
+    }
+
+    /// The congested forward links, hop by hop.
+    pub fn forward_links(&self) -> Vec<LinkId> {
+        match self {
+            BuiltTopology::Dumbbell(db) => vec![db.forward],
+            BuiltTopology::ParkingLot(lot) => lot.forward.clone(),
+        }
+    }
+
+    /// The congested reverse links, hop by hop (mirrors of
+    /// [`BuiltTopology::forward_links`]).
+    pub fn reverse_links(&self) -> Vec<LinkId> {
+        match self {
+            BuiltTopology::Dumbbell(db) => vec![db.reverse],
+            BuiltTopology::ParkingLot(lot) => lot.reverse.clone(),
+        }
+    }
+
+    /// The underlying dumbbell, for attachments that are
+    /// dumbbell-specific (reverse bulk traffic, flash crowds).
+    pub fn as_dumbbell(&self) -> Option<&Dumbbell> {
+        match self {
+            BuiltTopology::Dumbbell(db) => Some(db),
+            BuiltTopology::ParkingLot(_) => None,
+        }
+    }
+
+    /// Add a host pair spanning the whole topology: across the
+    /// dumbbell, or from the first to the last parking-lot router.
+    pub fn add_host_pair(&self, sim: &mut Simulator) -> HostPair {
+        match self {
+            BuiltTopology::Dumbbell(db) => db.add_host_pair(sim),
+            BuiltTopology::ParkingLot(lot) => lot.add_host_pair(sim, 0, lot.hops()),
+        }
+    }
+
+    /// Add a host pair spanning routers `from..to`. On a dumbbell the
+    /// only valid span is `0..1` (the whole path).
+    pub fn add_host_pair_span(&self, sim: &mut Simulator, from: usize, to: usize) -> HostPair {
+        match self {
+            BuiltTopology::Dumbbell(db) => {
+                assert!(
+                    from == 0 && to == 1,
+                    "a dumbbell only has the span 0..1 (got {from}..{to})"
+                );
+                db.add_host_pair(sim)
+            }
+            BuiltTopology::ParkingLot(lot) => lot.add_host_pair(sim, from, to),
+        }
+    }
+
+    /// Add a host pair with a custom one-way access delay
+    /// (heterogeneous-RTT scenarios; dumbbell only).
+    pub fn add_host_pair_with_delay(
+        &self,
+        sim: &mut Simulator,
+        access_delay: SimDuration,
+    ) -> HostPair {
+        match self {
+            BuiltTopology::Dumbbell(db) => db.add_host_pair_with_delay(sim, access_delay),
+            BuiltTopology::ParkingLot(_) => {
+                panic!("custom access delays are only supported on dumbbells")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod spec_tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_match_the_paper_config() {
+        let cfg = DumbbellConfig::paper(10e6);
+        assert_eq!(cfg.pkt_size, PAPER_PKT_SIZE);
+        assert_eq!(cfg.base_rtt(), PAPER_RTT);
+    }
+
+    #[test]
+    fn spec_build_matches_the_hand_written_builders() {
+        // Same seed, same construction order: identical ids and stats.
+        let mut a = Simulator::new(9);
+        let db = Dumbbell::build(&mut a, DumbbellConfig::paper(10e6));
+        let pa = db.add_host_pair(&mut a);
+
+        let mut b = Simulator::new(9);
+        let spec = TopologySpec::dumbbell(DumbbellConfig::paper(10e6));
+        let built = spec.build(&mut b);
+        let pb = built.add_host_pair(&mut b);
+        assert_eq!(pa.left, pb.left);
+        assert_eq!(pa.right, pb.right);
+        assert_eq!(built.forward_bottleneck(), db.forward);
+        assert_eq!(built.hops(), 1);
+
+        let mut c = Simulator::new(9);
+        let lot = ParkingLot::build(&mut c, DumbbellConfig::paper(10e6), 3);
+        let pc = lot.add_host_pair(&mut c, 0, 3);
+
+        let mut d = Simulator::new(9);
+        let built = TopologySpec::parking_lot(DumbbellConfig::paper(10e6), 3).build(&mut d);
+        let pd = built.add_host_pair(&mut d);
+        assert_eq!(pc.left, pd.left);
+        assert_eq!(pc.right, pd.right);
+        assert_eq!(built.forward_links(), lot.forward);
+        assert!(built.as_dumbbell().is_none());
     }
 }
 

@@ -1,0 +1,59 @@
+//! A `VecTrace` that silently drops events is a lie under a strict
+//! audit: the cap overflow must panic when `SLOWCC_AUDIT=strict` (or
+//! the programmatic override) is in force. Own binary because it flips
+//! the process-global audit default.
+
+use slowcc_netsim::audit::{set_default_audit, AuditMode};
+use slowcc_netsim::ids::FlowId;
+use slowcc_netsim::time::SimTime;
+use slowcc_netsim::trace::{TraceEvent, TraceKind, TraceSink, VecTrace};
+
+fn event(uid: u64) -> TraceEvent {
+    TraceEvent {
+        time: SimTime::from_millis(uid),
+        kind: TraceKind::Send,
+        flow: FlowId::from_index(0),
+        seq: uid,
+        uid,
+        size: 1000,
+        is_data: true,
+    }
+}
+
+#[test]
+fn cap_overflow_panics_under_strict_audit_only() {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_default_audit(None);
+        }
+    }
+    let _restore = Restore;
+
+    // Without strict audit: overflow is counted, not fatal.
+    set_default_audit(None);
+    let mut t = VecTrace::new(1);
+    t.record(&event(0));
+    t.record(&event(1));
+    assert_eq!(t.truncated(), 1);
+
+    // Collect mode keeps running too — only strict is fatal.
+    set_default_audit(Some(AuditMode::Collect));
+    let mut t = VecTrace::new(1);
+    t.record(&event(0));
+    t.record(&event(1));
+    assert_eq!(t.truncated(), 1);
+
+    set_default_audit(Some(AuditMode::Strict));
+    let mut t = VecTrace::new(1);
+    t.record(&event(0));
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        t.record(&event(1));
+    }))
+    .expect_err("overflow under strict audit must panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("VecTrace cap 1 exceeded"), "got: {msg}");
+}

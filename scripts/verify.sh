@@ -190,10 +190,37 @@ for f in "$tmp/sig_base"/fig3*; do
 done
 echo "SIGINT exited 130, in-flight cell recorded interrupted, resume byte-identical"
 
+echo "== scenario DSL smoke (repro run vs registry twin vs committed fixture) =="
+# The declarative layer is a compilation target, not a second
+# implementation: running the shipped chaos-twin TOML through
+# `repro run` must produce bytes identical to the hidden registry twin
+# compiled from the same spec, and both must match the committed
+# fixture (so a silent physics or renderer drift fails verify).
+./target/release/repro --quick run examples/scenarios/scenario-chaos-twin.toml \
+  --out "$tmp/scn_toml" > /dev/null
+./target/release/repro --quick scenario-chaos-twin --out "$tmp/scn_reg" > /dev/null
+diff "$tmp/scn_toml/scenario_chaos_twin.json" "$tmp/scn_reg/scenario_chaos_twin.json"
+diff "$tmp/scn_toml/scenario_chaos_twin.trace.seed1000.csv" \
+     "$tmp/scn_reg/scenario_chaos_twin.trace.seed1000.csv"
+diff "$tmp/scn_toml/scenario_chaos_twin.json" \
+     examples/scenarios/expected/scenario_chaos_twin.json
+diff "$tmp/scn_toml/scenario_chaos_twin.trace.seed1000.csv" \
+     examples/scenarios/expected/scenario_chaos_twin.trace.seed1000.csv
+# A malformed scenario must fail fast with a file:line diagnostic, not
+# a panic and not a sweep.
+if ./target/release/repro run examples/scenarios/malformed-queue.toml \
+    > "$tmp/malformed.txt" 2>&1; then
+  echo "ERROR: malformed scenario should have produced a nonzero exit"; exit 1
+fi
+grep -q 'malformed-queue.toml:12: `red_\*` keys are only valid' "$tmp/malformed.txt"
+echo "scenario run byte-identical to registry twin and committed fixture; malformed rejected"
+
 echo "== bench regression gate (dumbbell events/sec vs committed baseline) =="
 # Re-measures the dumbbell hot path and fails if mean_ms regresses >25%
 # or events/sec drops >20% against the committed BENCH_netsim.json, or
-# if an armed (untripped) cell budget costs >2% events/sec.
+# if an armed (untripped) cell budget costs >2% events/sec, or if the
+# streaming trace sink costs >35% wall clock / grows RSS past its O(1)
+# bound on the >1M-packet run.
 # SLOWCC_SKIP_BENCH_GATE=1 skips (e.g. on shared/noisy CI machines).
 if [ "${SLOWCC_SKIP_BENCH_GATE:-0}" = "1" ]; then
   echo "SLOWCC_SKIP_BENCH_GATE=1: skipping bench gate"
